@@ -1,0 +1,207 @@
+(* cutfit — command-line front end for the Cut-to-Fit library.
+
+   Subcommands: datasets, generate, characterize, partition, advise,
+   run, compare. The heavy experiment reproduction lives in
+   bench/main.exe; this tool is for interactive use on single graphs. *)
+
+open Cmdliner
+
+let load_graph name_or_path =
+  if Sys.file_exists name_or_path then Cutfit.Graph_io.load name_or_path
+  else begin
+    match Cutfit.Datasets.find name_or_path with
+    | spec -> Cutfit.Datasets.generate spec
+    | exception Not_found ->
+        Fmt.failwith "unknown dataset %S (expected a file or one of: %s)" name_or_path
+          (String.concat ", " Cutfit.Datasets.names)
+  end
+
+let graph_arg =
+  let doc = "Dataset name (see $(b,cutfit datasets)) or path to an edge-list file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let partitions_arg =
+  let doc = "Number of edge partitions." in
+  Arg.(value & opt int 128 & info [ "n"; "partitions" ] ~docv:"N" ~doc)
+
+let partitioner_arg =
+  let parse s =
+    match Cutfit.Partitioner.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown partitioner %S" s))
+  in
+  let print ppf p = Fmt.string ppf (Cutfit.Partitioner.name p) in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  let parse s =
+    match Cutfit.Advisor.algorithm_of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S (PR, CC, TR, SSSP)" s))
+  in
+  let print ppf a = Fmt.string ppf (Cutfit.Advisor.algorithm_name a) in
+  Arg.(required & pos 0 (some (conv (parse, print))) None & info [] ~docv:"ALGO" ~doc:"PR, CC, TR or SSSP.")
+
+let config_arg =
+  let parse s =
+    match Cutfit.Cluster.find s with
+    | c -> Ok c
+    | exception Not_found -> Error (`Msg (Printf.sprintf "unknown configuration %S (i..iv)" s))
+  in
+  let print ppf c = Fmt.string ppf c.Cutfit.Cluster.name in
+  Arg.(value & opt (conv (parse, print)) Cutfit.Cluster.config_i & info [ "c"; "config" ] ~docv:"CFG" ~doc:"Cluster configuration: i, ii, iii or iv.")
+
+(* --- datasets --- *)
+
+let datasets_cmd =
+  let action () =
+    List.iter
+      (fun spec ->
+        Fmt.pr "%-16s %-16s original: %s vertices, %s edges@." spec.Cutfit.Datasets.name
+          spec.Cutfit.Datasets.display
+          (Cutfit_experiments.Report.commas spec.Cutfit.Datasets.paper_vertices)
+          (Cutfit_experiments.Report.commas spec.Cutfit.Datasets.paper_edges))
+      Cutfit.Datasets.all
+  in
+  Cmd.v (Cmd.info "datasets" ~doc:"List the built-in dataset analogues.")
+    Term.(const action $ const ())
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output edge-list path.")
+  in
+  let action graph output =
+    let g = load_graph graph in
+    Cutfit.Graph_io.save output g;
+    Fmt.pr "wrote %s edges to %s@."
+      (Cutfit_experiments.Report.commas (Cutfit.Graph.num_edges g))
+      output
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a dataset analogue and save it as an edge list.")
+    Term.(const action $ graph_arg $ output)
+
+(* --- characterize --- *)
+
+let characterize_cmd =
+  let action graph =
+    let g = load_graph graph in
+    let c = Cutfit.Characterize.compute g in
+    Fmt.pr "%a@." Cutfit.Characterize.pp c
+  in
+  Cmd.v (Cmd.info "characterize" ~doc:"Measure the Table-1 characterization of a graph.")
+    Term.(const action $ graph_arg)
+
+(* --- partition --- *)
+
+let partition_cmd =
+  let strategy =
+    Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: all six).")
+  in
+  let action graph num_partitions strategy =
+    let g = load_graph graph in
+    let ps = match strategy with Some p -> [ p ] | None -> Cutfit.Partitioner.paper_six in
+    List.iter
+      (fun p ->
+        let a = Cutfit.Partitioner.assign p ~num_partitions g in
+        let m = Cutfit.Metrics.compute g ~num_partitions a in
+        Fmt.pr "%-6s %a@." (Cutfit.Partitioner.name p) Cutfit.Metrics.pp m)
+      ps
+  in
+  Cmd.v (Cmd.info "partition" ~doc:"Partition a graph and print the five paper metrics.")
+    Term.(const action $ graph_arg $ partitions_arg $ strategy)
+
+(* --- advise --- *)
+
+let advise_cmd =
+  let graph_pos1 =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
+  in
+  let action algo graph num_partitions =
+    let g = load_graph graph in
+    let strategy = Cutfit.Advisor.advise algo ~scale:1.0 ~num_partitions g in
+    Fmt.pr "advised partitioner for %s at %d partitions: %s (optimizes %s)@."
+      (Cutfit.Advisor.algorithm_name algo)
+      num_partitions
+      (Cutfit.Strategy.to_string strategy)
+      (Cutfit.Advisor.predictive_metric algo);
+    List.iter
+      (fun r ->
+        Fmt.pr "  %-6s %s = %s@."
+          (Cutfit.Strategy.to_string r.Cutfit.Advisor.strategy)
+          (Cutfit.Advisor.predictive_metric algo)
+          (Cutfit_experiments.Report.fsig r.Cutfit.Advisor.score))
+      (Cutfit.Advisor.measure algo ~num_partitions g)
+  in
+  Cmd.v (Cmd.info "advise" ~doc:"Recommend a partitioner for an algorithm on a graph.")
+    Term.(const action $ algo_arg $ graph_pos1 $ partitions_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let graph_pos1 =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
+  in
+  let strategy =
+    Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
+  in
+  let action algo graph config partitioner =
+    let g = load_graph graph in
+    let p = Cutfit.Pipeline.prepare ~cluster:config ?partitioner ~algorithm:algo g in
+    Fmt.pr "partitioner: %s, %d partitions, cluster %s@."
+      (Cutfit.Partitioner.name p.Cutfit.Pipeline.partitioner)
+      config.Cutfit.Cluster.num_partitions config.Cutfit.Cluster.name;
+    let trace =
+      match algo with
+      | Cutfit.Advisor.Pagerank ->
+          let ranks, trace = Cutfit.Pipeline.pagerank p in
+          let top = ref 0 in
+          Array.iteri (fun v r -> if r > ranks.(!top) then top := v) ranks;
+          Fmt.pr "top vertex: %d (rank %.3f)@." !top ranks.(!top);
+          trace
+      | Cutfit.Advisor.Connected_components ->
+          let labels, trace = Cutfit.Pipeline.connected_components p in
+          let distinct = List.length (List.sort_uniq compare (Array.to_list labels)) in
+          Fmt.pr "components (labels after 10 iterations): %d@." distinct;
+          trace
+      | Cutfit.Advisor.Triangle_count ->
+          let _, total, trace = Cutfit.Pipeline.triangles p in
+          Fmt.pr "triangles: %s@." (Cutfit_experiments.Report.commas total);
+          trace
+      | Cutfit.Advisor.Shortest_paths ->
+          let landmarks = Cutfit.Sssp.pick_landmarks ~seed:5L ~count:5 g in
+          let d, trace = Cutfit.Pipeline.shortest_paths ~landmarks p in
+          let reached = ref 0 in
+          Array.iter (fun row -> if row.(0) < max_int then incr reached) d;
+          Fmt.pr "vertices reaching landmark 0: %d@." !reached;
+          trace
+    in
+    Fmt.pr "%a@." Cutfit.Trace.pp_summary trace
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an algorithm on a partitioned graph and print the simulated trace.")
+    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let graph_pos1 =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
+  in
+  let action algo graph config =
+    let g = load_graph graph in
+    List.iter
+      (fun (name, t) -> Fmt.pr "%-10s %s@." name (Cutfit_experiments.Report.seconds t))
+      (Cutfit.Pipeline.compare_partitioners ~cluster:config ~algorithm:algo g)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare simulated job time across the six partitioners.")
+    Term.(const action $ algo_arg $ graph_pos1 $ config_arg)
+
+let () =
+  let doc = "Tailor graph partitioning to the computation (Cut to Fit)." in
+  let info = Cmd.info "cutfit" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ datasets_cmd; generate_cmd; characterize_cmd; partition_cmd; advise_cmd; run_cmd;
+            compare_cmd ]))

@@ -1,0 +1,1 @@
+examples/community_structure.ml: Array Cutfit Cutfit_experiments Fmt Hashtbl Option

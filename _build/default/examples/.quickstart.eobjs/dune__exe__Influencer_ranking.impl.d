@@ -1,0 +1,1 @@
+examples/influencer_ranking.ml: Array Cutfit Fmt Fun List

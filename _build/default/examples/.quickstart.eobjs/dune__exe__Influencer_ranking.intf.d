@@ -1,0 +1,1 @@
+examples/influencer_ranking.mli:

@@ -1,0 +1,1 @@
+examples/road_navigation.ml: Array Cutfit Fmt

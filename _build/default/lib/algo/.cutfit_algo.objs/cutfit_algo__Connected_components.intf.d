@@ -1,0 +1,1 @@
+lib/algo/connected_components.mli: Cutfit_bsp Cutfit_graph

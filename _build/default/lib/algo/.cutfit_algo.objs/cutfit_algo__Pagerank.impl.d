@@ -1,0 +1,1 @@
+lib/algo/pagerank.ml: Array Cutfit_bsp Cutfit_graph

@@ -1,0 +1,1 @@
+lib/algo/pagerank.mli: Cutfit_bsp Cutfit_graph

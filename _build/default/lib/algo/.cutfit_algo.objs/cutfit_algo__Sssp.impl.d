@@ -1,0 +1,1 @@
+lib/algo/sssp.ml: Array Cutfit_bsp Cutfit_graph Cutfit_prng Hashtbl Queue

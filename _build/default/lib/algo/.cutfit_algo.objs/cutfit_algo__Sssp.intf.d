@@ -1,0 +1,1 @@
+lib/algo/sssp.mli: Cutfit_bsp Cutfit_graph

@@ -1,0 +1,1 @@
+lib/algo/triangle_count.ml: Array Cutfit_bsp Cutfit_graph Float List

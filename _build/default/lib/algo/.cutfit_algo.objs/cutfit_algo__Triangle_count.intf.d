@@ -1,0 +1,1 @@
+lib/algo/triangle_count.mli: Cutfit_bsp Cutfit_graph

@@ -1,0 +1,23 @@
+module Pregel = Cutfit_bsp.Pregel
+
+type result = { labels : int array; trace : Cutfit_bsp.Trace.t }
+
+let program =
+  {
+    Pregel.init = (fun v -> v);
+    initial_msg = max_int;
+    vprog = (fun _ label m -> min label m);
+    send =
+      (fun ~edge:_ ~src:_ ~dst:_ ~src_attr ~dst_attr ~emit ->
+        if src_attr < dst_attr then emit Pregel.To_dst src_attr
+        else if dst_attr < src_attr then emit Pregel.To_src dst_attr);
+    merge = min;
+    state_bytes = 8;
+    msg_bytes = 8;
+  }
+
+let run ?(iterations = 10) ?scale ?cost ~cluster pg =
+  let r = Pregel.run ~max_supersteps:iterations ?scale ?cost ~cluster pg program in
+  { labels = r.Pregel.attrs; trace = r.Pregel.trace }
+
+let reference g = fst (Cutfit_graph.Components.weak g)

@@ -1,0 +1,27 @@
+(** Connected components by label propagation (GraphX semantics).
+
+    Every vertex starts labelled with its own id and repeatedly adopts
+    the minimum label over its neighbours (both edge directions), so
+    each component converges to its lowest vertex id. Most labels
+    stabilize within a few supersteps, after which the shrinking active
+    set makes fine-grained partitionings win — the granularity effect of
+    the paper's Figure 4 discussion.
+
+    The paper caps the run at 10 iterations (enough for the social
+    graphs' short diameters, an approximation on road networks). *)
+
+type result = { labels : int array; trace : Cutfit_bsp.Trace.t }
+
+val run :
+  ?iterations:int ->
+  ?scale:float ->
+  ?cost:Cutfit_bsp.Cost_model.t ->
+  cluster:Cutfit_bsp.Cluster.t ->
+  Cutfit_bsp.Pgraph.t ->
+  result
+(** Default 10 iterations, per the paper. Pass a large [iterations] to
+    reach the exact fixpoint. *)
+
+val reference : Cutfit_graph.Graph.t -> int array
+(** Exact component labels (same lowest-id convention) via union-find;
+    the BSP run converges to this when given enough iterations. *)

@@ -1,0 +1,34 @@
+(** PageRank (GraphX [staticPageRank] semantics).
+
+    Rank update [r(v) = 0.15 + 0.85 * sum (r(u) / outdeg u)] over
+    in-neighbours, iterated a fixed number of times (the paper uses 10).
+    Computation per vertex is tiny relative to the messages exchanged,
+    which is why the paper finds CommCost to be its best time
+    predictor. *)
+
+type result = { ranks : float array; trace : Cutfit_bsp.Trace.t }
+
+val run :
+  ?iterations:int ->
+  ?scale:float ->
+  ?cost:Cutfit_bsp.Cost_model.t ->
+  cluster:Cutfit_bsp.Cluster.t ->
+  Cutfit_bsp.Pgraph.t ->
+  result
+(** Default 10 iterations. *)
+
+val run_gas :
+  ?iterations:int ->
+  ?scale:float ->
+  ?cost:Cutfit_bsp.Cost_model.t ->
+  cluster:Cutfit_bsp.Cluster.t ->
+  Cutfit_bsp.Pgraph.t ->
+  result
+(** The same computation on the PowerGraph-style {!Cutfit_bsp.Gas}
+    engine; ranks agree with {!run}, times reflect GAS's gather-side
+    communication pattern (the cross-engine comparison of Verma et
+    al. in the paper's related work). *)
+
+val reference : iterations:int -> Cutfit_graph.Graph.t -> float array
+(** Sequential implementation of the same recurrence, for validating the
+    BSP execution (they agree to floating-point noise). *)

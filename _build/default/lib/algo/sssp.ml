@@ -1,0 +1,77 @@
+module Graph = Cutfit_graph.Graph
+module Pregel = Cutfit_bsp.Pregel
+
+type result = { distances : int array array; trace : Cutfit_bsp.Trace.t }
+
+let infinity_dist = max_int
+
+(* Distance vectors are tiny (one slot per landmark); messages carry a
+   full vector, as GraphX ships the whole landmark map. *)
+let improves ~candidate ~current =
+  let better = ref false in
+  Array.iteri (fun i c -> if c < current.(i) then better := true) candidate;
+  !better
+
+let pointwise_min a b = Array.mapi (fun i x -> min x b.(i)) a
+
+let increment a = Array.map (fun d -> if d = infinity_dist then infinity_dist else d + 1) a
+
+let program ~landmarks =
+  let k = Array.length landmarks in
+  let index_of = Hashtbl.create k in
+  Array.iteri (fun i v -> Hashtbl.replace index_of v i) landmarks;
+  let bytes = 96 + (64 * k) in
+  {
+    Pregel.init =
+      (fun v ->
+        let d = Array.make k infinity_dist in
+        (match Hashtbl.find_opt index_of v with Some i -> d.(i) <- 0 | None -> ());
+        d);
+    initial_msg = Array.make k infinity_dist;
+    vprog = (fun _ current m -> pointwise_min current m);
+    send =
+      (fun ~edge:_ ~src:_ ~dst:_ ~src_attr ~dst_attr ~emit ->
+        let candidate = increment dst_attr in
+        if improves ~candidate ~current:src_attr then emit Pregel.To_src candidate);
+    merge = pointwise_min;
+    state_bytes = bytes;
+    msg_bytes = bytes;
+  }
+
+let run ?(max_supersteps = 2000) ?scale ?cost ?checkpoint_every ~cluster ~landmarks pg =
+  if Array.length landmarks = 0 then invalid_arg "Sssp.run: empty landmark set";
+  let n = Graph.num_vertices (Cutfit_bsp.Pgraph.graph pg) in
+  Array.iter
+    (fun v -> if v < 0 || v >= n then invalid_arg "Sssp.run: landmark out of range")
+    landmarks;
+  let r = Pregel.run ~max_supersteps ?scale ?cost ?checkpoint_every ~cluster pg (program ~landmarks) in
+  { distances = r.Pregel.attrs; trace = r.Pregel.trace }
+
+let pick_landmarks ~seed ~count g =
+  let rng = Cutfit_prng.Xoshiro.create seed in
+  Cutfit_prng.Dist.sample_distinct rng ~n:(Graph.num_vertices g) ~k:count
+
+let reference g ~landmarks =
+  (* Forward distance from v to landmark = BFS from the landmark over
+     reversed edges. *)
+  let k = Array.length landmarks in
+  let n = Graph.num_vertices g in
+  let per_landmark =
+    Array.map
+      (fun l ->
+        let dist = Array.make n max_int in
+        let q = Queue.create () in
+        dist.(l) <- 0;
+        Queue.push l q;
+        while not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          Graph.iter_in g v (fun u ->
+              if dist.(u) = max_int then begin
+                dist.(u) <- dist.(v) + 1;
+                Queue.push u q
+              end)
+        done;
+        dist)
+      landmarks
+  in
+  Array.init n (fun v -> Array.init k (fun i -> per_landmark.(i).(v)))

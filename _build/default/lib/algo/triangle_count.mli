@@ -1,0 +1,27 @@
+(** Triangle counting (GraphX [TriangleCount] structure).
+
+    Unlike the three Pregel algorithms, triangle counting in GraphX is a
+    fixed four-stage dataflow: collect each vertex's canonical neighbour
+    set, replicate the sets to every edge partition that needs them,
+    intersect per edge, and reduce per-vertex counts. The vertex state
+    is a whole adjacency array, so synchronizing it pays a heavy
+    per-cut-vertex reduction cost — the mechanism behind the paper's
+    Figure 5 finding that the Cut metric (vertices replicated anywhere),
+    not CommCost, predicts triangle-count time. *)
+
+type result = {
+  per_vertex : int array;  (** triangles through each vertex *)
+  total : int;  (** total distinct triangles *)
+  trace : Cutfit_bsp.Trace.t;  (** one trace "superstep" per dataflow stage *)
+}
+
+val run :
+  ?scale:float ->
+  ?cost:Cutfit_bsp.Cost_model.t ->
+  ?undirected:Cutfit_graph.Graph.t ->
+  cluster:Cutfit_bsp.Cluster.t ->
+  Cutfit_bsp.Pgraph.t ->
+  result
+(** [undirected] lets callers share a precomputed symmetrized view of
+    the graph across runs; it must equal [Graph.symmetrize] of the
+    partitioned graph's underlying graph. *)

@@ -1,0 +1,1 @@
+lib/bsp/cluster.ml: String

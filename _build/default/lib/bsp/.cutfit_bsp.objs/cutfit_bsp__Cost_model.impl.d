@@ -1,0 +1,1 @@
+lib/bsp/cost_model.ml: Array Cutfit_prng Float Int64

@@ -1,0 +1,1 @@
+lib/bsp/cost_model.mli:

@@ -1,0 +1,1 @@
+lib/bsp/gas.mli: Cluster Cost_model Pgraph Trace

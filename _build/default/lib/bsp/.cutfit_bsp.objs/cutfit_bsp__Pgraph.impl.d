@@ -1,0 +1,1 @@
+lib/bsp/pgraph.ml: Array Cutfit_graph Cutfit_partition

@@ -1,0 +1,1 @@
+lib/bsp/pgraph.mli: Cutfit_graph Cutfit_partition

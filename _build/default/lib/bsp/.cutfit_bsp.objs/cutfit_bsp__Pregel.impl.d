@@ -1,0 +1,1 @@
+lib/bsp/pregel.ml: Array Bytes Cluster Cost_model Cutfit_graph Float List Pgraph Trace

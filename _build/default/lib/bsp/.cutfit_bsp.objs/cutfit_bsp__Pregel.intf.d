@@ -1,0 +1,1 @@
+lib/bsp/pregel.mli: Cluster Cost_model Pgraph Trace

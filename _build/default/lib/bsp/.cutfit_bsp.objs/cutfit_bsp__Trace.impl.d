@@ -1,0 +1,1 @@
+lib/bsp/trace.ml: Format List Printf

@@ -1,0 +1,244 @@
+module Graph = Cutfit_graph.Graph
+
+type direction = Gather_in | Gather_out | Gather_both
+
+type ('v, 'g) program = {
+  init : int -> 'v;
+  direction : direction;
+  gather :
+    src:int -> dst:int -> src_attr:'v -> dst_attr:'v -> target:int -> 'g option;
+  sum : 'g -> 'g -> 'g;
+  apply : int -> 'v -> 'g option -> 'v * bool;
+  state_bytes : int;
+  gather_bytes : int;
+}
+
+type 'v result = { attrs : 'v array; trace : Trace.t }
+
+let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ~cluster pg program =
+  let g = Pgraph.graph pg in
+  let n = Graph.num_vertices g in
+  let num_partitions = Pgraph.num_partitions pg in
+  if cluster.Cluster.num_partitions <> num_partitions then
+    invalid_arg "Gas.run: cluster and partitioned graph disagree on partition count";
+  let executors = cluster.Cluster.executors in
+  let cores = cluster.Cluster.cores_per_executor in
+  let exec_of = Cluster.executor_of_partition cluster in
+  let bandwidth = Cluster.network_bytes_per_s cluster in
+
+  let attrs = Array.init n program.init in
+  let active = Bytes.make n '\001' in
+  let is_active v = Bytes.unsafe_get active v <> '\000' in
+  let acc : 'g option array = Array.make n None in
+  let touched = ref [] in
+  let last_part = Array.make n (-1) in
+  let last_step = Array.make n (-1) in
+
+  let gather_wire = float_of_int (program.gather_bytes + cost.Cost_model.msg_wire_overhead_bytes) in
+  let attr_wire = float_of_int (program.state_bytes + cost.Cost_model.msg_wire_overhead_bytes) in
+
+  let steps = ref [] in
+  let driver_meta = ref 0.0 in
+  let outcome = ref Trace.Completed in
+
+  let finish ~step ~work ~bytes_out ~active_edges ~messages ~shuffle_groups ~remote_shuffles
+      ~updated ~bcast ~remote_bcast =
+    let compute = ref 0.0 in
+    for e = 0 to executors - 1 do
+      let mine = ref [] in
+      for p = 0 to num_partitions - 1 do
+        if exec_of p = e then
+          mine := (work.(p) *. Cost_model.jitter cost ~partition:p ~step) :: !mine
+      done;
+      let t = scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores in
+      if t > !compute then compute := t
+    done;
+    let network = ref 0.0 in
+    for e = 0 to executors - 1 do
+      let t = scale *. bytes_out.(e) /. bandwidth in
+      if t > !network then network := t
+    done;
+    let overhead =
+      cost.Cost_model.superstep_barrier_s
+      +. (float_of_int num_partitions *. cost.Cost_model.task_dispatch_s)
+    in
+    driver_meta :=
+      !driver_meta +. (float_of_int num_partitions *. cost.Cost_model.driver_meta_per_task_bytes);
+    steps :=
+      {
+        Trace.step;
+        active_edges;
+        messages;
+        shuffle_groups;
+        remote_shuffles;
+        updated_vertices = updated;
+        broadcast_replicas = bcast;
+        remote_broadcasts = remote_bcast;
+        compute_s = !compute;
+        network_s = !network;
+        overhead_s = overhead;
+        time_s = Float.max !compute !network +. overhead;
+      }
+      :: !steps;
+    !driver_meta > cluster.Cluster.driver_memory_bytes
+  in
+
+  (* Build phase, as in the Pregel engine. *)
+  begin
+    let work = Array.make num_partitions 0.0 in
+    let bytes_out = Array.make executors 0.0 in
+    let remote_frac = float_of_int (executors - 1) /. float_of_int executors in
+    for p = 0 to num_partitions - 1 do
+      let m_p = float_of_int (Pgraph.num_edges_of_partition pg p) in
+      work.(p) <-
+        (m_p *. cost.Cost_model.build_edge_s)
+        +. (float_of_int (Pgraph.local_vertices pg p) *. cost.Cost_model.build_vertex_s);
+      bytes_out.(exec_of p) <-
+        bytes_out.(exec_of p)
+        +. (m_p *. float_of_int cost.Cost_model.shuffle_edge_bytes *. remote_frac)
+    done;
+    ignore
+      (finish ~step:(-1) ~work ~bytes_out ~active_edges:0 ~messages:0 ~shuffle_groups:0
+         ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
+  end;
+
+  let step = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let work = Array.make num_partitions 0.0 in
+    let bytes_out = Array.make executors 0.0 in
+    let active_edges = ref 0 and messages = ref 0 in
+    let shuffle_groups = ref 0 and remote_shuffles = ref 0 in
+    touched := [];
+    (* Gather: mirrors pre-aggregate per partition; one partial sum per
+       (vertex, partition) ships to the master. *)
+    for p = 0 to num_partitions - 1 do
+      let pexec = exec_of p in
+      let contribute target value =
+        incr messages;
+        work.(p) <- work.(p) +. cost.Cost_model.msg_merge_s;
+        (match acc.(target) with
+        | None ->
+            acc.(target) <- Some value;
+            touched := target :: !touched
+        | Some g0 -> acc.(target) <- Some (program.sum g0 value));
+        if last_step.(target) <> !step || last_part.(target) <> p then begin
+          last_step.(target) <- !step;
+          last_part.(target) <- p;
+          incr shuffle_groups;
+          work.(p) <- work.(p) +. cost.Cost_model.msg_serialize_s;
+          let mp = Pgraph.master pg target in
+          if exec_of mp <> pexec then begin
+            incr remote_shuffles;
+            bytes_out.(pexec) <- bytes_out.(pexec) +. gather_wire;
+            work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s
+          end
+        end
+      in
+      Pgraph.iter_partition_edges pg p (fun ~edge:_ ~src ~dst ->
+          let dst_gathers =
+            (program.direction = Gather_in || program.direction = Gather_both) && is_active dst
+          in
+          let src_gathers =
+            (program.direction = Gather_out || program.direction = Gather_both) && is_active src
+          in
+          if dst_gathers || src_gathers then begin
+            incr active_edges;
+            work.(p) <- work.(p) +. cost.Cost_model.edge_scan_s;
+            let emit target =
+              match
+                program.gather ~src ~dst ~src_attr:attrs.(src) ~dst_attr:attrs.(dst) ~target
+              with
+              | Some v -> contribute target v
+              | None -> ()
+            in
+            if dst_gathers then emit dst;
+            if src_gathers then emit src
+          end
+          else work.(p) <- work.(p) +. cost.Cost_model.edge_skip_s)
+    done;
+    (* Apply at masters: every active vertex recomputes, whether or not
+       an edge contributed. Scatter ships changed state to mirrors. *)
+    let updated = ref 0 and bcast = ref 0 and remote_bcast = ref 0 in
+    let next_active = Bytes.make n '\000' in
+    let apply_vertex v =
+      let total = acc.(v) in
+      acc.(v) <- None;
+      let state, stay = program.apply v attrs.(v) total in
+      let changed = state <> attrs.(v) in
+      attrs.(v) <- state;
+      if stay then Bytes.unsafe_set next_active v '\001';
+      let mp = Pgraph.master pg v in
+      work.(mp) <- work.(mp) +. cost.Cost_model.vprog_s;
+      if changed then begin
+        incr updated;
+        let mexec = exec_of mp in
+        Pgraph.iter_replicas pg v (fun q ->
+            incr bcast;
+            work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s;
+            if exec_of q <> mexec then begin
+              incr remote_bcast;
+              bytes_out.(mexec) <- bytes_out.(mexec) +. attr_wire
+            end);
+        (* Scatter signals the neighbours, GraphLab-style, so data-driven
+           programs (stay = false) still propagate. *)
+        let signal u = Bytes.unsafe_set next_active u '\001' in
+        Graph.iter_out g v signal;
+        Graph.iter_in g v signal
+      end
+    in
+    for v = 0 to n - 1 do
+      if is_active v then apply_vertex v
+    done;
+    (* Vertices that only received contributions (inactive but pulled
+       into this round by an active neighbour) do not apply in pure
+       sync-GAS; clear their leftovers. *)
+    List.iter (fun v -> acc.(v) <- None) !touched;
+    Bytes.blit next_active 0 active 0 n;
+    let hit_driver =
+      finish ~step:!step ~work ~bytes_out ~active_edges:!active_edges ~messages:!messages
+        ~shuffle_groups:!shuffle_groups ~remote_shuffles:!remote_shuffles ~updated:!updated
+        ~bcast:!bcast ~remote_bcast:!remote_bcast
+    in
+    let any_active =
+      let rec scan v = v < n && (is_active v || scan (v + 1)) in
+      scan 0
+    in
+    if hit_driver then begin
+      outcome := Trace.Out_of_memory;
+      continue := false
+    end
+    else if not any_active then begin
+      outcome := Trace.Completed;
+      continue := false
+    end
+    else if !step + 1 >= max_iterations then begin
+      outcome := Trace.Max_supersteps;
+      continue := false
+    end
+    else incr step
+  done;
+
+  let load_s =
+    scale
+    *. float_of_int (Cutfit_graph.Graph_io.size_bytes g)
+    /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster)
+  in
+  let supersteps = List.rev !steps in
+  let total_s =
+    List.fold_left (fun a (s : Trace.superstep) -> a +. s.time_s) load_s supersteps
+  in
+  {
+    attrs;
+    trace =
+      {
+        Trace.supersteps;
+        load_s;
+        checkpoint_s = 0.0;
+        checkpoints = 0;
+        total_s;
+        outcome = !outcome;
+        peak_executor_bytes = 0.0;
+        driver_meta_bytes = !driver_meta;
+      };
+  }

@@ -1,0 +1,55 @@
+(** Partitioned graph: GraphX's distributed representation.
+
+    A graph plus an edge-to-partition assignment, frozen into the
+    structures the engine needs:
+    - per-partition edge lists (the EdgeRDD partitions);
+    - a routing table mapping each vertex to the sorted set of
+      partitions holding at least one of its edges (GraphX's
+      [RoutingTablePartition], which drives replica broadcast);
+    - a master partition per vertex: GraphX hash-partitions the
+      VertexRDD independently of the edge cut, and Spark's
+      HashPartitioner over Long ids reduces to [v mod num_partitions] —
+      an identity whose alignment with the modulo partitioners (SC/DC)
+      is part of the behaviour the paper measures. *)
+
+type t
+
+val build :
+  Cutfit_graph.Graph.t -> num_partitions:int -> int array -> t
+(** [build g ~num_partitions assignment] with [assignment] from
+    {!Cutfit_partition.Partitioner.assign}.
+    @raise Invalid_argument on malformed input. *)
+
+val graph : t -> Cutfit_graph.Graph.t
+val num_partitions : t -> int
+
+val edges_of_partition : t -> int -> int array
+(** Edge indices (into the underlying graph) owned by a partition; do
+    not mutate. *)
+
+val num_edges_of_partition : t -> int -> int
+
+val iter_partition_edges : t -> int -> (edge:int -> src:int -> dst:int -> unit) -> unit
+(** Iterate a partition's edges with endpoints pre-fetched. *)
+
+val replicas : t -> int -> int array
+(** Sorted partitions in which the vertex is present (fresh array). *)
+
+val replica_count : t -> int -> int
+
+val iter_replicas : t -> int -> (int -> unit) -> unit
+(** Iterate the vertex's partitions without allocating. *)
+
+val master : t -> int -> int
+(** The vertex's master partition, [v mod num_partitions] (it may hold
+    none of the vertex's edges, exactly as in GraphX). *)
+
+val local_vertices : t -> int -> int
+(** Size of a partition's local vertex table. *)
+
+val total_replicas : t -> int
+(** Sum of replica counts over all vertices = NonCut + CommCost. *)
+
+val metrics : t -> Cutfit_partition.Metrics.t
+(** The partitioning metrics of this assignment (computed once,
+    memoized). *)

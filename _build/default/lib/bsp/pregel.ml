@@ -1,0 +1,331 @@
+module Graph = Cutfit_graph.Graph
+
+type direction = To_src | To_dst
+
+type ('v, 'm) program = {
+  init : int -> 'v;
+  initial_msg : 'm;
+  vprog : int -> 'v -> 'm -> 'v;
+  send :
+    edge:int ->
+    src:int ->
+    dst:int ->
+    src_attr:'v ->
+    dst_attr:'v ->
+    emit:(direction -> 'm -> unit) ->
+    unit;
+  merge : 'm -> 'm -> 'm;
+  state_bytes : int;
+  msg_bytes : int;
+}
+
+type 'v result = { attrs : 'v array; trace : Trace.t }
+
+(* Growable int vector for the per-superstep touched-vertex set. *)
+module Ivec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 1024 0; len = 0 }
+
+  let push t v =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- v;
+    t.len <- t.len + 1
+
+  let clear t = t.len <- 0
+  let iter t f =
+    for i = 0 to t.len - 1 do
+      f t.data.(i)
+    done
+  let length t = t.len
+end
+
+let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every ~cluster pg program =
+  let g = Pgraph.graph pg in
+  let n = Graph.num_vertices g in
+  let num_partitions = Pgraph.num_partitions pg in
+  if cluster.Cluster.num_partitions <> num_partitions then
+    invalid_arg "Pregel.run: cluster and partitioned graph disagree on partition count";
+  let executors = cluster.Cluster.executors in
+  let cores = cluster.Cluster.cores_per_executor in
+  let exec_of = Cluster.executor_of_partition cluster in
+  let bandwidth = Cluster.network_bytes_per_s cluster in
+
+  let attrs = Array.init n program.init in
+  let active = Bytes.make n '\000' in
+  let is_active v = Bytes.unsafe_get active v <> '\000' in
+  let msg : 'm option array = Array.make n None in
+  let touched = Ivec.create () in
+  let last_part = Array.make n (-1) in
+  let last_step = Array.make n (-1) in
+
+  (* Per-executor static working set (the cached graph), paper-scale. *)
+  let resident = Array.make executors 0.0 in
+  for p = 0 to num_partitions - 1 do
+    let e = exec_of p in
+    resident.(e) <-
+      resident.(e)
+      +. scale
+         *. (float_of_int (Pgraph.num_edges_of_partition pg p * cost.Cost_model.edge_object_bytes)
+            +. float_of_int
+                 (Pgraph.local_vertices pg p
+                 * (cost.Cost_model.vertex_object_bytes + program.state_bytes)))
+  done;
+  let peak_executor = ref (Array.fold_left Float.max 0.0 resident) in
+
+  let steps = ref [] in
+  let outcome = ref Trace.Completed in
+  let driver_meta = ref 0.0 in
+  let checkpoint_s = ref 0.0 and checkpoints = ref 0 in
+  (* Writing the materialized graph to the storage tier truncates the
+     driver's lineage — Spark's standard fix for long Pregel runs. *)
+  let graph_bytes =
+    scale
+    *. (float_of_int (Graph.num_edges g * cost.Cost_model.edge_object_bytes)
+       +. float_of_int
+            (n * (cost.Cost_model.vertex_object_bytes + program.state_bytes)))
+  in
+  let take_checkpoint () =
+    incr checkpoints;
+    checkpoint_s :=
+      !checkpoint_s
+      +. graph_bytes
+         /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster);
+    driver_meta := 0.0
+  in
+
+  let msg_wire_bytes = float_of_int (program.msg_bytes + cost.Cost_model.msg_wire_overhead_bytes) in
+  let attr_wire_bytes =
+    float_of_int (program.state_bytes + cost.Cost_model.msg_wire_overhead_bytes)
+  in
+
+  (* One superstep of vertex-side work shared by superstep 0 and the
+     main loop: run vprog on [vertices], then broadcast the updated
+     attributes along the routing table, charging work and bytes. *)
+  let apply_and_broadcast ~work ~bytes_out ~run_vprog vertices =
+    let updated = ref 0 and bcast = ref 0 and remote_bcast = ref 0 in
+    vertices (fun v ->
+        incr updated;
+        (if run_vprog then
+           let mp = Pgraph.master pg v in
+           work.(mp) <- work.(mp) +. cost.Cost_model.vprog_s);
+        let mp = Pgraph.master pg v in
+        let mexec = exec_of mp in
+        Pgraph.iter_replicas pg v (fun q ->
+            incr bcast;
+            work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s;
+            if exec_of q <> mexec then begin
+              incr remote_bcast;
+              bytes_out.(mexec) <- bytes_out.(mexec) +. attr_wire_bytes
+            end));
+    (!updated, !bcast, !remote_bcast)
+  in
+
+  let finish_superstep ~step ~work ~bytes_out ~active_edges ~messages ~shuffle_groups
+      ~remote_shuffles ~updated ~bcast ~remote_bcast =
+    (* Executor compute = makespan of its partitions' jittered work over
+       its cores. *)
+    let compute = ref 0.0 in
+    for e = 0 to executors - 1 do
+      let mine = ref [] in
+      for p = 0 to num_partitions - 1 do
+        if exec_of p = e then
+          mine := (work.(p) *. Cost_model.jitter cost ~partition:p ~step) :: !mine
+      done;
+      let arr = Array.of_list !mine in
+      let t = scale *. Cost_model.makespan ~work:arr ~cores in
+      if t > !compute then compute := t
+    done;
+    let network = ref 0.0 in
+    for e = 0 to executors - 1 do
+      let t = scale *. bytes_out.(e) /. bandwidth in
+      if t > !network then network := t
+    done;
+    let overhead =
+      cost.Cost_model.superstep_barrier_s
+      +. (float_of_int num_partitions *. cost.Cost_model.task_dispatch_s)
+    in
+    driver_meta :=
+      !driver_meta +. (float_of_int num_partitions *. cost.Cost_model.driver_meta_per_task_bytes);
+    let stats =
+      {
+        Trace.step;
+        active_edges;
+        messages;
+        shuffle_groups;
+        remote_shuffles;
+        updated_vertices = updated;
+        broadcast_replicas = bcast;
+        remote_broadcasts = remote_bcast;
+        compute_s = !compute;
+        network_s = !network;
+        overhead_s = overhead;
+        (* Spark pipelines shuffle fetch with task execution, so wire
+           time hides behind compute until it becomes the bottleneck. *)
+        time_s = Float.max !compute !network +. overhead;
+      }
+    in
+    steps := stats :: !steps;
+    !driver_meta > cluster.Cluster.driver_memory_bytes
+  in
+
+  (* Build phase: partitioning shuffles every edge to its partition,
+     then each partition materializes its local edge array and vertex
+     table. One-time, but a large share of short jobs, as in Spark. *)
+  begin
+    let work = Array.make num_partitions 0.0 in
+    let bytes_out = Array.make executors 0.0 in
+    let edge_wire = float_of_int cost.Cost_model.shuffle_edge_bytes in
+    for p = 0 to num_partitions - 1 do
+      let m_p = float_of_int (Pgraph.num_edges_of_partition pg p) in
+      let v_p = float_of_int (Pgraph.local_vertices pg p) in
+      work.(p) <-
+        (m_p *. cost.Cost_model.build_edge_s) +. (v_p *. cost.Cost_model.build_vertex_s);
+      (* Edges arrive from the loading executors; on average
+         (executors-1)/executors of them cross the network. *)
+      let remote_frac = float_of_int (executors - 1) /. float_of_int executors in
+      bytes_out.(exec_of p) <- bytes_out.(exec_of p) +. (m_p *. edge_wire *. remote_frac)
+    done;
+    ignore
+      (finish_superstep ~step:(-1) ~work ~bytes_out ~active_edges:0 ~messages:0 ~shuffle_groups:0
+         ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
+  end;
+
+  (* Superstep 0: vprog everywhere with the initial message, then a full
+     broadcast materializes the replicated vertex views. *)
+  let oom = ref false in
+  begin
+    let work = Array.make num_partitions 0.0 in
+    let bytes_out = Array.make executors 0.0 in
+    for v = 0 to n - 1 do
+      attrs.(v) <- program.vprog v attrs.(v) program.initial_msg;
+      Bytes.unsafe_set active v '\001'
+    done;
+    let updated, bcast, remote_bcast =
+      apply_and_broadcast ~work ~bytes_out ~run_vprog:true (fun f ->
+          for v = 0 to n - 1 do
+            f v
+          done)
+    in
+    oom :=
+      finish_superstep ~step:0 ~work ~bytes_out ~active_edges:0 ~messages:0 ~shuffle_groups:0
+        ~remote_shuffles:0 ~updated ~bcast ~remote_bcast
+  end;
+
+  let step = ref 1 in
+  let continue = ref (not !oom) in
+  if !oom then outcome := Trace.Out_of_memory;
+  while !continue do
+    let work = Array.make num_partitions 0.0 in
+    let bytes_out = Array.make executors 0.0 in
+    let active_edges = ref 0 and messages = ref 0 in
+    let shuffle_groups = ref 0 and remote_shuffles = ref 0 in
+    Ivec.clear touched;
+    (* Message generation, partition by partition. *)
+    for p = 0 to num_partitions - 1 do
+      let pexec = exec_of p in
+      let cur_src = ref 0 and cur_dst = ref 0 in
+      let emit dir m =
+        let v = match dir with To_src -> !cur_src | To_dst -> !cur_dst in
+        incr messages;
+        work.(p) <- work.(p) +. cost.Cost_model.msg_merge_s;
+        (match msg.(v) with
+        | None ->
+            msg.(v) <- Some m;
+            Ivec.push touched v
+        | Some m0 -> msg.(v) <- Some (program.merge m0 m));
+        (* Count one shuffle aggregate per (vertex, partition) pair. *)
+        if last_step.(v) <> !step || last_part.(v) <> p then begin
+          last_step.(v) <- !step;
+          last_part.(v) <- p;
+          incr shuffle_groups;
+          let mp = Pgraph.master pg v in
+          work.(p) <- work.(p) +. cost.Cost_model.msg_serialize_s;
+          if exec_of mp <> pexec then begin
+            incr remote_shuffles;
+            bytes_out.(pexec) <- bytes_out.(pexec) +. msg_wire_bytes;
+            work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s
+          end
+        end
+      in
+      Pgraph.iter_partition_edges pg p (fun ~edge ~src ~dst ->
+          if is_active src || is_active dst then begin
+            incr active_edges;
+            work.(p) <- work.(p) +. cost.Cost_model.edge_scan_s;
+            cur_src := src;
+            cur_dst := dst;
+            program.send ~edge ~src ~dst ~src_attr:attrs.(src) ~dst_attr:attrs.(dst) ~emit
+          end
+          else work.(p) <- work.(p) +. cost.Cost_model.edge_skip_s)
+    done;
+    (* Vertex programs at masters, then replica refresh. *)
+    Bytes.fill active 0 n '\000';
+    Ivec.iter touched (fun v ->
+        (match msg.(v) with
+        | Some m -> attrs.(v) <- program.vprog v attrs.(v) m
+        | None -> assert false);
+        msg.(v) <- None;
+        Bytes.unsafe_set active v '\001');
+    (* The state transition happened above (so broadcast ships the new
+       values); apply_and_broadcast only charges the vprog cost and the
+       replica refresh. *)
+    let updated, bcast, remote_bcast =
+      apply_and_broadcast ~work ~bytes_out ~run_vprog:true (fun f -> Ivec.iter touched f)
+    in
+    let hit_driver_limit =
+      finish_superstep ~step:!step ~work ~bytes_out ~active_edges:!active_edges
+        ~messages:!messages ~shuffle_groups:!shuffle_groups ~remote_shuffles:!remote_shuffles
+        ~updated ~bcast ~remote_bcast
+    in
+    let hit_driver_limit =
+      match checkpoint_every with
+      | Some k when !step mod k = 0 ->
+          take_checkpoint ();
+          false
+      | _ -> hit_driver_limit
+    in
+    let exec_peak = Array.fold_left Float.max 0.0 resident in
+    if exec_peak > !peak_executor then peak_executor := exec_peak;
+    if hit_driver_limit || exec_peak > cluster.Cluster.executor_memory_bytes then begin
+      outcome := Trace.Out_of_memory;
+      continue := false
+    end
+    else if Ivec.length touched = 0 then begin
+      outcome := Trace.Completed;
+      continue := false
+    end
+    else if !step >= max_supersteps then begin
+      outcome := Trace.Max_supersteps;
+      continue := false
+    end
+    else incr step
+  done;
+
+  let load_s =
+    scale
+    *. float_of_int (Cutfit_graph.Graph_io.size_bytes g)
+    /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster)
+  in
+  let supersteps = List.rev !steps in
+  let total_s =
+    List.fold_left (fun acc (s : Trace.superstep) -> acc +. s.time_s) (load_s +. !checkpoint_s)
+      supersteps
+  in
+  {
+    attrs;
+    trace =
+      {
+        Trace.supersteps;
+        load_s;
+        checkpoint_s = !checkpoint_s;
+        checkpoints = !checkpoints;
+        total_s;
+        outcome = !outcome;
+        peak_executor_bytes = !peak_executor;
+        driver_meta_bytes = !driver_meta;
+      };
+  }

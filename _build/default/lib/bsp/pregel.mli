@@ -1,0 +1,64 @@
+(** The Pregel engine: GraphX's [Pregel] operator over a vertex-cut
+    partitioned graph, with full cost and memory accounting.
+
+    Semantics follow GraphX:
+    - superstep 0 applies the vertex program to every vertex with
+      [initial_msg], then broadcasts all attributes to their replicas;
+    - each later superstep scans the triplets whose endpoints received a
+      message, emits messages toward sources and/or destinations, merges
+      them first inside each edge partition (the local combiner), then
+      shuffles one aggregate per (vertex, partition) pair to the
+      vertex's hash-assigned master, applies the vertex program there,
+      and ships changed attributes back along the routing table;
+    - the loop ends when no messages remain, the iteration cap is hit,
+      or the memory model trips (GraphX's unbounded lineage).
+
+    Time is modeled, not measured: each superstep's compute is the
+    makespan of per-partition work over each executor's cores, network
+    is per-executor egress bytes over the NIC, and fixed task-dispatch
+    and barrier overheads are added — so granularity, stragglers,
+    communication volume and infrastructure speed all shape the result,
+    exactly the effects the paper studies. *)
+
+type direction = To_src | To_dst
+
+type ('v, 'm) program = {
+  init : int -> 'v;  (** initial attribute per vertex *)
+  initial_msg : 'm;  (** delivered to every vertex at superstep 0 *)
+  vprog : int -> 'v -> 'm -> 'v;  (** vertex program *)
+  send :
+    edge:int ->
+    src:int ->
+    dst:int ->
+    src_attr:'v ->
+    dst_attr:'v ->
+    emit:(direction -> 'm -> unit) ->
+    unit;
+      (** message generation over one triplet; call [emit] any number of
+          times *)
+  merge : 'm -> 'm -> 'm;  (** commutative, associative message combiner *)
+  state_bytes : int;  (** serialized payload of one vertex attribute *)
+  msg_bytes : int;  (** serialized payload of one message *)
+}
+
+type 'v result = { attrs : 'v array; trace : Trace.t }
+
+val run :
+  ?max_supersteps:int ->
+  ?scale:float ->
+  ?cost:Cost_model.t ->
+  ?checkpoint_every:int ->
+  cluster:Cluster.t ->
+  Pgraph.t ->
+  ('v, 'm) program ->
+  'v result
+(** [run ~cluster pg program] executes to quiescence (or
+    [max_supersteps], default 500). [scale] linearly rescales work,
+    bytes and memory quantities to the original dataset's size when the
+    partitioned graph is a scaled-down analogue (default 1.0).
+    [checkpoint_every] writes the materialized graph to storage every k
+    supersteps, paying the write time but truncating the driver lineage
+    — the standard Spark mitigation for the long-run out-of-memory
+    failures the paper hit. On out-of-memory the returned attributes
+    reflect the last completed superstep and [trace.outcome] is
+    [Out_of_memory]. *)

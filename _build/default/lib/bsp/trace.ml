@@ -1,0 +1,53 @@
+type superstep = {
+  step : int;
+  active_edges : int;
+  messages : int;
+  shuffle_groups : int;
+  remote_shuffles : int;
+  updated_vertices : int;
+  broadcast_replicas : int;
+  remote_broadcasts : int;
+  compute_s : float;
+  network_s : float;
+  overhead_s : float;
+  time_s : float;
+}
+
+type outcome = Completed | Max_supersteps | Out_of_memory
+
+type t = {
+  supersteps : superstep list;
+  load_s : float;
+  checkpoint_s : float;
+  checkpoints : int;
+  total_s : float;
+  outcome : outcome;
+  peak_executor_bytes : float;
+  driver_meta_bytes : float;
+}
+
+let num_supersteps t = List.length t.supersteps
+let total_messages t = List.fold_left (fun acc s -> acc + s.messages) 0 t.supersteps
+let total_network_s t = List.fold_left (fun acc s -> acc +. s.network_s) 0.0 t.supersteps
+let total_compute_s t = List.fold_left (fun acc s -> acc +. s.compute_s) 0.0 t.supersteps
+let total_overhead_s t = List.fold_left (fun acc s -> acc +. s.overhead_s) 0.0 t.supersteps
+let completed t = t.outcome <> Out_of_memory
+
+let pp_superstep ppf s =
+  Format.fprintf ppf
+    "step %2d: active=%d msgs=%d shuffle=%d(+%d remote) bcast=%d(+%d remote) t=%.3fs (c=%.3f n=%.3f o=%.3f)"
+    s.step s.active_edges s.messages s.shuffle_groups s.remote_shuffles s.broadcast_replicas
+    s.remote_broadcasts s.time_s s.compute_s s.network_s s.overhead_s
+
+let pp_summary ppf t =
+  let outcome =
+    match t.outcome with
+    | Completed -> "completed"
+    | Max_supersteps -> "max-supersteps"
+    | Out_of_memory -> "OUT-OF-MEMORY"
+  in
+  Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s)"
+    outcome (num_supersteps t) t.total_s t.load_s (total_compute_s t) (total_network_s t)
+    (total_overhead_s t)
+    (if t.checkpoints > 0 then Printf.sprintf ", %d ckpt %.2fs" t.checkpoints t.checkpoint_s
+     else "")

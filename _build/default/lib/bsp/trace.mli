@@ -1,0 +1,48 @@
+(** Execution traces of simulated BSP runs.
+
+    Every superstep records the work and message quantities the engine
+    actually produced, together with the modeled time decomposition. The
+    trace is what the experiment harness correlates against the static
+    partitioning metrics. *)
+
+type superstep = {
+  step : int;  (** -1 is the one-time graph build/partitioning stage *)
+  active_edges : int;  (** triplets whose send function ran *)
+  messages : int;  (** messages emitted (before local aggregation) *)
+  shuffle_groups : int;  (** distinct (vertex, partition) aggregates shuffled *)
+  remote_shuffles : int;  (** shuffle groups crossing executors *)
+  updated_vertices : int;  (** vertices that ran the vertex program *)
+  broadcast_replicas : int;  (** replica copies refreshed from masters *)
+  remote_broadcasts : int;  (** replica refreshes crossing executors *)
+  compute_s : float;  (** modeled executor compute (max over executors) *)
+  network_s : float;  (** modeled wire time (max over executors) *)
+  overhead_s : float;  (** task dispatch + superstep barrier *)
+  time_s : float;  (** max(compute, network) + overhead — shuffle overlaps compute *)
+}
+
+type outcome =
+  | Completed
+  | Max_supersteps  (** stopped by the iteration cap (normal for PR/CC) *)
+  | Out_of_memory  (** the memory model tripped; the run is invalid *)
+
+type t = {
+  supersteps : superstep list;  (** chronological *)
+  load_s : float;  (** reading the dataset from the storage tier *)
+  checkpoint_s : float;  (** time spent writing lineage checkpoints *)
+  checkpoints : int;  (** how many checkpoints were taken *)
+  total_s : float;  (** load + checkpoints + all supersteps *)
+  outcome : outcome;
+  peak_executor_bytes : float;
+  driver_meta_bytes : float;
+}
+
+val num_supersteps : t -> int
+val total_messages : t -> int
+val total_network_s : t -> float
+val total_compute_s : t -> float
+val total_overhead_s : t -> float
+val completed : t -> bool
+(** [true] unless the run ended in {!Out_of_memory}. *)
+
+val pp_summary : Format.formatter -> t -> unit
+val pp_superstep : Format.formatter -> superstep -> unit

@@ -1,0 +1,1 @@
+lib/core/cutfit.ml: Advisor Cutfit_algo Cutfit_bsp Cutfit_gen Cutfit_graph Cutfit_partition Cutfit_prng Cutfit_stats Pipeline

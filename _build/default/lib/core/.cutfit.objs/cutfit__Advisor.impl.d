@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Cutfit_graph Cutfit_partition List String

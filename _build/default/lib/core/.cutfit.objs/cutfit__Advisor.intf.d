@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Cutfit_graph Cutfit_partition

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Advisor Cutfit_algo Cutfit_bsp Cutfit_graph Cutfit_partition Float List

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Advisor Cutfit_bsp Cutfit_graph Cutfit_partition

@@ -1,0 +1,69 @@
+module Graph = Cutfit_graph.Graph
+module Strategy = Cutfit_partition.Strategy
+module Partitioner = Cutfit_partition.Partitioner
+module Metrics = Cutfit_partition.Metrics
+
+type algorithm = Pagerank | Connected_components | Triangle_count | Shortest_paths
+
+let algorithm_name = function
+  | Pagerank -> "PR"
+  | Connected_components -> "CC"
+  | Triangle_count -> "TR"
+  | Shortest_paths -> "SSSP"
+
+let algorithm_of_string s =
+  match String.uppercase_ascii s with
+  | "PR" | "PAGERANK" -> Some Pagerank
+  | "CC" -> Some Connected_components
+  | "TR" | "TRIANGLES" -> Some Triangle_count
+  | "SSSP" -> Some Shortest_paths
+  | _ -> None
+
+let predictive_metric = function
+  | Pagerank | Connected_components | Shortest_paths -> "CommCost"
+  | Triangle_count -> "Cut"
+
+type size_class = Small | Large
+
+let classify ~paper_scale_edges = if paper_scale_edges >= 5.0e7 then Large else Small
+
+(* Section 4's observed winners, condensed to rules. *)
+let heuristic algo ~size ~num_partitions =
+  let fine = num_partitions > 128 in
+  match (algo, size, fine) with
+  | Pagerank, Large, _ -> Strategy.Two_d
+  | Pagerank, Small, _ -> Strategy.Dc
+  | Connected_components, Large, _ -> Strategy.Two_d
+  | Connected_components, Small, false -> Strategy.One_d
+  | Connected_components, Small, true -> Strategy.Two_d
+  | Triangle_count, _, _ -> Strategy.Crvc
+  | Shortest_paths, Large, _ -> Strategy.Two_d
+  | Shortest_paths, Small, _ -> Strategy.One_d
+
+type ranked = { strategy : Strategy.t; metrics : Metrics.t; score : float }
+
+let measure ?(candidates = Strategy.all) algo ~num_partitions g =
+  let metric = predictive_metric algo in
+  let ranked =
+    List.map
+      (fun strategy ->
+        let assignment = Partitioner.assign (Partitioner.Hash strategy) ~num_partitions g in
+        let metrics = Metrics.compute g ~num_partitions assignment in
+        { strategy; metrics; score = Metrics.metric_value metrics metric })
+      candidates
+  in
+  List.sort
+    (fun a b ->
+      let c = compare a.score b.score in
+      if c <> 0 then c else compare a.metrics.Metrics.balance b.metrics.Metrics.balance)
+    ranked
+
+let advise ?(measure_threshold_edges = 5_000_000) algo ~scale ~num_partitions g =
+  if Graph.num_edges g <= measure_threshold_edges then
+    match measure algo ~num_partitions g with
+    | best :: _ -> best.strategy
+    | [] -> heuristic algo ~size:Small ~num_partitions
+  else begin
+    let paper_scale_edges = scale *. float_of_int (Graph.num_edges g) in
+    heuristic algo ~size:(classify ~paper_scale_edges) ~num_partitions
+  end

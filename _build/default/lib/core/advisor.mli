@@ -1,0 +1,64 @@
+(** The "cut to fit" advisor — the paper's contribution as a usable API.
+
+    The paper's conclusion is that the right partitioning strategy
+    depends on the computation, the dataset, and the granularity, and
+    it distils concrete guidance:
+
+    - edge-dominated algorithms (PageRank, Connected Components, SSSP)
+      should minimize {b CommCost}; vertex-state-heavy algorithms
+      (Triangle Count) should minimize {b Cut};
+    - hash-free DC works best on smaller datasets, 2D on large ones
+      (better locality at scale);
+    - when the cost of trying is acceptable, measuring the metrics of
+      all candidate partitionings and picking the best by the
+      algorithm's predictive metric beats any fixed rule.
+
+    Both modes are provided: [heuristic] (free, rule-based) and
+    [measure] (computes the metrics of every candidate — linear in the
+    number of edges per candidate). *)
+
+type algorithm = Pagerank | Connected_components | Triangle_count | Shortest_paths
+
+val algorithm_name : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+
+val predictive_metric : algorithm -> string
+(** "CommCost" for PR/CC/SSSP, "Cut" for TR — the metric the paper found
+    most correlated with that algorithm's execution time. *)
+
+type size_class = Small | Large
+
+val classify : paper_scale_edges:float -> size_class
+(** The paper's small/large split: Orkut, socLiveJournal and the follow
+    crawls (tens of millions of edges and up) are "large". *)
+
+val heuristic :
+  algorithm -> size:size_class -> num_partitions:int -> Cutfit_partition.Strategy.t
+(** The paper's per-algorithm selection rules (section 4). *)
+
+type ranked = {
+  strategy : Cutfit_partition.Strategy.t;
+  metrics : Cutfit_partition.Metrics.t;
+  score : float;  (** the predictive metric's value; lower is better *)
+}
+
+val measure :
+  ?candidates:Cutfit_partition.Strategy.t list ->
+  algorithm ->
+  num_partitions:int ->
+  Cutfit_graph.Graph.t ->
+  ranked list
+(** Partition with every candidate (default: the paper's six), compute
+    its metrics, and rank ascending by the algorithm's predictive
+    metric (ties broken by balance). *)
+
+val advise :
+  ?measure_threshold_edges:int ->
+  algorithm ->
+  scale:float ->
+  num_partitions:int ->
+  Cutfit_graph.Graph.t ->
+  Cutfit_partition.Strategy.t
+(** Measured selection when the graph is small enough to afford it
+    (default threshold 5M edges), the heuristic otherwise. [scale] is
+    the work-rescaling factor (1.0 for a graph used at face value). *)

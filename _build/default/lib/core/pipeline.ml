@@ -1,0 +1,76 @@
+module Graph = Cutfit_graph.Graph
+module Partitioner = Cutfit_partition.Partitioner
+module Cluster = Cutfit_bsp.Cluster
+module Pgraph = Cutfit_bsp.Pgraph
+module Trace = Cutfit_bsp.Trace
+
+type prepared = {
+  graph : Graph.t;
+  pg : Pgraph.t;
+  cluster : Cluster.t;
+  partitioner : Partitioner.t;
+  scale : float;
+}
+
+let prepare ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorithm g =
+  let num_partitions = cluster.Cluster.num_partitions in
+  let partitioner =
+    match partitioner with
+    | Some p -> p
+    | None -> Partitioner.Hash (Advisor.advise algorithm ~scale ~num_partitions g)
+  in
+  let assignment = Partitioner.assign partitioner ~num_partitions g in
+  let pg = Pgraph.build g ~num_partitions assignment in
+  { graph = g; pg; cluster; partitioner; scale }
+
+let metrics p = Pgraph.metrics p.pg
+
+let pagerank ?iterations p =
+  let r = Cutfit_algo.Pagerank.run ?iterations ~scale:p.scale ~cluster:p.cluster p.pg in
+  (r.Cutfit_algo.Pagerank.ranks, r.Cutfit_algo.Pagerank.trace)
+
+let connected_components ?iterations p =
+  let r =
+    Cutfit_algo.Connected_components.run ?iterations ~scale:p.scale ~cluster:p.cluster p.pg
+  in
+  (r.Cutfit_algo.Connected_components.labels, r.Cutfit_algo.Connected_components.trace)
+
+let triangles p =
+  let r = Cutfit_algo.Triangle_count.run ~scale:p.scale ~cluster:p.cluster p.pg in
+  ( r.Cutfit_algo.Triangle_count.per_vertex,
+    r.Cutfit_algo.Triangle_count.total,
+    r.Cutfit_algo.Triangle_count.trace )
+
+let shortest_paths ~landmarks p =
+  let r = Cutfit_algo.Sssp.run ~scale:p.scale ~cluster:p.cluster ~landmarks p.pg in
+  (r.Cutfit_algo.Sssp.distances, r.Cutfit_algo.Sssp.trace)
+
+let compare_partitioners ?(partitioners = Partitioner.paper_six) ?(cluster = Cluster.config_i)
+    ?(scale = 1.0) ~algorithm g =
+  let times =
+    List.map
+      (fun partitioner ->
+        let p = prepare ~cluster ~partitioner ~scale ~algorithm g in
+        let trace =
+          match algorithm with
+          | Advisor.Pagerank -> snd (pagerank p)
+          | Advisor.Connected_components -> snd (connected_components p)
+          | Advisor.Triangle_count ->
+              let _, _, t = triangles p in
+              t
+          | Advisor.Shortest_paths ->
+              let landmarks = Cutfit_algo.Sssp.pick_landmarks ~seed:11L ~count:3 p.graph in
+              snd (shortest_paths ~landmarks p)
+        in
+        let time = if Trace.completed trace then trace.Trace.total_s else Float.nan in
+        (Partitioner.name partitioner, time))
+      partitioners
+  in
+  List.sort
+    (fun (_, a) (_, b) ->
+      match (Float.is_nan a, Float.is_nan b) with
+      | true, true -> 0
+      | true, false -> 1
+      | false, true -> -1
+      | false, false -> compare a b)
+    times

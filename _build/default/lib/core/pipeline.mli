@@ -1,0 +1,50 @@
+(** One-stop analytics pipeline: partition (advised or explicit), run,
+    and return results with the simulated execution trace.
+
+    This is the API the examples and the CLI are written against:
+
+    {[
+      let g = Cutfit.Gen.Social.generate params in
+      let p = Cutfit.Pipeline.prepare ~algorithm:Cutfit.Advisor.Pagerank g in
+      let ranks, trace = Cutfit.Pipeline.pagerank p in
+      Format.printf "%a@." Cutfit.Trace.pp_summary trace
+    ]} *)
+
+type prepared = {
+  graph : Cutfit_graph.Graph.t;
+  pg : Cutfit_bsp.Pgraph.t;
+  cluster : Cutfit_bsp.Cluster.t;
+  partitioner : Cutfit_partition.Partitioner.t;
+  scale : float;
+}
+
+val prepare :
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?partitioner:Cutfit_partition.Partitioner.t ->
+  ?scale:float ->
+  algorithm:Advisor.algorithm ->
+  Cutfit_graph.Graph.t ->
+  prepared
+(** Partition the graph for the given algorithm. Defaults: cluster
+    configuration (i), the advisor's strategy, scale 1.0. *)
+
+val metrics : prepared -> Cutfit_partition.Metrics.t
+(** Partitioning metrics of the prepared graph. *)
+
+val pagerank : ?iterations:int -> prepared -> float array * Cutfit_bsp.Trace.t
+val connected_components : ?iterations:int -> prepared -> int array * Cutfit_bsp.Trace.t
+
+val triangles : prepared -> int array * int * Cutfit_bsp.Trace.t
+(** Per-vertex counts, total, trace. *)
+
+val shortest_paths : landmarks:int array -> prepared -> int array array * Cutfit_bsp.Trace.t
+
+val compare_partitioners :
+  ?partitioners:Cutfit_partition.Partitioner.t list ->
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?scale:float ->
+  algorithm:Advisor.algorithm ->
+  Cutfit_graph.Graph.t ->
+  (string * float) list
+(** Simulated job time per partitioner for one algorithm, ascending
+    (NaN last, for OOM). SSSP uses 3 deterministic landmarks. *)

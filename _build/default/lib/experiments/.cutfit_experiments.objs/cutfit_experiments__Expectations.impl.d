@@ -1,0 +1,1 @@
+lib/experiments/expectations.ml: Cutfit_gen Figures Float Format List Printf Run String

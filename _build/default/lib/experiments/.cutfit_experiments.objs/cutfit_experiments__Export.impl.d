@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Cutfit_gen Cutfit_partition Fun List Printf Run String

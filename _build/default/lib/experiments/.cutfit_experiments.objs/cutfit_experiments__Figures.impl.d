@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Cutfit_gen Cutfit_graph Cutfit_partition Cutfit_stats Float Format List Printf Report Run String

@@ -1,0 +1,1 @@
+lib/experiments/infra.ml: Cutfit_algo Cutfit_bsp Cutfit_gen Cutfit_partition Format List Report Run

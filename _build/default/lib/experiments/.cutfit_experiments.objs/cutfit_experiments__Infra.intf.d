@@ -1,0 +1,1 @@
+lib/experiments/infra.mli: Cutfit_bsp Format

@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Array Char Cutfit_algo Cutfit_bsp Cutfit_gen Cutfit_graph Cutfit_partition Float Format Int64 List String

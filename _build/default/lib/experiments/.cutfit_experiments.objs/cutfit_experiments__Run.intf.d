@@ -1,0 +1,1 @@
+lib/experiments/run.mli: Cutfit_bsp Cutfit_gen Cutfit_graph Cutfit_partition

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Cutfit_gen Cutfit_graph Cutfit_partition Format List Printf Report

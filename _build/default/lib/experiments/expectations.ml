@@ -1,0 +1,169 @@
+module Datasets = Cutfit_gen.Datasets
+
+type verdict = { name : string; expected : string; measured : string; pass : bool }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "[%s] %-34s expected %-22s measured %s"
+    (if v.pass then "PASS" else "DEVIATION")
+    v.name v.expected v.measured
+
+let corr_of ms algo ~config metric =
+  match List.assoc_opt metric (Figures.correlations ms algo ~config) with
+  | Some c -> c
+  | None -> Float.nan
+
+(* A correlation passes when it lands within +-0.18 of the paper's
+   coefficient — generous because the analogue datasets are 100x
+   smaller, but tight enough to catch a wrong predictive metric. *)
+let check_corr ms algo metric ~config ~paper =
+  let c = corr_of ms algo ~config metric in
+  {
+    name = Printf.sprintf "corr %s/%s %s" (Run.algo_name algo) metric config;
+    expected = Printf.sprintf "~%.0f%%" (100.0 *. paper);
+    measured = (if Float.is_nan c then "n/a" else Printf.sprintf "%.0f%%" (100.0 *. c));
+    pass = (not (Float.is_nan c)) && Float.abs (c -. paper) <= 0.18;
+  }
+
+let check_low_corr ms algo metric ~config ~paper =
+  let c = corr_of ms algo ~config metric in
+  {
+    name = Printf.sprintf "corr %s/%s %s (low)" (Run.algo_name algo) metric config;
+    expected = Printf.sprintf "well below the predictive metric (~%.0f%%)" (100.0 *. paper);
+    measured = (if Float.is_nan c then "n/a" else Printf.sprintf "%.0f%%" (100.0 *. c));
+    (* "Low" is relative: it must trail the predictive metric clearly. *)
+    pass =
+      (not (Float.is_nan c))
+      &&
+      let predictive = corr_of ms algo ~config "Cut" in
+      c < predictive -. 0.03;
+  }
+
+let check_correlations ms =
+  let have algo config = Run.filter ~algo ~config ms <> [] in
+  List.concat
+    [
+      (if have Run.Pagerank "(i)" then
+         [ check_corr ms Run.Pagerank "CommCost" ~config:"(i)" ~paper:0.95 ]
+       else []);
+      (if have Run.Pagerank "(ii)" then
+         [ check_corr ms Run.Pagerank "CommCost" ~config:"(ii)" ~paper:0.96 ]
+       else []);
+      (if have Run.Connected_components "(i)" then
+         [ check_corr ms Run.Connected_components "CommCost" ~config:"(i)" ~paper:0.92 ]
+       else []);
+      (if have Run.Connected_components "(ii)" then
+         [ check_corr ms Run.Connected_components "CommCost" ~config:"(ii)" ~paper:0.94 ]
+       else []);
+      (if have Run.Triangle_count "(i)" then
+         [
+           check_corr ms Run.Triangle_count "Cut" ~config:"(i)" ~paper:0.95;
+           check_low_corr ms Run.Triangle_count "CommCost" ~config:"(i)" ~paper:0.43;
+         ]
+       else []);
+      (if have Run.Triangle_count "(ii)" then
+         [
+           check_corr ms Run.Triangle_count "Cut" ~config:"(ii)" ~paper:0.97;
+           check_low_corr ms Run.Triangle_count "CommCost" ~config:"(ii)" ~paper:0.34;
+         ]
+       else []);
+      (if have Run.Shortest_paths "(i)" then
+         [ check_corr ms Run.Shortest_paths "CommCost" ~config:"(i)" ~paper:0.80 ]
+       else []);
+      (if have Run.Shortest_paths "(ii)" then
+         [ check_corr ms Run.Shortest_paths "CommCost" ~config:"(ii)" ~paper:0.86 ]
+       else []);
+    ]
+
+let big_datasets = [ "Orkut"; "socLiveJournal"; "follow-jul"; "follow-dec" ]
+
+let check_granularity ms =
+  let deltas algo = Figures.granularity_deltas ms algo in
+  let have algo = Run.filter ~algo ms <> [] in
+  List.concat
+    [
+      (if have Run.Pagerank then begin
+         let ds = deltas Run.Pagerank in
+         let slower =
+           List.length (List.filter (fun (_, d) -> (not (Float.is_nan d)) && d > 0.0) ds)
+         in
+         let total = List.length (List.filter (fun (_, d) -> not (Float.is_nan d)) ds) in
+         [
+           {
+             name = "PR: finer grain increases time";
+             expected = "most datasets slower at (ii)";
+             measured = Printf.sprintf "%d/%d datasets slower" slower total;
+             pass = total > 0 && 2 * slower > total;
+           };
+         ]
+       end
+       else []);
+      (if have Run.Connected_components then begin
+         let ds = deltas Run.Connected_components in
+         let big_faster =
+           List.filter (fun (d, delta) -> List.mem d big_datasets && delta < 0.0) ds
+         in
+         [
+           {
+             name = "CC: finer grain wins on big datasets";
+             expected = "large datasets faster at (ii), up to ~22%";
+             measured =
+               String.concat ", "
+                 (List.map (fun (d, x) -> Printf.sprintf "%s %+.0f%%" d x)
+                    (List.filter (fun (d, _) -> List.mem d big_datasets) ds));
+             pass = List.length big_faster >= 3;
+           };
+         ]
+       end
+       else []);
+      (if have Run.Triangle_count then begin
+         let ds = deltas Run.Triangle_count in
+         let faster = List.filter (fun (_, delta) -> delta < 0.0) ds in
+         [
+           {
+             name = "TR: finer grain wins consistently";
+             expected = "most datasets faster at (ii) (Orkut up to ~40%)";
+             measured = Printf.sprintf "%d/%d datasets faster" (List.length faster) (List.length ds);
+             pass = 2 * List.length faster > List.length ds;
+           };
+         ]
+       end
+       else []);
+    ]
+
+let check_sssp_oom ms =
+  let cells = Run.filter ~algo:Run.Shortest_paths ms in
+  if cells = [] then []
+  else begin
+    let roads = [ "roadnet_pa"; "roadnet_tx"; "roadnet_ca" ] in
+    let oom_road =
+      List.for_all
+        (fun m -> not m.Run.completed)
+        (List.filter (fun m -> List.mem m.Run.dataset.Datasets.name roads) cells)
+    in
+    let social_ok =
+      List.for_all
+        (fun m -> m.Run.completed)
+        (List.filter (fun m -> not (List.mem m.Run.dataset.Datasets.name roads)) cells)
+    in
+    [
+      {
+        name = "SSSP: road networks OOM";
+        expected = "all road-network runs fail";
+        measured = (if oom_road then "all failed" else "some completed");
+        pass = oom_road;
+      };
+      {
+        name = "SSSP: social datasets complete";
+        expected = "no social run fails";
+        measured = (if social_ok then "all completed" else "some failed");
+        pass = social_ok;
+      };
+    ]
+  end
+
+let check_all ms = check_correlations ms @ check_granularity ms @ check_sssp_oom ms
+
+let summary ppf verdicts =
+  List.iter (fun v -> Format.fprintf ppf "%a@." pp_verdict v) verdicts;
+  let passed = List.length (List.filter (fun v -> v.pass) verdicts) in
+  Format.fprintf ppf "shape checks: %d/%d pass@." passed (List.length verdicts)

@@ -1,0 +1,29 @@
+(** The paper's quantitative claims, as checkable expectations.
+
+    Each check compares a measured shape (correlation coefficient,
+    granularity effect, OOM behaviour, infrastructure speedup) with the
+    paper's reported value under a tolerance, and renders a PASS /
+    DEVIATION line. Absolute times are never compared — the substrate is
+    a simulator and the datasets are scaled analogues. *)
+
+type verdict = { name : string; expected : string; measured : string; pass : bool }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_correlations : Run.measurement list -> verdict list
+(** Figures 3–6 headline coefficients:
+    PR/CommCost 95/96%, CC/CommCost 92/94%, TR/Cut 95/97% with
+    TR/CommCost low (43/34%), SSSP/CommCost 80/86%. *)
+
+val check_granularity : Run.measurement list -> verdict list
+(** PR slows down at finer grain; CC speeds up on the big datasets (up
+    to ~22%); TR speeds up consistently (up to ~40% on Orkut). *)
+
+val check_sssp_oom : Run.measurement list -> verdict list
+(** The road networks fail with OOM under SSSP; social datasets
+    complete. *)
+
+val check_all : Run.measurement list -> verdict list
+
+val summary : Format.formatter -> verdict list -> unit
+(** Render all verdicts plus a pass count. *)

@@ -1,0 +1,39 @@
+module Metrics = Cutfit_partition.Metrics
+
+let header =
+  String.concat ","
+    [
+      "dataset"; "partitioner"; "config"; "algorithm"; "balance"; "non_cut"; "cut"; "comm_cost";
+      "part_stdev"; "vertices_to_same"; "vertices_to_other"; "replication_factor"; "time_s";
+      "network_s"; "compute_s"; "supersteps"; "completed";
+    ]
+
+let row m =
+  let metrics = m.Run.metrics in
+  String.concat ","
+    [
+      m.Run.dataset.Cutfit_gen.Datasets.name;
+      m.Run.partitioner;
+      (* Strip parentheses so the field needs no quoting. *)
+      String.concat "" (String.split_on_char '(' (String.concat "" (String.split_on_char ')' m.Run.config)));
+      Run.algo_name m.Run.algo;
+      Printf.sprintf "%.4f" metrics.Metrics.balance;
+      string_of_int metrics.Metrics.non_cut;
+      string_of_int metrics.Metrics.cut;
+      string_of_int metrics.Metrics.comm_cost;
+      Printf.sprintf "%.2f" metrics.Metrics.part_stdev;
+      string_of_int metrics.Metrics.vertices_to_same;
+      string_of_int metrics.Metrics.vertices_to_other;
+      Printf.sprintf "%.4f" metrics.Metrics.replication_factor;
+      (if m.Run.completed then Printf.sprintf "%.4f" m.Run.time_s else "");
+      Printf.sprintf "%.4f" m.Run.network_s;
+      Printf.sprintf "%.4f" m.Run.compute_s;
+      string_of_int m.Run.supersteps;
+      string_of_bool m.Run.completed;
+    ]
+
+let to_csv ms = String.concat "\n" (header :: List.map row ms) ^ "\n"
+
+let save path ms =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv ms))

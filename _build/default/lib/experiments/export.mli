@@ -1,0 +1,15 @@
+(** CSV export of the evaluation matrix.
+
+    One row per (dataset, partitioner, configuration, algorithm) cell
+    with the five paper metrics and the simulated time decomposition,
+    for analysis outside the harness (spreadsheets, R, gnuplot). *)
+
+val header : string
+(** The CSV header line. *)
+
+val to_csv : Run.measurement list -> string
+(** Render all measurements; OOMed cells carry an empty time and
+    [completed=false]. *)
+
+val save : string -> Run.measurement list -> unit
+(** Write [to_csv] to a file. *)

@@ -1,0 +1,57 @@
+module Datasets = Cutfit_gen.Datasets
+module Characterize = Cutfit_graph.Characterize
+module Diameter = Cutfit_graph.Diameter
+module Partitioner = Cutfit_partition.Partitioner
+module Metrics = Cutfit_partition.Metrics
+
+let table1 ppf =
+  let header =
+    [ "Dataset"; "Vertices"; "Edges"; "Symm"; "ZeroIn%"; "ZeroOut%"; "Triangles"; "Conn.Comp.";
+      "Diameter"; "Size"; "(orig V)"; "(orig E)" ]
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let g = Datasets.generate spec in
+        let c = Characterize.compute g in
+        [
+          spec.Datasets.display;
+          Report.commas c.Characterize.vertices;
+          Report.commas c.Characterize.edges;
+          Printf.sprintf "%.2f" c.Characterize.symmetry_pct;
+          Printf.sprintf "%.2f" c.Characterize.zero_in_pct;
+          Printf.sprintf "%.2f" c.Characterize.zero_out_pct;
+          Report.commas c.Characterize.triangles;
+          Report.commas c.Characterize.components;
+          Diameter.to_string c.Characterize.diameter;
+          Report.commas c.Characterize.size_bytes ^ "B";
+          Report.commas spec.Datasets.paper_vertices;
+          Report.commas spec.Datasets.paper_edges;
+        ])
+      Datasets.all
+  in
+  Format.fprintf ppf "%s@." (Report.table ~header ~rows)
+
+let partition_metrics ?(partitioners = Partitioner.paper_six) ~num_partitions ppf =
+  let header = [ "Dataset"; "Partitioner"; "Balance"; "NonCut"; "Cut"; "CommCost"; "PartStDev" ] in
+  let rows =
+    List.concat_map
+      (fun spec ->
+        let g = Datasets.generate spec in
+        List.map
+          (fun p ->
+            let assignment = Partitioner.assign p ~num_partitions g in
+            let m = Metrics.compute g ~num_partitions assignment in
+            [
+              spec.Datasets.display;
+              Partitioner.name p;
+              Printf.sprintf "%.2f" m.Metrics.balance;
+              Report.commas m.Metrics.non_cut;
+              Report.commas m.Metrics.cut;
+              Report.commas m.Metrics.comm_cost;
+              Printf.sprintf "%.2f" m.Metrics.part_stdev;
+            ])
+          partitioners)
+      Datasets.all
+  in
+  Format.fprintf ppf "%s@." (Report.table ~header ~rows)

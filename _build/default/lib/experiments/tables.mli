@@ -1,0 +1,14 @@
+(** Reproductions of the paper's tables.
+
+    - Table 1: dataset characterization (our analogues, with the
+      original sizes alongside for scale reference);
+    - Tables 2 and 3: all five partitioning metrics for every dataset x
+      partitioner, at 128 and 256 partitions. *)
+
+val table1 : Format.formatter -> unit
+(** Characterize all nine analogue datasets. *)
+
+val partition_metrics : ?partitioners:Cutfit_partition.Partitioner.t list ->
+  num_partitions:int -> Format.formatter -> unit
+(** Table 2 ([num_partitions = 128]) / Table 3 (256). Defaults to the
+    paper's six strategies. *)

@@ -1,0 +1,1 @@
+lib/gen/datasets.ml: Cutfit_graph Grid Hashtbl List Social

@@ -1,0 +1,1 @@
+lib/gen/datasets.mli: Cutfit_graph Grid Social

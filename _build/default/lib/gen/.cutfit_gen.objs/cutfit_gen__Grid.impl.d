@@ -1,0 +1,1 @@
+lib/gen/grid.ml: Array Cutfit_graph Cutfit_prng

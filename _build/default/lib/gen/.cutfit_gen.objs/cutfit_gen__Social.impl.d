@@ -1,0 +1,1 @@
+lib/gen/social.ml: Array Cutfit_graph Cutfit_prng Hashtbl

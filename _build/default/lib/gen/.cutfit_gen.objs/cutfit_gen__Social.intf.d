@@ -1,0 +1,1 @@
+lib/gen/social.mli: Cutfit_graph

@@ -1,0 +1,65 @@
+module Graph = Cutfit_graph.Graph
+module Edge_list = Cutfit_graph.Edge_list
+module Xoshiro = Cutfit_prng.Xoshiro
+
+type params = {
+  width : int;
+  height : int;
+  hole_prob : float;
+  keep_prob : float;
+  diagonal_prob : float;
+  seed : int64;
+}
+
+let default =
+  { width = 100; height = 100; hole_prob = 0.03; keep_prob = 0.78; diagonal_prob = 0.02; seed = 7L }
+
+let generate p =
+  if p.width <= 0 || p.height <= 0 then invalid_arg "Grid.generate: empty lattice";
+  let rng = Xoshiro.create p.seed in
+  let n0 = p.width * p.height in
+  let present = Array.init n0 (fun _ -> not (Xoshiro.next_bool rng p.hole_prob)) in
+  let at row col = (row * p.width) + col in
+  let el = Edge_list.create ~capacity:(4 * n0) () in
+  let add_undirected a b =
+    Edge_list.add el ~src:a ~dst:b;
+    Edge_list.add el ~src:b ~dst:a
+  in
+  for row = 0 to p.height - 1 do
+    for col = 0 to p.width - 1 do
+      let v = at row col in
+      if present.(v) then begin
+        (* Streets to the east and south keep each lattice edge
+           considered exactly once. *)
+        if col + 1 < p.width && present.(at row (col + 1)) && Xoshiro.next_bool rng p.keep_prob
+        then add_undirected v (at row (col + 1));
+        if row + 1 < p.height && present.(at (row + 1) col) && Xoshiro.next_bool rng p.keep_prob
+        then add_undirected v (at (row + 1) col);
+        (* A diagonal shortcut closes a triangle with the two streets of
+           its cell when they both survived. *)
+        if
+          row + 1 < p.height
+          && col + 1 < p.width
+          && present.(at (row + 1) (col + 1))
+          && Xoshiro.next_bool rng p.diagonal_prob
+        then add_undirected v (at (row + 1) (col + 1))
+      end
+    done
+  done;
+  (* Compact ids over holes and isolated intersections, preserving
+     row-major order so id distance tracks geographic distance. *)
+  let touched = Array.make n0 false in
+  Edge_list.iter el (fun ~src ~dst ->
+      touched.(src) <- true;
+      touched.(dst) <- true);
+  let remap = Array.make n0 (-1) in
+  let next = ref 0 in
+  for v = 0 to n0 - 1 do
+    if touched.(v) then begin
+      remap.(v) <- !next;
+      incr next
+    end
+  done;
+  let compact = Edge_list.create ~capacity:(Edge_list.length el) () in
+  Edge_list.iter el (fun ~src ~dst -> Edge_list.add compact ~src:remap.(src) ~dst:remap.(dst));
+  Graph.of_edge_list ~n:!next (Edge_list.dedup compact)

@@ -1,0 +1,27 @@
+(** Road-network generator.
+
+    Synthetic stand-in for the SNAP RoadNet-{PA,TX,CA} datasets: a 2-D
+    lattice with random holes (missing intersections), randomly dropped
+    street segments, and occasional diagonal shortcuts. The result
+    reproduces the properties that matter to partitioning: 100% edge
+    symmetry, near-constant degree around 3, a small triangle count, no
+    zero-degree vertices, many connected components (hence infinite
+    diameter) and huge effective diameter within the main component. *)
+
+type params = {
+  width : int;  (** lattice columns *)
+  height : int;  (** lattice rows *)
+  hole_prob : float;  (** probability an intersection is absent *)
+  keep_prob : float;  (** probability a lattice street survives *)
+  diagonal_prob : float;  (** probability of a diagonal shortcut per cell *)
+  seed : int64;
+}
+
+val default : params
+(** 100 x 100, 3% holes, 78% street survival, 2% diagonals. *)
+
+val generate : params -> Cutfit_graph.Graph.t
+(** Deterministic for a given [params]. Vertex ids are row-major lattice
+    positions compacted over removed/isolated intersections, so nearby
+    ids are geographically close — exactly the locality that the paper's
+    SC/DC partitioners are designed to pick up. *)

@@ -1,0 +1,178 @@
+module Graph = Cutfit_graph.Graph
+module Edge_list = Cutfit_graph.Edge_list
+module Union_find = Cutfit_graph.Union_find
+module Xoshiro = Cutfit_prng.Xoshiro
+module Dist = Cutfit_prng.Dist
+
+type params = {
+  vertices : int;
+  edges : int;
+  alpha_out : float;
+  alpha_in : float;
+  symmetry : float;
+  zero_in_frac : float;
+  zero_out_frac : float;
+  superstar_share : float;
+  weight_cap_ratio : float;
+  islands : int;
+  seed : int64;
+}
+
+let default =
+  {
+    vertices = 10_000;
+    edges = 50_000;
+    alpha_out = 2.2;
+    alpha_in = 2.2;
+    symmetry = 1.0;
+    zero_in_frac = 0.0;
+    zero_out_frac = 0.0;
+    superstar_share = 0.0;
+    weight_cap_ratio = infinity;
+    islands = 0;
+    seed = 1L;
+  }
+
+let validate p =
+  if p.vertices <= 0 then invalid_arg "Social.generate: vertices <= 0";
+  if p.edges <= 0 then invalid_arg "Social.generate: edges <= 0";
+  if p.symmetry < 0.0 || p.symmetry > 1.0 then invalid_arg "Social.generate: symmetry out of [0,1]";
+  if p.zero_in_frac < 0.0 || p.zero_out_frac < 0.0 then
+    invalid_arg "Social.generate: negative leaf fraction";
+  if p.superstar_share < 0.0 || p.superstar_share >= 1.0 then
+    invalid_arg "Social.generate: superstar share out of [0,1)";
+  if p.weight_cap_ratio <= 1.0 then invalid_arg "Social.generate: weight cap ratio <= 1";
+  if p.islands < 0 then invalid_arg "Social.generate: negative islands";
+  if p.symmetry = 1.0 && (p.zero_in_frac > 0.0 || p.zero_out_frac > 0.0) then
+    invalid_arg "Social.generate: an undirected graph cannot have zero-degree leaves";
+  let n_zi = int_of_float (p.zero_in_frac *. float_of_int p.vertices) in
+  let n_zo = int_of_float (p.zero_out_frac *. float_of_int p.vertices) in
+  let n_core = p.vertices - n_zi - n_zo - (2 * p.islands) in
+  if n_core < 2 then invalid_arg "Social.generate: leaf fractions/islands leave no core";
+  (n_core, n_zi, n_zo)
+
+(* Sample [target] distinct non-loop core edges from the product of the
+   out/in alias samplers, with a bounded number of attempts so malformed
+   parameters cannot loop forever. *)
+let sample_core rng ~out_alias ~in_alias ~target ~seen ~add =
+  let attempts = ref 0 in
+  let max_attempts = (10 * target) + 1000 in
+  let produced = ref 0 in
+  while !produced < target && !attempts < max_attempts do
+    incr attempts;
+    let s = Dist.Alias.sample out_alias rng in
+    let d = Dist.Alias.sample in_alias rng in
+    if s <> d then begin
+      let k = (s, d) in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        add s d;
+        incr produced
+      end
+    end
+  done
+
+let generate p =
+  let n_core, n_zi, n_zo = validate p in
+  let rng = Xoshiro.create p.seed in
+  let el = Edge_list.create ~capacity:(p.edges + (p.edges / 4)) () in
+  let seen = Hashtbl.create (4 * p.edges) in
+  let add_edge s d =
+    if not (Hashtbl.mem seen (s, d)) then begin
+      Hashtbl.add seen (s, d) ();
+      Edge_list.add el ~src:s ~dst:d
+    end
+  in
+
+  (* Edge budget: leaves draw small degrees; the rest goes to the core.
+     Reciprocation multiplies the core base edges by (1 + p_rev) where
+     symmetry s = 2*p_rev/(1+p_rev), i.e. p_rev = s/(2-s); a fully
+     symmetric graph instead doubles every base edge. *)
+  let leaf_budget = 2 * (n_zi + n_zo) in
+  let island_budget = 2 * p.islands in
+  let core_budget = max 1 (p.edges - leaf_budget - island_budget) in
+  let p_rev = if p.symmetry >= 1.0 then 1.0 else p.symmetry /. (2.0 -. p.symmetry) in
+  let base_target = int_of_float (float_of_int core_budget /. (1.0 +. p_rev)) in
+
+  let w_out = Dist.power_law_weights ~n:n_core ~alpha:p.alpha_out ~min_weight:1.0 in
+  let w_in = Dist.power_law_weights ~n:n_core ~alpha:p.alpha_in ~min_weight:1.0 in
+  (* Scaling a graph down ~100x keeps hub degrees relatively too large
+     (they shrink like the tail exponent, not linearly), which would
+     exaggerate 1D/SC imbalance; datasets whose Table 2 balance is ~1.0
+     get their weight tail capped at a multiple of the mean. *)
+  let cap ws =
+    if p.weight_cap_ratio < infinity then begin
+      let mean = Array.fold_left ( +. ) 0.0 ws /. float_of_int (Array.length ws) in
+      let limit = p.weight_cap_ratio *. mean in
+      Array.iteri (fun i w -> if w > limit then ws.(i) <- limit) ws
+    end
+  in
+  cap w_out;
+  cap w_in;
+  (* Superstar hubs: vertex 0 (and a fading tail of the next few ids)
+     absorbs a fixed share of the out-edge mass, reproducing the
+     megahub-driven 1D/SC imbalance of the follow crawls. *)
+  if p.superstar_share > 0.0 then begin
+    let total = Array.fold_left ( +. ) 0.0 w_out in
+    let boost = p.superstar_share *. total /. (1.0 -. p.superstar_share) in
+    w_out.(0) <- w_out.(0) +. (boost /. 2.0);
+    if n_core > 1 then w_out.(1) <- w_out.(1) +. (boost /. 3.0);
+    if n_core > 2 then w_out.(2) <- w_out.(2) +. (boost /. 6.0)
+  end;
+  let out_alias = Dist.Alias.create w_out in
+  let in_alias = Dist.Alias.create w_in in
+
+  let core_base = Edge_list.create ~capacity:base_target () in
+  let base_seen = Hashtbl.create (4 * base_target) in
+  sample_core rng ~out_alias ~in_alias ~target:base_target ~seen:base_seen ~add:(fun s d ->
+      Edge_list.add core_base ~src:s ~dst:d);
+  Edge_list.iter core_base (fun ~src ~dst ->
+      add_edge src dst;
+      if p.symmetry >= 1.0 then add_edge dst src
+      else if Xoshiro.next_bool rng p_rev then add_edge dst src);
+
+  (* Stitch core components into one weak component. Each stray vertex
+     attaches preferentially (like a late crawl edge into a popular
+     account): stitch degree spreads across the hubs without creating
+     an artificial megahub or a long path appendage. *)
+  let uf = Union_find.create n_core in
+  Edge_list.iter el (fun ~src ~dst ->
+      if src < n_core && dst < n_core then ignore (Union_find.union uf src dst));
+  for v = 1 to n_core - 1 do
+    if not (Union_find.same uf 0 v) then begin
+      let sampled = Dist.Alias.sample in_alias rng in
+      let target = if Union_find.same uf v sampled then 0 else sampled in
+      ignore (Union_find.union uf v target);
+      add_edge v target;
+      if p.symmetry >= 1.0 || Xoshiro.next_bool rng p_rev then add_edge target v
+    end
+  done;
+
+  (* Crawl-artifact leaves. Zero-in leaves only emit edges (into popular
+     core vertices); zero-out leaves only receive them. Leaf degrees are
+     1 + Geometric so most leaves are degree-1 or -2, like the shallow
+     frontier of a forest-fire crawl. *)
+  let leaf_degree () = 1 + Dist.geometric rng ~p:0.55 in
+  for leaf = n_core to n_core + n_zi - 1 do
+    let d = leaf_degree () in
+    for _ = 1 to d do
+      add_edge leaf (Dist.Alias.sample in_alias rng)
+    done
+  done;
+  for leaf = n_core + n_zi to n_core + n_zi + n_zo - 1 do
+    let d = leaf_degree () in
+    for _ = 1 to d do
+      add_edge (Dist.Alias.sample out_alias rng) leaf
+    done
+  done;
+
+  (* Island components: mutual pairs so they disturb neither the
+     zero-in nor the zero-out census. *)
+  let island_base = n_core + n_zi + n_zo in
+  for i = 0 to p.islands - 1 do
+    let a = island_base + (2 * i) and b = island_base + (2 * i) + 1 in
+    add_edge a b;
+    add_edge b a
+  done;
+
+  Graph.of_edge_list ~n:p.vertices el

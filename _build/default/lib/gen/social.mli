@@ -1,0 +1,43 @@
+(** Social-graph generator.
+
+    Synthetic stand-in for the paper's six social datasets (YouTube,
+    Pocek, Orkut, socLiveJournal, follow-jul, follow-dec). A directed
+    Chung–Lu core with separately tunable in/out power-law exponents is
+    decorated with the crawl artifacts Table 1 documents:
+
+    - a target reciprocated-edge percentage (edge symmetry);
+    - "superstar" hubs holding a fixed share of all out-edges, which
+      drive the extreme 1D/SC partition imbalance the paper measures on
+      the follow graphs;
+    - zero-in / zero-out leaf vertices produced by forest-fire crawling;
+    - a prescribed number of extra connected components (islands).
+
+    Vertex ids are assigned in crawl order (hubs first, leaves last), so
+    id arithmetic carries degree information — the assumption behind the
+    paper's SC/DC modulo partitioners. *)
+
+type params = {
+  vertices : int;  (** total vertex count, leaves and islands included *)
+  edges : int;  (** target directed edge count (approximate, +-a few %) *)
+  alpha_out : float;  (** out-degree power-law exponent (> 1) *)
+  alpha_in : float;  (** in-degree power-law exponent (> 1) *)
+  symmetry : float;  (** target reciprocated fraction in [0, 1]; 1 = undirected *)
+  zero_in_frac : float;  (** fraction of vertices with no incoming edge *)
+  zero_out_frac : float;  (** fraction of vertices with no outgoing edge *)
+  superstar_share : float;  (** share of core edges emitted by the top hub *)
+  weight_cap_ratio : float;
+      (** cap on any vertex's expected degree, as a multiple of the mean
+          degree; [infinity] leaves the power-law tail uncapped *)
+  islands : int;  (** extra 2-vertex components appended at the end *)
+  seed : int64;
+}
+
+val default : params
+(** A small undirected power-law graph: 10k vertices, 50k edges. *)
+
+val generate : params -> Cutfit_graph.Graph.t
+(** Deterministic for a given [params]. The core (non-leaf, non-island)
+    part is stitched into a single weak component, so the graph has
+    exactly [1 + islands] weak components.
+    @raise Invalid_argument on inconsistent parameters (e.g. leaf
+    fractions that leave no core). *)

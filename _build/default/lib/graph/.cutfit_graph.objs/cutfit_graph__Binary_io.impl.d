@@ -1,0 +1,1 @@
+lib/graph/binary_io.ml: Array Buffer Char Fun Graph Printf

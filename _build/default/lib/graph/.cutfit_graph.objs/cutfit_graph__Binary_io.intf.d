@@ -1,0 +1,1 @@
+lib/graph/binary_io.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/characterize.ml: Components Diameter Format Graph Graph_io Triangles

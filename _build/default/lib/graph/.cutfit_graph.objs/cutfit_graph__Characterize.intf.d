@@ -1,0 +1,1 @@
+lib/graph/characterize.mli: Diameter Format Graph

@@ -1,0 +1,1 @@
+lib/graph/diameter.ml: Bfs Components Cutfit_prng Format Graph

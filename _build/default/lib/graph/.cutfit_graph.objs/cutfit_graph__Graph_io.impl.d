@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Buffer Edge_list Fun Graph List Printf String

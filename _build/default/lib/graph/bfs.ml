@@ -1,0 +1,42 @@
+let run ?(undirected = false) g sources =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Bfs: source out of range";
+      if dist.(s) = max_int then begin
+        dist.(s) <- 0;
+        Queue.push s queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let d = dist.(v) in
+    let visit u =
+      if dist.(u) = max_int then begin
+        dist.(u) <- d + 1;
+        Queue.push u queue
+      end
+    in
+    Graph.iter_out g v visit;
+    if undirected then Graph.iter_in g v visit
+  done;
+  dist
+
+let distances ?undirected g src = run ?undirected g [ src ]
+let multi_source ?undirected g sources = run ?undirected g sources
+
+let farthest ?undirected g v =
+  let dist = distances ?undirected g v in
+  let best = ref v and best_d = ref 0 in
+  Array.iteri
+    (fun u d ->
+      if d <> max_int && d > !best_d then begin
+        best := u;
+        best_d := d
+      end)
+    dist;
+  (!best, !best_d)
+
+let eccentricity ?undirected g v = snd (farthest ?undirected g v)

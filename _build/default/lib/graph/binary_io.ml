@@ -1,0 +1,103 @@
+let magic = "CUTF"
+let version = 1
+
+(* LEB128-style varints over ints; edges are sorted by (src, dst) and
+   stored as (delta src, first dst | delta dst) pairs, which keeps most
+   bytes small on locality-friendly graphs. *)
+let write_varint buf v =
+  if v < 0 then invalid_arg "Binary_io: negative varint";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let read_varint ic =
+  let rec go shift acc =
+    let b = input_byte ic in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let varint_size v =
+  let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
+  go (max v 0) 1
+
+let sorted_edges g =
+  let m = Graph.num_edges g in
+  let idx = Array.init m (fun i -> i) in
+  let cmp a b =
+    let c = compare (Graph.edge_src g a) (Graph.edge_src g b) in
+    if c <> 0 then c else compare (Graph.edge_dst g a) (Graph.edge_dst g b)
+  in
+  Array.sort cmp idx;
+  idx
+
+let encode g =
+  let buf = Buffer.create (4 * Graph.num_edges g) in
+  Buffer.add_string buf magic;
+  write_varint buf version;
+  write_varint buf (Graph.num_vertices g);
+  write_varint buf (Graph.num_edges g);
+  let prev_src = ref 0 and prev_dst = ref 0 in
+  Array.iter
+    (fun e ->
+      let src = Graph.edge_src g e and dst = Graph.edge_dst g e in
+      let dsrc = src - !prev_src in
+      write_varint buf dsrc;
+      (* A new source resets the destination delta chain. *)
+      if dsrc > 0 then prev_dst := 0;
+      write_varint buf (dst - !prev_dst);
+      prev_src := src;
+      prev_dst := dst)
+    (sorted_edges g);
+  buf
+
+let save path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc (encode g))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m4 = really_input_string ic 4 in
+      if m4 <> magic then failwith "Binary_io.load: not a cutfit binary graph";
+      let v = read_varint ic in
+      if v <> version then failwith (Printf.sprintf "Binary_io.load: unsupported version %d" v);
+      let n = read_varint ic in
+      let m = read_varint ic in
+      let src = Array.make m 0 and dst = Array.make m 0 in
+      let prev_src = ref 0 and prev_dst = ref 0 in
+      for i = 0 to m - 1 do
+        let dsrc = read_varint ic in
+        if dsrc > 0 then prev_dst := 0;
+        let s = !prev_src + dsrc in
+        let d = !prev_dst + read_varint ic in
+        src.(i) <- s;
+        dst.(i) <- d;
+        prev_src := s;
+        prev_dst := d
+      done;
+      Graph.create ~n ~src ~dst)
+
+let size_bytes g =
+  let total = ref (4 + varint_size version + varint_size (Graph.num_vertices g) + varint_size (Graph.num_edges g)) in
+  let prev_src = ref 0 and prev_dst = ref 0 in
+  Array.iter
+    (fun e ->
+      let src = Graph.edge_src g e and dst = Graph.edge_dst g e in
+      let dsrc = src - !prev_src in
+      if dsrc > 0 then prev_dst := 0;
+      total := !total + varint_size dsrc + varint_size (dst - !prev_dst);
+      prev_src := src;
+      prev_dst := dst)
+    (sorted_edges g);
+  !total

@@ -1,0 +1,53 @@
+type t = {
+  vertices : int;
+  edges : int;
+  symmetry_pct : float;
+  zero_in_pct : float;
+  zero_out_pct : float;
+  triangles : int;
+  components : int;
+  diameter : Diameter.t;
+  size_bytes : int;
+}
+
+let symmetry_pct g =
+  let m = Graph.num_edges g in
+  if m = 0 then 100.0
+  else begin
+    let reciprocated = ref 0 in
+    Graph.iter_edges g (fun ~src ~dst ->
+        if src = dst || Graph.has_edge g ~src:dst ~dst:src then incr reciprocated);
+    100.0 *. float_of_int !reciprocated /. float_of_int m
+  end
+
+let compute ?(exact_diameter = false) g =
+  let n = Graph.num_vertices g in
+  let zero_in = ref 0 and zero_out = ref 0 in
+  for v = 0 to n - 1 do
+    if Graph.in_degree g v = 0 then incr zero_in;
+    if Graph.out_degree g v = 0 then incr zero_out
+  done;
+  let pct c = if n = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int n in
+  let symmetry = symmetry_pct g in
+  (* The paper says directed components were measured with SCC, but its
+     Table 1 values (e.g. 52 components for a 17M-vertex crawl with 47%
+     zero-in vertices, each of which would be a singleton SCC) are only
+     consistent with weak components, so that is what we report. *)
+  let components = Components.weak_count g in
+  let diameter = if exact_diameter then Diameter.exact g else Diameter.estimate g in
+  {
+    vertices = n;
+    edges = Graph.num_edges g;
+    symmetry_pct = symmetry;
+    zero_in_pct = pct !zero_in;
+    zero_out_pct = pct !zero_out;
+    triangles = Triangles.count g;
+    components;
+    diameter;
+    size_bytes = Graph_io.size_bytes g;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "V=%d E=%d Symm=%.2f%% ZeroIn=%.2f%% ZeroOut=%.2f%% Tri=%d CC=%d Diam=%a Size=%dB"
+    t.vertices t.edges t.symmetry_pct t.zero_in_pct t.zero_out_pct t.triangles t.components
+    Diameter.pp t.diameter t.size_bytes

@@ -1,0 +1,39 @@
+type t = Finite of int | Infinite
+
+let pp ppf = function
+  | Finite d -> Format.fprintf ppf "%d" d
+  | Infinite -> Format.pp_print_string ppf "∞"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let connected g = Components.weak_count g <= 1
+
+let exact g =
+  if not (connected g) then Infinite
+  else begin
+    let n = Graph.num_vertices g in
+    let best = ref 0 in
+    for v = 0 to n - 1 do
+      best := max !best (Bfs.eccentricity ~undirected:true g v)
+    done;
+    Finite !best
+  end
+
+let estimate ?(sweeps = 4) ?(seed = 42L) g =
+  if not (connected g) then Infinite
+  else begin
+    let n = Graph.num_vertices g in
+    if n = 0 then Finite 0
+    else begin
+      let rng = Cutfit_prng.Xoshiro.create seed in
+      let best = ref 0 in
+      for _ = 1 to sweeps do
+        let start = Cutfit_prng.Xoshiro.next_int rng n in
+        (* Double sweep: BFS to the farthest vertex, then BFS from it. *)
+        let far, _ = Bfs.farthest ~undirected:true g start in
+        let _, d = Bfs.farthest ~undirected:true g far in
+        best := max !best d
+      done;
+      Finite !best
+    end
+  end

@@ -1,0 +1,44 @@
+(** Growable edge buffer.
+
+    The mutable builder for directed graphs: generators append edges
+    here, then the list is cleaned (dedup, self-loop removal,
+    symmetrization) and frozen into a {!Graph.t}. Edges are pairs of
+    dense vertex ids in [\[0, n)]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty buffer. [capacity] is the initial allocation. *)
+
+val length : t -> int
+(** Number of edges currently stored. *)
+
+val add : t -> src:int -> dst:int -> unit
+(** Append one directed edge. Amortized O(1). *)
+
+val src : t -> int -> int
+(** [src t i] is the source of the [i]-th edge. *)
+
+val dst : t -> int -> int
+(** [dst t i] is the destination of the [i]-th edge. *)
+
+val iter : t -> (src:int -> dst:int -> unit) -> unit
+(** Iterate over edges in insertion order. *)
+
+val of_list : (int * int) list -> t
+(** Buffer holding the given [(src, dst)] pairs. *)
+
+val to_arrays : t -> int array * int array
+(** Trimmed copies of the source and destination arrays. *)
+
+val sort : t -> unit
+(** Sort edges in place by [(src, dst)] lexicographically. *)
+
+val dedup : ?drop_self_loops:bool -> t -> t
+(** [dedup t] is a new buffer with duplicate edges removed (and
+    self-loops dropped when [drop_self_loops], default [true]).
+    Sorts the input as a side effect. *)
+
+val symmetrize : t -> t
+(** [symmetrize t] is a new buffer containing each edge of [t] in both
+    directions, deduplicated, without self-loops. *)

@@ -1,0 +1,114 @@
+type t = {
+  n : int;
+  src : int array;
+  dst : int array;
+  out_off : int array;
+  out_adj : int array;
+  in_off : int array;
+  in_adj : int array;
+}
+
+(* Build one direction of CSR adjacency with a counting sort, then sort
+   each bucket so membership tests can binary-search. *)
+let build_csr n keys values =
+  let m = Array.length keys in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to m - 1 do
+    off.(keys.(i) + 1) <- off.(keys.(i) + 1) + 1
+  done;
+  for v = 1 to n do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let adj = Array.make m 0 in
+  let cursor = Array.copy off in
+  for i = 0 to m - 1 do
+    let k = keys.(i) in
+    adj.(cursor.(k)) <- values.(i);
+    cursor.(k) <- cursor.(k) + 1
+  done;
+  for v = 0 to n - 1 do
+    let lo = off.(v) and hi = off.(v + 1) in
+    if hi - lo > 1 then begin
+      let slice = Array.sub adj lo (hi - lo) in
+      Array.sort compare slice;
+      Array.blit slice 0 adj lo (hi - lo)
+    end
+  done;
+  (off, adj)
+
+let create ~n ~src ~dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg "Graph.create: src/dst length mismatch";
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  Array.iter (fun v -> if v < 0 || v >= n then invalid_arg "Graph.create: src out of range") src;
+  Array.iter (fun v -> if v < 0 || v >= n then invalid_arg "Graph.create: dst out of range") dst;
+  let out_off, out_adj = build_csr n src dst in
+  let in_off, in_adj = build_csr n dst src in
+  { n; src; dst; out_off; out_adj; in_off; in_adj }
+
+let of_edge_list ~n el =
+  let src, dst = Edge_list.to_arrays el in
+  create ~n ~src ~dst
+
+let num_vertices t = t.n
+let num_edges t = Array.length t.src
+let edge_src t i = t.src.(i)
+let edge_dst t i = t.dst.(i)
+let src_array t = t.src
+let dst_array t = t.dst
+let out_degree t v = t.out_off.(v + 1) - t.out_off.(v)
+let in_degree t v = t.in_off.(v + 1) - t.in_off.(v)
+
+let iter_out t v f =
+  for i = t.out_off.(v) to t.out_off.(v + 1) - 1 do
+    f t.out_adj.(i)
+  done
+
+let iter_in t v f =
+  for i = t.in_off.(v) to t.in_off.(v + 1) - 1 do
+    f t.in_adj.(i)
+  done
+
+let fold_out t v f init =
+  let acc = ref init in
+  iter_out t v (fun u -> acc := f !acc u);
+  !acc
+
+let fold_in t v f init =
+  let acc = ref init in
+  iter_in t v (fun u -> acc := f !acc u);
+  !acc
+
+let out_neighbors t v = Array.sub t.out_adj t.out_off.(v) (out_degree t v)
+let in_neighbors t v = Array.sub t.in_adj t.in_off.(v) (in_degree t v)
+
+let has_edge t ~src ~dst =
+  let lo = ref t.out_off.(src) and hi = ref (t.out_off.(src + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = t.out_adj.(mid) in
+    if x = dst then found := true else if x < dst then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let iter_edges t f =
+  for i = 0 to num_edges t - 1 do
+    f ~src:t.src.(i) ~dst:t.dst.(i)
+  done
+
+let symmetrize t =
+  let el = Edge_list.create ~capacity:(max 1 (num_edges t)) () in
+  iter_edges t (fun ~src ~dst -> Edge_list.add el ~src ~dst);
+  of_edge_list ~n:t.n (Edge_list.symmetrize el)
+
+let is_symmetric t =
+  let ok = ref true in
+  (try
+     iter_edges t (fun ~src ~dst ->
+         if src <> dst && not (has_edge t ~src:dst ~dst:src) then begin
+           ok := false;
+           raise Exit
+         end)
+   with Exit -> ());
+  !ok

@@ -1,0 +1,65 @@
+(** Immutable directed graph in compressed sparse row form.
+
+    The shared substrate for partitioners, the BSP engine and the
+    analytics algorithms. Vertices are dense ids in [\[0, n)]; edges are
+    stored both as flat [(src, dst)] arrays (what the vertex-cut
+    partitioners consume) and as forward/reverse CSR adjacency (what the
+    graph algorithms consume). Adjacency lists are sorted, enabling
+    O(log d) membership tests. *)
+
+type t
+
+val create : n:int -> src:int array -> dst:int array -> t
+(** [create ~n ~src ~dst] freezes the given edge arrays into a graph
+    with [n] vertices. The arrays must have equal length and every
+    endpoint must lie in [\[0, n)].
+    @raise Invalid_argument otherwise. *)
+
+val of_edge_list : n:int -> Edge_list.t -> t
+(** Freeze a builder buffer. *)
+
+val num_vertices : t -> int
+val num_edges : t -> int
+
+val edge_src : t -> int -> int
+(** Source of the [i]-th edge (build order). *)
+
+val edge_dst : t -> int -> int
+(** Destination of the [i]-th edge. *)
+
+val src_array : t -> int array
+(** The underlying source array; do not mutate. *)
+
+val dst_array : t -> int array
+(** The underlying destination array; do not mutate. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val iter_out : t -> int -> (int -> unit) -> unit
+(** [iter_out g v f] applies [f] to every out-neighbour of [v]
+    (ascending order, duplicates preserved). *)
+
+val iter_in : t -> int -> (int -> unit) -> unit
+(** Same for in-neighbours. *)
+
+val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val fold_in : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val out_neighbors : t -> int -> int array
+(** Fresh sorted array of out-neighbours of [v]. *)
+
+val in_neighbors : t -> int -> int array
+
+val has_edge : t -> src:int -> dst:int -> bool
+(** O(log out_degree src) membership test. *)
+
+val iter_edges : t -> (src:int -> dst:int -> unit) -> unit
+(** Iterate over all edges in build order. *)
+
+val symmetrize : t -> t
+(** [symmetrize g] is the undirected view of [g]: every edge present in
+    both directions, deduplicated, self-loops removed. *)
+
+val is_symmetric : t -> bool
+(** Whether every edge is reciprocated. *)

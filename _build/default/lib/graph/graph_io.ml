@@ -1,0 +1,62 @@
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Graph.iter_edges g (fun ~src ~dst ->
+          Buffer.add_string buf (string_of_int src);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int dst);
+          Buffer.add_char buf '\n';
+          if Buffer.length buf > 60000 then begin
+            Buffer.output_buffer oc buf;
+            Buffer.clear buf
+          end);
+      Buffer.output_buffer oc buf)
+
+let parse_line line lineno =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.split_on_char '\t' line with
+    | [ a; b ] -> Some (int_of_string a, int_of_string b)
+    | _ -> (
+        match String.split_on_char ' ' (String.concat " " (String.split_on_char '\t' line)) with
+        | a :: rest -> (
+            match List.filter (fun s -> s <> "") rest with
+            | [ b ] -> (
+                try Some (int_of_string a, int_of_string b)
+                with Failure _ -> failwith (Printf.sprintf "Graph_io.load: bad line %d" lineno))
+            | _ -> failwith (Printf.sprintf "Graph_io.load: bad line %d" lineno))
+        | [] -> None)
+
+let load ?n path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let el = Edge_list.create () in
+      let max_id = ref (-1) in
+      let lineno = ref 0 in
+      (try
+         while true do
+           incr lineno;
+           let line = input_line ic in
+           match parse_line line !lineno with
+           | None -> ()
+           | Some (s, d) ->
+               Edge_list.add el ~src:s ~dst:d;
+               if s > !max_id then max_id := s;
+               if d > !max_id then max_id := d
+         done
+       with End_of_file -> ());
+      let n = match n with Some n -> n | None -> !max_id + 1 in
+      Graph.of_edge_list ~n el)
+
+let digits v = if v = 0 then 1 else int_of_float (log10 (float_of_int v)) + 1
+
+let size_bytes g =
+  let total = ref 0 in
+  Graph.iter_edges g (fun ~src ~dst -> total := !total + digits src + digits dst + 2);
+  !total

@@ -1,0 +1,1 @@
+lib/partition/hashing.ml: Cutfit_prng Int32 Int64

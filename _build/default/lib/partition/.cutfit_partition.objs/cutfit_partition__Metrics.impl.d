@@ -1,0 +1,1 @@
+lib/partition/metrics.ml: Array Cutfit_graph Cutfit_stats Format

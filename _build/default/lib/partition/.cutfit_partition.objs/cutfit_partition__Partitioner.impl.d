@@ -1,0 +1,1 @@
+lib/partition/partitioner.ml: Array Cutfit_graph Format List Strategy Streaming

@@ -1,0 +1,1 @@
+lib/partition/partitioner.mli: Cutfit_graph Format Strategy Streaming

@@ -1,0 +1,1 @@
+lib/partition/replication_model.ml: Cutfit_graph Float List Strategy

@@ -1,0 +1,1 @@
+lib/partition/replication_model.mli: Cutfit_graph Strategy

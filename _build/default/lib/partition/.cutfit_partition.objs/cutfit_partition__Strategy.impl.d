@@ -1,0 +1,1 @@
+lib/partition/strategy.ml: Format Hashing String

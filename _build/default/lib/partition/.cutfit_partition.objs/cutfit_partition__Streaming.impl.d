@@ -1,0 +1,1 @@
+lib/partition/streaming.ml: Array Cutfit_graph Format Fun Hashing List Printf String

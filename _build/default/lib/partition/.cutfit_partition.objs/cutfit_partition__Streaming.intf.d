@@ -1,0 +1,1 @@
+lib/partition/streaming.mli: Cutfit_graph Format

@@ -1,0 +1,17 @@
+(** Hash functions for the vertex-cut partitioners.
+
+    Faithful to GraphX: a vertex id is mixed as
+    [abs((v * 1125899906842597L).hashCode)] where Long.hashCode XORs the
+    upper and lower 32 bits. This is deliberately not a full-avalanche
+    hash — its residual structure is part of the behaviour the paper
+    measures (1D tracking SC on hub-heavy graphs). *)
+
+val mix : int -> int
+(** [mix v] is a non-negative avalanche-mixed image of [v]. *)
+
+val hash1 : int -> num_partitions:int -> int
+(** Partition index from one vertex id (the 1D partitioner's hash). *)
+
+val hash2 : int -> int -> num_partitions:int -> int
+(** Partition index from an ordered vertex pair (the RVC hash). The
+    order of arguments matters: [hash2 u v <> hash2 v u] in general. *)

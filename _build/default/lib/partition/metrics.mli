@@ -1,0 +1,55 @@
+(** Partitioning characterization metrics (paper §3.1, Tables 2–3).
+
+    Given an edge-to-partition assignment, a vertex is {e present} in
+    every partition that holds at least one of its edges — GraphX
+    reconstructs a local vertex table per edge partition. From the
+    presence relation the paper derives:
+
+    - {b Balance}: edges in the biggest partition over the mean.
+    - {b NonCut}: vertices present in exactly one partition.
+    - {b Cut}: vertices present in more than one partition.
+    - {b CommCost}: total presence count over cut vertices — the number
+      of replica synchronisation messages per BSP superstep.
+    - {b PartStDev}: standard deviation of edges per partition. *)
+
+type t = {
+  num_partitions : int;
+  edges_per_partition : int array;
+  vertices_per_partition : int array;
+  balance : float;
+  non_cut : int;
+  cut : int;
+  comm_cost : int;
+  part_stdev : float;
+  replication_factor : float;  (** mean replicas per (non-isolated) vertex *)
+  vertices_to_same : int;
+      (** vertex copies collocated with their (identity-hash) master
+          partition — synchronized locally *)
+  vertices_to_other : int;
+      (** vertex copies living away from their master — each one is a
+          shipped state update. The paper's section 3.1 identity holds:
+          [comm_cost + non_cut = vertices_to_same + vertices_to_other]. *)
+}
+
+val compute : Cutfit_graph.Graph.t -> num_partitions:int -> int array -> t
+(** [compute g ~num_partitions assignment] with [assignment] as produced
+    by {!Partitioner.assign}. O(E + V * num_partitions / 64).
+    @raise Invalid_argument on a malformed assignment. *)
+
+val replica_count : Cutfit_graph.Graph.t -> num_partitions:int -> int array -> int array
+(** Per-vertex number of partitions the vertex is present in (0 for
+    isolated vertices). *)
+
+val metric_value : t -> string -> float
+(** Look up a metric by its paper name ("Balance", "NonCut", "Cut",
+    "CommCost", "PartStDev"); used by the correlation harness.
+    @raise Invalid_argument on an unknown name. *)
+
+val metric_names : string list
+(** The five paper metrics, in Tables 2–3 column order. *)
+
+val extended_metric_names : string list
+(** The five paper metrics plus VtxToSame, VtxToOther and Replication. *)
+
+val pp : Format.formatter -> t -> unit
+(** One row in Table 2/3 column order. *)

@@ -1,0 +1,47 @@
+module Graph = Cutfit_graph.Graph
+
+type t =
+  | Hash of Strategy.t
+  | Stream of Streaming.t
+  | Custom of string * (num_partitions:int -> Graph.t -> int array)
+
+let paper_six = List.map (fun s -> Hash s) Strategy.all
+let streaming_baselines =
+  [ Stream Streaming.Dbh; Stream Streaming.Greedy; Stream (Streaming.Hdrf 1.0);
+    Stream (Streaming.Hybrid 100) ]
+
+let name = function
+  | Hash s -> Strategy.to_string s
+  | Stream s -> Streaming.to_string s
+  | Custom (n, _) -> n
+
+let of_string s =
+  match Strategy.of_string s with
+  | Some st -> Some (Hash st)
+  | None -> ( match Streaming.of_string s with Some st -> Some (Stream st) | None -> None)
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let assign t ~num_partitions g =
+  if num_partitions <= 0 then invalid_arg "Partitioner.assign: num_partitions <= 0";
+  match t with
+  | Hash strategy ->
+      let m = Graph.num_edges g in
+      let out = Array.make m 0 in
+      for i = 0 to m - 1 do
+        out.(i) <-
+          Strategy.edge_partition strategy ~num_partitions ~src:(Graph.edge_src g i)
+            ~dst:(Graph.edge_dst g i)
+      done;
+      out
+  | Stream s -> Streaming.assign s ~num_partitions g
+  | Custom (_, f) ->
+      let out = f ~num_partitions g in
+      if Array.length out <> Graph.num_edges g then
+        invalid_arg "Partitioner.assign: custom partitioner returned wrong length";
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= num_partitions then
+            invalid_arg "Partitioner.assign: custom partition out of range")
+        out;
+      out

@@ -1,0 +1,30 @@
+(** Unified partitioner interface.
+
+    A partitioner is anything that maps each edge of a graph to one of N
+    partitions: the paper's six hash/modulo strategies, the streaming
+    extensions, or a user-provided function. *)
+
+type t =
+  | Hash of Strategy.t  (** one of the paper's six strategies *)
+  | Stream of Streaming.t  (** a streaming extension baseline *)
+  | Custom of string * (num_partitions:int -> Cutfit_graph.Graph.t -> int array)
+      (** named user-defined assignment *)
+
+val paper_six : t list
+(** [Hash] wrappers of {!Strategy.all}. *)
+
+val streaming_baselines : t list
+(** DBH, Greedy, HDRF(1.0) and Hybrid(100). *)
+
+val name : t -> string
+
+val of_string : string -> t option
+(** Parses both paper abbreviations and streaming names. *)
+
+val pp : Format.formatter -> t -> unit
+
+val assign : t -> num_partitions:int -> Cutfit_graph.Graph.t -> int array
+(** [assign t ~num_partitions g] returns the partition of every edge
+    index. The result always has length [Graph.num_edges g] and values
+    in [\[0, num_partitions)]. @raise Invalid_argument if
+    [num_partitions <= 0]. *)

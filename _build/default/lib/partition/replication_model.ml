@@ -1,0 +1,82 @@
+module Graph = Cutfit_graph.Graph
+
+let expected_replicas ~degree ~targets =
+  if targets <= 0 then invalid_arg "Replication_model.expected_replicas: targets <= 0";
+  if degree <= 0 then 0.0
+  else begin
+    let t = float_of_int targets in
+    t *. (1.0 -. (((t -. 1.0) /. t) ** float_of_int degree))
+  end
+
+let ceil_sqrt n =
+  let r = int_of_float (sqrt (float_of_int n)) in
+  if r * r >= n then r else r + 1
+
+(* Per-vertex expected presence under each strategy. A vertex appears
+   once per distinct partition its incident edges land in; the models
+   differ in how many independent targets each incidence can hit. *)
+let per_vertex_replicas strategy ~num_partitions g v =
+  let dout = Graph.out_degree g v and din = Graph.in_degree g v in
+  let d = dout + din in
+  if d = 0 then 0.0
+  else begin
+    match strategy with
+    | Strategy.Rvc | Strategy.Crvc ->
+        (* Every incidence is an independent uniform draw. CRVC merges
+           reciprocated pairs, which only lowers the effective degree;
+           we ignore that second-order effect. *)
+        expected_replicas ~degree:d ~targets:num_partitions
+    | Strategy.One_d | Strategy.Sc ->
+        (* All out-edges collapse into one partition; in-edges scatter
+           by the (hashed or raw) source of the other endpoint. *)
+        let scatter = expected_replicas ~degree:din ~targets:num_partitions in
+        if dout > 0 then begin
+          (* The out-partition may coincide with one of the scattered
+             in-partitions with probability ~ covered/num_partitions. *)
+          let p = float_of_int num_partitions in
+          scatter +. 1.0 -. (scatter /. p)
+        end
+        else scatter
+    | Strategy.Dc ->
+        let scatter = expected_replicas ~degree:dout ~targets:num_partitions in
+        if din > 0 then begin
+          let p = float_of_int num_partitions in
+          scatter +. 1.0 -. (scatter /. p)
+        end
+        else scatter
+    | Strategy.Two_d ->
+        (* The vertex's out-edges stay inside one column (sqrt p cells)
+           and its in-edges inside one row. *)
+        let side = ceil_sqrt num_partitions in
+        let col = expected_replicas ~degree:dout ~targets:side in
+        let row = expected_replicas ~degree:din ~targets:side in
+        Float.min (col +. row) (float_of_int num_partitions)
+  end
+
+let totals strategy ~num_partitions g =
+  let n = Graph.num_vertices g in
+  let total = ref 0.0 and singletons = ref 0.0 and present = ref 0 in
+  for v = 0 to n - 1 do
+    let r = per_vertex_replicas strategy ~num_partitions g v in
+    if r > 0.0 then begin
+      incr present;
+      total := !total +. r;
+      (* P(all incidences in one partition) ~ exp model: a vertex is a
+         singleton when the expected replica count stays ~1. *)
+      if r <= 1.0 +. 1e-9 then singletons := !singletons +. 1.0
+    end
+  done;
+  (!total, !singletons, !present)
+
+let predict_comm_cost strategy ~num_partitions g =
+  let total, singletons, _ = totals strategy ~num_partitions g in
+  Float.max 0.0 (total -. singletons)
+
+let predict_replication_factor strategy ~num_partitions g =
+  let total, _, present = totals strategy ~num_partitions g in
+  if present = 0 then 0.0 else total /. float_of_int present
+
+let rank_strategies ~num_partitions g =
+  Strategy.all
+  |> List.map (fun s -> (s, predict_comm_cost s ~num_partitions g))
+  |> List.sort (fun (_, a) (_, b) -> compare a b)

@@ -1,0 +1,37 @@
+(** Analytic replication model for hash-family vertex cuts.
+
+    For a partitioner that places each edge independently and uniformly
+    at random over [p] targets (RVC/CRVC in the limit), a vertex of
+    degree [d] is expected to be present in
+
+    [E(replicas) = p * (1 - (1 - 1/p)^d)]
+
+    partitions — the standard balls-in-bins bound used by PowerGraph
+    and the partitioning-comparison literature the paper builds on. For
+    2D the same formula applies with the per-endpoint target count
+    [ceil(sqrt p)], and for 1D/SC/DC each vertex's out- (or in-) edges
+    collapse into a single target while the opposite side scatters.
+
+    These closed forms let the advisor estimate CommCost without
+    materializing a partitioning — an O(V) prediction instead of an
+    O(E) pass per candidate. Predictions are exact in expectation for
+    the random cuts and upper-bound approximations for the modulo cuts
+    (which is what the property tests check). *)
+
+val expected_replicas : degree:int -> targets:int -> float
+(** [expected_replicas ~degree ~targets] is [t * (1 - (1 - 1/t)^d)];
+    0 for degree 0. @raise Invalid_argument if [targets <= 0]. *)
+
+val predict_comm_cost :
+  Strategy.t -> num_partitions:int -> Cutfit_graph.Graph.t -> float
+(** Expected CommCost (total replicas of cut vertices, approximated by
+    total expected replicas minus expected non-cut singletons) for a
+    strategy on a graph. O(V). *)
+
+val predict_replication_factor :
+  Strategy.t -> num_partitions:int -> Cutfit_graph.Graph.t -> float
+(** Expected mean replicas per non-isolated vertex. *)
+
+val rank_strategies :
+  num_partitions:int -> Cutfit_graph.Graph.t -> (Strategy.t * float) list
+(** All six strategies ordered by predicted CommCost, cheapest first. *)

@@ -1,0 +1,36 @@
+(** The six hash/modulo vertex-cut strategies evaluated in the paper.
+
+    Four ship with GraphX:
+    - {b RVC} (Random Vertex Cut): hash of the ordered (src, dst) pair;
+      collocates all same-direction parallel edges.
+    - {b 1D} (Edge Partition 1D): hash of the source id; collocates every
+      edge leaving a vertex.
+    - {b 2D} (Edge Partition 2D): grid of ceil(sqrt N) columns by source
+      hash and rows by destination hash; bounds vertex replication by
+      2*sqrt(N).
+    - {b CRVC} (Canonical Random Vertex Cut): hash of the unordered pair;
+      collocates the two directions of a reciprocated edge.
+
+    Two are the paper's proposals, dropping the hash to expose any
+    locality carried by raw vertex ids:
+    - {b SC} (Source Cut): source id modulo N.
+    - {b DC} (Destination Cut): destination id modulo N. *)
+
+type t = Rvc | One_d | Two_d | Crvc | Sc | Dc
+
+val all : t list
+(** In the paper's presentation order: RVC, 1D, 2D, CRVC, SC, DC. *)
+
+val to_string : t -> string
+(** Paper abbreviation: "RVC", "1D", "2D", "CRVC", "SC", "DC". *)
+
+val of_string : string -> t option
+(** Case-insensitive inverse of {!to_string}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val edge_partition : t -> num_partitions:int -> src:int -> dst:int -> int
+(** Partition index for one edge; pure, so an edge's placement never
+    depends on the rest of the graph (the defining property of the
+    hash-family strategies). @raise Invalid_argument if
+    [num_partitions <= 0] or an endpoint id is negative. *)

@@ -1,0 +1,129 @@
+module Graph = Cutfit_graph.Graph
+
+type t = Dbh | Greedy | Hdrf of float | Hybrid of int
+
+let to_string = function
+  | Dbh -> "DBH"
+  | Greedy -> "Greedy"
+  | Hdrf lambda -> Printf.sprintf "HDRF(%.2g)" lambda
+  | Hybrid threshold -> Printf.sprintf "Hybrid(%d)" threshold
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "dbh" -> Some Dbh
+  | "greedy" -> Some Greedy
+  | "hdrf" -> Some (Hdrf 1.0)
+  | "hybrid" -> Some (Hybrid 100)
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Shared streaming state: which partitions each vertex already touches
+   and how loaded each partition is. Replica lists stay tiny (bounded by
+   the replication factor), so linear scans beat sets here. *)
+type state = {
+  replicas : int list array;  (* vertex -> partitions seen so far *)
+  load : int array;  (* partition -> edges placed *)
+  degree : int array;  (* running (streamed) degree per vertex *)
+}
+
+let make_state n num_partitions =
+  { replicas = Array.make n []; load = Array.make num_partitions 0; degree = Array.make n 0 }
+
+let has_replica st v p = List.mem p st.replicas.(v)
+
+let place st v p = if not (has_replica st v p) then st.replicas.(v) <- p :: st.replicas.(v)
+
+let record st ~src ~dst p =
+  place st src p;
+  place st dst p;
+  st.load.(p) <- st.load.(p) + 1;
+  st.degree.(src) <- st.degree.(src) + 1;
+  st.degree.(dst) <- st.degree.(dst) + 1
+
+let least_loaded st candidates =
+  match candidates with
+  | [] -> invalid_arg "Streaming.least_loaded: no candidates"
+  | first :: rest ->
+      List.fold_left (fun best p -> if st.load.(p) < st.load.(best) then p else best) first rest
+
+let intersect a b = List.filter (fun p -> List.mem p b) a
+
+let greedy_choice st ~src ~dst ~num_partitions =
+  (* PowerGraph's rules: both endpoints share a partition -> use it;
+     one endpoint placed -> follow it; otherwise least loaded overall. *)
+  let rs = st.replicas.(src) and rd = st.replicas.(dst) in
+  match (rs, rd) with
+  | [], [] -> least_loaded st (List.init num_partitions Fun.id)
+  | [], _ -> least_loaded st rd
+  | _, [] -> least_loaded st rs
+  | _, _ -> (
+      match intersect rs rd with
+      | [] -> least_loaded st (rs @ rd)
+      | common -> least_loaded st common)
+
+let hdrf_choice st ~lambda ~src ~dst ~num_partitions =
+  (* Petroni et al. (2015): score(p) = C_rep(p) + lambda * C_bal(p).
+     The replication term prefers partitions already holding the
+     endpoint with the lower partial degree, so high-degree vertices
+     get replicated first. *)
+  let d_src = float_of_int (st.degree.(src) + 1) and d_dst = float_of_int (st.degree.(dst) + 1) in
+  let theta_src = d_src /. (d_src +. d_dst) in
+  let theta_dst = 1.0 -. theta_src in
+  let max_load = Array.fold_left max 0 st.load and min_load = Array.fold_left min max_int st.load in
+  let spread = float_of_int (max_load - min_load) +. 1.0 in
+  let score p =
+    let g v theta = if has_replica st v p then 1.0 +. (1.0 -. theta) else 0.0 in
+    let c_rep = g src theta_src +. g dst theta_dst in
+    let c_bal = lambda *. (float_of_int (max_load - st.load.(p)) /. spread) in
+    c_rep +. c_bal
+  in
+  let best = ref 0 and best_score = ref neg_infinity in
+  for p = 0 to num_partitions - 1 do
+    let s = score p in
+    if s > !best_score then begin
+      best := p;
+      best_score := s
+    end
+  done;
+  !best
+
+let assign t ~num_partitions g =
+  if num_partitions <= 0 then invalid_arg "Streaming.assign: num_partitions <= 0";
+  let n = Graph.num_vertices g and m = Graph.num_edges g in
+  let out = Array.make m 0 in
+  (match t with
+  | Hybrid threshold ->
+      (* PowerLyra's hybrid-cut: edges into a low-in-degree vertex are
+         grouped by destination (locality for the many cheap vertices);
+         edges into high-in-degree hubs are spread by source so no
+         single partition absorbs a hub's whole in-neighbourhood. *)
+      for i = 0 to m - 1 do
+        let src = Graph.edge_src g i and dst = Graph.edge_dst g i in
+        let key = if Graph.in_degree g dst <= threshold then dst else src in
+        out.(i) <- Hashing.hash1 key ~num_partitions
+      done
+  | Dbh ->
+      for i = 0 to m - 1 do
+        let src = Graph.edge_src g i and dst = Graph.edge_dst g i in
+        let total_deg v = Graph.out_degree g v + Graph.in_degree g v in
+        let key = if total_deg src <= total_deg dst then src else dst in
+        out.(i) <- Hashing.hash1 key ~num_partitions
+      done
+  | Greedy ->
+      let st = make_state n num_partitions in
+      for i = 0 to m - 1 do
+        let src = Graph.edge_src g i and dst = Graph.edge_dst g i in
+        let p = greedy_choice st ~src ~dst ~num_partitions in
+        record st ~src ~dst p;
+        out.(i) <- p
+      done
+  | Hdrf lambda ->
+      let st = make_state n num_partitions in
+      for i = 0 to m - 1 do
+        let src = Graph.edge_src g i and dst = Graph.edge_dst g i in
+        let p = hdrf_choice st ~lambda ~src ~dst ~num_partitions in
+        record st ~src ~dst p;
+        out.(i) <- p
+      done);
+  out

@@ -1,0 +1,28 @@
+(** Streaming vertex-cut partitioners (extension baselines).
+
+    The paper's related-work section points at streaming partitioning
+    (Fennel, Stanton–Kliot) as the state of the art beyond hash
+    families. These three classic vertex-cut streaming algorithms are
+    implemented as ablation baselines for the A1 experiment:
+
+    - {b DBH} (degree-based hashing): hash each edge by its
+      lower-degree endpoint, so hub vertices are the ones replicated.
+    - {b Greedy} (PowerGraph): place each edge where its endpoints
+      already live, tie-breaking toward the least loaded partition.
+    - {b HDRF} (high-degree replicated first): greedy with a degree-
+      aware score; the [lambda] parameter trades replication for
+      balance.
+    - {b Hybrid} (PowerLyra's hybrid-cut): destination-grouped placement
+      for low-in-degree vertices, source-hashed spreading for hubs; the
+      threshold is the in-degree at which a vertex counts as a hub. *)
+
+type t = Dbh | Greedy | Hdrf of float | Hybrid of int
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val assign : t -> num_partitions:int -> Cutfit_graph.Graph.t -> int array
+(** [assign t ~num_partitions g] maps each edge index of [g] to a
+    partition, processing edges in stream (build) order. Deterministic.
+    @raise Invalid_argument if [num_partitions <= 0]. *)

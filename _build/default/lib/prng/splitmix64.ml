@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let mix64 x =
+  let x = Int64.(mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L) in
+  let x = Int64.(mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor x (shift_right_logical x 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let next_float t =
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound <= 0";
+  (* Rejection-free for practical purposes: take the high bits modulo bound.
+     Bias is < bound / 2^62, negligible for the bounds we use (< 2^32). *)
+  let r = Int64.shift_right_logical (next_int64 t) 2 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let next_bool t p = next_float t < p
+
+let split t =
+  let seed = next_int64 t in
+  create (mix64 seed)

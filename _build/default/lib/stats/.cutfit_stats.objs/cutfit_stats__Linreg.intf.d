@@ -1,0 +1,1 @@
+lib/stats/linreg.mli:

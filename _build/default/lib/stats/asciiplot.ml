@@ -1,0 +1,92 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let transform ~log v = if log then log10 v else v
+
+let plottable ~log_x ~log_y (x, y) =
+  (not (Float.is_nan x || Float.is_nan y))
+  && ((not log_x) || x > 0.0)
+  && ((not log_y) || y > 0.0)
+
+let scatter ?(width = 72) ?(height = 20) ?(log_x = false) ?(log_y = false) ?(x_label = "x")
+    ?(y_label = "y") series =
+  let width = max 8 width and height = max 4 height in
+  let all_points =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun p ->
+            if plottable ~log_x ~log_y p then
+              Some (transform ~log:log_x (fst p), transform ~log:log_y (snd p))
+            else None)
+          s.points)
+      series
+  in
+  let buf = Buffer.create 4096 in
+  (match all_points with
+  | [] -> Buffer.add_string buf "(no plottable points)\n"
+  | (x0, y0) :: rest ->
+      let min_x, max_x, min_y, max_y =
+        List.fold_left
+          (fun (a, b, c, d) (x, y) -> (Float.min a x, Float.max b x, Float.min c y, Float.max d y))
+          (x0, x0, y0, y0) rest
+      in
+      let span v lo hi = if hi = lo then 0.5 else (v -. lo) /. (hi -. lo) in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun p ->
+              if plottable ~log_x ~log_y p then begin
+                let x = transform ~log:log_x (fst p) and y = transform ~log:log_y (snd p) in
+                let cx =
+                  min (width - 1) (int_of_float (span x min_x max_x *. float_of_int (width - 1)))
+                in
+                let cy =
+                  min (height - 1)
+                    (int_of_float (span y min_y max_y *. float_of_int (height - 1)))
+                in
+                let row = height - 1 - cy in
+                grid.(row).(cx) <- (if grid.(row).(cx) = ' ' then s.glyph else '*')
+              end)
+            s.points)
+        series;
+      let fmt v ~log = if log then Printf.sprintf "1e%.1f" v else Printf.sprintf "%.3g" v in
+      let y_hi = fmt max_y ~log:log_y and y_lo = fmt min_y ~log:log_y in
+      let margin = max (String.length y_hi) (String.length y_lo) in
+      let pad s = String.make (margin - String.length s) ' ' ^ s in
+      Array.iteri
+        (fun i row ->
+          let label =
+            if i = 0 then pad y_hi
+            else if i = height - 1 then pad y_lo
+            else String.make margin ' '
+          in
+          Buffer.add_string buf label;
+          Buffer.add_string buf " |";
+          Buffer.add_string buf (String.init width (fun j -> row.(j)));
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf (String.make margin ' ');
+      Buffer.add_string buf " +";
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      let x_lo = fmt min_x ~log:log_x and x_hi = fmt max_x ~log:log_x in
+      let gap = max 1 (width - String.length x_lo - String.length x_hi) in
+      Buffer.add_string buf (String.make (margin + 2) ' ');
+      Buffer.add_string buf x_lo;
+      Buffer.add_string buf (String.make gap ' ');
+      Buffer.add_string buf x_hi;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "%s vs %s%s@glyphs: " y_label x_label
+           (if log_x || log_y then " (log scale)" else ""));
+      List.iter
+        (fun s ->
+          let has =
+            List.exists (fun p -> plottable ~log_x ~log_y p) s.points
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%c=%s%s " s.glyph s.label (if has then "" else "(no points)")))
+        series;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

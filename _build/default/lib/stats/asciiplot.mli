@@ -1,0 +1,23 @@
+(** Terminal scatter plots.
+
+    Minimal plotting for the experiment harness: Figures 3–6 of the
+    paper are log-log scatters of execution time against a partitioning
+    metric; this renders them in a terminal grid with one glyph per
+    series (dataset) and a legend. *)
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Render a scatter of all series into a [width] x [height] character
+    grid (defaults 72 x 20) with min/max tick labels and a legend.
+    Non-positive values are dropped when the corresponding axis is
+    logarithmic; series without plottable points are listed in the
+    legend as "(no points)". Returns the multi-line string. *)

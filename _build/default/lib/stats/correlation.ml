@@ -1,0 +1,48 @@
+let check xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Correlation: length mismatch";
+  if Array.length xs < 2 then invalid_arg "Correlation: need at least 2 points"
+
+let pearson xs ys =
+  check xs ys;
+  let n = float_of_int (Array.length xs) in
+  let mx = Array.fold_left ( +. ) 0.0 xs /. n and my = Array.fold_left ( +. ) 0.0 ys /. n in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0
+  else begin
+    (* Clamp the rounding residue so callers can rely on [-1, 1]. *)
+    let c = !sxy /. sqrt (!sxx *. !syy) in
+    Float.min 1.0 (Float.max (-1.0) c)
+  end
+
+(* Average ranks so tied values do not bias the coefficient. *)
+let ranks xs =
+  let n = Array.length xs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let rank = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(idx.(!j + 1)) = xs.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do
+      rank.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  rank
+
+let spearman xs ys =
+  check xs ys;
+  pearson (ranks xs) (ranks ys)
+
+let pearson_pct xs ys = 100.0 *. pearson xs ys

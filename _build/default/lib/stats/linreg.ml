@@ -1,0 +1,24 @@
+type t = { slope : float; intercept : float; r2 : float }
+
+let fit xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Linreg.fit: length mismatch";
+  if Array.length xs < 2 then invalid_arg "Linreg.fit: need at least 2 points";
+  let n = float_of_int (Array.length xs) in
+  let mx = Array.fold_left ( +. ) 0.0 xs /. n and my = Array.fold_left ( +. ) 0.0 ys /. n in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    xs;
+  if !sxx = 0.0 then { slope = 0.0; intercept = my; r2 = 0.0 }
+  else begin
+    let slope = !sxy /. !sxx in
+    let intercept = my -. (slope *. mx) in
+    let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+    { slope; intercept; r2 }
+  end
+
+let predict t x = (t.slope *. x) +. t.intercept

@@ -1,0 +1,14 @@
+(** Ordinary least-squares line fit.
+
+    Used to overlay trend lines on the time-vs-metric scatter data of
+    Figures 3–6 and to report goodness of fit alongside the correlation
+    coefficient. *)
+
+type t = { slope : float; intercept : float; r2 : float }
+
+val fit : float array -> float array -> t
+(** [fit xs ys] fits [y = slope * x + intercept].
+    @raise Invalid_argument on length mismatch or fewer than 2 points;
+    a vertical (constant-x) sample yields slope 0 through the mean. *)
+
+val predict : t -> float -> float

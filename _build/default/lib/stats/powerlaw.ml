@@ -1,0 +1,37 @@
+type fit = { alpha : float; x_min : int; tail_fraction : float }
+
+let fit_alpha ?(x_min = 2) values =
+  if x_min < 1 then invalid_arg "Powerlaw.fit_alpha: x_min < 1";
+  let n_total = Array.length values in
+  let log_offset = float_of_int x_min -. 0.5 in
+  let n = ref 0 and log_sum = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x >= x_min then begin
+        incr n;
+        log_sum := !log_sum +. log (float_of_int x /. log_offset)
+      end)
+    values;
+  if !n < 10 || !log_sum <= 0.0 then None
+  else
+    Some
+      {
+        alpha = 1.0 +. (float_of_int !n /. !log_sum);
+        x_min;
+        tail_fraction = float_of_int !n /. float_of_int (max 1 n_total);
+      }
+
+let is_heavy_tailed values =
+  (* The tail must exist well past the mode: fit from the 90th
+     percentile of positive values, at least 4. *)
+  let positives = Array.of_list (List.filter (fun x -> x > 0) (Array.to_list values)) in
+  if Array.length positives < 20 then false
+  else begin
+    let sorted = Array.copy positives in
+    Array.sort compare sorted;
+    let p90 = sorted.(9 * (Array.length sorted - 1) / 10) in
+    let x_min = max 4 p90 in
+    match fit_alpha ~x_min positives with
+    | Some f -> f.alpha < 3.5 && f.tail_fraction >= 0.01
+    | None -> false
+  end

@@ -1,0 +1,41 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+  end
+
+let stdev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Summary.min_max: empty sample";
+  Array.fold_left (fun (lo, hi) x -> (min lo x, max hi x)) (xs.(0), xs.(0)) xs
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Summary.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5
+
+type t = { n : int; mean : float; stdev : float; min : float; max : float; median : float }
+
+let describe xs =
+  let lo, hi = min_max xs in
+  { n = Array.length xs; mean = mean xs; stdev = stdev xs; min = lo; max = hi; median = median xs }
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g stdev=%.4g min=%.4g median=%.4g max=%.4g" t.n t.mean t.stdev
+    t.min t.median t.max

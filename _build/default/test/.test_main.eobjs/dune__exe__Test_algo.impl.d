@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Array Cutfit_algo Cutfit_bsp Cutfit_graph Cutfit_partition Fun Hashtbl List Test_util

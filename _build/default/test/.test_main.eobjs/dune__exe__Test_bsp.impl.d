@@ -1,0 +1,1 @@
+test/test_bsp.ml: Alcotest Array Cutfit_algo Cutfit_bsp Cutfit_graph Cutfit_partition Format Fun List String Test_util

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Cutfit_algo Cutfit_bsp Cutfit_experiments Cutfit_graph Cutfit_partition List Test_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Cutfit_bsp Cutfit_experiments Cutfit_gen Cutfit_partition Filename Float Format Fun Lazy List String Sys

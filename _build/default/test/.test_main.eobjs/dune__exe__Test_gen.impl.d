@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Cutfit_gen Cutfit_graph List

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cutfit_graph Filename Fun List Sys Test_util Unix

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_algo Test_bsp Test_core Test_edge_cases Test_experiments Test_gen Test_graph Test_partition Test_prng Test_stats

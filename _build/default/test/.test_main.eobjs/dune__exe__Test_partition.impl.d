@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Cutfit_graph Cutfit_partition List Test_util

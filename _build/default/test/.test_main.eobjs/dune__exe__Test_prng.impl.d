@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Cutfit_prng Fun Hashtbl Int64 Printf QCheck2 Test_util

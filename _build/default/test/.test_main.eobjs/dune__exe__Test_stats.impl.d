@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cutfit_prng Cutfit_stats List Printf QCheck2 String Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Cutfit_bsp Cutfit_graph Cutfit_prng List Printf QCheck2 QCheck_alcotest String

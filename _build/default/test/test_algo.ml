@@ -1,0 +1,195 @@
+module Graph = Cutfit_graph.Graph
+module Strategy = Cutfit_partition.Strategy
+module Partitioner = Cutfit_partition.Partitioner
+module Cluster = Cutfit_bsp.Cluster
+module Pgraph = Cutfit_bsp.Pgraph
+module Trace = Cutfit_bsp.Trace
+module Pagerank = Cutfit_algo.Pagerank
+module Cc = Cutfit_algo.Connected_components
+module Tr = Cutfit_algo.Triangle_count
+module Sssp = Cutfit_algo.Sssp
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let cluster = Test_util.tiny_cluster ()
+let np = cluster.Cluster.num_partitions
+
+let pg_of g =
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np g in
+  Pgraph.build g ~num_partitions:np a
+
+let g = Test_util.random_graph ~seed:99L ~n:150 ~m:900
+let pg = pg_of g
+
+(* --- PageRank --- *)
+
+let test_pagerank_matches_reference () =
+  let r = Pagerank.run ~iterations:10 ~cluster pg in
+  let expected = Pagerank.reference ~iterations:10 g in
+  Array.iteri
+    (fun v rank ->
+      checkb "rank close" true (abs_float (rank -. expected.(v)) < 1e-10))
+    r.Pagerank.ranks
+
+let test_pagerank_sink_keeps_initial () =
+  (* A vertex with no in-edges never receives a message. *)
+  let chain = Test_util.graph_of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let pg = pg_of chain in
+  let r = Pagerank.run ~iterations:5 ~cluster pg in
+  checkb "source stays 1.0" true (abs_float (r.Pagerank.ranks.(0) -. 1.0) < 1e-12)
+
+let test_pagerank_ranks_positive () =
+  let r = Pagerank.run ~cluster pg in
+  Array.iter (fun rank -> checkb ">= 0.15" true (rank >= 0.15 -. 1e-12)) r.Pagerank.ranks
+
+let test_pagerank_hub_outranks_leaf () =
+  (* A star: many vertices point at 0. *)
+  let star = Test_util.graph_of_edges ~n:10 (List.init 9 (fun i -> (i + 1, 0))) in
+  let pg = pg_of star in
+  let r = Pagerank.run ~cluster pg in
+  checkb "center highest" true
+    (Array.for_all (fun x -> r.Pagerank.ranks.(0) >= x) r.Pagerank.ranks)
+
+let prop_pagerank_matches_reference =
+  Test_util.qtest ~count:25 "PR = sequential reference" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      if Graph.num_edges g = 0 then true
+      else begin
+        let pg = pg_of g in
+        let r = Pagerank.run ~iterations:5 ~cluster pg in
+        let expected = Pagerank.reference ~iterations:5 g in
+        Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) r.Pagerank.ranks expected
+      end)
+
+(* --- Connected components --- *)
+
+let test_cc_converges () =
+  let r = Cc.run ~iterations:100 ~cluster pg in
+  Alcotest.(check (array int)) "labels" (Cc.reference g) r.Cc.labels
+
+let test_cc_iteration_cap () =
+  (* A long path cannot converge in 2 iterations. *)
+  let path = Test_util.graph_of_edges ~n:20 (List.init 19 (fun i -> (i, i + 1))) in
+  let pg = pg_of path in
+  let r = Cc.run ~iterations:2 ~cluster pg in
+  checkb "capped" true (r.Cc.trace.Trace.outcome = Trace.Max_supersteps);
+  checkb "not yet converged" true (r.Cc.labels <> Cc.reference path)
+
+(* --- Triangle count --- *)
+
+let test_tr_matches_substrate () =
+  let r = Tr.run ~cluster pg in
+  checki "total" (Cutfit_graph.Triangles.count g) r.Tr.total;
+  Alcotest.(check (array int)) "per vertex" (Cutfit_graph.Triangles.per_vertex g) r.Tr.per_vertex
+
+let test_tr_k4 () =
+  let k4 = Test_util.graph_of_edges ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  let r = Tr.run ~cluster (pg_of k4) in
+  checki "K4" 4 r.Tr.total
+
+let test_tr_reciprocated_edges_not_double_counted () =
+  let tri =
+    Test_util.graph_of_edges ~n:3 [ (0, 1); (1, 0); (1, 2); (2, 1); (2, 0); (0, 2) ]
+  in
+  let r = Tr.run ~cluster (pg_of tri) in
+  checki "one triangle" 1 r.Tr.total
+
+let test_tr_four_stages () =
+  let r = Tr.run ~cluster pg in
+  checki "four dataflow stages" 4 (List.length r.Tr.trace.Trace.supersteps)
+
+let test_tr_shared_undirected_view () =
+  let und = Graph.symmetrize g in
+  let r = Tr.run ~undirected:und ~cluster pg in
+  checki "same result" (Cutfit_graph.Triangles.count g) r.Tr.total
+
+let prop_tr_matches_substrate =
+  Test_util.qtest ~count:25 "TR = substrate count" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      if Graph.num_edges g = 0 then true
+      else begin
+        let r = Tr.run ~cluster (pg_of g) in
+        r.Tr.total = Cutfit_graph.Triangles.count g
+      end)
+
+(* --- SSSP --- *)
+
+let test_sssp_matches_bfs () =
+  let landmarks = [| 3; 77 |] in
+  let r = Sssp.run ~cluster ~landmarks pg in
+  let expected = Sssp.reference g ~landmarks in
+  Alcotest.(check bool) "distances" true (r.Sssp.distances = expected)
+
+let test_sssp_landmark_zero_distance () =
+  let r = Sssp.run ~cluster ~landmarks:[| 5 |] pg in
+  checki "self distance" 0 r.Sssp.distances.(5).(0)
+
+let test_sssp_unreachable_infinite () =
+  let two = Test_util.graph_of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let r = Sssp.run ~cluster ~landmarks:[| 1 |] (pg_of two) in
+  checki "cross-component" max_int r.Sssp.distances.(2).(0)
+
+let test_sssp_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Sssp.run: empty landmark set") (fun () ->
+      ignore (Sssp.run ~cluster ~landmarks:[||] pg));
+  Alcotest.check_raises "range" (Invalid_argument "Sssp.run: landmark out of range") (fun () ->
+      ignore (Sssp.run ~cluster ~landmarks:[| 100000 |] pg))
+
+let test_sssp_pick_landmarks () =
+  let l = Sssp.pick_landmarks ~seed:3L ~count:5 g in
+  checki "five" 5 (Array.length l);
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun v ->
+      checkb "distinct" false (Hashtbl.mem tbl v);
+      Hashtbl.add tbl v ())
+    l
+
+let test_sssp_long_path_ooms_small_driver () =
+  (* Hundreds of supersteps against a small driver reproduces the
+     paper's road-network OOM. *)
+  let n = 400 in
+  let path =
+    Test_util.graph_of_edges ~n
+      (List.concat_map (fun i -> [ (i, i + 1); (i + 1, i) ]) (List.init (n - 1) Fun.id))
+  in
+  let small_driver = { cluster with Cluster.driver_memory_bytes = 2.0e8 } in
+  let r = Sssp.run ~cluster:small_driver ~landmarks:[| 0 |] (pg_of path) in
+  checkb "OOM" true (r.Sssp.trace.Trace.outcome = Trace.Out_of_memory)
+
+let prop_sssp_matches_bfs =
+  Test_util.qtest ~count:25 "SSSP = BFS reference" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      if Graph.num_edges g = 0 then true
+      else begin
+        let r = Sssp.run ~cluster ~landmarks:[| 0; Graph.num_vertices g - 1 |] (pg_of g) in
+        r.Sssp.distances = Sssp.reference g ~landmarks:[| 0; Graph.num_vertices g - 1 |]
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "PR matches reference" `Quick test_pagerank_matches_reference;
+    Alcotest.test_case "PR source keeps initial rank" `Quick test_pagerank_sink_keeps_initial;
+    Alcotest.test_case "PR ranks positive" `Quick test_pagerank_ranks_positive;
+    Alcotest.test_case "PR hub outranks" `Quick test_pagerank_hub_outranks_leaf;
+    prop_pagerank_matches_reference;
+    Alcotest.test_case "CC converges" `Quick test_cc_converges;
+    Alcotest.test_case "CC iteration cap" `Quick test_cc_iteration_cap;
+    Alcotest.test_case "TR matches substrate" `Quick test_tr_matches_substrate;
+    Alcotest.test_case "TR K4" `Quick test_tr_k4;
+    Alcotest.test_case "TR reciprocated edges" `Quick test_tr_reciprocated_edges_not_double_counted;
+    Alcotest.test_case "TR four stages" `Quick test_tr_four_stages;
+    Alcotest.test_case "TR shared undirected view" `Quick test_tr_shared_undirected_view;
+    prop_tr_matches_substrate;
+    Alcotest.test_case "SSSP matches BFS" `Quick test_sssp_matches_bfs;
+    Alcotest.test_case "SSSP landmark zero" `Quick test_sssp_landmark_zero_distance;
+    Alcotest.test_case "SSSP unreachable" `Quick test_sssp_unreachable_infinite;
+    Alcotest.test_case "SSSP validation" `Quick test_sssp_validation;
+    Alcotest.test_case "SSSP pick landmarks" `Quick test_sssp_pick_landmarks;
+    Alcotest.test_case "SSSP long path OOM" `Quick test_sssp_long_path_ooms_small_driver;
+    prop_sssp_matches_bfs;
+  ]

@@ -1,0 +1,326 @@
+module Graph = Cutfit_graph.Graph
+module Strategy = Cutfit_partition.Strategy
+module Partitioner = Cutfit_partition.Partitioner
+module Metrics = Cutfit_partition.Metrics
+module Cluster = Cutfit_bsp.Cluster
+module Cost_model = Cutfit_bsp.Cost_model
+module Pgraph = Cutfit_bsp.Pgraph
+module Pregel = Cutfit_bsp.Pregel
+module Trace = Cutfit_bsp.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let g = Test_util.random_graph ~seed:55L ~n:200 ~m:1500
+let cluster = Test_util.tiny_cluster ()
+let np = cluster.Cluster.num_partitions
+
+let pg_of strategy =
+  let a = Partitioner.assign (Partitioner.Hash strategy) ~num_partitions:np g in
+  Pgraph.build g ~num_partitions:np a
+
+let pg = pg_of Strategy.Rvc
+
+(* --- Cluster --- *)
+
+let test_cluster_configs () =
+  checki "config i partitions" 128 Cluster.config_i.Cluster.num_partitions;
+  checki "config ii partitions" 256 Cluster.config_ii.Cluster.num_partitions;
+  checkb "iii faster network" true
+    (Cluster.network_bytes_per_s Cluster.config_iii > Cluster.network_bytes_per_s Cluster.config_ii);
+  checkb "iv faster storage" true
+    (Cluster.storage_bytes_per_s Cluster.config_iv > Cluster.storage_bytes_per_s Cluster.config_iii);
+  checkb "find by roman" true (Cluster.find "(iii)" == Cluster.config_iii);
+  checkb "find by count" true (Cluster.find "128" == Cluster.config_i);
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Cluster.find "x"))
+
+let test_executor_round_robin () =
+  checki "p0 -> e0" 0 (Cluster.executor_of_partition Cluster.config_i 0);
+  checki "p5 -> e1" 1 (Cluster.executor_of_partition Cluster.config_i 5);
+  checki "total cores" 128 (Cluster.total_cores Cluster.config_i)
+
+(* --- Cost model --- *)
+
+let test_makespan () =
+  let near a b = abs_float (a -. b) < 1e-12 in
+  checkb "bounded by max" true (near (Cost_model.makespan ~work:[| 10.0; 1.0 |] ~cores:4) 10.0);
+  checkb "bounded by sum/cores" true
+    (near (Cost_model.makespan ~work:[| 1.0; 1.0; 1.0; 1.0 |] ~cores:2) 2.0);
+  Alcotest.check_raises "zero cores" (Invalid_argument "Cost_model.makespan: cores <= 0")
+    (fun () -> ignore (Cost_model.makespan ~work:[| 1.0 |] ~cores:0))
+
+(* --- Pgraph --- *)
+
+let test_pgraph_edge_partition_totals () =
+  let total = ref 0 in
+  for p = 0 to np - 1 do
+    total := !total + Pgraph.num_edges_of_partition pg p
+  done;
+  checki "all edges placed" (Graph.num_edges g) !total
+
+let test_pgraph_edges_match_assignment () =
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np g in
+  let ok = ref true in
+  for p = 0 to np - 1 do
+    Array.iter (fun e -> if a.(e) <> p then ok := false) (Pgraph.edges_of_partition pg p)
+  done;
+  checkb "assignment respected" true !ok
+
+let test_pgraph_routing_consistency () =
+  (* A vertex's replica set must be exactly the partitions holding its
+     edges. *)
+  let n = Graph.num_vertices g in
+  let expected = Array.make n [] in
+  for p = 0 to np - 1 do
+    Pgraph.iter_partition_edges pg p (fun ~edge:_ ~src ~dst ->
+        let add v = if not (List.mem p expected.(v)) then expected.(v) <- p :: expected.(v) in
+        add src;
+        add dst)
+  done;
+  for v = 0 to n - 1 do
+    let routed = Array.to_list (Pgraph.replicas pg v) in
+    let want = List.sort compare expected.(v) in
+    Alcotest.(check (list int)) "replica set" want routed
+  done
+
+let test_pgraph_metrics_agree () =
+  let m = Pgraph.metrics pg in
+  checki "total replicas = comm + non_cut"
+    (m.Metrics.comm_cost + m.Metrics.non_cut)
+    (Pgraph.total_replicas pg);
+  let n = Graph.num_vertices g in
+  let from_routing = ref 0 in
+  for v = 0 to n - 1 do
+    from_routing := !from_routing + Pgraph.replica_count pg v
+  done;
+  checki "routing total" (Pgraph.total_replicas pg) !from_routing
+
+let test_pgraph_masters_in_range () =
+  for v = 0 to Graph.num_vertices g - 1 do
+    let m = Pgraph.master pg v in
+    checkb "master in range" true (m >= 0 && m < np)
+  done
+
+let test_pgraph_rejects_bad_assignment () =
+  Alcotest.check_raises "length" (Invalid_argument "Pgraph.build: assignment length mismatch")
+    (fun () -> ignore (Pgraph.build g ~num_partitions:np [| 0 |]));
+  let bad = Array.make (Graph.num_edges g) np in
+  Alcotest.check_raises "range" (Invalid_argument "Pgraph.build: partition out of range")
+    (fun () -> ignore (Pgraph.build g ~num_partitions:np bad))
+
+(* --- Pregel --- *)
+
+(* Minimal label-propagation program used to exercise the engine. *)
+let min_label_program =
+  {
+    Pregel.init = (fun v -> v);
+    initial_msg = max_int;
+    vprog = (fun _ l m -> min l m);
+    send =
+      (fun ~edge:_ ~src:_ ~dst:_ ~src_attr ~dst_attr ~emit ->
+        if src_attr < dst_attr then emit Pregel.To_dst src_attr
+        else if dst_attr < src_attr then emit Pregel.To_src dst_attr);
+    merge = min;
+    state_bytes = 8;
+    msg_bytes = 8;
+  }
+
+let test_pregel_converges_to_components () =
+  let r = Pregel.run ~cluster pg min_label_program in
+  let expected, _ = Cutfit_graph.Components.weak g in
+  Alcotest.(check (array int)) "labels" expected r.Pregel.attrs;
+  checkb "completed" true (r.Pregel.trace.Trace.outcome = Trace.Completed)
+
+let test_pregel_max_supersteps () =
+  let r = Pregel.run ~max_supersteps:1 ~cluster pg min_label_program in
+  checkb "capped" true (r.Pregel.trace.Trace.outcome = Trace.Max_supersteps)
+
+let test_pregel_trace_sanity () =
+  let r = Pregel.run ~cluster pg min_label_program in
+  let t = r.Pregel.trace in
+  checkb "positive total" true (t.Trace.total_s > 0.0);
+  checkb "load positive" true (t.Trace.load_s > 0.0);
+  List.iter
+    (fun s ->
+      checkb "nonneg compute" true (s.Trace.compute_s >= 0.0);
+      checkb "nonneg network" true (s.Trace.network_s >= 0.0);
+      checkb "time >= overhead" true (s.Trace.time_s >= s.Trace.overhead_s))
+    t.Trace.supersteps;
+  (* First trace entry is the build stage. *)
+  (match t.Trace.supersteps with
+  | first :: _ -> checki "build stage" (-1) first.Trace.step
+  | [] -> Alcotest.fail "no supersteps");
+  checkb "summary mentions supersteps" true
+    (String.length (Format.asprintf "%a" Trace.pp_summary t) > 0)
+
+let test_pregel_scale_scales_time () =
+  let t1 = (Pregel.run ~cluster pg min_label_program).Pregel.trace in
+  let t2 = (Pregel.run ~scale:10.0 ~cluster pg min_label_program).Pregel.trace in
+  checkb "bigger scale, bigger time" true (t2.Trace.total_s > t1.Trace.total_s)
+
+let test_pregel_driver_oom () =
+  let oom_cluster = { cluster with Cluster.driver_memory_bytes = 1.0 } in
+  let r = Pregel.run ~cluster:oom_cluster pg min_label_program in
+  checkb "OOM" true (r.Pregel.trace.Trace.outcome = Trace.Out_of_memory);
+  checkb "not completed" false (Trace.completed r.Pregel.trace)
+
+let test_pregel_executor_oom () =
+  let oom_cluster = { cluster with Cluster.executor_memory_bytes = 1.0 } in
+  let r = Pregel.run ~cluster:oom_cluster pg min_label_program in
+  checkb "OOM" true (r.Pregel.trace.Trace.outcome = Trace.Out_of_memory)
+
+let test_pregel_partition_count_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Pregel.run: cluster and partitioned graph disagree on partition count")
+    (fun () ->
+      ignore (Pregel.run ~cluster:(Test_util.tiny_cluster ~num_partitions:4 ()) pg min_label_program))
+
+let test_pregel_message_counts_positive () =
+  let r = Pregel.run ~cluster pg min_label_program in
+  checkb "messages flowed" true (Trace.total_messages r.Pregel.trace > 0)
+
+let test_network_faster_cluster_not_slower () =
+  (* Same partitioning on a 40x network must not be slower. *)
+  let fast = { cluster with Cluster.network_gbps = 40.0 } in
+  let t_slow = (Pregel.run ~scale:1000.0 ~cluster pg min_label_program).Pregel.trace in
+  let t_fast = (Pregel.run ~scale:1000.0 ~cluster:fast pg min_label_program).Pregel.trace in
+  checkb "not slower" true (t_fast.Trace.total_s <= t_slow.Trace.total_s +. 1e-9)
+
+let prop_pregel_cc_matches_reference =
+  Test_util.qtest ~count:30 "pregel min-label = union-find on random graphs"
+    ~print:Test_util.print_small_graph Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      if Graph.num_edges g = 0 then true
+      else begin
+        let cluster = Test_util.tiny_cluster ~num_partitions:4 () in
+        let a = Partitioner.assign (Partitioner.Hash Strategy.Crvc) ~num_partitions:4 g in
+        let pg = Pgraph.build g ~num_partitions:4 a in
+        let r = Pregel.run ~cluster pg min_label_program in
+        r.Pregel.attrs = fst (Cutfit_graph.Components.weak g)
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "cluster configs" `Quick test_cluster_configs;
+    Alcotest.test_case "executor round robin" `Quick test_executor_round_robin;
+    Alcotest.test_case "makespan" `Quick test_makespan;
+    Alcotest.test_case "pgraph edge totals" `Quick test_pgraph_edge_partition_totals;
+    Alcotest.test_case "pgraph edges match assignment" `Quick test_pgraph_edges_match_assignment;
+    Alcotest.test_case "pgraph routing consistency" `Quick test_pgraph_routing_consistency;
+    Alcotest.test_case "pgraph metrics agree" `Quick test_pgraph_metrics_agree;
+    Alcotest.test_case "pgraph masters in range" `Quick test_pgraph_masters_in_range;
+    Alcotest.test_case "pgraph rejects bad assignment" `Quick test_pgraph_rejects_bad_assignment;
+    Alcotest.test_case "pregel converges to components" `Quick test_pregel_converges_to_components;
+    Alcotest.test_case "pregel max supersteps" `Quick test_pregel_max_supersteps;
+    Alcotest.test_case "pregel trace sanity" `Quick test_pregel_trace_sanity;
+    Alcotest.test_case "pregel scale" `Quick test_pregel_scale_scales_time;
+    Alcotest.test_case "pregel driver OOM" `Quick test_pregel_driver_oom;
+    Alcotest.test_case "pregel executor OOM" `Quick test_pregel_executor_oom;
+    Alcotest.test_case "pregel partition mismatch" `Quick test_pregel_partition_count_mismatch;
+    Alcotest.test_case "pregel messages flowed" `Quick test_pregel_message_counts_positive;
+    Alcotest.test_case "faster network not slower" `Quick test_network_faster_cluster_not_slower;
+    prop_pregel_cc_matches_reference;
+  ]
+
+(* --- checkpointing --- *)
+
+let test_checkpoint_prevents_driver_oom () =
+  (* A driver small enough to OOM after ~12 supersteps survives when
+     lineage is truncated every 5. *)
+  let n = 100 in
+  let path =
+    Test_util.graph_of_edges ~n
+      (List.concat_map (fun i -> [ (i, i + 1); (i + 1, i) ]) (List.init (n - 1) Fun.id))
+  in
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np path in
+  let pg = Pgraph.build path ~num_partitions:np a in
+  let meta = Cost_model.default.Cost_model.driver_meta_per_task_bytes in
+  let small = { cluster with Cluster.driver_memory_bytes = 12.0 *. 8.0 *. meta } in
+  let without = Pregel.run ~cluster:small pg min_label_program in
+  checkb "OOMs without checkpointing" true
+    (without.Pregel.trace.Trace.outcome = Trace.Out_of_memory);
+  let with_ckpt = Pregel.run ~checkpoint_every:5 ~cluster:small pg min_label_program in
+  checkb "completes with checkpointing" true
+    (with_ckpt.Pregel.trace.Trace.outcome = Trace.Completed);
+  checkb "checkpoints taken" true (with_ckpt.Pregel.trace.Trace.checkpoints > 0);
+  checkb "checkpoints cost time" true (with_ckpt.Pregel.trace.Trace.checkpoint_s > 0.0);
+  Alcotest.(check (array int)) "still correct"
+    (fst (Cutfit_graph.Components.weak path))
+    with_ckpt.Pregel.attrs
+
+let test_checkpoint_costs_time () =
+  let plain = Pregel.run ~cluster pg min_label_program in
+  let ckpt = Pregel.run ~checkpoint_every:1 ~cluster pg min_label_program in
+  checkb "same answer" true (plain.Pregel.attrs = ckpt.Pregel.attrs);
+  checkb "checkpointing is not free" true
+    (ckpt.Pregel.trace.Trace.total_s > plain.Pregel.trace.Trace.total_s)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "checkpoint prevents driver OOM" `Quick test_checkpoint_prevents_driver_oom;
+      Alcotest.test_case "checkpoint costs time" `Quick test_checkpoint_costs_time;
+    ]
+
+(* --- GAS engine --- *)
+
+module Gas = Cutfit_bsp.Gas
+
+let gas_min_label =
+  (* Data-driven min-label propagation: vertices deactivate after
+     applying; scatter signals reactivate the neighbourhood. *)
+  {
+    Gas.init = (fun v -> v);
+    direction = Gas.Gather_both;
+    gather =
+      (fun ~src ~dst ~src_attr ~dst_attr ~target ->
+        if target = dst then Some src_attr else if target = src then Some dst_attr else None);
+    sum = min;
+    apply =
+      (fun _ label total ->
+        match total with Some t -> (min label t, false) | None -> (label, false));
+    state_bytes = 8;
+    gather_bytes = 8;
+  }
+
+let test_gas_components () =
+  let r = Gas.run ~cluster pg gas_min_label in
+  Alcotest.(check (array int)) "labels" (fst (Cutfit_graph.Components.weak g)) r.Gas.attrs;
+  checkb "completed" true (r.Gas.trace.Trace.outcome = Trace.Completed)
+
+let test_gas_pagerank_matches_pregel () =
+  let pregel = Cutfit_algo.Pagerank.run ~iterations:8 ~cluster pg in
+  let gas = Cutfit_algo.Pagerank.run_gas ~iterations:8 ~cluster pg in
+  Array.iteri
+    (fun v rank ->
+      checkb "rank close" true
+        (abs_float (rank -. pregel.Cutfit_algo.Pagerank.ranks.(v)) < 1e-9))
+    gas.Cutfit_algo.Pagerank.ranks
+
+let test_gas_trace_comparable () =
+  let r = Gas.run ~cluster pg gas_min_label in
+  checkb "positive time" true (r.Gas.trace.Trace.total_s > 0.0);
+  checkb "messages flowed" true (Trace.total_messages r.Gas.trace > 0)
+
+let test_gas_partition_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Gas.run: cluster and partitioned graph disagree on partition count")
+    (fun () ->
+      ignore (Gas.run ~cluster:(Test_util.tiny_cluster ~num_partitions:4 ()) pg gas_min_label))
+
+let test_gas_iteration_cap () =
+  let path = Test_util.graph_of_edges ~n:30 (List.init 29 (fun i -> (i, i + 1))) in
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np path in
+  let pg = Pgraph.build path ~num_partitions:np a in
+  let r = Gas.run ~max_iterations:2 ~cluster pg gas_min_label in
+  checkb "capped" true (r.Gas.trace.Trace.outcome = Trace.Max_supersteps)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "GAS components" `Quick test_gas_components;
+      Alcotest.test_case "GAS pagerank = Pregel pagerank" `Quick test_gas_pagerank_matches_pregel;
+      Alcotest.test_case "GAS trace comparable" `Quick test_gas_trace_comparable;
+      Alcotest.test_case "GAS partition mismatch" `Quick test_gas_partition_mismatch;
+      Alcotest.test_case "GAS iteration cap" `Quick test_gas_iteration_cap;
+    ]

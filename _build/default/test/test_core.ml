@@ -1,0 +1,141 @@
+module Advisor = Cutfit.Advisor
+module Pipeline = Cutfit.Pipeline
+module Strategy = Cutfit.Strategy
+module Partitioner = Cutfit.Partitioner
+module Metrics = Cutfit.Metrics
+module Trace = Cutfit.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let g = Test_util.random_graph ~seed:123L ~n:400 ~m:3000
+let cluster = Test_util.tiny_cluster ()
+
+(* --- Advisor --- *)
+
+let test_predictive_metric () =
+  Alcotest.(check string) "PR" "CommCost" (Advisor.predictive_metric Advisor.Pagerank);
+  Alcotest.(check string) "CC" "CommCost" (Advisor.predictive_metric Advisor.Connected_components);
+  Alcotest.(check string) "TR" "Cut" (Advisor.predictive_metric Advisor.Triangle_count);
+  Alcotest.(check string) "SSSP" "CommCost" (Advisor.predictive_metric Advisor.Shortest_paths)
+
+let test_classify () =
+  checkb "follow-scale is large" true (Advisor.classify ~paper_scale_edges:2.0e8 = Advisor.Large);
+  checkb "pocek-scale is small" true (Advisor.classify ~paper_scale_edges:3.0e7 = Advisor.Small)
+
+let test_heuristic_rules () =
+  checkb "PR large -> 2D" true
+    (Advisor.heuristic Advisor.Pagerank ~size:Advisor.Large ~num_partitions:128 = Strategy.Two_d);
+  checkb "PR small -> DC" true
+    (Advisor.heuristic Advisor.Pagerank ~size:Advisor.Small ~num_partitions:128 = Strategy.Dc);
+  checkb "CC small coarse -> 1D" true
+    (Advisor.heuristic Advisor.Connected_components ~size:Advisor.Small ~num_partitions:128
+    = Strategy.One_d);
+  checkb "CC small fine -> 2D" true
+    (Advisor.heuristic Advisor.Connected_components ~size:Advisor.Small ~num_partitions:256
+    = Strategy.Two_d);
+  checkb "TR -> CRVC" true
+    (Advisor.heuristic Advisor.Triangle_count ~size:Advisor.Large ~num_partitions:128
+    = Strategy.Crvc)
+
+let test_measure_ranking () =
+  let ranked = Advisor.measure Advisor.Pagerank ~num_partitions:16 g in
+  checki "six candidates" 6 (List.length ranked);
+  let scores = List.map (fun r -> r.Advisor.score) ranked in
+  checkb "ascending" true (List.sort compare scores = scores);
+  (* The winner really does minimize CommCost among the six. *)
+  let best = List.hd ranked in
+  List.iter
+    (fun r -> checkb "winner minimal" true (best.Advisor.score <= r.Advisor.score))
+    ranked
+
+let test_measure_respects_metric () =
+  let pr = List.hd (Advisor.measure Advisor.Pagerank ~num_partitions:16 g) in
+  checkb "PR score is CommCost" true
+    (pr.Advisor.score = float_of_int pr.Advisor.metrics.Metrics.comm_cost);
+  let tr = List.hd (Advisor.measure Advisor.Triangle_count ~num_partitions:16 g) in
+  checkb "TR score is Cut" true (tr.Advisor.score = float_of_int tr.Advisor.metrics.Metrics.cut)
+
+let test_advise_small_measures () =
+  let s = Advisor.advise Advisor.Pagerank ~scale:1.0 ~num_partitions:16 g in
+  let best = List.hd (Advisor.measure Advisor.Pagerank ~num_partitions:16 g) in
+  checkb "advise = measured best" true (s = best.Advisor.strategy)
+
+let test_advise_large_uses_heuristic () =
+  let s =
+    Advisor.advise ~measure_threshold_edges:1 Advisor.Pagerank ~scale:1.0e5 ~num_partitions:128 g
+  in
+  checkb "falls back to heuristic (large)" true (s = Strategy.Two_d)
+
+let test_algorithm_strings () =
+  List.iter
+    (fun a ->
+      match Advisor.algorithm_of_string (Advisor.algorithm_name a) with
+      | Some a' -> checkb "roundtrip" true (a = a')
+      | None -> Alcotest.fail "parse failed")
+    [ Advisor.Pagerank; Advisor.Connected_components; Advisor.Triangle_count;
+      Advisor.Shortest_paths ]
+
+(* --- Pipeline --- *)
+
+let test_pipeline_pagerank () =
+  let p = Pipeline.prepare ~cluster ~algorithm:Advisor.Pagerank g in
+  let ranks, trace = Pipeline.pagerank ~iterations:5 p in
+  let expected = Cutfit.Pagerank.reference ~iterations:5 g in
+  checkb "matches reference" true
+    (Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) ranks expected);
+  checkb "trace completed" true (Trace.completed trace)
+
+let test_pipeline_cc () =
+  let p = Pipeline.prepare ~cluster ~algorithm:Advisor.Connected_components g in
+  let labels, _ = Pipeline.connected_components ~iterations:100 p in
+  Alcotest.(check (array int)) "labels" (Cutfit.Connected_components.reference g) labels
+
+let test_pipeline_triangles () =
+  let p = Pipeline.prepare ~cluster ~algorithm:Advisor.Triangle_count g in
+  let _, total, _ = Pipeline.triangles p in
+  checki "total" (Cutfit.Triangles.count g) total
+
+let test_pipeline_sssp () =
+  let p = Pipeline.prepare ~cluster ~algorithm:Advisor.Shortest_paths g in
+  let d, _ = Pipeline.shortest_paths ~landmarks:[| 0 |] p in
+  checkb "matches BFS" true (d = Cutfit.Sssp.reference g ~landmarks:[| 0 |])
+
+let test_pipeline_explicit_partitioner () =
+  let p =
+    Pipeline.prepare ~cluster ~partitioner:(Partitioner.Hash Strategy.Sc)
+      ~algorithm:Advisor.Pagerank g
+  in
+  Alcotest.(check string) "kept" "SC" (Partitioner.name p.Pipeline.partitioner)
+
+let test_pipeline_metrics () =
+  let p = Pipeline.prepare ~cluster ~algorithm:Advisor.Pagerank g in
+  let m = Pipeline.metrics p in
+  checki "edges preserved" (Cutfit.Graph.num_edges g)
+    (Array.fold_left ( + ) 0 m.Metrics.edges_per_partition)
+
+let test_compare_partitioners () =
+  let times = Pipeline.compare_partitioners ~cluster ~algorithm:Advisor.Pagerank g in
+  checki "six entries" 6 (List.length times);
+  let ts = List.map snd times in
+  checkb "ascending" true (List.sort compare ts = ts);
+  checkb "all completed" true (List.for_all (fun t -> not (Float.is_nan t)) ts)
+
+let suite =
+  [
+    Alcotest.test_case "predictive metric" `Quick test_predictive_metric;
+    Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "heuristic rules" `Quick test_heuristic_rules;
+    Alcotest.test_case "measure ranking" `Quick test_measure_ranking;
+    Alcotest.test_case "measure respects metric" `Quick test_measure_respects_metric;
+    Alcotest.test_case "advise small measures" `Quick test_advise_small_measures;
+    Alcotest.test_case "advise large heuristic" `Quick test_advise_large_uses_heuristic;
+    Alcotest.test_case "algorithm strings" `Quick test_algorithm_strings;
+    Alcotest.test_case "pipeline pagerank" `Quick test_pipeline_pagerank;
+    Alcotest.test_case "pipeline cc" `Quick test_pipeline_cc;
+    Alcotest.test_case "pipeline triangles" `Quick test_pipeline_triangles;
+    Alcotest.test_case "pipeline sssp" `Quick test_pipeline_sssp;
+    Alcotest.test_case "pipeline explicit partitioner" `Quick test_pipeline_explicit_partitioner;
+    Alcotest.test_case "pipeline metrics" `Quick test_pipeline_metrics;
+    Alcotest.test_case "compare partitioners" `Quick test_compare_partitioners;
+  ]

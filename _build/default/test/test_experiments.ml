@@ -1,0 +1,191 @@
+module E = Cutfit_experiments
+module Run = E.Run
+module Report = E.Report
+module Datasets = Cutfit_gen.Datasets
+module Cluster = Cutfit_bsp.Cluster
+module Partitioner = Cutfit_partition.Partitioner
+module Strategy = Cutfit_partition.Strategy
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Report helpers --- *)
+
+let test_commas () =
+  Alcotest.(check string) "millions" "12,345,678" (Report.commas 12_345_678);
+  Alcotest.(check string) "small" "42" (Report.commas 42);
+  Alcotest.(check string) "negative" "-1,000" (Report.commas (-1000))
+
+let test_fsig () =
+  Alcotest.(check string) "small" "1.23" (Report.fsig 1.234);
+  Alcotest.(check string) "tens" "45.6" (Report.fsig 45.64);
+  Alcotest.(check string) "big" "1,234" (Report.fsig 1234.2);
+  Alcotest.(check string) "nan" "nan" (Report.fsig Float.nan)
+
+let test_seconds () =
+  Alcotest.(check string) "oom" "OOM" (Report.seconds Float.nan)
+
+let test_table_alignment () =
+  let t = Report.table ~header:[ "a"; "bb" ] ~rows:[ [ "ccc"; "d" ] ] in
+  let lines = String.split_on_char '\n' t in
+  checki "3 lines" 3 (List.length lines);
+  (* All lines are padded to the same width. *)
+  match lines with
+  | [ h; r; d ] ->
+      checki "rule matches header width" (String.length h) (String.length d);
+      checki "rows padded to same width" (String.length h) (String.length r)
+  | _ -> Alcotest.fail "unexpected shape"
+
+(* --- A small real matrix: 1 dataset, 2 partitioners, 1 config --- *)
+
+let small_opts =
+  {
+    Run.default_options with
+    Run.datasets = [ Datasets.find "youtube" ];
+    partitioners = [ Partitioner.Hash Strategy.Rvc; Partitioner.Hash Strategy.Two_d ];
+    clusters = [ Cluster.config_i ];
+    algos = [ Run.Pagerank; Run.Triangle_count ];
+    sssp_sources = 1;
+    progress = false;
+  }
+
+let measurements = lazy (Run.run small_opts)
+
+let test_matrix_cell_count () =
+  let ms = Lazy.force measurements in
+  (* 1 dataset x 2 partitioners x 1 config x 2 algos. *)
+  checki "cells" 4 (List.length ms)
+
+let test_matrix_times_positive () =
+  let ms = Lazy.force measurements in
+  List.iter
+    (fun m ->
+      checkb "completed" true m.Run.completed;
+      checkb "positive time" true (m.Run.time_s > 0.0))
+    ms
+
+let test_filter () =
+  let ms = Lazy.force measurements in
+  checki "PR cells" 2 (List.length (Run.filter ~algo:Run.Pagerank ms));
+  checki "by dataset" 4 (List.length (Run.filter ~dataset:"youtube" ms));
+  checki "none" 0 (List.length (Run.filter ~config:"(ii)" ms))
+
+let test_correlations_computable () =
+  let ms = Lazy.force measurements in
+  let cs = E.Figures.correlations ms Run.Pagerank ~config:"(i)" in
+  checki "five metrics" 5 (List.length cs);
+  List.iter
+    (fun (_, c) -> checkb "in range" true (Float.is_nan c || (c >= -1.0 && c <= 1.0)))
+    cs
+
+let test_best_partitioners () =
+  let ms = Lazy.force measurements in
+  match E.Figures.best_partitioners ms Run.Pagerank ~config:"(i)" with
+  | [ (d, p, t) ] ->
+      Alcotest.(check string) "dataset" "YouTube" d;
+      checkb "one of the two" true (p = "RVC" || p = "2D");
+      checkb "positive" true (t > 0.0)
+  | l -> Alcotest.failf "expected one row, got %d" (List.length l)
+
+let test_scale_of () =
+  let spec = Datasets.find "youtube" in
+  let g = Datasets.generate spec in
+  let s = Run.scale_of spec g in
+  checkb "around 75-110x" true (s > 50.0 && s < 150.0)
+
+let test_sssp_sources_fixed () =
+  let spec = Datasets.find "youtube" in
+  let g = Datasets.generate spec in
+  let a = Run.sssp_sources_of spec ~count:5 g in
+  let b = Run.sssp_sources_of spec ~count:5 g in
+  Alcotest.(check (array int)) "stable" a b
+
+let test_algo_names () =
+  List.iter
+    (fun a ->
+      match Run.algo_of_string (Run.algo_name a) with
+      | Some a' -> checkb "roundtrip" true (a = a')
+      | None -> Alcotest.fail "parse failed")
+    Run.all_algos
+
+(* --- Expectations machinery on the small matrix --- *)
+
+let test_verdict_rendering () =
+  let v =
+    { E.Expectations.name = "x"; expected = "y"; measured = "z"; pass = true }
+  in
+  let s = Format.asprintf "%a" E.Expectations.pp_verdict v in
+  checkb "mentions PASS" true
+    (String.length s >= 6 && String.sub s 0 6 = "[PASS]")
+
+let test_check_all_runs () =
+  let ms = Lazy.force measurements in
+  let verdicts = E.Expectations.check_all ms in
+  (* Only the PR (i) correlation + PR granularity + TR checks apply; the
+     machinery must at least produce verdicts without raising. *)
+  checkb "some verdicts" true (List.length verdicts >= 0)
+
+(* --- Tables render without error --- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table1_renders () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  E.Tables.table1 ppf;
+  Format.pp_print_flush ppf ();
+  checkb "mentions YouTube" true (contains ~needle:"YouTube" (Buffer.contents buf))
+
+let suite =
+  [
+    Alcotest.test_case "commas" `Quick test_commas;
+    Alcotest.test_case "fsig" `Quick test_fsig;
+    Alcotest.test_case "seconds OOM" `Quick test_seconds;
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "matrix cell count" `Quick test_matrix_cell_count;
+    Alcotest.test_case "matrix times positive" `Quick test_matrix_times_positive;
+    Alcotest.test_case "filter" `Quick test_filter;
+    Alcotest.test_case "correlations computable" `Quick test_correlations_computable;
+    Alcotest.test_case "best partitioners" `Quick test_best_partitioners;
+    Alcotest.test_case "scale_of" `Quick test_scale_of;
+    Alcotest.test_case "sssp sources fixed" `Quick test_sssp_sources_fixed;
+    Alcotest.test_case "algo names" `Quick test_algo_names;
+    Alcotest.test_case "verdict rendering" `Quick test_verdict_rendering;
+    Alcotest.test_case "check_all runs" `Quick test_check_all_runs;
+    Alcotest.test_case "table1 renders" `Quick test_table1_renders;
+  ]
+
+(* --- CSV export --- *)
+
+let test_csv_export () =
+  let ms = Lazy.force measurements in
+  let csv = E.Export.to_csv ms in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  checki "header + rows" (1 + List.length ms) (List.length lines);
+  checkb "header first" true (List.hd lines = E.Export.header);
+  (* Every line has the same number of fields. *)
+  let fields l = List.length (String.split_on_char ',' l) in
+  let n = fields (List.hd lines) in
+  List.iter (fun l -> checki "field count" n (fields l)) lines
+
+let test_csv_roundtrip_file () =
+  let ms = Lazy.force measurements in
+  let path = Filename.temp_file "cutfit" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      E.Export.save path ms;
+      let ic = open_in path in
+      let first = input_line ic in
+      close_in ic;
+      checkb "header on disk" true (first = E.Export.header))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "csv export" `Quick test_csv_export;
+      Alcotest.test_case "csv file" `Quick test_csv_roundtrip_file;
+    ]

@@ -1,0 +1,384 @@
+module Graph = Cutfit_graph.Graph
+module Edge_list = Cutfit_graph.Edge_list
+module Union_find = Cutfit_graph.Union_find
+module Components = Cutfit_graph.Components
+module Bfs = Cutfit_graph.Bfs
+module Triangles = Cutfit_graph.Triangles
+module Diameter = Cutfit_graph.Diameter
+module Graph_io = Cutfit_graph.Graph_io
+module Characterize = Cutfit_graph.Characterize
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Edge_list --- *)
+
+let test_edge_list_basic () =
+  let el = Edge_list.create () in
+  Edge_list.add el ~src:1 ~dst:2;
+  Edge_list.add el ~src:3 ~dst:4;
+  checki "length" 2 (Edge_list.length el);
+  checki "src 0" 1 (Edge_list.src el 0);
+  checki "dst 1" 4 (Edge_list.dst el 1)
+
+let test_edge_list_growth () =
+  let el = Edge_list.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Edge_list.add el ~src:i ~dst:(i + 1)
+  done;
+  checki "grew" 1000 (Edge_list.length el);
+  checki "last src" 999 (Edge_list.src el 999)
+
+let test_edge_list_dedup () =
+  let el = Edge_list.of_list [ (1, 2); (1, 2); (2, 1); (3, 3); (0, 1) ] in
+  let d = Edge_list.dedup el in
+  checki "dup and loop removed" 3 (Edge_list.length d);
+  let d2 = Edge_list.dedup ~drop_self_loops:false (Edge_list.of_list [ (3, 3); (3, 3) ]) in
+  checki "loop kept when asked" 1 (Edge_list.length d2)
+
+let test_edge_list_symmetrize () =
+  let s = Edge_list.symmetrize (Edge_list.of_list [ (0, 1); (1, 2); (1, 0) ]) in
+  checki "4 directed edges" 4 (Edge_list.length s)
+
+let test_edge_list_bounds () =
+  let el = Edge_list.of_list [ (0, 1) ] in
+  Alcotest.check_raises "src OOB" (Invalid_argument "Edge_list.src: index out of bounds")
+    (fun () -> ignore (Edge_list.src el 1))
+
+(* --- Graph --- *)
+
+let diamond = Test_util.graph_of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_graph_degrees () =
+  checki "out 0" 2 (Graph.out_degree diamond 0);
+  checki "in 3" 2 (Graph.in_degree diamond 3);
+  checki "in 0" 0 (Graph.in_degree diamond 0);
+  checki "edges" 4 (Graph.num_edges diamond);
+  checki "vertices" 4 (Graph.num_vertices diamond)
+
+let test_graph_neighbors_sorted () =
+  Alcotest.(check (array int)) "out 0" [| 1; 2 |] (Graph.out_neighbors diamond 0);
+  Alcotest.(check (array int)) "in 3" [| 1; 2 |] (Graph.in_neighbors diamond 3)
+
+let test_graph_has_edge () =
+  checkb "0->1" true (Graph.has_edge diamond ~src:0 ~dst:1);
+  checkb "1->0" false (Graph.has_edge diamond ~src:1 ~dst:0);
+  checkb "0->3" false (Graph.has_edge diamond ~src:0 ~dst:3)
+
+let test_graph_rejects_bad_input () =
+  Alcotest.check_raises "dst out of range" (Invalid_argument "Graph.create: dst out of range")
+    (fun () -> ignore (Graph.create ~n:2 ~src:[| 0 |] ~dst:[| 5 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Graph.create: src/dst length mismatch") (fun () ->
+      ignore (Graph.create ~n:2 ~src:[| 0; 1 |] ~dst:[| 1 |]))
+
+let test_graph_symmetrize () =
+  let s = Graph.symmetrize diamond in
+  checki "8 directed edges" 8 (Graph.num_edges s);
+  checkb "symmetric" true (Graph.is_symmetric s);
+  checkb "original not symmetric" false (Graph.is_symmetric diamond)
+
+let prop_symmetrize_symmetric =
+  Test_util.qtest "symmetrize yields symmetric graph" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun g ->
+      Graph.is_symmetric (Graph.symmetrize (Test_util.build g)))
+
+let prop_degree_sums =
+  Test_util.qtest "sum out-degree = sum in-degree = m" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      let n = Graph.num_vertices g in
+      let total f = Array.fold_left ( + ) 0 (Array.init n f) in
+      total (Graph.out_degree g) = Graph.num_edges g
+      && total (Graph.in_degree g) = Graph.num_edges g)
+
+(* --- Union_find --- *)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  checki "initial sets" 6 (Union_find.count uf);
+  checkb "union 0 1" true (Union_find.union uf 0 1);
+  checkb "union 1 0 again" false (Union_find.union uf 1 0);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 0 3);
+  checki "sets" 3 (Union_find.count uf);
+  checkb "same 1 2" true (Union_find.same uf 1 2);
+  checkb "not same 1 4" false (Union_find.same uf 1 4);
+  checki "size of 0's set" 4 (Union_find.size_of uf 0)
+
+(* --- Components --- *)
+
+let test_weak_components () =
+  let g = Test_util.graph_of_edges ~n:7 [ (0, 1); (1, 2); (3, 4); (5, 6) ] in
+  let labels, count = Components.weak g in
+  checki "3 components" 3 count;
+  checki "label of 2" 0 labels.(2);
+  checki "label of 4" 3 labels.(4);
+  checki "label of 6" 5 labels.(6)
+
+let test_strong_components () =
+  (* 0->1->2->0 is a cycle; 3 hangs off it. *)
+  let g = Test_util.graph_of_edges ~n:4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  let labels, count = Components.strong g in
+  checki "2 SCCs" 2 count;
+  checkb "cycle same label" true (labels.(0) = labels.(1) && labels.(1) = labels.(2));
+  checkb "3 alone" true (labels.(3) <> labels.(0))
+
+let test_strong_on_dag () =
+  let g = Test_util.graph_of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  checki "each vertex its own SCC" 4 (Components.strong_count g)
+
+let test_largest_weak () =
+  let g = Test_util.graph_of_edges ~n:6 [ (0, 1); (1, 2); (3, 4) ] in
+  checki "largest is 3" 3 (Components.largest_weak_size g)
+
+let test_strong_deep_chain_no_overflow () =
+  (* A 100k-vertex path would blow a recursive Tarjan. *)
+  let n = 100_000 in
+  let el = Edge_list.create ~capacity:n () in
+  for i = 0 to n - 2 do
+    Edge_list.add el ~src:i ~dst:(i + 1)
+  done;
+  let g = Graph.of_edge_list ~n el in
+  checki "n SCCs" n (Components.strong_count g)
+
+let prop_weak_labels_consistent =
+  Test_util.qtest "weak labels constant along edges" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      let labels, _ = Components.weak g in
+      let ok = ref true in
+      Graph.iter_edges g (fun ~src ~dst -> if labels.(src) <> labels.(dst) then ok := false);
+      !ok)
+
+(* --- BFS --- *)
+
+let test_bfs_distances () =
+  let g = Test_util.graph_of_edges ~n:5 [ (0, 1); (1, 2); (2, 3) ] in
+  let d = Bfs.distances g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; max_int |] d
+
+let test_bfs_undirected () =
+  let g = Test_util.graph_of_edges ~n:3 [ (1, 0); (2, 1) ] in
+  let d = Bfs.distances ~undirected:true g 0 in
+  Alcotest.(check (array int)) "undirected distances" [| 0; 1; 2 |] d
+
+let test_bfs_multi_source () =
+  let g = Test_util.graph_of_edges ~n:5 [ (0, 1); (1, 2); (4, 3); (3, 2) ] in
+  let d = Bfs.multi_source g [ 0; 4 ] in
+  checki "2 closer to 0 or 4" 2 d.(2);
+  checki "source 4" 0 d.(4)
+
+let test_eccentricity () =
+  let g = Test_util.graph_of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  checki "ecc of 0" 3 (Bfs.eccentricity g 0);
+  checki "ecc of 3 (no out)" 0 (Bfs.eccentricity g 3)
+
+(* --- Triangles --- *)
+
+let k4 = Test_util.graph_of_edges ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+
+let test_triangles_k4 () =
+  checki "K4 has 4 triangles" 4 (Triangles.count k4);
+  Alcotest.(check (array int)) "each vertex in 3" [| 3; 3; 3; 3 |] (Triangles.per_vertex k4)
+
+let test_triangles_cycle () =
+  let c5 = Test_util.graph_of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  checki "C5 triangle-free" 0 (Triangles.count c5)
+
+let test_triangles_direction_blind () =
+  let t1 = Test_util.graph_of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let t2 = Test_util.graph_of_edges ~n:3 [ (0, 1); (1, 2); (0, 2) ] in
+  checki "cyclic" 1 (Triangles.count t1);
+  checki "acyclic orientation" 1 (Triangles.count t2)
+
+let test_clustering () =
+  checkb "K4 clustering = 1" true (abs_float (Triangles.global_clustering k4 -. 1.0) < 1e-9)
+
+let prop_per_vertex_sum =
+  Test_util.qtest "sum per-vertex = 3 * total" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      Array.fold_left ( + ) 0 (Triangles.per_vertex g) = 3 * Triangles.count g)
+
+(* --- Diameter --- *)
+
+let test_diameter_path () =
+  let g = Test_util.graph_of_edges ~n:4 [ (0, 1); (1, 0); (1, 2); (2, 1); (2, 3); (3, 2) ] in
+  Alcotest.(check string) "path diameter" "3" (Diameter.to_string (Diameter.exact g))
+
+let test_diameter_disconnected () =
+  let g = Test_util.graph_of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  checkb "infinite" true (Diameter.exact g = Diameter.Infinite);
+  checkb "estimate infinite too" true (Diameter.estimate g = Diameter.Infinite)
+
+let test_diameter_estimate_lower_bound () =
+  let g = Test_util.random_graph ~seed:5L ~n:60 ~m:120 in
+  let g = Graph.symmetrize g in
+  if Components.weak_count g = 1 then begin
+    match (Diameter.exact g, Diameter.estimate ~sweeps:6 g) with
+    | Diameter.Finite ex, Diameter.Finite est ->
+        checkb "estimate <= exact" true (est <= ex);
+        checkb "estimate at least half" true (2 * est >= ex)
+    | _ -> Alcotest.fail "expected finite diameters"
+  end
+
+(* --- Graph_io --- *)
+
+let test_io_roundtrip () =
+  let g = Test_util.random_graph ~seed:9L ~n:50 ~m:200 in
+  let path = Filename.temp_file "cutfit" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Graph_io.save path g;
+      let g2 = Graph_io.load ~n:50 path in
+      checki "same edge count" (Graph.num_edges g) (Graph.num_edges g2);
+      let ok = ref true in
+      Graph.iter_edges g (fun ~src ~dst -> if not (Graph.has_edge g2 ~src ~dst) then ok := false);
+      checkb "same edges" true !ok;
+      checki "size matches file" (Graph_io.size_bytes g) (Unix.stat path).Unix.st_size)
+
+let test_io_comments_and_tabs () =
+  let path = Filename.temp_file "cutfit" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# comment\n0\t1\n1 2\n\n";
+      close_out oc;
+      let g = Graph_io.load path in
+      checki "2 edges" 2 (Graph.num_edges g);
+      checki "3 vertices" 3 (Graph.num_vertices g))
+
+(* --- Characterize --- *)
+
+let test_characterize_small () =
+  let g = Test_util.graph_of_edges ~n:4 [ (0, 1); (1, 0); (1, 2); (2, 1); (0, 2); (2, 0) ] in
+  let c = Characterize.compute ~exact_diameter:true g in
+  checki "vertices" 4 c.Characterize.vertices;
+  checki "edges" 6 c.Characterize.edges;
+  checkb "fully symmetric" true (abs_float (c.Characterize.symmetry_pct -. 100.0) < 1e-9);
+  checki "one triangle" 1 c.Characterize.triangles;
+  checki "two components (vertex 3 isolated)" 2 c.Characterize.components;
+  checkb "infinite diameter" true (c.Characterize.diameter = Diameter.Infinite);
+  checkb "zero-in counts isolated vertex" true (abs_float (c.Characterize.zero_in_pct -. 25.0) < 1e-9)
+
+let test_symmetry_partial () =
+  let g = Test_util.graph_of_edges ~n:3 [ (0, 1); (1, 0); (1, 2) ] in
+  let s = Characterize.symmetry_pct g in
+  checkb "2 of 3 reciprocated" true (abs_float (s -. (200.0 /. 3.0)) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "edge_list basic" `Quick test_edge_list_basic;
+    Alcotest.test_case "edge_list growth" `Quick test_edge_list_growth;
+    Alcotest.test_case "edge_list dedup" `Quick test_edge_list_dedup;
+    Alcotest.test_case "edge_list symmetrize" `Quick test_edge_list_symmetrize;
+    Alcotest.test_case "edge_list bounds" `Quick test_edge_list_bounds;
+    Alcotest.test_case "graph degrees" `Quick test_graph_degrees;
+    Alcotest.test_case "neighbors sorted" `Quick test_graph_neighbors_sorted;
+    Alcotest.test_case "has_edge" `Quick test_graph_has_edge;
+    Alcotest.test_case "bad input rejected" `Quick test_graph_rejects_bad_input;
+    Alcotest.test_case "graph symmetrize" `Quick test_graph_symmetrize;
+    prop_symmetrize_symmetric;
+    prop_degree_sums;
+    Alcotest.test_case "union_find" `Quick test_union_find;
+    Alcotest.test_case "weak components" `Quick test_weak_components;
+    Alcotest.test_case "strong components" `Quick test_strong_components;
+    Alcotest.test_case "strong on DAG" `Quick test_strong_on_dag;
+    Alcotest.test_case "largest weak" `Quick test_largest_weak;
+    Alcotest.test_case "deep chain SCC (no overflow)" `Quick test_strong_deep_chain_no_overflow;
+    prop_weak_labels_consistent;
+    Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "bfs undirected" `Quick test_bfs_undirected;
+    Alcotest.test_case "bfs multi-source" `Quick test_bfs_multi_source;
+    Alcotest.test_case "eccentricity" `Quick test_eccentricity;
+    Alcotest.test_case "triangles K4" `Quick test_triangles_k4;
+    Alcotest.test_case "triangles C5" `Quick test_triangles_cycle;
+    Alcotest.test_case "triangles direction-blind" `Quick test_triangles_direction_blind;
+    Alcotest.test_case "clustering" `Quick test_clustering;
+    prop_per_vertex_sum;
+    Alcotest.test_case "diameter path" `Quick test_diameter_path;
+    Alcotest.test_case "diameter disconnected" `Quick test_diameter_disconnected;
+    Alcotest.test_case "diameter estimate bound" `Quick test_diameter_estimate_lower_bound;
+    Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip;
+    Alcotest.test_case "io comments and tabs" `Quick test_io_comments_and_tabs;
+    Alcotest.test_case "characterize small" `Quick test_characterize_small;
+    Alcotest.test_case "partial symmetry" `Quick test_symmetry_partial;
+  ]
+
+(* --- binary I/O --- *)
+
+module Binary_io = Cutfit_graph.Binary_io
+
+let test_binary_roundtrip () =
+  let g = Test_util.random_graph ~seed:15L ~n:200 ~m:900 in
+  let path = Filename.temp_file "cutfit" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Binary_io.save path g;
+      let g2 = Binary_io.load path in
+      checki "vertices" (Graph.num_vertices g) (Graph.num_vertices g2);
+      checki "edges" (Graph.num_edges g) (Graph.num_edges g2);
+      let ok = ref true in
+      Graph.iter_edges g (fun ~src ~dst -> if not (Graph.has_edge g2 ~src ~dst) then ok := false);
+      Graph.iter_edges g2 (fun ~src ~dst -> if not (Graph.has_edge g ~src ~dst) then ok := false);
+      checkb "same edge set" true !ok;
+      checki "size matches file" (Binary_io.size_bytes g) (Unix.stat path).Unix.st_size)
+
+let test_binary_smaller_than_text () =
+  let g = Test_util.random_graph ~seed:16L ~n:2000 ~m:12000 in
+  checkb "binary at most half the text size" true
+    (2 * Binary_io.size_bytes g < Graph_io.size_bytes g)
+
+let test_binary_rejects_foreign () =
+  let path = Filename.temp_file "cutfit" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0 1\n1 2\n";
+      close_out oc;
+      match Binary_io.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected rejection")
+
+let test_binary_empty_graph () =
+  let g = Test_util.graph_of_edges ~n:3 [] in
+  let path = Filename.temp_file "cutfit" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Binary_io.save path g;
+      let g2 = Binary_io.load path in
+      checki "3 vertices" 3 (Graph.num_vertices g2);
+      checki "0 edges" 0 (Graph.num_edges g2))
+
+let prop_binary_roundtrip =
+  Test_util.qtest ~count:30 "binary roundtrip preserves edge multiset"
+    ~print:Test_util.print_small_graph Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      let path = Filename.temp_file "cutfit" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Binary_io.save path g;
+          let g2 = Binary_io.load path in
+          let pairs h =
+            let acc = ref [] in
+            Graph.iter_edges h (fun ~src ~dst -> acc := (src, dst) :: !acc);
+            List.sort compare !acc
+          in
+          Graph.num_vertices g = Graph.num_vertices g2 && pairs g = pairs g2))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "binary roundtrip" `Quick test_binary_roundtrip;
+      Alcotest.test_case "binary smaller than text" `Quick test_binary_smaller_than_text;
+      Alcotest.test_case "binary rejects foreign" `Quick test_binary_rejects_foreign;
+      Alcotest.test_case "binary empty graph" `Quick test_binary_empty_graph;
+      prop_binary_roundtrip;
+    ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "cutfit"
+    [
+      ("prng", Test_prng.suite);
+      ("graph", Test_graph.suite);
+      ("stats", Test_stats.suite);
+      ("gen", Test_gen.suite);
+      ("partition", Test_partition.suite);
+      ("bsp", Test_bsp.suite);
+      ("algo", Test_algo.suite);
+      ("core", Test_core.suite);
+      ("experiments", Test_experiments.suite);
+      ("edge-cases", Test_edge_cases.suite);
+    ]

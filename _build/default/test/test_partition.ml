@@ -1,0 +1,313 @@
+module Graph = Cutfit_graph.Graph
+module Strategy = Cutfit_partition.Strategy
+module Streaming = Cutfit_partition.Streaming
+module Partitioner = Cutfit_partition.Partitioner
+module Metrics = Cutfit_partition.Metrics
+module Hashing = Cutfit_partition.Hashing
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let g = Test_util.random_graph ~seed:77L ~n:300 ~m:2000
+let num_partitions = 16
+
+let test_strategy_strings () =
+  List.iter
+    (fun s ->
+      match Strategy.of_string (Strategy.to_string s) with
+      | Some s' -> checkb "roundtrip" true (s = s')
+      | None -> Alcotest.fail "of_string failed")
+    Strategy.all;
+  checkb "unknown rejected" true (Strategy.of_string "bogus" = None);
+  checkb "case insensitive" true (Strategy.of_string "crvc" = Some Strategy.Crvc)
+
+let test_assignments_in_range () =
+  List.iter
+    (fun p ->
+      let a = Partitioner.assign p ~num_partitions g in
+      checki "length" (Graph.num_edges g) (Array.length a);
+      Array.iter (fun x -> checkb "range" true (x >= 0 && x < num_partitions)) a)
+    (Partitioner.paper_six @ Partitioner.streaming_baselines)
+
+let test_sc_dc_are_modulo () =
+  for i = 0 to 50 do
+    let src = i * 13 and dst = i * 7 in
+    checki "SC" (src mod num_partitions)
+      (Strategy.edge_partition Strategy.Sc ~num_partitions ~src ~dst);
+    checki "DC" (dst mod num_partitions)
+      (Strategy.edge_partition Strategy.Dc ~num_partitions ~src ~dst)
+  done
+
+let test_one_d_collocates_sources () =
+  let p1 = Strategy.edge_partition Strategy.One_d ~num_partitions ~src:42 ~dst:1 in
+  let p2 = Strategy.edge_partition Strategy.One_d ~num_partitions ~src:42 ~dst:999 in
+  checki "same source same partition" p1 p2
+
+let test_crvc_collocates_pairs () =
+  for i = 0 to 100 do
+    let u = i and v = 2 * i + 1 in
+    checki "unordered pair"
+      (Strategy.edge_partition Strategy.Crvc ~num_partitions ~src:u ~dst:v)
+      (Strategy.edge_partition Strategy.Crvc ~num_partitions ~src:v ~dst:u)
+  done
+
+let test_rvc_collocates_parallel_edges () =
+  let p1 = Strategy.edge_partition Strategy.Rvc ~num_partitions ~src:5 ~dst:9 in
+  let p2 = Strategy.edge_partition Strategy.Rvc ~num_partitions ~src:5 ~dst:9 in
+  checki "same directed pair" p1 p2
+
+let test_two_d_replication_bound () =
+  (* 2D guarantees <= 2*ceil(sqrt N) replicas per vertex. *)
+  let num_partitions = 16 in
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Two_d) ~num_partitions g in
+  let replicas = Metrics.replica_count g ~num_partitions a in
+  Array.iter (fun r -> checkb "<= 2 sqrt N" true (r <= 8)) replicas
+
+let test_strategy_errors () =
+  Alcotest.check_raises "bad partitions"
+    (Invalid_argument "Strategy.edge_partition: num_partitions <= 0") (fun () ->
+      ignore (Strategy.edge_partition Strategy.Rvc ~num_partitions:0 ~src:1 ~dst:2));
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Strategy.edge_partition: negative vertex id") (fun () ->
+      ignore (Strategy.edge_partition Strategy.Rvc ~num_partitions:4 ~src:(-1) ~dst:2))
+
+let test_hashing_nonnegative () =
+  for i = -1000 to 1000 do
+    checkb "mix nonneg" true (Hashing.mix i >= 0)
+  done
+
+(* Brute-force metrics re-implementation for cross-checking. *)
+let brute_metrics g a =
+  let n = Graph.num_vertices g in
+  let parts = Array.make n [] in
+  Array.iteri
+    (fun e p ->
+      let add v = if not (List.mem p parts.(v)) then parts.(v) <- p :: parts.(v) in
+      add (Graph.edge_src g e);
+      add (Graph.edge_dst g e))
+    a;
+  let non_cut = ref 0 and cut = ref 0 and comm = ref 0 in
+  Array.iter
+    (fun ps ->
+      match List.length ps with
+      | 0 -> ()
+      | 1 -> incr non_cut
+      | k ->
+          incr cut;
+          comm := !comm + k)
+    parts;
+  (!non_cut, !cut, !comm)
+
+let prop_metrics_match_bruteforce =
+  Test_util.qtest "metrics match brute force" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      if Graph.num_edges g = 0 then true
+      else begin
+        let num_partitions = 5 in
+        let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions g in
+        let m = Metrics.compute g ~num_partitions a in
+        let nc, c, cc = brute_metrics g a in
+        m.Metrics.non_cut = nc && m.Metrics.cut = c && m.Metrics.comm_cost = cc
+      end)
+
+let test_metrics_identities () =
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Crvc) ~num_partitions g in
+  let m = Metrics.compute g ~num_partitions a in
+  checki "edges preserved" (Graph.num_edges g)
+    (Array.fold_left ( + ) 0 m.Metrics.edges_per_partition);
+  checkb "balance >= 1" true (m.Metrics.balance >= 1.0 -. 1e-9);
+  checkb "cut + non_cut <= n" true (m.Metrics.cut + m.Metrics.non_cut <= Graph.num_vertices g);
+  checkb "comm >= 2 * cut" true (m.Metrics.comm_cost >= 2 * m.Metrics.cut);
+  checki "local vertex tables = comm + non_cut"
+    (m.Metrics.comm_cost + m.Metrics.non_cut)
+    (Array.fold_left ( + ) 0 m.Metrics.vertices_per_partition)
+
+let test_metrics_single_partition () =
+  let a = Array.make (Graph.num_edges g) 0 in
+  let m = Metrics.compute g ~num_partitions:1 a in
+  checki "no cut vertices" 0 m.Metrics.cut;
+  checkb "balance 1" true (abs_float (m.Metrics.balance -. 1.0) < 1e-9);
+  checkb "stdev 0" true (m.Metrics.part_stdev < 1e-9)
+
+let test_metric_value_lookup () =
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions g in
+  let m = Metrics.compute g ~num_partitions a in
+  checkb "CommCost" true (Metrics.metric_value m "CommCost" = float_of_int m.Metrics.comm_cost);
+  Alcotest.check_raises "unknown metric"
+    (Invalid_argument "Metrics.metric_value: unknown metric Bogus") (fun () ->
+      ignore (Metrics.metric_value m "Bogus"))
+
+let test_streaming_deterministic () =
+  List.iter
+    (fun s ->
+      let a1 = Streaming.assign s ~num_partitions g in
+      let a2 = Streaming.assign s ~num_partitions g in
+      Alcotest.(check (array int)) (Streaming.to_string s) a1 a2)
+    [ Streaming.Dbh; Streaming.Greedy; Streaming.Hdrf 1.0 ]
+
+let test_greedy_beats_random_on_replication () =
+  let greedy = Streaming.assign Streaming.Greedy ~num_partitions g in
+  let random = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions g in
+  let comm a = (Metrics.compute g ~num_partitions a).Metrics.comm_cost in
+  checkb "greedy replicates less" true (comm greedy < comm random)
+
+let test_custom_partitioner () =
+  let custom =
+    Partitioner.Custom ("all-zero", fun ~num_partitions:_ g -> Array.make (Graph.num_edges g) 0)
+  in
+  let a = Partitioner.assign custom ~num_partitions g in
+  checkb "all zero" true (Array.for_all (fun p -> p = 0) a);
+  let bad = Partitioner.Custom ("bad", fun ~num_partitions:_ _ -> [| 99 |]) in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Partitioner.assign: custom partitioner returned wrong length") (fun () ->
+      ignore (Partitioner.assign bad ~num_partitions g))
+
+let test_partitioner_names () =
+  checkb "parse RVC" true (Partitioner.of_string "RVC" <> None);
+  checkb "parse hdrf" true (Partitioner.of_string "hdrf" <> None);
+  checkb "parse junk" true (Partitioner.of_string "zzz" = None)
+
+let prop_paper_six_cover_all_edges =
+  Test_util.qtest "every strategy assigns every edge" ~print:Test_util.print_small_graph
+    Test_util.small_graph_gen (fun sg ->
+      let g = Test_util.build sg in
+      List.for_all
+        (fun p ->
+          let a = Partitioner.assign p ~num_partitions:7 g in
+          Array.length a = Graph.num_edges g && Array.for_all (fun x -> x >= 0 && x < 7) a)
+        Partitioner.paper_six)
+
+let suite =
+  [
+    Alcotest.test_case "strategy strings" `Quick test_strategy_strings;
+    Alcotest.test_case "assignments in range" `Quick test_assignments_in_range;
+    Alcotest.test_case "SC/DC are modulo" `Quick test_sc_dc_are_modulo;
+    Alcotest.test_case "1D collocates sources" `Quick test_one_d_collocates_sources;
+    Alcotest.test_case "CRVC collocates pairs" `Quick test_crvc_collocates_pairs;
+    Alcotest.test_case "RVC deterministic per pair" `Quick test_rvc_collocates_parallel_edges;
+    Alcotest.test_case "2D replication bound" `Quick test_two_d_replication_bound;
+    Alcotest.test_case "strategy errors" `Quick test_strategy_errors;
+    Alcotest.test_case "hash nonnegative" `Quick test_hashing_nonnegative;
+    prop_metrics_match_bruteforce;
+    Alcotest.test_case "metrics identities" `Quick test_metrics_identities;
+    Alcotest.test_case "metrics single partition" `Quick test_metrics_single_partition;
+    Alcotest.test_case "metric lookup" `Quick test_metric_value_lookup;
+    Alcotest.test_case "streaming deterministic" `Quick test_streaming_deterministic;
+    Alcotest.test_case "greedy beats random replication" `Quick test_greedy_beats_random_on_replication;
+    Alcotest.test_case "custom partitioner" `Quick test_custom_partitioner;
+    Alcotest.test_case "partitioner names" `Quick test_partitioner_names;
+    prop_paper_six_cover_all_edges;
+  ]
+
+(* --- VTS/VTO identity and the analytic replication model --- *)
+
+module Replication_model = Cutfit_partition.Replication_model
+
+let test_vts_vto_identity () =
+  List.iter
+    (fun p ->
+      let a = Partitioner.assign p ~num_partitions g in
+      let m = Metrics.compute g ~num_partitions a in
+      checki
+        (Partitioner.name p ^ ": comm+noncut = same+other")
+        (m.Metrics.comm_cost + m.Metrics.non_cut)
+        (m.Metrics.vertices_to_same + m.Metrics.vertices_to_other))
+    Partitioner.paper_six
+
+let test_vts_bounded_by_vertices () =
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions g in
+  let m = Metrics.compute g ~num_partitions a in
+  checkb "VTS <= vertices" true (m.Metrics.vertices_to_same <= Graph.num_vertices g)
+
+let test_dc_maximizes_vts () =
+  (* Under DC with identity masters, every vertex with in-edges sits in
+     its own master partition, so DC should collocate at least as well
+     as RVC. *)
+  let vts p =
+    let a = Partitioner.assign (Partitioner.Hash p) ~num_partitions g in
+    (Metrics.compute g ~num_partitions a).Metrics.vertices_to_same
+  in
+  checkb "DC >= RVC" true (vts Strategy.Dc >= vts Strategy.Rvc)
+
+let test_expected_replicas_formula () =
+  checkb "zero degree" true (Replication_model.expected_replicas ~degree:0 ~targets:8 = 0.0);
+  checkb "degree 1" true
+    (abs_float (Replication_model.expected_replicas ~degree:1 ~targets:8 -. 1.0) < 1e-9);
+  checkb "huge degree saturates" true
+    (abs_float (Replication_model.expected_replicas ~degree:100_000 ~targets:8 -. 8.0) < 1e-6);
+  Alcotest.check_raises "bad targets"
+    (Invalid_argument "Replication_model.expected_replicas: targets <= 0") (fun () ->
+      ignore (Replication_model.expected_replicas ~degree:3 ~targets:0))
+
+let test_prediction_close_for_random_cuts () =
+  (* For RVC the balls-in-bins model is exact in expectation; on a
+     single sample it should land within ~15%. *)
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions g in
+  let m = Metrics.compute g ~num_partitions a in
+  let predicted = Replication_model.predict_comm_cost Strategy.Rvc ~num_partitions g in
+  let measured = float_of_int m.Metrics.comm_cost in
+  checkb "within 15%" true (abs_float (predicted -. measured) /. measured < 0.15)
+
+let test_prediction_ranks_2d_below_rvc () =
+  let ranked = Replication_model.rank_strategies ~num_partitions g in
+  let pos s =
+    let rec go i = function
+      | [] -> -1
+      | (x, _) :: rest -> if x = s then i else go (i + 1) rest
+    in
+    go 0 ranked
+  in
+  checkb "2D cheaper than RVC (replication bound)" true (pos Strategy.Two_d < pos Strategy.Rvc)
+
+let test_replication_factor_positive () =
+  let f = Replication_model.predict_replication_factor Strategy.Crvc ~num_partitions g in
+  checkb "at least 1" true (f >= 1.0)
+
+let extended_suite =
+  [
+    Alcotest.test_case "VTS/VTO identity" `Quick test_vts_vto_identity;
+    Alcotest.test_case "VTS bounded" `Quick test_vts_bounded_by_vertices;
+    Alcotest.test_case "DC collocates masters" `Quick test_dc_maximizes_vts;
+    Alcotest.test_case "expected replicas formula" `Quick test_expected_replicas_formula;
+    Alcotest.test_case "prediction close for RVC" `Quick test_prediction_close_for_random_cuts;
+    Alcotest.test_case "prediction ranks 2D < RVC" `Quick test_prediction_ranks_2d_below_rvc;
+    Alcotest.test_case "replication factor >= 1" `Quick test_replication_factor_positive;
+  ]
+
+let suite = suite @ extended_suite
+
+(* --- hybrid-cut --- *)
+
+let test_hybrid_low_degree_groups_by_dst () =
+  (* In a graph where every in-degree is 1, hybrid = DC-with-hash. *)
+  let chain = Test_util.graph_of_edges ~n:10 (List.init 9 (fun i -> (i, i + 1))) in
+  let a = Streaming.assign (Streaming.Hybrid 5) ~num_partitions:4 chain in
+  Array.iteri
+    (fun e p ->
+      checki "hashed by dst" (Hashing.hash1 (Graph.edge_dst chain e) ~num_partitions:4) p)
+    a
+
+let test_hybrid_spreads_hub_in_edges () =
+  (* A star with 100 in-edges to the hub: hybrid with threshold 10 must
+     spread them by source, touching many partitions. *)
+  let star = Test_util.graph_of_edges ~n:101 (List.init 100 (fun i -> (i + 1, 0))) in
+  let a = Streaming.assign (Streaming.Hybrid 10) ~num_partitions:8 star in
+  let used = Array.make 8 false in
+  Array.iter (fun p -> used.(p) <- true) a;
+  let count = Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 used in
+  checkb "spread over most partitions" true (count >= 6);
+  (* DC by contrast concentrates them all in one partition. *)
+  let dc = Partitioner.assign (Partitioner.Hash Strategy.Dc) ~num_partitions:8 star in
+  checkb "DC concentrates" true (Array.for_all (fun p -> p = dc.(0)) dc)
+
+let test_hybrid_parse () =
+  checkb "parses" true (Streaming.of_string "hybrid" = Some (Streaming.Hybrid 100))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "hybrid groups by dst" `Quick test_hybrid_low_degree_groups_by_dst;
+      Alcotest.test_case "hybrid spreads hub" `Quick test_hybrid_spreads_hub_in_edges;
+      Alcotest.test_case "hybrid parse" `Quick test_hybrid_parse;
+    ]
