@@ -249,6 +249,70 @@ let engines ppf =
   Format.fprintf ppf "%s@."
     (E.Report.table ~header:[ "Partitioner"; "Pregel"; "GAS"; "ranks agree" ] ~rows)
 
+(* --- telemetry: per-superstep observability + JSONL export --- *)
+
+let telemetry ppf =
+  Format.fprintf ppf
+    "PageRank on the Pocek analogue (advised partitioner, config (i)),@.\
+     with the lib/obs telemetry layer attached: a ring buffer for the@.\
+     reconciliation table below and a JSONL export (trace.jsonl) from@.\
+     which every per-superstep figure can be re-derived offline:@.@.";
+  let spec = Cutfit.Datasets.find "pocek" in
+  let g = Cutfit.Datasets.generate spec in
+  let scale = Run.scale_of spec g in
+  let ring, contents = Cutfit.Sink.ring () in
+  let t = Cutfit.Telemetry.create ~sinks:[ ring; Cutfit.Sink.jsonl "trace.jsonl" ] () in
+  let p = Cutfit.Pipeline.prepare ~scale ~telemetry:t ~algorithm:Cutfit.Advisor.Pagerank g in
+  let _ranks, trace = Cutfit.Pipeline.pagerank p in
+  Cutfit.Telemetry.close t;
+  let events = contents () in
+  let supersteps =
+    List.filter_map (function Cutfit.Event.Superstep s -> Some s | _ -> None) events
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 supersteps in
+  let sumf f = List.fold_left (fun acc s -> acc +. f s) 0.0 supersteps in
+  let rows =
+    [
+      [
+        "records";
+        string_of_int (List.length supersteps);
+        string_of_int (Cutfit.Trace.num_supersteps trace);
+      ];
+      [
+        "messages";
+        E.Report.commas (sum (fun s -> s.Cutfit.Event.messages));
+        E.Report.commas (Cutfit.Trace.total_messages trace);
+      ];
+      [
+        "remote msgs";
+        E.Report.commas
+          (sum (fun s -> s.Cutfit.Event.remote_shuffles + s.Cutfit.Event.remote_broadcasts));
+        E.Report.commas (Cutfit.Trace.total_remote_messages trace);
+      ];
+      [
+        "wire bytes";
+        Printf.sprintf "%.0f" (sumf (fun s -> s.Cutfit.Event.wire_bytes));
+        Printf.sprintf "%.0f" (Cutfit.Trace.total_wire_bytes trace);
+      ];
+    ]
+  in
+  Format.fprintf ppf "%s@."
+    (E.Report.table ~header:[ "Quantity"; "Event stream"; "Trace.t" ] ~rows);
+  Format.fprintf ppf "straggler spread (max/min jittered task time) per superstep:@.";
+  List.iter
+    (fun s ->
+      if s.Cutfit.Event.step >= 0 then
+        Format.fprintf ppf "  step %2d: skew %.2f, barrier waits %s@." s.Cutfit.Event.step
+          (Cutfit.Event.skew s)
+          (String.concat " "
+             (List.map (Printf.sprintf "%.3fs") (Array.to_list s.Cutfit.Event.barrier_wait_s))))
+    supersteps;
+  Format.fprintf ppf "registry: @.";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-24s %.3f@." name v)
+    (Cutfit.Metric.snapshot (Cutfit.Telemetry.metrics t));
+  Format.fprintf ppf "wrote %d events to trace.jsonl@." (Cutfit.Telemetry.events_emitted t)
+
 (* --- bechamel micro-benchmarks --- *)
 
 let micro ppf =
@@ -310,6 +374,7 @@ let sections =
     ("sweep", ("Granularity sweep: 32..512 partitions", sweep));
     ("engines", ("Engine comparison: Pregel vs GAS", engines));
     ("export", ("CSV export of the evaluation matrix", export));
+    ("telemetry", ("Telemetry: per-superstep observability + JSONL export", telemetry));
     ("micro", ("Micro-benchmarks (bechamel)", micro));
   ]
 

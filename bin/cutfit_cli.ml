@@ -51,6 +51,46 @@ let config_arg =
   let print ppf c = Fmt.string ppf c.Cutfit.Cluster.name in
   Arg.(value & opt (conv (parse, print)) Cutfit.Cluster.config_i & info [ "c"; "config" ] ~docv:"CFG" ~doc:"Cluster configuration: i, ii, iii or iv.")
 
+(* --- telemetry plumbing shared by run/compare --- *)
+
+let trace_out_arg =
+  let doc =
+    "Write one JSON object per superstep (plus run boundaries) to $(docv). The records carry \
+     the full per-superstep signal set: messages, local/remote shuffles, bytes on the wire, \
+     per-executor busy and barrier-wait times, and task-skew extrema."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE.jsonl" ~doc)
+
+let verbose_supersteps_arg =
+  let doc = "Print every superstep's telemetry record as the run executes." in
+  Arg.(value & flag & info [ "verbose-supersteps" ] ~doc)
+
+(* Build a telemetry handle from the CLI flags, or [None] when neither
+   flag asks for one (keeping the engines' zero-allocation path). The
+   returned closer finishes the sinks and reports where the trace went. *)
+let telemetry_of_flags ~trace_out ~verbose =
+  match (trace_out, verbose) with
+  | None, false -> (None, fun () -> ())
+  | _ ->
+      let sinks =
+        (match trace_out with
+        | Some path -> (
+            match Cutfit.Sink.jsonl path with
+            | sink -> [ sink ]
+            | exception Sys_error msg ->
+                Fmt.epr "cutfit: cannot open trace file: %s@." msg;
+                exit 1)
+        | None -> [])
+        @ if verbose then [ Cutfit.Sink.console ~verbose:true Format.std_formatter ] else []
+      in
+      let t = Cutfit.Telemetry.create ~sinks () in
+      ( Some t,
+        fun () ->
+          Cutfit.Telemetry.close t;
+          match trace_out with
+          | Some path -> Fmt.pr "wrote %d telemetry events to %s@." (Cutfit.Telemetry.events_emitted t) path
+          | None -> () )
+
 (* --- datasets --- *)
 
 let datasets_cmd =
@@ -146,12 +186,13 @@ let run_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner =
+  let action algo graph config partitioner trace_out verbose =
     let g = load_graph graph in
-    let p = Cutfit.Pipeline.prepare ~cluster:config ?partitioner ~algorithm:algo g in
-    Fmt.pr "partitioner: %s, %d partitions, cluster %s@."
+    let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
+    let p = Cutfit.Pipeline.prepare ~cluster:config ?partitioner ?telemetry ~algorithm:algo g in
+    Fmt.pr "partitioner: %s, %s@."
       (Cutfit.Partitioner.name p.Cutfit.Pipeline.partitioner)
-      config.Cutfit.Cluster.num_partitions config.Cutfit.Cluster.name;
+      (Cutfit.Cluster.describe config);
     let trace =
       match algo with
       | Cutfit.Advisor.Pagerank ->
@@ -177,10 +218,11 @@ let run_cmd =
           Fmt.pr "vertices reaching landmark 0: %d@." !reached;
           trace
     in
-    Fmt.pr "%a@." Cutfit.Trace.pp_summary trace
+    Fmt.pr "%a@." Cutfit.Trace.pp_summary trace;
+    finish_telemetry ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an algorithm on a partitioned graph and print the simulated trace.")
-    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy)
+    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ trace_out_arg $ verbose_supersteps_arg)
 
 (* --- compare --- *)
 
@@ -188,14 +230,16 @@ let compare_cmd =
   let graph_pos1 =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
   in
-  let action algo graph config =
+  let action algo graph config trace_out verbose =
     let g = load_graph graph in
+    let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     List.iter
       (fun (name, t) -> Fmt.pr "%-10s %s@." name (Cutfit_experiments.Report.seconds t))
-      (Cutfit.Pipeline.compare_partitioners ~cluster:config ~algorithm:algo g)
+      (Cutfit.Pipeline.compare_partitioners ~cluster:config ?telemetry ~algorithm:algo g);
+    finish_telemetry ()
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare simulated job time across the six partitioners.")
-    Term.(const action $ algo_arg $ graph_pos1 $ config_arg)
+    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ trace_out_arg $ verbose_supersteps_arg)
 
 let () =
   let doc = "Tailor graph partitioning to the computation (Cut to Fit)." in

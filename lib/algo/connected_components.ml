@@ -16,8 +16,8 @@ let program =
     msg_bytes = 8;
   }
 
-let run ?(iterations = 10) ?scale ?cost ~cluster pg =
-  let r = Pregel.run ~max_supersteps:iterations ?scale ?cost ~cluster pg program in
+let run ?(iterations = 10) ?scale ?cost ?telemetry ~cluster pg =
+  let r = Pregel.run ~max_supersteps:iterations ?scale ?cost ?telemetry ~cluster pg program in
   { labels = r.Pregel.attrs; trace = r.Pregel.trace }
 
 let reference g = fst (Cutfit_graph.Components.weak g)

@@ -16,6 +16,7 @@ val run :
   ?iterations:int ->
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->
   result

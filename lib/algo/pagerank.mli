@@ -12,6 +12,7 @@ val run :
   ?iterations:int ->
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->
   result
@@ -21,6 +22,7 @@ val run_gas :
   ?iterations:int ->
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->
   result

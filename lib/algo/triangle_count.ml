@@ -3,31 +3,34 @@ module Pgraph = Cutfit_bsp.Pgraph
 module Cluster = Cutfit_bsp.Cluster
 module Cost_model = Cutfit_bsp.Cost_model
 module Trace = Cutfit_bsp.Trace
+module Obs = Cutfit_obs
 
 type result = { per_vertex : int array; total : int; trace : Trace.t }
 
 (* Assemble one dataflow stage into a trace record using the same time
-   composition as the Pregel engine. *)
-let finish_stage ~cluster ~scale ~cost ~step ~work ~bytes_out ~active_edges ~messages
-    ~shuffle_groups ~remote_shuffles ~updated ~bcast ~remote_bcast =
+   composition as the Pregel engine, emitting the matching telemetry
+   event when a handle is attached. *)
+let finish_stage ?telemetry ~cluster ~scale ~cost ~step ~work ~bytes_out ~active_edges ~messages
+    ~shuffle_groups ~remote_shuffles ~updated ~bcast ~remote_bcast () =
   let executors = cluster.Cluster.executors in
   let num_partitions = cluster.Cluster.num_partitions in
   let exec_of = Cluster.executor_of_partition cluster in
-  let compute = ref 0.0 in
+  let jittered = Cost_model.jittered cost ~step work in
+  let busy = Array.make executors 0.0 in
   for e = 0 to executors - 1 do
     let mine = ref [] in
     for p = 0 to num_partitions - 1 do
-      if exec_of p = e then
-        mine := (work.(p) *. Cost_model.jitter cost ~partition:p ~step) :: !mine
+      if exec_of p = e then mine := jittered.(p) :: !mine
     done;
-    let t =
-      scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores:cluster.Cluster.cores_per_executor
-    in
-    if t > !compute then compute := t
+    busy.(e) <-
+      scale
+      *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores:cluster.Cluster.cores_per_executor
   done;
-  let network = ref 0.0 in
+  let compute = Array.fold_left Float.max 0.0 busy in
+  let network = ref 0.0 and wire = ref 0.0 in
   let bandwidth = Cluster.network_bytes_per_s cluster in
   for e = 0 to executors - 1 do
+    wire := !wire +. (scale *. bytes_out.(e));
     let t = scale *. bytes_out.(e) /. bandwidth in
     if t > !network then network := t
   done;
@@ -35,22 +38,57 @@ let finish_stage ~cluster ~scale ~cost ~step ~work ~bytes_out ~active_edges ~mes
     cost.Cost_model.superstep_barrier_s
     +. (float_of_int num_partitions *. cost.Cost_model.task_dispatch_s)
   in
-  {
-    Trace.step;
-    active_edges;
-    messages;
-    shuffle_groups;
-    remote_shuffles;
-    updated_vertices = updated;
-    broadcast_replicas = bcast;
-    remote_broadcasts = remote_bcast;
-    compute_s = !compute;
-    network_s = !network;
-    overhead_s = overhead;
-    time_s = Float.max !compute !network +. overhead;
-  }
+  let stats =
+    {
+      Trace.step;
+      active_edges;
+      messages;
+      shuffle_groups;
+      remote_shuffles;
+      updated_vertices = updated;
+      broadcast_replicas = bcast;
+      remote_broadcasts = remote_bcast;
+      wire_bytes = !wire;
+      compute_s = compute;
+      network_s = !network;
+      overhead_s = overhead;
+      time_s = Float.max compute !network +. overhead;
+    }
+  in
+  (match telemetry with
+  | None -> ()
+  | Some t ->
+      let max_task = ref 0.0 and min_task = ref Float.infinity in
+      Array.iter
+        (fun w ->
+          let w = scale *. w in
+          if w > !max_task then max_task := w;
+          if w < !min_task then min_task := w)
+        jittered;
+      Obs.Telemetry.emit t
+        (Obs.Event.Superstep
+           {
+             step;
+             active_vertices = updated;
+             active_edges;
+             messages;
+             local_shuffles = shuffle_groups - remote_shuffles;
+             remote_shuffles;
+             broadcast_replicas = bcast;
+             remote_broadcasts = remote_bcast;
+             wire_bytes = stats.Trace.wire_bytes;
+             executor_busy_s = busy;
+             barrier_wait_s = Array.map (fun b -> compute -. b) busy;
+             max_task_s = !max_task;
+             min_task_s = (if num_partitions = 0 then 0.0 else !min_task);
+             compute_s = stats.Trace.compute_s;
+             network_s = stats.Trace.network_s;
+             overhead_s = stats.Trace.overhead_s;
+             time_s = stats.Trace.time_s;
+           }));
+  stats
 
-let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ~cluster pg =
+let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ?telemetry ~cluster pg =
   let g = Pgraph.graph pg in
   let n = Graph.num_vertices g in
   let num_partitions = Pgraph.num_partitions pg in
@@ -104,9 +142,9 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ~cluster pg =
       if r >= 2 then work.(mp) <- work.(mp) +. cost.Cost_model.cut_vertex_reduce_s;
       work.(mp) <- work.(mp) +. (float_of_int (deg v) *. cost.Cost_model.msg_merge_s)
     done;
-    finish_stage ~cluster ~scale ~cost ~step:0 ~work ~bytes_out ~active_edges:(Graph.num_edges g)
-      ~messages:!messages ~shuffle_groups:!groups ~remote_shuffles:!remote ~updated:n ~bcast:0
-      ~remote_bcast:0
+    finish_stage ?telemetry ~cluster ~scale ~cost ~step:0 ~work ~bytes_out
+      ~active_edges:(Graph.num_edges g) ~messages:!messages ~shuffle_groups:!groups
+      ~remote_shuffles:!remote ~updated:n ~bcast:0 ~remote_bcast:0 ()
   in
 
   (* Stage 2 — replicate neighbour sets along the routing table. Each
@@ -137,8 +175,9 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ~cluster pg =
             bytes_out.(mexec) <- bytes_out.(mexec) +. set_bytes
           end)
     done;
-    finish_stage ~cluster ~scale ~cost ~step:1 ~work ~bytes_out ~active_edges:0 ~messages:0
-      ~shuffle_groups:0 ~remote_shuffles:0 ~updated:n ~bcast:!bcast ~remote_bcast:!remote_bcast
+    finish_stage ?telemetry ~cluster ~scale ~cost ~step:1 ~work ~bytes_out ~active_edges:0
+      ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated:n ~bcast:!bcast
+      ~remote_bcast:!remote_bcast ()
   in
 
   (* Stage 3 — per-edge set intersection, on canonical (unordered)
@@ -185,8 +224,8 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ~cluster pg =
               +. (float_of_int !probes *. cost.Cost_model.intersect_probe_s)
           end)
     done;
-    finish_stage ~cluster ~scale ~cost ~step:2 ~work ~bytes_out ~active_edges:!active ~messages:0
-      ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0
+    finish_stage ?telemetry ~cluster ~scale ~cost ~step:2 ~work ~bytes_out ~active_edges:!active
+      ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0 ()
   in
 
   (* Stage 4 — reduce per-vertex counts back at the masters. *)
@@ -206,9 +245,9 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ~cluster pg =
               +. float_of_int (8 + cost.Cost_model.msg_wire_overhead_bytes)
           end)
     done;
-    finish_stage ~cluster ~scale ~cost ~step:3 ~work ~bytes_out ~active_edges:0
+    finish_stage ?telemetry ~cluster ~scale ~cost ~step:3 ~work ~bytes_out ~active_edges:0
       ~messages:!groups ~shuffle_groups:!groups ~remote_shuffles:!remote ~updated:n ~bcast:0
-      ~remote_bcast:0
+      ~remote_bcast:0 ()
   in
 
   let supersteps = [ stage1; stage2; stage3; stage4 ] in
@@ -221,18 +260,41 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ~cluster pg =
     List.fold_left (fun acc (s : Trace.superstep) -> acc +. s.time_s) load_s supersteps
   in
   let total = Array.fold_left ( + ) 0 counts / 3 in
-  {
-    per_vertex = counts;
-    total;
-    trace =
-      {
-        Trace.supersteps;
-        load_s;
-        checkpoint_s = 0.0;
-        checkpoints = 0;
-        total_s;
-        outcome = Trace.Completed;
-        peak_executor_bytes = 0.0;
-        driver_meta_bytes = 0.0;
-      };
-  }
+  let trace =
+    {
+      Trace.supersteps;
+      load_s;
+      checkpoint_s = 0.0;
+      checkpoints = 0;
+      total_s;
+      outcome = Trace.Completed;
+      peak_executor_bytes = 0.0;
+      driver_meta_bytes = 0.0;
+    }
+  in
+  (match telemetry with
+  | None -> ()
+  | Some t ->
+      let reg = Obs.Telemetry.metrics t in
+      Obs.Metric.incr (Obs.Metric.counter reg "bsp.runs");
+      Obs.Metric.add (Obs.Metric.counter reg "bsp.messages") (Trace.total_messages trace);
+      Obs.Metric.add
+        (Obs.Metric.counter reg "bsp.remote_messages")
+        (Trace.total_remote_messages trace);
+      Obs.Metric.record (Obs.Metric.timer reg "bsp.simulated_s") trace.Trace.total_s;
+      Obs.Metric.set (Obs.Metric.gauge reg "bsp.last_wire_bytes") (Trace.total_wire_bytes trace);
+      Obs.Metric.add (Obs.Metric.counter reg "bsp.supersteps") (List.length supersteps);
+      Obs.Telemetry.emit t
+        (Obs.Event.Run_end
+           {
+             label = "triangle_count";
+             outcome = Trace.outcome_name Trace.Completed;
+             supersteps = List.length supersteps;
+             total_s;
+             load_s;
+             checkpoint_s = 0.0;
+             total_messages = Trace.total_messages trace;
+             total_remote = Trace.total_remote_messages trace;
+             total_wire_bytes = Trace.total_wire_bytes trace;
+           }));
+  { per_vertex = counts; total; trace }

@@ -19,6 +19,7 @@ val run :
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
   ?undirected:Cutfit_graph.Graph.t ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->
   result

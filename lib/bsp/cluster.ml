@@ -54,3 +54,10 @@ let storage_bytes_per_s t =
   match t.storage with Hdd_hdfs -> 120_000_000.0 | Ssd_local -> 500_000_000.0
 
 let total_cores t = t.executors * t.cores_per_executor
+
+let describe t =
+  Printf.sprintf "%s: %d partitions on %d executors x %d cores, %.0f Gbps, %s" t.name
+    t.num_partitions t.executors t.cores_per_executor t.network_gbps
+    (match t.storage with Hdd_hdfs -> "HDD/HDFS" | Ssd_local -> "local SSD")
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -44,3 +44,10 @@ val storage_bytes_per_s : t -> float
 (** Per-executor sequential read bandwidth of the storage tier. *)
 
 val total_cores : t -> int
+
+val describe : t -> string
+(** One-line human description (name, partitions, executors, network,
+    storage), used by the telemetry console sink and the CLI. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!describe}. *)

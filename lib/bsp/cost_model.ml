@@ -54,6 +54,9 @@ let jitter t ~partition ~step =
   let u = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 in
   1.0 +. (t.gc_jitter *. u)
 
+let jittered t ~step work =
+  Array.mapi (fun partition w -> w *. jitter t ~partition ~step) work
+
 let makespan ~work ~cores =
   if cores <= 0 then invalid_arg "Cost_model.makespan: cores <= 0";
   let total = Array.fold_left ( +. ) 0.0 work in

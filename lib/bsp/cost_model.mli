@@ -49,6 +49,12 @@ val default : t
 val jitter : t -> partition:int -> step:int -> float
 (** The deterministic jitter multiplier of one task instance. *)
 
+val jittered : t -> step:int -> float array -> float array
+(** [jittered t ~step work] is the per-partition [work] array with each
+    task's {!jitter} multiplier applied ([work.(p)] is partition [p]'s
+    single-core seconds). The engines schedule this array; the telemetry
+    layer reads its extrema as the superstep's task-skew signal. *)
+
 val makespan : work:float array -> cores:int -> float
 (** Time to drain per-task single-core [work] seconds on [cores]
     identical cores: [max (max_i work) (sum work / cores)], the standard

@@ -46,9 +46,12 @@ val run :
   ?max_iterations:int ->
   ?scale:float ->
   ?cost:Cost_model.t ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
   ('v, 'g) program ->
   'v result
 (** Run until no vertex remains active or [max_iterations] (default
-    500). All vertices start active. *)
+    500). All vertices start active. [telemetry] streams one
+    {!Cutfit_obs.Event.Superstep} per stage and a closing [Run_end]
+    labelled ["gas"], exactly as {!Pregel.run} does. *)

@@ -1,4 +1,5 @@
 module Graph = Cutfit_graph.Graph
+module Obs = Cutfit_obs
 
 type direction = To_src | To_dst
 
@@ -44,7 +45,8 @@ module Ivec = struct
   let length t = t.len
 end
 
-let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every ~cluster pg program =
+let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every
+    ?telemetry ~cluster pg program =
   let g = Pgraph.graph pg in
   let n = Graph.num_vertices g in
   let num_partitions = Pgraph.num_partitions pg in
@@ -129,19 +131,20 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       ~remote_shuffles ~updated ~bcast ~remote_bcast =
     (* Executor compute = makespan of its partitions' jittered work over
        its cores. *)
-    let compute = ref 0.0 in
+    let jittered = Cost_model.jittered cost ~step work in
+    let busy = Array.make executors 0.0 in
     for e = 0 to executors - 1 do
       let mine = ref [] in
       for p = 0 to num_partitions - 1 do
-        if exec_of p = e then
-          mine := (work.(p) *. Cost_model.jitter cost ~partition:p ~step) :: !mine
+        if exec_of p = e then mine := jittered.(p) :: !mine
       done;
       let arr = Array.of_list !mine in
-      let t = scale *. Cost_model.makespan ~work:arr ~cores in
-      if t > !compute then compute := t
+      busy.(e) <- scale *. Cost_model.makespan ~work:arr ~cores
     done;
-    let network = ref 0.0 in
+    let compute = Array.fold_left Float.max 0.0 busy in
+    let network = ref 0.0 and wire = ref 0.0 in
     for e = 0 to executors - 1 do
+      wire := !wire +. (scale *. bytes_out.(e));
       let t = scale *. bytes_out.(e) /. bandwidth in
       if t > !network then network := t
     done;
@@ -161,15 +164,50 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
         updated_vertices = updated;
         broadcast_replicas = bcast;
         remote_broadcasts = remote_bcast;
-        compute_s = !compute;
+        wire_bytes = !wire;
+        compute_s = compute;
         network_s = !network;
         overhead_s = overhead;
         (* Spark pipelines shuffle fetch with task execution, so wire
            time hides behind compute until it becomes the bottleneck. *)
-        time_s = Float.max !compute !network +. overhead;
+        time_s = Float.max compute !network +. overhead;
       }
     in
     steps := stats :: !steps;
+    (* The telemetry event is derived from the very counters that formed
+       [stats], so event-stream aggregates reconcile with the trace
+       exactly; when no handle is attached nothing is allocated. *)
+    (match telemetry with
+    | None -> ()
+    | Some t ->
+        let max_task = ref 0.0 and min_task = ref Float.infinity in
+        Array.iter
+          (fun w ->
+            let w = scale *. w in
+            if w > !max_task then max_task := w;
+            if w < !min_task then min_task := w)
+          jittered;
+        Obs.Telemetry.emit t
+          (Obs.Event.Superstep
+             {
+               step;
+               active_vertices = updated;
+               active_edges;
+               messages;
+               local_shuffles = shuffle_groups - remote_shuffles;
+               remote_shuffles;
+               broadcast_replicas = bcast;
+               remote_broadcasts = remote_bcast;
+               wire_bytes = stats.Trace.wire_bytes;
+               executor_busy_s = busy;
+               barrier_wait_s = Array.map (fun b -> compute -. b) busy;
+               max_task_s = !max_task;
+               min_task_s = (if num_partitions = 0 then 0.0 else !min_task);
+               compute_s = stats.Trace.compute_s;
+               network_s = stats.Trace.network_s;
+               overhead_s = stats.Trace.overhead_s;
+               time_s = stats.Trace.time_s;
+             }));
     !driver_meta > cluster.Cluster.driver_memory_bytes
   in
 
@@ -315,17 +353,46 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
     List.fold_left (fun acc (s : Trace.superstep) -> acc +. s.time_s) (load_s +. !checkpoint_s)
       supersteps
   in
-  {
-    attrs;
-    trace =
-      {
-        Trace.supersteps;
-        load_s;
-        checkpoint_s = !checkpoint_s;
-        checkpoints = !checkpoints;
-        total_s;
-        outcome = !outcome;
-        peak_executor_bytes = !peak_executor;
-        driver_meta_bytes = !driver_meta;
-      };
-  }
+  let trace =
+    {
+      Trace.supersteps;
+      load_s;
+      checkpoint_s = !checkpoint_s;
+      checkpoints = !checkpoints;
+      total_s;
+      outcome = !outcome;
+      peak_executor_bytes = !peak_executor;
+      driver_meta_bytes = !driver_meta;
+    }
+  in
+  (match telemetry with
+  | None -> ()
+  | Some t ->
+      let reg = Obs.Telemetry.metrics t in
+      Obs.Metric.incr (Obs.Metric.counter reg "bsp.runs");
+      Obs.Metric.add (Obs.Metric.counter reg "bsp.messages") (Trace.total_messages trace);
+      Obs.Metric.add
+        (Obs.Metric.counter reg "bsp.remote_messages")
+        (Trace.total_remote_messages trace);
+      Obs.Metric.record (Obs.Metric.timer reg "bsp.simulated_s") trace.Trace.total_s;
+      Obs.Metric.set (Obs.Metric.gauge reg "bsp.last_wire_bytes") (Trace.total_wire_bytes trace);
+      let compute_steps =
+        List.fold_left
+          (fun acc (s : Trace.superstep) -> if s.Trace.step >= 0 then acc + 1 else acc)
+          0 supersteps
+      in
+      Obs.Metric.add (Obs.Metric.counter reg "bsp.supersteps") compute_steps;
+      Obs.Telemetry.emit t
+        (Obs.Event.Run_end
+           {
+             label = "pregel";
+             outcome = Trace.outcome_name !outcome;
+             supersteps = compute_steps;
+             total_s;
+             load_s;
+             checkpoint_s = !checkpoint_s;
+             total_messages = Trace.total_messages trace;
+             total_remote = Trace.total_remote_messages trace;
+             total_wire_bytes = Trace.total_wire_bytes trace;
+           }));
+  { attrs; trace }

@@ -48,6 +48,7 @@ val run :
   ?scale:float ->
   ?cost:Cost_model.t ->
   ?checkpoint_every:int ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
   ('v, 'm) program ->
@@ -61,4 +62,11 @@ val run :
     — the standard Spark mitigation for the long-run out-of-memory
     failures the paper hit. On out-of-memory the returned attributes
     reflect the last completed superstep and [trace.outcome] is
-    [Out_of_memory]. *)
+    [Out_of_memory].
+
+    When [telemetry] is given, every stage (including the [step = -1]
+    build stage) emits one {!Cutfit_obs.Event.Superstep} record derived
+    from the same counters as the trace — so the event stream's message
+    and byte aggregates reconcile with the returned {!Trace.t} exactly —
+    followed by one [Run_end] record labelled ["pregel"]. Without it the
+    engine allocates no telemetry records at all. *)

@@ -7,6 +7,7 @@ type superstep = {
   updated_vertices : int;
   broadcast_replicas : int;
   remote_broadcasts : int;
+  wire_bytes : float;
   compute_s : float;
   network_s : float;
   overhead_s : float;
@@ -28,23 +29,30 @@ type t = {
 
 let num_supersteps t = List.length t.supersteps
 let total_messages t = List.fold_left (fun acc s -> acc + s.messages) 0 t.supersteps
+
+let total_remote_messages t =
+  List.fold_left (fun acc s -> acc + s.remote_shuffles + s.remote_broadcasts) 0 t.supersteps
+
+let total_wire_bytes t = List.fold_left (fun acc s -> acc +. s.wire_bytes) 0.0 t.supersteps
 let total_network_s t = List.fold_left (fun acc s -> acc +. s.network_s) 0.0 t.supersteps
 let total_compute_s t = List.fold_left (fun acc s -> acc +. s.compute_s) 0.0 t.supersteps
 let total_overhead_s t = List.fold_left (fun acc s -> acc +. s.overhead_s) 0.0 t.supersteps
 let completed t = t.outcome <> Out_of_memory
 
+let outcome_name = function
+  | Completed -> "completed"
+  | Max_supersteps -> "max-supersteps"
+  | Out_of_memory -> "out-of-memory"
+
 let pp_superstep ppf s =
   Format.fprintf ppf
-    "step %2d: active=%d msgs=%d shuffle=%d(+%d remote) bcast=%d(+%d remote) t=%.3fs (c=%.3f n=%.3f o=%.3f)"
+    "step %2d: active=%d msgs=%d shuffle=%d(+%d remote) bcast=%d(+%d remote) wire=%.0fB t=%.3fs (c=%.3f n=%.3f o=%.3f)"
     s.step s.active_edges s.messages s.shuffle_groups s.remote_shuffles s.broadcast_replicas
-    s.remote_broadcasts s.time_s s.compute_s s.network_s s.overhead_s
+    s.remote_broadcasts s.wire_bytes s.time_s s.compute_s s.network_s s.overhead_s
 
 let pp_summary ppf t =
   let outcome =
-    match t.outcome with
-    | Completed -> "completed"
-    | Max_supersteps -> "max-supersteps"
-    | Out_of_memory -> "OUT-OF-MEMORY"
+    match t.outcome with Out_of_memory -> "OUT-OF-MEMORY" | o -> outcome_name o
   in
   Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s)"
     outcome (num_supersteps t) t.total_s t.load_s (total_compute_s t) (total_network_s t)

@@ -14,6 +14,9 @@ type superstep = {
   updated_vertices : int;  (** vertices that ran the vertex program *)
   broadcast_replicas : int;  (** replica copies refreshed from masters *)
   remote_broadcasts : int;  (** replica refreshes crossing executors *)
+  wire_bytes : float;
+      (** total scaled egress bytes across all executors this superstep —
+          the byte total the telemetry layer reconciles against *)
   compute_s : float;  (** modeled executor compute (max over executors) *)
   network_s : float;  (** modeled wire time (max over executors) *)
   overhead_s : float;  (** task dispatch + superstep barrier *)
@@ -38,11 +41,23 @@ type t = {
 
 val num_supersteps : t -> int
 val total_messages : t -> int
+
+val total_remote_messages : t -> int
+(** Remote shuffle aggregates plus remote replica refreshes, summed over
+    every recorded stage. *)
+
+val total_wire_bytes : t -> float
+(** Sum of {!superstep.wire_bytes} over every recorded stage. *)
+
 val total_network_s : t -> float
 val total_compute_s : t -> float
 val total_overhead_s : t -> float
 val completed : t -> bool
 (** [true] unless the run ended in {!Out_of_memory}. *)
+
+val outcome_name : outcome -> string
+(** Stable lowercase name ("completed", "max-supersteps",
+    "out-of-memory") used in telemetry exports. *)
 
 val pp_summary : Format.formatter -> t -> unit
 val pp_superstep : Format.formatter -> superstep -> unit

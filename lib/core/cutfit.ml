@@ -11,6 +11,8 @@
       partitioning;
     - {!Pgraph}, {!Pregel}, {!Cluster}, {!Cost_model}, {!Trace} — the
       simulated GraphX/Spark runtime;
+    - {!Telemetry}, {!Metric}, {!Event}, {!Sink}, {!Json} — structured
+      per-superstep telemetry and its sinks;
     - {!Pagerank}, {!Connected_components}, {!Triangle_count}, {!Sssp} —
       the four analytics algorithms;
     - {!Grid}, {!Social}, {!Datasets} — synthetic dataset generators;
@@ -37,6 +39,13 @@ module Streaming = Cutfit_partition.Streaming
 module Partitioner = Cutfit_partition.Partitioner
 module Metrics = Cutfit_partition.Metrics
 module Hashing = Cutfit_partition.Hashing
+
+(* Observability *)
+module Telemetry = Cutfit_obs.Telemetry
+module Metric = Cutfit_obs.Metric
+module Event = Cutfit_obs.Event
+module Sink = Cutfit_obs.Sink
+module Json = Cutfit_obs.Json
 
 (* Simulated runtime *)
 module Cluster = Cutfit_bsp.Cluster

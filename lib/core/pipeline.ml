@@ -3,6 +3,7 @@ module Partitioner = Cutfit_partition.Partitioner
 module Cluster = Cutfit_bsp.Cluster
 module Pgraph = Cutfit_bsp.Pgraph
 module Trace = Cutfit_bsp.Trace
+module Obs = Cutfit_obs
 
 type prepared = {
   graph : Graph.t;
@@ -10,9 +11,10 @@ type prepared = {
   cluster : Cluster.t;
   partitioner : Partitioner.t;
   scale : float;
+  telemetry : Obs.Telemetry.t option;
 }
 
-let prepare ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorithm g =
+let prepare ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?telemetry ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -21,36 +23,59 @@ let prepare ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorithm
   in
   let assignment = Partitioner.assign partitioner ~num_partitions g in
   let pg = Pgraph.build g ~num_partitions assignment in
-  { graph = g; pg; cluster; partitioner; scale }
+  { graph = g; pg; cluster; partitioner; scale; telemetry }
 
 let metrics p = Pgraph.metrics p.pg
 
+(* Each runner brackets the engine's event stream with a [Run_start]
+   naming the algorithm and the partitioner, so multi-run trace files
+   (e.g. from [compare_partitioners]) are self-describing. *)
+let start_run p label =
+  match p.telemetry with
+  | None -> ()
+  | Some t ->
+      Obs.Telemetry.emit t
+        (Obs.Event.Run_start
+           { label = Printf.sprintf "%s/%s" label (Partitioner.name p.partitioner) })
+
 let pagerank ?iterations p =
-  let r = Cutfit_algo.Pagerank.run ?iterations ~scale:p.scale ~cluster:p.cluster p.pg in
+  start_run p "pagerank";
+  let r =
+    Cutfit_algo.Pagerank.run ?iterations ~scale:p.scale ?telemetry:p.telemetry ~cluster:p.cluster
+      p.pg
+  in
   (r.Cutfit_algo.Pagerank.ranks, r.Cutfit_algo.Pagerank.trace)
 
 let connected_components ?iterations p =
+  start_run p "connected_components";
   let r =
-    Cutfit_algo.Connected_components.run ?iterations ~scale:p.scale ~cluster:p.cluster p.pg
+    Cutfit_algo.Connected_components.run ?iterations ~scale:p.scale ?telemetry:p.telemetry
+      ~cluster:p.cluster p.pg
   in
   (r.Cutfit_algo.Connected_components.labels, r.Cutfit_algo.Connected_components.trace)
 
 let triangles p =
-  let r = Cutfit_algo.Triangle_count.run ~scale:p.scale ~cluster:p.cluster p.pg in
+  start_run p "triangle_count";
+  let r =
+    Cutfit_algo.Triangle_count.run ~scale:p.scale ?telemetry:p.telemetry ~cluster:p.cluster p.pg
+  in
   ( r.Cutfit_algo.Triangle_count.per_vertex,
     r.Cutfit_algo.Triangle_count.total,
     r.Cutfit_algo.Triangle_count.trace )
 
 let shortest_paths ~landmarks p =
-  let r = Cutfit_algo.Sssp.run ~scale:p.scale ~cluster:p.cluster ~landmarks p.pg in
+  start_run p "shortest_paths";
+  let r =
+    Cutfit_algo.Sssp.run ~scale:p.scale ?telemetry:p.telemetry ~cluster:p.cluster ~landmarks p.pg
+  in
   (r.Cutfit_algo.Sssp.distances, r.Cutfit_algo.Sssp.trace)
 
 let compare_partitioners ?(partitioners = Partitioner.paper_six) ?(cluster = Cluster.config_i)
-    ?(scale = 1.0) ~algorithm g =
+    ?(scale = 1.0) ?telemetry ~algorithm g =
   let times =
     List.map
       (fun partitioner ->
-        let p = prepare ~cluster ~partitioner ~scale ~algorithm g in
+        let p = prepare ~cluster ~partitioner ~scale ?telemetry ~algorithm g in
         let trace =
           match algorithm with
           | Advisor.Pagerank -> snd (pagerank p)

@@ -8,6 +8,17 @@
       let p = Cutfit.Pipeline.prepare ~algorithm:Cutfit.Advisor.Pagerank g in
       let ranks, trace = Cutfit.Pipeline.pagerank p in
       Format.printf "%a@." Cutfit.Trace.pp_summary trace
+    ]}
+
+    To observe a run rather than just time it, attach a telemetry handle
+    at {!prepare}; each runner then streams one structured event per
+    superstep (plus run boundaries) to the handle's sinks:
+
+    {[
+      let t = Cutfit_obs.Telemetry.create ~sinks:[ Cutfit_obs.Sink.jsonl "trace.jsonl" ] () in
+      let p = Cutfit.Pipeline.prepare ~telemetry:t ~algorithm:Cutfit.Advisor.Pagerank g in
+      let _ranks, _trace = Cutfit.Pipeline.pagerank p in
+      Cutfit_obs.Telemetry.close t
     ]} *)
 
 type prepared = {
@@ -16,17 +27,22 @@ type prepared = {
   cluster : Cutfit_bsp.Cluster.t;
   partitioner : Cutfit_partition.Partitioner.t;
   scale : float;
+  telemetry : Cutfit_obs.Telemetry.t option;
+      (** threaded into every run launched from this preparation *)
 }
 
 val prepare :
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?partitioner:Cutfit_partition.Partitioner.t ->
   ?scale:float ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   prepared
 (** Partition the graph for the given algorithm. Defaults: cluster
-    configuration (i), the advisor's strategy, scale 1.0. *)
+    configuration (i), the advisor's strategy, scale 1.0, no telemetry.
+    Existing callers are unchanged — omitting [telemetry] keeps the
+    zero-allocation fast path in the engines. *)
 
 val metrics : prepared -> Cutfit_partition.Metrics.t
 (** Partitioning metrics of the prepared graph. *)
@@ -43,8 +59,11 @@ val compare_partitioners :
   ?partitioners:Cutfit_partition.Partitioner.t list ->
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?scale:float ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   (string * float) list
 (** Simulated job time per partitioner for one algorithm, ascending
-    (NaN last, for OOM). SSSP uses 3 deterministic landmarks. *)
+    (NaN last, for OOM). SSSP uses 3 deterministic landmarks. With
+    [telemetry], the six runs stream into one event sequence, each
+    bracketed by a [Run_start] naming algorithm and partitioner. *)

@@ -1,0 +1,211 @@
+type superstep = {
+  step : int;
+  active_vertices : int;
+  active_edges : int;
+  messages : int;
+  local_shuffles : int;
+  remote_shuffles : int;
+  broadcast_replicas : int;
+  remote_broadcasts : int;
+  wire_bytes : float;
+  executor_busy_s : float array;
+  barrier_wait_s : float array;
+  max_task_s : float;
+  min_task_s : float;
+  compute_s : float;
+  network_s : float;
+  overhead_s : float;
+  time_s : float;
+}
+
+type run_end = {
+  label : string;
+  outcome : string;
+  supersteps : int;
+  total_s : float;
+  load_s : float;
+  checkpoint_s : float;
+  total_messages : int;
+  total_remote : int;
+  total_wire_bytes : float;
+}
+
+type t =
+  | Run_start of { label : string }
+  | Superstep of superstep
+  | Run_end of run_end
+
+let skew s =
+  if s.min_task_s > 0.0 then s.max_task_s /. s.min_task_s
+  else if s.max_task_s > 0.0 then Float.infinity
+  else 1.0
+
+(* --- JSON --- *)
+
+let floats arr = Json.List (Array.to_list (Array.map (fun f -> Json.Float f) arr))
+
+let to_json = function
+  | Run_start { label } ->
+      Json.Obj [ ("type", Json.String "run_start"); ("label", Json.String label) ]
+  | Superstep s ->
+      Json.Obj
+        [
+          ("type", Json.String "superstep");
+          ("step", Json.Int s.step);
+          ("active_vertices", Json.Int s.active_vertices);
+          ("active_edges", Json.Int s.active_edges);
+          ("messages", Json.Int s.messages);
+          ("local_shuffles", Json.Int s.local_shuffles);
+          ("remote_shuffles", Json.Int s.remote_shuffles);
+          ("broadcast_replicas", Json.Int s.broadcast_replicas);
+          ("remote_broadcasts", Json.Int s.remote_broadcasts);
+          ("wire_bytes", Json.Float s.wire_bytes);
+          ("executor_busy_s", floats s.executor_busy_s);
+          ("barrier_wait_s", floats s.barrier_wait_s);
+          ("max_task_s", Json.Float s.max_task_s);
+          ("min_task_s", Json.Float s.min_task_s);
+          ("compute_s", Json.Float s.compute_s);
+          ("network_s", Json.Float s.network_s);
+          ("overhead_s", Json.Float s.overhead_s);
+          ("time_s", Json.Float s.time_s);
+        ]
+  | Run_end r ->
+      Json.Obj
+        [
+          ("type", Json.String "run_end");
+          ("label", Json.String r.label);
+          ("outcome", Json.String r.outcome);
+          ("supersteps", Json.Int r.supersteps);
+          ("total_s", Json.Float r.total_s);
+          ("load_s", Json.Float r.load_s);
+          ("checkpoint_s", Json.Float r.checkpoint_s);
+          ("total_messages", Json.Int r.total_messages);
+          ("total_remote", Json.Int r.total_remote);
+          ("total_wire_bytes", Json.Float r.total_wire_bytes);
+        ]
+
+let field kind name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "%s: missing field %S" kind name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "%s: field %S has the wrong type" kind name))
+
+let ( let* ) r f = Result.bind r f
+
+let float_array j =
+  match Json.to_list j with
+  | None -> None
+  | Some xs ->
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | x :: rest -> (
+            match Json.to_float x with Some f -> go (f :: acc) rest | None -> None)
+      in
+      go [] xs
+
+let superstep_of_json j =
+  let int name = field "superstep" name Json.to_int j in
+  let flt name = field "superstep" name Json.to_float j in
+  let arr name = field "superstep" name float_array j in
+  let* step = int "step" in
+  let* active_vertices = int "active_vertices" in
+  let* active_edges = int "active_edges" in
+  let* messages = int "messages" in
+  let* local_shuffles = int "local_shuffles" in
+  let* remote_shuffles = int "remote_shuffles" in
+  let* broadcast_replicas = int "broadcast_replicas" in
+  let* remote_broadcasts = int "remote_broadcasts" in
+  let* wire_bytes = flt "wire_bytes" in
+  let* executor_busy_s = arr "executor_busy_s" in
+  let* barrier_wait_s = arr "barrier_wait_s" in
+  let* max_task_s = flt "max_task_s" in
+  let* min_task_s = flt "min_task_s" in
+  let* compute_s = flt "compute_s" in
+  let* network_s = flt "network_s" in
+  let* overhead_s = flt "overhead_s" in
+  let* time_s = flt "time_s" in
+  Ok
+    (Superstep
+       {
+         step;
+         active_vertices;
+         active_edges;
+         messages;
+         local_shuffles;
+         remote_shuffles;
+         broadcast_replicas;
+         remote_broadcasts;
+         wire_bytes;
+         executor_busy_s;
+         barrier_wait_s;
+         max_task_s;
+         min_task_s;
+         compute_s;
+         network_s;
+         overhead_s;
+         time_s;
+       })
+
+let run_end_of_json j =
+  let int name = field "run_end" name Json.to_int j in
+  let flt name = field "run_end" name Json.to_float j in
+  let str name = field "run_end" name Json.to_string_opt j in
+  let* label = str "label" in
+  let* outcome = str "outcome" in
+  let* supersteps = int "supersteps" in
+  let* total_s = flt "total_s" in
+  let* load_s = flt "load_s" in
+  let* checkpoint_s = flt "checkpoint_s" in
+  let* total_messages = int "total_messages" in
+  let* total_remote = int "total_remote" in
+  let* total_wire_bytes = flt "total_wire_bytes" in
+  Ok
+    (Run_end
+       {
+         label;
+         outcome;
+         supersteps;
+         total_s;
+         load_s;
+         checkpoint_s;
+         total_messages;
+         total_remote;
+         total_wire_bytes;
+       })
+
+let of_json j =
+  let* kind = field "event" "type" Json.to_string_opt j in
+  match kind with
+  | "run_start" ->
+      let* label = field "run_start" "label" Json.to_string_opt j in
+      Ok (Run_start { label })
+  | "superstep" -> superstep_of_json j
+  | "run_end" -> run_end_of_json j
+  | other -> Error (Printf.sprintf "event: unknown type %S" other)
+
+let to_line t = Json.to_string (to_json t)
+
+let of_line line =
+  let* j = Json.of_string line in
+  of_json j
+
+let pp ppf = function
+  | Run_start { label } -> Format.fprintf ppf "run %s" label
+  | Superstep s ->
+      if s.step = -1 then
+        Format.fprintf ppf
+          "build  : wire=%.0fB compute=%.3fs network=%.3fs skew=%.2f t=%.3fs" s.wire_bytes
+          s.compute_s s.network_s (skew s) s.time_s
+      else
+        Format.fprintf ppf
+          "step %2d: act=%d edges=%d msgs=%d shfl=%d(+%d rem) bcast=%d(+%d rem) wire=%.0fB \
+           skew=%.2f t=%.3fs (c=%.3f n=%.3f o=%.3f)"
+          s.step s.active_vertices s.active_edges s.messages s.local_shuffles s.remote_shuffles
+          s.broadcast_replicas s.remote_broadcasts s.wire_bytes (skew s) s.time_s s.compute_s
+          s.network_s s.overhead_s
+  | Run_end r ->
+      Format.fprintf ppf
+        "end %s: %s, %d supersteps, %.2fs total, %d msgs (%d remote), %.0f wire bytes" r.label
+        r.outcome r.supersteps r.total_s r.total_messages r.total_remote r.total_wire_bytes

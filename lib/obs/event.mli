@@ -1,0 +1,72 @@
+(** Structured telemetry events emitted by the BSP engines.
+
+    A {!superstep} record is the observability counterpart of
+    [Trace.superstep]: it is built from the {e same} counters, at the
+    same point in the engine, so summing the event stream reproduces the
+    run's trace aggregates exactly — the invariant the test suite
+    checks. On top of the trace quantities it carries the signals the
+    trace discards: total bytes on the wire, per-executor busy time and
+    barrier wait, and the jittered task-skew extrema that explain
+    straggler behaviour.
+
+    Events are plain data; the sinks decide what to do with them. The
+    JSON encoding is stable and versioned by field names only — one
+    object per event, suitable for JSONL streams. *)
+
+type superstep = {
+  step : int;  (** -1 is the one-time graph build/partitioning stage *)
+  active_vertices : int;  (** vertices that ran the vertex program *)
+  active_edges : int;  (** triplets whose send/gather function ran *)
+  messages : int;  (** messages emitted before local aggregation *)
+  local_shuffles : int;  (** shuffle aggregates staying on their executor *)
+  remote_shuffles : int;  (** shuffle aggregates crossing executors *)
+  broadcast_replicas : int;  (** replica copies refreshed from masters *)
+  remote_broadcasts : int;  (** replica refreshes crossing executors *)
+  wire_bytes : float;  (** total scaled egress bytes across all executors *)
+  executor_busy_s : float array;  (** per-executor jittered compute makespan *)
+  barrier_wait_s : float array;
+      (** per-executor idle time at the superstep barrier: the slowest
+          executor's compute minus this executor's own *)
+  max_task_s : float;  (** largest single jittered task in the superstep *)
+  min_task_s : float;  (** smallest (often 0 when a partition is idle) *)
+  compute_s : float;  (** modeled executor compute (max over executors) *)
+  network_s : float;  (** modeled wire time (max over executors) *)
+  overhead_s : float;  (** task dispatch + superstep barrier *)
+  time_s : float;  (** max(compute, network) + overhead *)
+}
+
+type run_end = {
+  label : string;  (** engine or algorithm identifier, e.g. ["pregel"] *)
+  outcome : string;  (** ["completed"], ["max-supersteps"] or ["out-of-memory"] *)
+  supersteps : int;  (** compute supersteps recorded (build stage excluded) *)
+  total_s : float;  (** simulated job time including load and checkpoints *)
+  load_s : float;
+  checkpoint_s : float;
+  total_messages : int;
+  total_remote : int;  (** remote shuffles + remote broadcasts, all steps *)
+  total_wire_bytes : float;
+}
+
+type t =
+  | Run_start of { label : string }
+      (** segments multi-run streams (e.g. [compare] traces) *)
+  | Superstep of superstep
+  | Run_end of run_end
+
+val skew : superstep -> float
+(** [max_task_s /. min_task_s], or [infinity] when the smallest task is
+    idle — the straggler spread of one superstep. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; the error names the missing or ill-typed
+    field. *)
+
+val to_line : t -> string
+(** One-line JSON rendering, the JSONL wire format. *)
+
+val of_line : string -> (t, string) result
+(** Parse one JSONL line as produced by {!to_line}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-oriented one-line rendering used by the console sink. *)

@@ -1,0 +1,67 @@
+type counter = { mutable count : int }
+type gauge = { mutable last : float }
+type timer = { mutable sum : float; mutable n : int }
+
+type cell = Counter of counter | Gauge of gauge | Timer of timer
+
+type registry = (string, cell) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 16
+
+let counter reg name =
+  match Hashtbl.find_opt reg name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg (Printf.sprintf "Metric.counter: %S is registered as another kind" name)
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.replace reg name (Counter c);
+      c
+
+let gauge reg name =
+  match Hashtbl.find_opt reg name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg (Printf.sprintf "Metric.gauge: %S is registered as another kind" name)
+  | None ->
+      let g = { last = 0.0 } in
+      Hashtbl.replace reg name (Gauge g);
+      g
+
+let timer reg name =
+  match Hashtbl.find_opt reg name with
+  | Some (Timer t) -> t
+  | Some _ -> invalid_arg (Printf.sprintf "Metric.timer: %S is registered as another kind" name)
+  | None ->
+      let t = { sum = 0.0; n = 0 } in
+      Hashtbl.replace reg name (Timer t);
+      t
+
+let incr c = c.count <- c.count + 1
+let add c k = c.count <- c.count + k
+let value c = c.count
+
+let set g v = g.last <- v
+let read g = g.last
+
+let record t s =
+  t.sum <- t.sum +. s;
+  t.n <- t.n + 1
+
+let time t f =
+  let start = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record t (Unix.gettimeofday () -. start)) f
+
+let total t = t.sum
+let observations t = t.n
+
+let snapshot reg =
+  Hashtbl.fold
+    (fun name cell acc ->
+      let v =
+        match cell with
+        | Counter c -> float_of_int c.count
+        | Gauge g -> g.last
+        | Timer t -> t.sum
+      in
+      (name, v) :: acc)
+    reg []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

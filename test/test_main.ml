@@ -7,6 +7,7 @@ let () =
       ("gen", Test_gen.suite);
       ("partition", Test_partition.suite);
       ("bsp", Test_bsp.suite);
+      ("obs", Test_obs.suite);
       ("algo", Test_algo.suite);
       ("core", Test_core.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,399 @@
+(* Tests for the observability layer: metric registry semantics, the
+   JSON codec round-trip, and — the load-bearing property — exact
+   reconciliation between the per-superstep event stream and the
+   engine's own Trace.t aggregates. *)
+
+module Graph = Cutfit_graph.Graph
+module Strategy = Cutfit_partition.Strategy
+module Partitioner = Cutfit_partition.Partitioner
+module Cluster = Cutfit_bsp.Cluster
+module Pgraph = Cutfit_bsp.Pgraph
+module Pregel = Cutfit_bsp.Pregel
+module Gas = Cutfit_bsp.Gas
+module Trace = Cutfit_bsp.Trace
+module Json = Cutfit_obs.Json
+module Metric = Cutfit_obs.Metric
+module Event = Cutfit_obs.Event
+module Sink = Cutfit_obs.Sink
+module Telemetry = Cutfit_obs.Telemetry
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 0.0)) (* exact equality, by design *)
+
+(* --- metric registry --- *)
+
+let test_metric_cells () =
+  let reg = Metric.create_registry () in
+  let c = Metric.counter reg "msgs" in
+  Metric.incr c;
+  Metric.add c 41;
+  checki "counter" 42 (Metric.value c);
+  checki "same name, same cell" 42 (Metric.value (Metric.counter reg "msgs"));
+  let g = Metric.gauge reg "bytes" in
+  Metric.set g 7.5;
+  Metric.set g 2.5;
+  checkf "gauge keeps last" 2.5 (Metric.read g);
+  let t = Metric.timer reg "span" in
+  Metric.record t 1.0;
+  Metric.record t 0.25;
+  checkf "timer total" 1.25 (Metric.total t);
+  checki "timer observations" 2 (Metric.observations t);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metric.gauge: \"msgs\" is registered as another kind") (fun () ->
+      ignore (Metric.gauge reg "msgs"));
+  let names = List.map fst (Metric.snapshot reg) in
+  Alcotest.(check (list string)) "snapshot sorted" [ "bytes"; "msgs"; "span" ] names
+
+let test_metric_time_runs_thunk () =
+  let reg = Metric.create_registry () in
+  let t = Metric.timer reg "wall" in
+  let x = Metric.time t (fun () -> 1 + 1) in
+  checki "thunk result" 2 x;
+  checki "one observation" 1 (Metric.observations t);
+  checkb "nonnegative" true (Metric.total t >= 0.0)
+
+(* --- JSON codec --- *)
+
+let roundtrip j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "parse error on %s: %s" (Json.to_string j) e
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.1;
+      Json.Float 1.7976931348623157e308;
+      Json.Float (-4.9e-324);
+      Json.Float 3.0;
+      Json.String "with \"quotes\", a \\ and a \ttab\n";
+      Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ];
+      Json.Obj [ ("a", Json.List []); ("b", Json.Obj [ ("c", Json.Bool false) ]) ];
+    ]
+  in
+  List.iter (fun j -> checkb (Json.to_string j) true (roundtrip j = j)) samples;
+  (* Whole floats keep their floatness across the wire. *)
+  checkb "3.0 stays Float" true (roundtrip (Json.Float 3.0) = Json.Float 3.0);
+  checkb "3 stays Int" true (roundtrip (Json.Int 3) = Json.Int 3);
+  (* Non-finite floats degrade to null, which reads back as nan. *)
+  (match Json.to_float (roundtrip (Json.Float nan)) with
+  | Some f -> checkb "nan -> null -> nan" true (Float.is_nan f)
+  | None -> Alcotest.fail "nan did not read back as a float");
+  match Json.of_string "{\"a\":1} trailing" with
+  | Ok _ -> Alcotest.fail "trailing input accepted"
+  | Error _ -> ()
+
+let test_event_roundtrip () =
+  let ss =
+    Event.Superstep
+      {
+        Event.step = 3;
+        active_vertices = 17;
+        active_edges = 90;
+        messages = 123;
+        local_shuffles = 40;
+        remote_shuffles = 60;
+        broadcast_replicas = 55;
+        remote_broadcasts = 21;
+        wire_bytes = 123456.789;
+        executor_busy_s = [| 0.1; 0.30000000000000004 |];
+        barrier_wait_s = [| 0.2; 0.0 |];
+        max_task_s = 0.025;
+        min_task_s = 1e-9;
+        compute_s = 0.3;
+        network_s = 0.01;
+        overhead_s = 0.05;
+        time_s = 0.35;
+      }
+  in
+  let re =
+    Event.Run_end
+      {
+        Event.label = "pregel";
+        outcome = "completed";
+        supersteps = 9;
+        total_s = 1.25;
+        load_s = 0.125;
+        checkpoint_s = 0.0;
+        total_messages = 1234;
+        total_remote = 567;
+        total_wire_bytes = 89012.5;
+      }
+  in
+  List.iter
+    (fun e ->
+      match Event.of_line (Event.to_line e) with
+      | Ok e' -> checkb "event round-trips" true (e = e')
+      | Error msg -> Alcotest.failf "of_line: %s" msg)
+    [ Event.Run_start { label = "PR/DBH" }; ss; re ]
+
+let test_skew () =
+  let base =
+    {
+      Event.step = 0;
+      active_vertices = 0;
+      active_edges = 0;
+      messages = 0;
+      local_shuffles = 0;
+      remote_shuffles = 0;
+      broadcast_replicas = 0;
+      remote_broadcasts = 0;
+      wire_bytes = 0.0;
+      executor_busy_s = [||];
+      barrier_wait_s = [||];
+      max_task_s = 0.0;
+      min_task_s = 0.0;
+      compute_s = 0.0;
+      network_s = 0.0;
+      overhead_s = 0.0;
+      time_s = 0.0;
+    }
+  in
+  checkf "idle superstep skews 1.0" 1.0 (Event.skew base);
+  checkf "balanced" 2.0 (Event.skew { base with Event.max_task_s = 0.4; min_task_s = 0.2 });
+  checkb "idle minimum -> infinite spread" true
+    (Event.skew { base with Event.max_task_s = 0.4 } = infinity)
+
+(* --- telemetry handle and sinks --- *)
+
+let test_ring_capacity () =
+  let sink, contents = Sink.ring ~capacity:3 () in
+  let t = Telemetry.create ~sinks:[ sink ] () in
+  for i = 1 to 5 do
+    Telemetry.emit t (Event.Run_start { label = string_of_int i })
+  done;
+  let labels =
+    List.filter_map
+      (function Event.Run_start { label } -> Some label | _ -> None)
+      (contents ())
+  in
+  Alcotest.(check (list string)) "last three, in order" [ "3"; "4"; "5" ] labels;
+  checki "emitted counts all five" 5 (Telemetry.events_emitted t);
+  Telemetry.close t
+
+let test_close_is_idempotent_and_drops () =
+  let sink, contents = Sink.ring () in
+  let t = Telemetry.create ~sinks:[ sink ] () in
+  Telemetry.emit t (Event.Run_start { label = "a" });
+  Telemetry.close t;
+  Telemetry.close t;
+  Telemetry.emit t (Event.Run_start { label = "after-close" });
+  checki "post-close emit dropped" 1 (List.length (contents ()));
+  checki "emitted count unchanged" 1 (Telemetry.events_emitted t)
+
+let test_console_sink_renders () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let t = Telemetry.create ~sinks:[ Sink.console ~verbose:true ppf ] () in
+  Telemetry.emit t (Event.Run_start { label = "PR/DBH" });
+  Telemetry.close t;
+  Format.pp_print_flush ppf ();
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "mentions the run label" true (contains (Buffer.contents buf) "PR/DBH")
+
+(* --- reconciliation with Trace.t --- *)
+
+(* The engine under observation: min-label propagation, as in
+   test_bsp.ml, on a generated graph big enough to produce remote
+   traffic on every superstep. *)
+let min_label_program =
+  {
+    Pregel.init = (fun v -> v);
+    initial_msg = max_int;
+    vprog = (fun _ l m -> min l m);
+    send =
+      (fun ~edge:_ ~src:_ ~dst:_ ~src_attr ~dst_attr ~emit ->
+        if src_attr < dst_attr then emit Pregel.To_dst src_attr
+        else if dst_attr < src_attr then emit Pregel.To_src dst_attr);
+    merge = min;
+    state_bytes = 8;
+    msg_bytes = 8;
+  }
+
+let observed_run () =
+  let g = Test_util.random_graph ~seed:55L ~n:200 ~m:1500 in
+  let cluster = Test_util.tiny_cluster () in
+  let np = cluster.Cluster.num_partitions in
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np g in
+  let pg = Pgraph.build g ~num_partitions:np a in
+  let path = Filename.temp_file "cutfit_obs" ".jsonl" in
+  let ring, contents = Sink.ring () in
+  let t = Telemetry.create ~sinks:[ ring; Sink.jsonl path ] () in
+  let r = Pregel.run ~telemetry:t ~cluster pg min_label_program in
+  (match Gas.run ~telemetry:t ~cluster pg
+           {
+             Gas.init = (fun v -> v);
+             direction = Gas.Gather_both;
+             gather =
+               (fun ~src ~dst ~src_attr ~dst_attr ~target ->
+                 if target = dst then Some src_attr
+                 else if target = src then Some dst_attr
+                 else None);
+             sum = min;
+             apply =
+               (fun _ label total ->
+                 match total with Some x -> (min label x, false) | None -> (label, false));
+             state_bytes = 8;
+             gather_bytes = 8;
+           }
+   with
+  | _ -> ());
+  Telemetry.close t;
+  (r.Pregel.trace, contents (), t, path)
+
+let supersteps_of events =
+  List.filter_map (function Event.Superstep s -> Some s | _ -> None) events
+
+let run_ends_of events =
+  List.filter_map (function Event.Run_end e -> Some e | _ -> None) events
+
+(* Events for the pregel run only: everything before the second engine's
+   records. The stream is [pregel supersteps; pregel Run_end; gas ...]. *)
+let split_first_run events =
+  let rec take acc = function
+    | [] -> (List.rev acc, [])
+    | Event.Run_end _ :: rest -> (List.rev acc, rest)
+    | e :: rest -> take (e :: acc) rest
+  in
+  take [] events
+
+let test_event_stream_reconciles_with_trace () =
+  let trace, events, _t, path = observed_run () in
+  Sys.remove path;
+  let first_run, _rest = split_first_run events in
+  let ss = supersteps_of first_run in
+  checki "one event per trace superstep" (List.length trace.Trace.supersteps) (List.length ss);
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 ss in
+  let sumf f = List.fold_left (fun acc s -> acc +. f s) 0.0 ss in
+  checki "messages" (Trace.total_messages trace) (sum (fun s -> s.Event.messages));
+  checki "remote messages"
+    (Trace.total_remote_messages trace)
+    (sum (fun s -> s.Event.remote_shuffles + s.Event.remote_broadcasts));
+  checkf "wire bytes, exactly"
+    (Trace.total_wire_bytes trace)
+    (sumf (fun s -> s.Event.wire_bytes));
+  checkb "remote traffic observed" true (Trace.total_remote_messages trace > 0);
+  (* Per-superstep: the event's fields agree with the trace record. *)
+  List.iter2
+    (fun (ts : Trace.superstep) (es : Event.superstep) ->
+      checki "step" ts.Trace.step es.Event.step;
+      checki "msgs" ts.Trace.messages es.Event.messages;
+      checki "remote shuffles" ts.Trace.remote_shuffles es.Event.remote_shuffles;
+      checki "local + remote = shuffle groups" ts.Trace.shuffle_groups
+        (es.Event.local_shuffles + es.Event.remote_shuffles);
+      checkf "wire" ts.Trace.wire_bytes es.Event.wire_bytes;
+      checkf "compute" ts.Trace.compute_s es.Event.compute_s;
+      checkf "time" ts.Trace.time_s es.Event.time_s;
+      (* Barrier accounting: waits are measured against the slowest
+         executor, so the minimum wait is exactly zero and
+         busy + wait is constant across executors. *)
+      let slowest = Array.fold_left Float.max 0.0 es.Event.executor_busy_s in
+      Array.iteri
+        (fun e wait ->
+          checkf "busy + wait = slowest" slowest (es.Event.executor_busy_s.(e) +. wait))
+        es.Event.barrier_wait_s;
+      checkb "max task bounds min" true (es.Event.max_task_s >= es.Event.min_task_s))
+    trace.Trace.supersteps ss
+
+let test_run_end_matches_trace () =
+  let trace, events, t, path = observed_run () in
+  Sys.remove path;
+  (match run_ends_of events with
+  | [ pregel_end; gas_end ] ->
+      Alcotest.(check string) "label" "pregel" pregel_end.Event.label;
+      Alcotest.(check string) "outcome" "completed" pregel_end.Event.outcome;
+      checki "supersteps excludes build stage"
+        (List.length trace.Trace.supersteps - 1)
+        pregel_end.Event.supersteps;
+      checkf "total_s" trace.Trace.total_s pregel_end.Event.total_s;
+      checki "messages" (Trace.total_messages trace) pregel_end.Event.total_messages;
+      checki "remote" (Trace.total_remote_messages trace) pregel_end.Event.total_remote;
+      checkf "wire" (Trace.total_wire_bytes trace) pregel_end.Event.total_wire_bytes;
+      Alcotest.(check string) "gas label" "gas" gas_end.Event.label
+  | ends -> Alcotest.failf "expected 2 run ends, got %d" (List.length ends));
+  (* Registry aggregates accumulated across both runs. *)
+  let reg = Telemetry.metrics t in
+  checki "bsp.runs" 2 (Metric.value (Metric.counter reg "bsp.runs"));
+  checkb "bsp.messages counted" true
+    (Metric.value (Metric.counter reg "bsp.messages") >= Trace.total_messages trace);
+  checki "simulated_s observations" 2 (Metric.observations (Metric.timer reg "bsp.simulated_s"))
+
+let test_jsonl_file_reconciles () =
+  let trace, events, t, path = observed_run () in
+  let lines = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let parsed =
+    List.rev_map
+      (fun line ->
+        match Event.of_line line with
+        | Ok e -> e
+        | Error msg -> Alcotest.failf "bad JSONL line %s: %s" line msg)
+      !lines
+  in
+  Sys.remove path;
+  checki "one line per event" (Telemetry.events_emitted t) (List.length parsed);
+  checkb "file and ring agree" true (parsed = events);
+  let first_run, _ = split_first_run parsed in
+  let ss = supersteps_of first_run in
+  checki "remote messages from the file"
+    (Trace.total_remote_messages trace)
+    (List.fold_left (fun acc s -> acc + s.Event.remote_shuffles + s.Event.remote_broadcasts) 0 ss);
+  checkf "wire bytes from the file, bit-exact"
+    (Trace.total_wire_bytes trace)
+    (List.fold_left (fun acc s -> acc +. s.Event.wire_bytes) 0.0 ss)
+
+let test_zero_superstep_run () =
+  (* An edgeless graph: no messages ever flow, so the run ends after the
+     build stage, superstep 0 and one empty superstep — every counter in
+     the stream is zero and reconciliation holds trivially. *)
+  let g = Test_util.graph_of_edges ~n:8 [] in
+  let cluster = Test_util.tiny_cluster () in
+  let np = cluster.Cluster.num_partitions in
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np g in
+  let pg = Pgraph.build g ~num_partitions:np a in
+  let ring, contents = Sink.ring () in
+  let t = Telemetry.create ~sinks:[ ring ] () in
+  let r = Pregel.run ~telemetry:t ~cluster pg min_label_program in
+  Telemetry.close t;
+  let trace = r.Pregel.trace in
+  let ss = supersteps_of (contents ()) in
+  checki "events match trace length" (List.length trace.Trace.supersteps) (List.length ss);
+  checki "no messages" 0 (Trace.total_messages trace);
+  checki "no remote messages" (Trace.total_remote_messages trace)
+    (List.fold_left (fun acc s -> acc + s.Event.remote_shuffles + s.Event.remote_broadcasts) 0 ss);
+  List.iter
+    (fun s -> if s.Event.step > 0 then checki "late steps idle" 0 s.Event.messages)
+    ss;
+  match run_ends_of (contents ()) with
+  | [ e ] -> Alcotest.(check string) "still completes" "completed" e.Event.outcome
+  | _ -> Alcotest.fail "expected exactly one run end"
+
+let suite =
+  [
+    Alcotest.test_case "metric cells" `Quick test_metric_cells;
+    Alcotest.test_case "metric time" `Quick test_metric_time_runs_thunk;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "event round-trip" `Quick test_event_roundtrip;
+    Alcotest.test_case "skew" `Quick test_skew;
+    Alcotest.test_case "ring capacity" `Quick test_ring_capacity;
+    Alcotest.test_case "close idempotent" `Quick test_close_is_idempotent_and_drops;
+    Alcotest.test_case "console sink" `Quick test_console_sink_renders;
+    Alcotest.test_case "events reconcile with trace" `Quick test_event_stream_reconciles_with_trace;
+    Alcotest.test_case "run end matches trace" `Quick test_run_end_matches_trace;
+    Alcotest.test_case "jsonl file reconciles" `Quick test_jsonl_file_reconciles;
+    Alcotest.test_case "zero-message run" `Quick test_zero_superstep_run;
+  ]

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tier-1 verification: build + tests, plus documentation and formatting
+# checks when the tools exist in the switch. odoc and ocamlformat are
+# not part of the minimal container image, so those steps gate on
+# availability instead of failing the whole run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  echo "== dune build @doc"
+  dune build @doc
+else
+  echo "== dune build @doc: skipped (odoc not installed)"
+fi
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt (check only)"
+  dune build @fmt
+else
+  echo "== format check: skipped (ocamlformat not installed)"
+fi
+
+echo "== ok"
