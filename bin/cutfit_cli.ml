@@ -65,6 +65,15 @@ let verbose_supersteps_arg =
   let doc = "Print every superstep's telemetry record as the run executes." in
   Arg.(value & flag & info [ "verbose-supersteps" ] ~doc)
 
+let paranoid_arg =
+  let doc =
+    "Run the simulator sanitizer alongside the computation: validate the partition assignment \
+     before the distributed graph is built, then cross-check the frozen structure and its \
+     metrics (including the replication identity of the paper's \u{00a7}3.1). Any violation \
+     aborts with a structured report."
+  in
+  Arg.(value & flag & info [ "paranoid" ] ~doc)
+
 (* Build a telemetry handle from the CLI flags, or [None] when neither
    flag asks for one (keeping the engines' zero-allocation path). The
    returned closer finishes the sinks and reports where the trace went. *)
@@ -90,6 +99,15 @@ let telemetry_of_flags ~trace_out ~verbose =
           match trace_out with
           | Some path -> Fmt.pr "wrote %d telemetry events to %s@." (Cutfit.Telemetry.events_emitted t) path
           | None -> () )
+
+(* Surface sanitizer violations as a readable report + exit 1 instead of
+   an uncaught-exception backtrace. *)
+let with_violation_report f =
+  match f () with
+  | v -> v
+  | exception Cutfit.Check.Violation.Violations vs ->
+      Fmt.epr "cutfit: sanitizer violations:@.%a@." Cutfit.Check.Violation.pp_list vs;
+      exit 1
 
 (* --- datasets --- *)
 
@@ -186,10 +204,14 @@ let run_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner trace_out verbose =
+  let action algo graph config partitioner trace_out verbose paranoid =
     let g = load_graph graph in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
-    let p = Cutfit.Pipeline.prepare ~cluster:config ?partitioner ?telemetry ~algorithm:algo g in
+    let p =
+      with_violation_report (fun () ->
+          Cutfit.Pipeline.prepare ~check:paranoid ~cluster:config ?partitioner ?telemetry
+            ~algorithm:algo g)
+    in
     Fmt.pr "partitioner: %s, %s@."
       (Cutfit.Partitioner.name p.Cutfit.Pipeline.partitioner)
       (Cutfit.Cluster.describe config);
@@ -222,7 +244,7 @@ let run_cmd =
     finish_telemetry ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an algorithm on a partitioned graph and print the simulated trace.")
-    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ trace_out_arg $ verbose_supersteps_arg)
+    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- compare --- *)
 
@@ -230,16 +252,41 @@ let compare_cmd =
   let graph_pos1 =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
   in
-  let action algo graph config trace_out verbose =
+  let action algo graph config trace_out verbose paranoid =
     let g = load_graph graph in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     List.iter
       (fun (name, t) -> Fmt.pr "%-10s %s@." name (Cutfit_experiments.Report.seconds t))
-      (Cutfit.Pipeline.compare_partitioners ~cluster:config ?telemetry ~algorithm:algo g);
+      (with_violation_report (fun () ->
+           Cutfit.Pipeline.compare_partitioners ~check:paranoid ~cluster:config ?telemetry
+             ~algorithm:algo g));
     finish_telemetry ()
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare simulated job time across the six partitioners.")
-    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ trace_out_arg $ verbose_supersteps_arg)
+    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let graph_pos1 =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
+  in
+  let strategy =
+    Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
+  in
+  let action algo graph config partitioner =
+    let g = load_graph graph in
+    let report = Cutfit.Sanitize.check_run ~cluster:config ?partitioner ~algorithm:algo g in
+    Fmt.pr "%a@." Cutfit.Sanitize.pp_report report;
+    if not (Cutfit.Sanitize.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the full simulator sanitizer on one algorithm/graph pair: partition structure, \
+          metrics recomputation, trace conservation laws, telemetry reconciliation, and the \
+          run-twice determinism digest. Exits non-zero on any violation.")
+    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy)
 
 let () =
   let doc = "Tailor graph partitioning to the computation (Cut to Fit)." in
@@ -248,4 +295,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ datasets_cmd; generate_cmd; characterize_cmd; partition_cmd; advise_cmd; run_cmd;
-            compare_cmd ]))
+            compare_cmd; check_cmd ]))

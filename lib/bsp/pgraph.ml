@@ -90,6 +90,7 @@ let build g ~num_partitions assignment =
 
 let graph t = t.graph
 let num_partitions t = t.num_partitions
+let assignment t = Array.copy t.assignment
 
 let edges_of_partition t p = Array.sub t.part_edges t.part_off.(p) (t.part_off.(p + 1) - t.part_off.(p))
 let num_edges_of_partition t p = t.part_off.(p + 1) - t.part_off.(p)

@@ -23,6 +23,11 @@ val build :
 val graph : t -> Cutfit_graph.Graph.t
 val num_partitions : t -> int
 
+val assignment : t -> int array
+(** Copy of the edge-to-partition assignment the graph was built from;
+    index = edge id. Used by the {!Cutfit_check} sanitizers to
+    cross-validate the frozen structures against their source. *)
+
 val edges_of_partition : t -> int -> int array
 (** Edge indices (into the underlying graph) owned by a partition; do
     not mutate. *)

@@ -1,0 +1,51 @@
+module Trace = Cutfit_bsp.Trace
+module Event = Cutfit_obs.Event
+
+let suite = "determinism"
+
+(* Canonical byte serialization: ints in decimal, floats as the hex of
+   their IEEE-754 bits so every ULP matters. *)
+let buf_float b f = Buffer.add_string b (Printf.sprintf "%Lx;" (Int64.bits_of_float f))
+let buf_int b i = Buffer.add_string b (string_of_int i ^ ";")
+
+let trace_digest (t : Trace.t) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (s : Trace.superstep) ->
+      buf_int b s.Trace.step;
+      buf_int b s.Trace.active_edges;
+      buf_int b s.Trace.messages;
+      buf_int b s.Trace.shuffle_groups;
+      buf_int b s.Trace.remote_shuffles;
+      buf_int b s.Trace.updated_vertices;
+      buf_int b s.Trace.broadcast_replicas;
+      buf_int b s.Trace.remote_broadcasts;
+      buf_float b s.Trace.wire_bytes;
+      buf_float b s.Trace.compute_s;
+      buf_float b s.Trace.network_s;
+      buf_float b s.Trace.overhead_s;
+      buf_float b s.Trace.time_s)
+    t.Trace.supersteps;
+  buf_float b t.Trace.load_s;
+  buf_float b t.Trace.checkpoint_s;
+  buf_int b t.Trace.checkpoints;
+  buf_float b t.Trace.total_s;
+  Buffer.add_string b (Trace.outcome_name t.Trace.outcome);
+  buf_float b t.Trace.peak_executor_bytes;
+  buf_float b t.Trace.driver_meta_bytes;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* The JSONL codec round-trips floats bit-exactly (17 significant
+   digits), so the rendered lines are just as canonical. *)
+let events_digest events =
+  Digest.to_hex (Digest.string (String.concat "\n" (List.map Event.to_line events)))
+
+let run_twice ~label f =
+  let first = f () in
+  let second = f () in
+  if String.equal first second then []
+  else
+    [
+      Violation.v ~suite ~rule:"divergence" "%s: first run digest %s, second run digest %s" label
+        first second;
+    ]

@@ -1,0 +1,16 @@
+(** Run-twice determinism harness.
+
+    The paper's correlations are only as good as the simulator's
+    reproducibility: the same graph, partitioner and cluster must yield
+    the same trace to the last ULP. These digests canonicalize a trace
+    (floats by their IEEE-754 bits) or an event stream (via the
+    bit-exact JSONL codec) into an MD5 hex string; {!run_twice} executes
+    a run thunk twice and reports a violation when the digests differ. *)
+
+val trace_digest : Cutfit_bsp.Trace.t -> string
+
+val events_digest : Cutfit_obs.Event.t list -> string
+
+val run_twice : label:string -> (unit -> string) -> Violation.t list
+(** [run_twice ~label f] runs [f] twice; [f] should perform a complete
+    run and return its digest. *)

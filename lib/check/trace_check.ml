@@ -1,0 +1,195 @@
+module Trace = Cutfit_bsp.Trace
+module Event = Cutfit_obs.Event
+
+let suite = "trace"
+
+type payload = { msg_wire_bytes : float; attr_wire_bytes : float; scale : float }
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Byte totals are accumulated per executor and scaled, so the payload
+   cross-check recomputes them in a different association order; exact
+   equality is not available there, only everywhere a value is
+   propagated unchanged. *)
+let close a b =
+  let tol = 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= tol
+
+let validate ?payload (t : Trace.t) =
+  let acc = ref [] in
+  let bad rule fmt = Format.kasprintf (fun d -> acc := Violation.v ~suite ~rule "%s" d :: !acc) fmt in
+  (* Stage ordering: an optional build stage (-1) followed by strictly
+     increasing compute supersteps. *)
+  (match t.Trace.supersteps with
+  | [] -> ()
+  | first :: _ ->
+      if first.Trace.step > 0 then bad "step-order" "first stage is step %d" first.Trace.step;
+      ignore
+        (List.fold_left
+           (fun prev (s : Trace.superstep) ->
+             (match prev with
+             | Some p when s.Trace.step <> p + 1 ->
+                 bad "step-order" "step %d follows step %d" s.Trace.step p
+             | _ -> ());
+             Some s.Trace.step)
+           None t.Trace.supersteps));
+  List.iter
+    (fun (s : Trace.superstep) ->
+      let step = s.Trace.step in
+      List.iter
+        (fun (name, v) ->
+          if v < 0 then bad "negative-count" "step %d: %s = %d, expected >= 0" step name v)
+        [
+          ("active_edges", s.Trace.active_edges);
+          ("messages", s.Trace.messages);
+          ("shuffle_groups", s.Trace.shuffle_groups);
+          ("remote_shuffles", s.Trace.remote_shuffles);
+          ("updated_vertices", s.Trace.updated_vertices);
+          ("broadcast_replicas", s.Trace.broadcast_replicas);
+          ("remote_broadcasts", s.Trace.remote_broadcasts);
+        ];
+      (* Conservation: every emitted message is merged into exactly one
+         (vertex, partition) aggregate, so aggregates cannot outnumber
+         messages; remote subsets cannot outgrow their totals. *)
+      if s.Trace.shuffle_groups > s.Trace.messages then
+        bad "message-conservation" "step %d: %d shuffle groups from only %d messages" step
+          s.Trace.shuffle_groups s.Trace.messages;
+      if s.Trace.remote_shuffles > s.Trace.shuffle_groups then
+        bad "shuffle-conservation" "step %d: remote_shuffles %d > shuffle_groups %d" step
+          s.Trace.remote_shuffles s.Trace.shuffle_groups;
+      if s.Trace.remote_broadcasts > s.Trace.broadcast_replicas then
+        bad "broadcast-conservation" "step %d: remote_broadcasts %d > broadcast_replicas %d" step
+          s.Trace.remote_broadcasts s.Trace.broadcast_replicas;
+      if s.Trace.wire_bytes < 0.0 then
+        bad "wire-bytes" "step %d: wire_bytes = %g < 0" step s.Trace.wire_bytes;
+      (* Compute supersteps move bytes only for remote traffic (the
+         build stage shuffles raw edges and is exempt). *)
+      if
+        step >= 0
+        && s.Trace.remote_shuffles + s.Trace.remote_broadcasts = 0
+        && s.Trace.wire_bytes <> 0.0
+      then
+        bad "wire-without-remote" "step %d: %g wire bytes with no remote messages" step
+          s.Trace.wire_bytes;
+      (match payload with
+      | Some { msg_wire_bytes; attr_wire_bytes; scale } when step >= 0 ->
+          let expect =
+            scale
+            *. ((float_of_int s.Trace.remote_shuffles *. msg_wire_bytes)
+               +. (float_of_int s.Trace.remote_broadcasts *. attr_wire_bytes))
+          in
+          if not (close s.Trace.wire_bytes expect) then
+            bad "wire-payload"
+              "step %d: wire_bytes = %.17g but %d remote shuffles x %g + %d remote broadcasts x \
+               %g at scale %g = %.17g"
+              step s.Trace.wire_bytes s.Trace.remote_shuffles msg_wire_bytes
+              s.Trace.remote_broadcasts attr_wire_bytes scale expect
+      | _ -> ());
+      if not (feq s.Trace.time_s (Float.max s.Trace.compute_s s.Trace.network_s +. s.Trace.overhead_s))
+      then
+        bad "time-decomposition"
+          "step %d: time_s = %.17g but max(compute %.17g, network %.17g) + overhead %.17g = %.17g"
+          step s.Trace.time_s s.Trace.compute_s s.Trace.network_s s.Trace.overhead_s
+          (Float.max s.Trace.compute_s s.Trace.network_s +. s.Trace.overhead_s))
+    t.Trace.supersteps;
+  (* Total time is rebuilt with the same left fold the engines use, so
+     the comparison is exact. *)
+  let total =
+    List.fold_left
+      (fun a (s : Trace.superstep) -> a +. s.Trace.time_s)
+      (t.Trace.load_s +. t.Trace.checkpoint_s)
+      t.Trace.supersteps
+  in
+  if not (feq total t.Trace.total_s) then
+    bad "total-time" "total_s = %.17g but load + checkpoints + supersteps = %.17g" t.Trace.total_s
+      total;
+  if t.Trace.checkpoints = 0 && t.Trace.checkpoint_s <> 0.0 then
+    bad "checkpoint-time" "%g checkpoint seconds recorded with zero checkpoints"
+      t.Trace.checkpoint_s;
+  List.rev !acc
+
+let tsuite = "telemetry"
+
+let reconcile (t : Trace.t) events =
+  let acc = ref [] in
+  let bad rule fmt =
+    Format.kasprintf (fun d -> acc := Violation.v ~suite:tsuite ~rule "%s" d :: !acc) fmt
+  in
+  let steps = List.filter_map (function Event.Superstep s -> Some s | _ -> None) events in
+  let run_ends = List.filter_map (function Event.Run_end r -> Some r | _ -> None) events in
+  if List.length steps <> List.length t.Trace.supersteps then
+    bad "event-count" "%d superstep events for %d trace stages" (List.length steps)
+      (List.length t.Trace.supersteps)
+  else
+    List.iter2
+      (fun (s : Trace.superstep) (e : Event.superstep) ->
+        let step = s.Trace.step in
+        let check_int name got want =
+          if got <> want then bad name "step %d: event %s = %d, trace has %d" step name got want
+        in
+        let check_float name got want =
+          if not (feq got want) then
+            bad name "step %d: event %s = %.17g, trace has %.17g" step name got want
+        in
+        check_int "step" e.Event.step step;
+        check_int "active-vertices" e.Event.active_vertices s.Trace.updated_vertices;
+        check_int "active-edges" e.Event.active_edges s.Trace.active_edges;
+        (* Sent = received: the event stream's emitted-message count must
+           equal the count the trace merged at the receiving vertices,
+           and local + remote shuffle aggregates must rebuild the
+           trace's group count. *)
+        check_int "messages" e.Event.messages s.Trace.messages;
+        check_int "shuffle-groups"
+          (e.Event.local_shuffles + e.Event.remote_shuffles)
+          s.Trace.shuffle_groups;
+        check_int "remote-shuffles" e.Event.remote_shuffles s.Trace.remote_shuffles;
+        check_int "broadcast-replicas" e.Event.broadcast_replicas s.Trace.broadcast_replicas;
+        check_int "remote-broadcasts" e.Event.remote_broadcasts s.Trace.remote_broadcasts;
+        check_float "wire-bytes" e.Event.wire_bytes s.Trace.wire_bytes;
+        check_float "compute" e.Event.compute_s s.Trace.compute_s;
+        check_float "network" e.Event.network_s s.Trace.network_s;
+        check_float "overhead" e.Event.overhead_s s.Trace.overhead_s;
+        check_float "time" e.Event.time_s s.Trace.time_s;
+        (* Executor decomposition: compute is the slowest executor, and
+           barrier wait is exactly the slack against it. *)
+        let busy_max = Array.fold_left Float.max 0.0 e.Event.executor_busy_s in
+        check_float "busy-makespan" busy_max s.Trace.compute_s;
+        if Array.length e.Event.barrier_wait_s <> Array.length e.Event.executor_busy_s then
+          bad "barrier-shape" "step %d: %d barrier entries for %d executors" step
+            (Array.length e.Event.barrier_wait_s)
+            (Array.length e.Event.executor_busy_s)
+        else
+          Array.iteri
+            (fun i w ->
+              let expect = s.Trace.compute_s -. e.Event.executor_busy_s.(i) in
+              if not (feq w expect) then
+                bad "barrier-wait" "step %d: executor %d barrier wait %.17g, expected %.17g" step
+                  i w expect;
+              if w < 0.0 then
+                bad "barrier-wait" "step %d: executor %d waits %g < 0" step i w)
+            e.Event.barrier_wait_s)
+      t.Trace.supersteps steps;
+  (match run_ends with
+  | [] -> ()
+  | _ :: _ :: _ -> bad "run-end" "%d run_end events for one run" (List.length run_ends)
+  | [ r ] ->
+      let check_int name got want =
+        if got <> want then bad name "run_end %s = %d, trace has %d" name got want
+      in
+      let check_float name got want =
+        if not (feq got want) then bad name "run_end %s = %.17g, trace has %.17g" name got want
+      in
+      check_int "total-messages" r.Event.total_messages (Trace.total_messages t);
+      check_int "total-remote" r.Event.total_remote (Trace.total_remote_messages t);
+      check_float "total-wire-bytes" r.Event.total_wire_bytes (Trace.total_wire_bytes t);
+      check_float "total-time" r.Event.total_s t.Trace.total_s;
+      check_float "load-time" r.Event.load_s t.Trace.load_s;
+      check_float "checkpoint-time" r.Event.checkpoint_s t.Trace.checkpoint_s;
+      if not (String.equal r.Event.outcome (Trace.outcome_name t.Trace.outcome)) then
+        bad "outcome" "run_end outcome %S, trace says %S" r.Event.outcome
+          (Trace.outcome_name t.Trace.outcome);
+      check_int "supersteps" r.Event.supersteps
+        (List.fold_left
+           (fun n (s : Trace.superstep) -> if s.Trace.step >= 0 then n + 1 else n)
+           0 t.Trace.supersteps));
+  List.rev !acc

@@ -1,0 +1,35 @@
+(** Sanitizer for {!Cutfit_bsp.Trace} and its telemetry mirror.
+
+    [validate] checks a trace's internal conservation laws: stage
+    ordering, non-negative counters, aggregates never outnumbering the
+    messages that formed them, remote subsets bounded by their totals,
+    zero wire bytes whenever a compute superstep moved nothing between
+    executors, the [time_s = max(compute, network) + overhead]
+    decomposition, and the total-time roll-up (recomputed with the
+    engines' own fold, so compared exactly).
+
+    With [?payload], compute supersteps must additionally satisfy
+    [wire_bytes = scale * (remote_shuffles * msg_wire_bytes +
+    remote_broadcasts * attr_wire_bytes)] — the "bytes on the wire are
+    remote messages times payload" law of the Pregel/GAS engines
+    (within 1e-9 relative tolerance, as the engines accumulate bytes
+    per executor).
+
+    [reconcile] replays the §telemetry contract from PR 1: every
+    superstep event must carry exactly the counters its trace stage was
+    built from (sent = received, local + remote = total, bit-equal
+    floats), executor busy/barrier decompositions must rebuild
+    [compute_s], and the [Run_end] record must match the trace's own
+    aggregates. *)
+
+type payload = {
+  msg_wire_bytes : float;  (** bytes per remote shuffle aggregate, overhead included *)
+  attr_wire_bytes : float;  (** bytes per remote replica refresh, overhead included *)
+  scale : float;  (** the run's time/byte scale factor *)
+}
+
+val validate : ?payload:payload -> Cutfit_bsp.Trace.t -> Violation.t list
+
+val reconcile : Cutfit_bsp.Trace.t -> Cutfit_obs.Event.t list -> Violation.t list
+(** [reconcile trace events] with [events] the telemetry slice of that
+    single run (extra [Run_start] records are ignored). *)

@@ -1,0 +1,21 @@
+type t = { suite : string; rule : string; detail : string }
+
+exception Violations of t list
+
+let v ~suite ~rule fmt = Format.kasprintf (fun detail -> { suite; rule; detail }) fmt
+
+let pp ppf t = Format.fprintf ppf "[%s] %s: %s" t.suite t.rule t.detail
+
+let pp_list ppf = function
+  | [] -> Format.fprintf ppf "all invariants hold"
+  | vs ->
+      Format.fprintf ppf "%d violation%s:" (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      List.iter (fun t -> Format.fprintf ppf "@\n  %a" pp t) vs
+
+let raise_if_any = function [] -> () | vs -> raise (Violations vs)
+
+let () =
+  Printexc.register_printer (function
+    | Violations vs -> Some (Format.asprintf "Cutfit_check.Violation.Violations (%a)" pp_list vs)
+    | _ -> None)

@@ -11,8 +11,10 @@
       partitioning;
     - {!Pgraph}, {!Pregel}, {!Cluster}, {!Cost_model}, {!Trace} — the
       simulated GraphX/Spark runtime;
-    - {!Telemetry}, {!Metric}, {!Event}, {!Sink}, {!Json} — structured
-      per-superstep telemetry and its sinks;
+    - {!Telemetry}, {!Metric}, {!Event}, {!Sink}, {!Json}, {!Clock} —
+      structured per-superstep telemetry and its sinks;
+    - {!Check}, {!Sanitize} — runtime invariant suites (the simulator
+      sanitizer) and the full-run checker behind [cutfit check];
     - {!Pagerank}, {!Connected_components}, {!Triangle_count}, {!Sssp} —
       the four analytics algorithms;
     - {!Grid}, {!Social}, {!Datasets} — synthetic dataset generators;
@@ -21,6 +23,10 @@
 
 module Advisor = Advisor
 module Pipeline = Pipeline
+module Sanitize = Sanitize
+
+(* Correctness tooling *)
+module Check = Cutfit_check
 
 (* Graph substrate *)
 module Graph = Cutfit_graph.Graph
@@ -46,6 +52,7 @@ module Metric = Cutfit_obs.Metric
 module Event = Cutfit_obs.Event
 module Sink = Cutfit_obs.Sink
 module Json = Cutfit_obs.Json
+module Clock = Cutfit_obs.Clock
 
 (* Simulated runtime *)
 module Cluster = Cutfit_bsp.Cluster

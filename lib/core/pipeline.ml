@@ -14,7 +14,8 @@ type prepared = {
   telemetry : Obs.Telemetry.t option;
 }
 
-let prepare ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?telemetry ~algorithm g =
+let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?telemetry
+    ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -22,10 +23,24 @@ let prepare ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?telemetry
     | None -> Partitioner.Hash (Advisor.advise algorithm ~scale ~num_partitions g)
   in
   let assignment = Partitioner.assign partitioner ~num_partitions g in
+  if check then
+    Cutfit_check.Violation.raise_if_any
+      (Cutfit_check.Pgraph_check.assignment g ~num_partitions assignment);
   let pg = Pgraph.build g ~num_partitions assignment in
-  { graph = g; pg; cluster; partitioner; scale; telemetry }
+  let p = { graph = g; pg; cluster; partitioner; scale; telemetry } in
+  if check then
+    Cutfit_check.Violation.raise_if_any
+      (Cutfit_check.Pgraph_check.validate pg
+      @ Cutfit_check.Metrics_check.validate g ~num_partitions assignment (Pgraph.metrics pg));
+  p
 
 let metrics p = Pgraph.metrics p.pg
+
+let check_prepared p =
+  let num_partitions = Cluster.(p.cluster.num_partitions) in
+  let assignment = Pgraph.assignment p.pg in
+  Cutfit_check.Pgraph_check.validate p.pg
+  @ Cutfit_check.Metrics_check.validate p.graph ~num_partitions assignment (metrics p)
 
 (* Each runner brackets the engine's event stream with a [Run_start]
    naming the algorithm and the partitioner, so multi-run trace files
@@ -70,12 +85,12 @@ let shortest_paths ~landmarks p =
   in
   (r.Cutfit_algo.Sssp.distances, r.Cutfit_algo.Sssp.trace)
 
-let compare_partitioners ?(partitioners = Partitioner.paper_six) ?(cluster = Cluster.config_i)
-    ?(scale = 1.0) ?telemetry ~algorithm g =
+let compare_partitioners ?(check = false) ?(partitioners = Partitioner.paper_six)
+    ?(cluster = Cluster.config_i) ?(scale = 1.0) ?telemetry ~algorithm g =
   let times =
     List.map
       (fun partitioner ->
-        let p = prepare ~cluster ~partitioner ~scale ?telemetry ~algorithm g in
+        let p = prepare ~check ~cluster ~partitioner ~scale ?telemetry ~algorithm g in
         let trace =
           match algorithm with
           | Advisor.Pagerank -> snd (pagerank p)

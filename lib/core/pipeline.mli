@@ -32,6 +32,7 @@ type prepared = {
 }
 
 val prepare :
+  ?check:bool ->
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?partitioner:Cutfit_partition.Partitioner.t ->
   ?scale:float ->
@@ -42,10 +43,21 @@ val prepare :
 (** Partition the graph for the given algorithm. Defaults: cluster
     configuration (i), the advisor's strategy, scale 1.0, no telemetry.
     Existing callers are unchanged — omitting [telemetry] keeps the
-    zero-allocation fast path in the engines. *)
+    zero-allocation fast path in the engines.
+
+    With [~check:true] the assignment is validated before the build and
+    the frozen {!Cutfit_bsp.Pgraph} plus its metrics are sanitized after
+    it ({!Cutfit_check.Pgraph_check}, {!Cutfit_check.Metrics_check});
+    any violation raises {!Cutfit_check.Violation.Violations}. Default
+    [false] — the paranoid path costs an extra pass over the graph. *)
 
 val metrics : prepared -> Cutfit_partition.Metrics.t
 (** Partitioning metrics of the prepared graph. *)
+
+val check_prepared : prepared -> Cutfit_check.Violation.t list
+(** The structural sanitizer suites of an already-prepared pipeline
+    (partitioned graph + metrics), as a report instead of an
+    exception. *)
 
 val pagerank : ?iterations:int -> prepared -> float array * Cutfit_bsp.Trace.t
 val connected_components : ?iterations:int -> prepared -> int array * Cutfit_bsp.Trace.t
@@ -56,6 +68,7 @@ val triangles : prepared -> int array * int * Cutfit_bsp.Trace.t
 val shortest_paths : landmarks:int array -> prepared -> int array array * Cutfit_bsp.Trace.t
 
 val compare_partitioners :
+  ?check:bool ->
   ?partitioners:Cutfit_partition.Partitioner.t list ->
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?scale:float ->
@@ -66,4 +79,5 @@ val compare_partitioners :
 (** Simulated job time per partitioner for one algorithm, ascending
     (NaN last, for OOM). SSSP uses 3 deterministic landmarks. With
     [telemetry], the six runs stream into one event sequence, each
-    bracketed by a [Run_start] naming algorithm and partitioner. *)
+    bracketed by a [Run_start] naming algorithm and partitioner.
+    [check] is forwarded to each {!prepare}. *)

@@ -1,0 +1,117 @@
+module Graph = Cutfit_graph.Graph
+module Partitioner = Cutfit_partition.Partitioner
+module Cluster = Cutfit_bsp.Cluster
+module Cost_model = Cutfit_bsp.Cost_model
+module Pgraph = Cutfit_bsp.Pgraph
+module Trace = Cutfit_bsp.Trace
+module Check = Cutfit_check
+module Obs = Cutfit_obs
+
+type report = {
+  algorithm : Advisor.algorithm;
+  partitioner : Partitioner.t;
+  suites : (string * int) list;
+  violations : Check.Violation.t list;
+  trace_digest : string;
+  events_digest : string;
+}
+
+let ok r = r.violations = []
+
+(* Wire payload per remote message, as the Pregel engine computes it:
+   payload bytes plus the framing overhead. Triangle counting builds its
+   stages outside the message engines, so no payload law applies. *)
+let payload ~scale ~landmarks algorithm =
+  let overhead = Cost_model.default.Cost_model.msg_wire_overhead_bytes in
+  let of_bytes b =
+    Some
+      {
+        Check.Trace_check.msg_wire_bytes = float_of_int (b + overhead);
+        attr_wire_bytes = float_of_int (b + overhead);
+        scale;
+      }
+  in
+  match algorithm with
+  | Advisor.Pagerank | Advisor.Connected_components -> of_bytes 8
+  | Advisor.Shortest_paths -> of_bytes (96 + (64 * Array.length landmarks))
+  | Advisor.Triangle_count -> None
+
+let run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g =
+  let sink, contents = Obs.Sink.ring ~capacity:65536 () in
+  let telemetry = Obs.Telemetry.create ~sinks:[ sink ] () in
+  let p = Pipeline.prepare ~cluster ~partitioner ~scale ~telemetry ~algorithm g in
+  let trace =
+    match algorithm with
+    | Advisor.Pagerank -> snd (Pipeline.pagerank p)
+    | Advisor.Connected_components -> snd (Pipeline.connected_components p)
+    | Advisor.Triangle_count ->
+        let _, _, t = Pipeline.triangles p in
+        t
+    | Advisor.Shortest_paths -> snd (Pipeline.shortest_paths ~landmarks p)
+  in
+  Obs.Telemetry.close telemetry;
+  (p, trace, contents ())
+
+let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorithm g =
+  let num_partitions = cluster.Cluster.num_partitions in
+  let partitioner =
+    match partitioner with
+    | Some p -> p
+    | None -> Partitioner.Hash (Advisor.advise algorithm ~scale ~num_partitions g)
+  in
+  let landmarks =
+    match algorithm with
+    | Advisor.Shortest_paths -> Cutfit_algo.Sssp.pick_landmarks ~seed:11L ~count:3 g
+    | _ -> [||]
+  in
+  let p, trace, events = run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g in
+  let assignment = Pgraph.assignment p.Pipeline.pg in
+  let pgraph_v = Check.Pgraph_check.validate p.Pipeline.pg in
+  let metrics_v =
+    Check.Metrics_check.validate p.Pipeline.graph ~num_partitions assignment (Pipeline.metrics p)
+  in
+  let trace_v =
+    Check.Trace_check.validate ?payload:(payload ~scale ~landmarks algorithm) trace
+  in
+  let telemetry_v = Check.Trace_check.reconcile trace events in
+  let trace_digest = Check.Determinism.trace_digest trace in
+  let events_digest = Check.Determinism.events_digest events in
+  let digest_of_run () =
+    let _, trace, events = run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g in
+    Check.Determinism.trace_digest trace ^ "/" ^ Check.Determinism.events_digest events
+  in
+  let determinism_v =
+    Check.Determinism.run_twice
+      ~label:
+        (Printf.sprintf "%s/%s" (Advisor.algorithm_name algorithm) (Partitioner.name partitioner))
+      digest_of_run
+  in
+  let suites =
+    [
+      ("pgraph", List.length pgraph_v);
+      ("metrics", List.length metrics_v);
+      ("trace", List.length trace_v);
+      ("telemetry", List.length telemetry_v);
+      ("determinism", List.length determinism_v);
+    ]
+  in
+  {
+    algorithm;
+    partitioner;
+    suites;
+    violations = pgraph_v @ metrics_v @ trace_v @ telemetry_v @ determinism_v;
+    trace_digest;
+    events_digest;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "sanitizer: %s with %s@\n"
+    (Advisor.algorithm_name r.algorithm)
+    (Partitioner.name r.partitioner);
+  List.iter
+    (fun (suite, n) ->
+      Format.fprintf ppf "  %-12s %s@\n" suite
+        (if n = 0 then "ok" else Printf.sprintf "%d violation(s)" n))
+    r.suites;
+  Format.fprintf ppf "  trace digest  %s@\n  events digest %s" r.trace_digest r.events_digest;
+  if r.violations <> [] then Format.fprintf ppf "@\n%a" Check.Violation.pp_list r.violations

@@ -1,0 +1,37 @@
+(** Full-pipeline sanitizer: one entry point that partitions a graph,
+    runs an algorithm with telemetry attached, and subjects the result
+    to every {!Cutfit_check} suite plus the run-twice determinism
+    harness. Backs the [cutfit check] subcommand and the [--paranoid]
+    CLI flag.
+
+    Suites, in order: [pgraph] (structure vs assignment), [metrics]
+    (recomputation + §3.1 identity), [trace] (conservation laws, with
+    the wire-payload law on the Pregel-engine algorithms), [telemetry]
+    (event stream vs trace reconciliation), [determinism] (two more
+    identical runs must digest identically). *)
+
+type report = {
+  algorithm : Advisor.algorithm;
+  partitioner : Cutfit_partition.Partitioner.t;
+  suites : (string * int) list;  (** suite name, violation count *)
+  violations : Cutfit_check.Violation.t list;  (** all suites, in order *)
+  trace_digest : string;
+  events_digest : string;
+}
+
+val ok : report -> bool
+
+val check_run :
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?partitioner:Cutfit_partition.Partitioner.t ->
+  ?scale:float ->
+  algorithm:Advisor.algorithm ->
+  Cutfit_graph.Graph.t ->
+  report
+(** Defaults mirror {!Pipeline.prepare}: cluster configuration (i), the
+    advisor's partitioner, scale 1.0. SSSP uses the same 3 deterministic
+    landmarks as {!Pipeline.compare_partitioners}. Runs the pipeline
+    three times in total (once observed, twice for the determinism
+    digest). *)
+
+val pp_report : Format.formatter -> report -> unit

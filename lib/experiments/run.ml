@@ -91,6 +91,7 @@ let of_trace ~spec ~pname ~cluster ~algo ~metrics (trace : Trace.t) =
 let run opts =
   let results = ref [] in
   let log fmt =
+    (* lint: no-print — opt-in progress output, off by default. *)
     if opts.progress then Format.eprintf fmt else Format.ifprintf Format.err_formatter fmt
   in
   List.iter

@@ -1,0 +1,13 @@
+type t = unit -> float
+
+(* The single place in the library allowed to read the wall clock; the
+   determinism linter (tools/lint) allowlists exactly this file. *)
+let wall : t = Unix.gettimeofday
+
+let fixed v : t = fun () -> v
+
+let counter ?(start = 0.0) ?(step = 1.0) () : t =
+  let now = ref (start -. step) in
+  fun () ->
+    now := !now +. step;
+    !now

@@ -1,0 +1,21 @@
+(** Injectable time source.
+
+    Everything in the library that needs "now" takes a [Clock.t] instead
+    of calling [Unix.gettimeofday] directly, so tests and the run-twice
+    determinism harness can substitute a reproducible clock. This module
+    is the only file allowed to touch the wall clock — the determinism
+    linter ([dune build @lint]) enforces that with an allowlist. *)
+
+type t = unit -> float
+(** Seconds. Only differences are meaningful. *)
+
+val wall : t
+(** The real wall clock ([Unix.gettimeofday]). *)
+
+val fixed : float -> t
+(** Always returns the given instant — spans measure as zero. *)
+
+val counter : ?start:float -> ?step:float -> unit -> t
+(** Deterministic fake: the first call returns [start] (default 0.0) and
+    every further call advances by [step] (default 1.0), so a span
+    bracketed by two reads measures exactly [step]. *)

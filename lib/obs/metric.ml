@@ -46,14 +46,15 @@ let record t s =
   t.sum <- t.sum +. s;
   t.n <- t.n + 1
 
-let time t f =
-  let start = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record t (Unix.gettimeofday () -. start)) f
+let time ?(clock = Clock.wall) t f =
+  let start = clock () in
+  Fun.protect ~finally:(fun () -> record t (clock () -. start)) f
 
 let total t = t.sum
 let observations t = t.n
 
 let snapshot reg =
+  (* lint: order-independent — the accumulated list is sorted below. *)
   Hashtbl.fold
     (fun name cell acc ->
       let v =

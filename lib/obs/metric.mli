@@ -40,8 +40,10 @@ val read : gauge -> float
 val record : timer -> float -> unit
 (** Add one observed span of the given seconds. *)
 
-val time : timer -> (unit -> 'a) -> 'a
-(** Run the thunk, recording its wall-clock duration. *)
+val time : ?clock:Clock.t -> timer -> (unit -> 'a) -> 'a
+(** Run the thunk, recording its duration as read from [clock]
+    (default {!Clock.wall}); pass {!Clock.counter} for a deterministic
+    measurement in tests. *)
 
 val total : timer -> float
 val observations : timer -> int

@@ -8,6 +8,7 @@ let () =
       ("partition", Test_partition.suite);
       ("bsp", Test_bsp.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
       ("algo", Test_algo.suite);
       ("core", Test_core.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,4 @@
+(* expect: hashtbl-order *)
+(* Consing inside a fold makes the result order-dependent — the list's
+   order is whatever the hash function produced. *)
+let pairs tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

@@ -1,0 +1,4 @@
+(* expect: poly-compare *)
+(* Hashtbl.hash on a structure depends on representation details and
+   truncation limits; keys must be hashed through a canonical scalar. *)
+let key_of parts = Hashtbl.hash parts

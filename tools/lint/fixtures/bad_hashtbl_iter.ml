@@ -1,0 +1,7 @@
+(* expect: hashtbl-order *)
+(* Iteration order over a hash table is unspecified; printing (or
+   appending, or any non-commutative effect) in it is nondeterministic. *)
+let names tbl =
+  let out = ref [] in
+  Hashtbl.iter (fun k _ -> out := k :: !out) tbl;
+  !out

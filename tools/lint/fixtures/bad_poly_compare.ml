@@ -1,0 +1,5 @@
+(* expect: poly-compare *)
+(* Polymorphic compare on a structured value walks the runtime
+   representation: it distinguishes physically different but logically
+   equal values and raises on functional fields. *)
+let newest entries = List.sort (fun a b -> compare (b, 0) (a, 0)) entries

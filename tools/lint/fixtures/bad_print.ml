@@ -1,0 +1,4 @@
+(* expect: no-print *)
+(* Library code owns no console: results travel through returned values,
+   formatter arguments, or Cutfit_obs sinks. *)
+let report n = Printf.printf "processed %d vertices\n" n

@@ -1,0 +1,4 @@
+(* expect: wall-clock *)
+(* Seeding from ambient entropy is the other wall-clock shape: the run
+   can never be replayed. All randomness flows from Cutfit_prng seeds. *)
+let init () = Random.self_init ()

@@ -1,0 +1,7 @@
+(* expect: wall-clock *)
+(* Reading the wall clock outside lib/obs/clock.ml breaks run-twice
+   determinism: two identical simulations would trace differently. *)
+let elapsed f =
+  let start = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. start

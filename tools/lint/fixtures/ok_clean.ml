@@ -1,0 +1,11 @@
+(* expect: none *)
+(* A provably order-insensitive fold (commutative-associative combiner
+   on the accumulator), a typed comparator, and formatter-passed output:
+   everything the rules permit. *)
+let total tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+
+let largest tbl = Hashtbl.fold (fun _ v acc -> max v acc) tbl 0
+
+let sort_ids ids = List.sort Int.compare ids
+
+let pp ppf n = Format.fprintf ppf "count=%d" n

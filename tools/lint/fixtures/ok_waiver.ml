@@ -1,0 +1,7 @@
+(* expect: none *)
+(* The explicit waiver: this fold builds a list but the caller sorts it
+   immediately, so the site documents its order-independence. *)
+let snapshot tbl =
+  (* lint: order-independent — sorted on the next line. *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,448 @@
+(* Determinism and hygiene linter for the cutfit tree.
+
+   Parses every .ml under the given directories with compiler-libs and
+   enforces the project rules that keep the simulator's measurements
+   trustworthy:
+
+   - wall-clock      no [Unix.gettimeofday]/[Sys.time]/[Random.self_init]
+                     and friends outside the allowlisted clock module
+                     (lib/obs/clock.ml);
+   - hashtbl-order   no order-dependent [Hashtbl.iter]/[Hashtbl.fold]:
+                     a fold whose combining operator is commutative and
+                     associative (max, min, +, ...) on the accumulator is
+                     accepted, anything else needs an explicit
+                     [(* lint: order-independent *)] waiver on the line
+                     of the call or the line above;
+   - poly-compare    (lib/ only) no [Hashtbl.hash], and no polymorphic
+                     [compare]/[=]/[<>]/[<]/... applied to a syntactically
+                     structured argument (tuple, list, record, constructor
+                     application) — use a typed comparator;
+   - no-print        (lib/ only) no direct stdout/stderr printing
+                     ([Printf.printf], [print_endline], [Format.printf],
+                     [Fmt.pr], ...); output goes through Cutfit_obs sinks
+                     or formatters received as arguments.
+
+   It also prints a report of .mli exports never referenced outside
+   their defining module (informational, never fails the build).
+
+   Exit status: 0 when no unwaived finding in an enforced rule, 1
+   otherwise. [--self-test DIR] runs the rule engine over fixture
+   snippets that each declare the finding they must produce. *)
+
+type rule = Wall_clock | Hashtbl_order | Poly_compare | No_print
+
+let rule_name = function
+  | Wall_clock -> "wall-clock"
+  | Hashtbl_order -> "hashtbl-order"
+  | Poly_compare -> "poly-compare"
+  | No_print -> "no-print"
+
+let rule_of_name = function
+  | "wall-clock" -> Some Wall_clock
+  | "hashtbl-order" | "order-independent" -> Some Hashtbl_order
+  | "poly-compare" -> Some Poly_compare
+  | "no-print" -> Some No_print
+  | _ -> None
+
+type finding = { file : string; line : int; rule : rule; msg : string }
+
+(* --- rule tables --- *)
+
+let wall_clock_idents =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.gmtime";
+    "Unix.localtime";
+    "Unix.times";
+    "Sys.time";
+    "Random.self_init";
+    "Random.State.make_self_init";
+  ]
+
+let print_idents =
+  [
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "Format.print_string";
+    "Format.print_newline";
+    "Fmt.pr";
+    "Fmt.epr";
+    "print_string";
+    "print_endline";
+    "print_int";
+    "print_float";
+    "print_char";
+    "print_bytes";
+    "print_newline";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "Stdlib.print_string";
+    "Stdlib.print_endline";
+    "Stdlib.print_newline";
+  ]
+
+let poly_compare_fns = [ "compare"; "Stdlib.compare"; "=" ; "<>"; "<"; ">"; "<="; ">=" ]
+
+(* Operators that make a fold accumulator provably order-insensitive:
+   commutative and associative, so any iteration order yields the same
+   result. *)
+let order_insensitive_ops = [ "max"; "min"; "+"; "+."; "*"; "*."; "land"; "lor"; "lxor" ]
+
+(* --- helpers --- *)
+
+let path_components file = String.split_on_char '/' file
+
+let in_lib file = List.mem "lib" (path_components file)
+
+let clock_allowlisted file =
+  match List.rev (path_components file) with
+  | "clock.ml" :: "obs" :: _ -> true
+  | _ -> false
+
+let lident_path lid = String.concat "." (Longident.flatten lid)
+
+let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* Waivers: a comment [(* lint: <rule> ... *)] (or the documented alias
+   [order-independent]) suppresses findings of that rule on its own line
+   and on the following line. *)
+let waiver_re = Str.regexp {|(\*[ \t]*lint:[ \t]*\([a-z-]+\)|}
+
+let waivers_of_source source =
+  let table = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      match
+        try
+          ignore (Str.search_forward waiver_re line 0);
+          rule_of_name (Str.matched_group 1 line)
+        with Not_found -> None
+      with
+      | Some rule ->
+          Hashtbl.replace table (i + 1, rule) ();
+          Hashtbl.replace table (i + 2, rule) ()
+      | None -> ())
+    (String.split_on_char '\n' source);
+  fun line rule -> Hashtbl.mem table (line, rule)
+
+(* --- the order-insensitivity prover for Hashtbl.fold --- *)
+
+open Parsetree
+
+(* Peel the parameters of a [fun k v acc -> body]; returns params in
+   order plus the body. *)
+let rec peel_params e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, pat, body) ->
+      let rest, core = peel_params body in
+      (pat :: rest, core)
+  | _ -> ([], e)
+
+let pat_var p = match p.ppat_desc with Ppat_var { txt; _ } -> Some txt | _ -> None
+
+let is_ident name e =
+  match e.pexp_desc with Pexp_ident { txt = Longident.Lident n; _ } -> n = name | _ -> false
+
+(* [fun _ v acc -> op x acc] (either argument order) with a commutative
+   associative [op] is order-insensitive: the fold computes a bag
+   reduction. Anything else — consing, subtraction, side effects — is
+   conservatively rejected. *)
+let fold_fn_order_insensitive fn =
+  let params, body = peel_params fn in
+  match params with
+  | [ _; _; acc_pat ] -> (
+      match pat_var acc_pat with
+      | None -> false
+      | Some acc -> (
+          match body.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident op; _ }; _ }, args)
+            when List.mem op order_insensitive_ops ->
+              let args = List.map snd args in
+              List.length args = 2 && List.exists (is_ident acc) args
+          | _ -> false))
+  | _ -> false
+
+(* A constructor carrying only a constant payload (e.g. [Some ']'],
+   [Ok 0]) compares like a scalar; only genuinely structured payloads
+   make polymorphic comparison suspicious. *)
+let rec structured_literal e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_variant (_, Some payload) | Pexp_construct (_, Some payload) ->
+      structured_literal payload || not (is_constant payload)
+  | _ -> false
+
+and is_constant e =
+  match e.pexp_desc with Pexp_constant _ -> true | _ -> false
+
+(* --- per-file lint pass --- *)
+
+let lint_structure ~file ~lib_scope ~waived structure =
+  let findings = ref [] in
+  let add loc rule msg =
+    let line = line_of_loc loc in
+    if not (waived line rule) then findings := { file; line; rule; msg } :: !findings
+  in
+  (* Function idents already judged as part of an enclosing application,
+     so the bare-ident pass must not re-report them. *)
+  let handled : (int * int) list ref = ref [] in
+  let mark (loc : Location.t) =
+    handled := (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum) :: !handled
+  in
+  let was_handled (loc : Location.t) =
+    List.mem (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum) !handled
+  in
+  let check_ident loc path =
+    if List.mem path wall_clock_idents && not (clock_allowlisted file) then
+      add loc Wall_clock
+        (Printf.sprintf "%s reads ambient state; inject a Cutfit_obs.Clock.t instead" path);
+    if lib_scope && List.mem path print_idents then
+      add loc No_print
+        (Printf.sprintf
+           "%s writes directly to the console from library code; emit through Cutfit_obs sinks \
+            or a formatter argument"
+           path);
+    if lib_scope && (path = "Hashtbl.hash" || path = "Stdlib.Hashtbl.hash") then
+      add loc Poly_compare
+        "Hashtbl.hash is polymorphic and layout-dependent; hash a canonical scalar key instead"
+  in
+  let iter_expr default it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+        if not (was_handled loc) then check_ident loc (lident_path txt)
+    | Pexp_apply (({ pexp_desc = Pexp_ident { txt; loc = fn_loc }; _ } as _fn), args) -> (
+        let path = lident_path txt in
+        match path with
+        | "Hashtbl.iter" | "Stdlib.Hashtbl.iter" ->
+            mark fn_loc;
+            add e.pexp_loc Hashtbl_order
+              "Hashtbl.iter visits bindings in hash order; iterate a sorted key list or add an \
+               (* lint: order-independent *) waiver"
+        | "Hashtbl.fold" | "Stdlib.Hashtbl.fold" ->
+            mark fn_loc;
+            let proven =
+              match args with
+              | (_, fn_arg) :: _ -> fold_fn_order_insensitive fn_arg
+              | [] -> false
+            in
+            if not proven then
+              add e.pexp_loc Hashtbl_order
+                "Hashtbl.fold result may depend on hash order; use a commutative-associative \
+                 combiner, sort the keys first, or add an (* lint: order-independent *) waiver"
+        | _ when lib_scope && List.mem path poly_compare_fns ->
+            if List.exists (fun (_, a) -> structured_literal a) args then
+              add e.pexp_loc Poly_compare
+                (Printf.sprintf
+                   "polymorphic %s on a structured value; define a typed comparison" path)
+        | _ -> ())
+    | _ -> ());
+    default.Ast_iterator.expr it e
+  in
+  let default = Ast_iterator.default_iterator in
+  let it = { default with Ast_iterator.expr = iter_expr default } in
+  it.Ast_iterator.structure it structure;
+  List.rev !findings
+
+(* --- file walking and parsing --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let rec walk dir =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then acc @ walk path else acc @ [ path ])
+    [] entries
+
+let parse_impl ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+let parse_intf ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Parse.interface lexbuf
+
+let lint_file file =
+  let source = read_file file in
+  match parse_impl ~file source with
+  | structure ->
+      let waived = waivers_of_source source in
+      lint_structure ~file ~lib_scope:(in_lib file) ~waived structure
+  | exception _ ->
+      [ { file; line = 1; rule = Wall_clock; msg = "parse error (file skipped by the linter)" } ]
+
+(* --- unused-export report --- *)
+
+let module_name_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+let exports_of_intf file =
+  match parse_intf ~file (read_file file) with
+  | exception _ -> []
+  | items ->
+      List.filter_map
+        (fun item ->
+          match item.psig_desc with
+          | Psig_value vd ->
+              Some (module_name_of_file file, vd.pval_name.Asttypes.txt, line_of_loc vd.pval_loc)
+          | _ -> None)
+        items
+
+let uses_of_impl structure =
+  let uses = Hashtbl.create 256 in
+  let record lid =
+    match List.rev (Longident.flatten lid) with
+    | value :: m :: _ -> Hashtbl.replace uses (m, value) ()
+    | _ -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      Ast_iterator.expr =
+        (fun it e ->
+          (match e.pexp_desc with Pexp_ident { txt; _ } -> record txt | _ -> ());
+          default.Ast_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.structure it structure;
+  uses
+
+let unused_export_report ~lint_dirs ~use_dirs =
+  let mls dirs =
+    List.concat_map walk dirs |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  in
+  let mlis =
+    List.concat_map walk lint_dirs |> List.filter (fun f -> Filename.check_suffix f ".mli")
+  in
+  let uses = Hashtbl.create 1024 in
+  List.iter
+    (fun f ->
+      match parse_impl ~file:f (read_file f) with
+      | exception _ -> ()
+      | s -> Hashtbl.iter (fun k () -> Hashtbl.replace uses k ()) (uses_of_impl s))
+    (mls (lint_dirs @ use_dirs));
+  let unused =
+    List.concat_map
+      (fun mli ->
+        List.filter_map
+          (fun (m, v, line) -> if Hashtbl.mem uses (m, v) then None else Some (mli, line, m, v))
+          (exports_of_intf mli))
+      mlis
+  in
+  if unused <> [] then begin
+    Printf.printf "unused-export report (%d exports never referenced by module name):\n"
+      (List.length unused);
+    List.iter
+      (fun (mli, line, m, v) -> Printf.printf "  %s:%d: %s.%s\n" mli line m v)
+      unused
+  end
+
+(* --- self-test over fixtures --- *)
+
+let expected_of_fixture source =
+  let re = Str.regexp {|(\*[ \t]*expect:[ \t]*\([a-z-]+\)|} in
+  try
+    ignore (Str.search_forward re source 0);
+    Some (Str.matched_group 1 source)
+  with Not_found -> None
+
+let self_test dir =
+  let fixtures = walk dir |> List.filter (fun f -> Filename.check_suffix f ".ml") in
+  if fixtures = [] then begin
+    Printf.printf "lint self-test: no fixtures under %s\n" dir;
+    exit 1
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun file ->
+      let source = read_file file in
+      let findings =
+        (* Fixtures exercise the lib/-scope rules regardless of where
+           the fixture tree lives. *)
+        match parse_impl ~file source with
+        | s -> lint_structure ~file ~lib_scope:true ~waived:(waivers_of_source source) s
+        | exception _ ->
+            Printf.printf "FAIL %s: fixture does not parse\n" file;
+            incr failures;
+            []
+      in
+      match expected_of_fixture source with
+      | None ->
+          Printf.printf "FAIL %s: missing (* expect: <rule> *) header\n" file;
+          incr failures
+      | Some "none" ->
+          if findings <> [] then begin
+            Printf.printf "FAIL %s: expected no findings, got %d (first: [%s] %s)\n" file
+              (List.length findings)
+              (rule_name (List.hd findings).rule)
+              (List.hd findings).msg;
+            incr failures
+          end
+          else Printf.printf "ok   %s (clean, as expected)\n" file
+      | Some name -> (
+          match rule_of_name name with
+          | None ->
+              Printf.printf "FAIL %s: unknown expected rule %S\n" file name;
+              incr failures
+          | Some rule ->
+              if List.exists (fun f -> f.rule = rule) findings then
+                Printf.printf "ok   %s (caught %s)\n" file name
+              else begin
+                Printf.printf "FAIL %s: rule %s did not fire\n" file name;
+                incr failures
+              end))
+    fixtures;
+  if !failures > 0 then begin
+    Printf.printf "lint self-test: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  Printf.printf "lint self-test: %d fixture(s) ok\n" (List.length fixtures)
+
+(* --- entry point --- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--self-test"; dir ] -> self_test dir
+  | _ ->
+      let use_dirs, lint_dirs =
+        let rec split acc = function
+          | "--use-only" :: d :: rest ->
+              let u, l = split acc rest in
+              (d :: u, l)
+          | d :: rest -> split acc rest |> fun (u, l) -> (u, d :: l)
+          | [] -> ([], acc)
+        in
+        split [] args
+      in
+      let lint_dirs = if lint_dirs = [] then [ "lib"; "bin" ] else lint_dirs in
+      let files =
+        List.concat_map walk lint_dirs |> List.filter (fun f -> Filename.check_suffix f ".ml")
+      in
+      let findings = List.concat_map lint_file files in
+      List.iter
+        (fun f -> Printf.printf "%s:%d: [%s] %s\n" f.file f.line (rule_name f.rule) f.msg)
+        findings;
+      unused_export_report ~lint_dirs ~use_dirs;
+      if findings = [] then
+        Printf.printf "lint: %d files clean (%s)\n" (List.length files)
+          (String.concat ", " lint_dirs)
+      else begin
+        Printf.printf "lint: %d finding(s) in %d files\n" (List.length findings)
+          (List.length files);
+        exit 1
+      end

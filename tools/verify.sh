@@ -13,6 +13,13 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== dune build @lint"
+dune build @lint
+
+echo "== paranoid sanitizer pass"
+dune exec bin/cutfit_cli.exe -- check PR roadnet_pa
+dune exec bin/cutfit_cli.exe -- run CC roadnet_pa --paranoid >/dev/null
+
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"
   dune build @doc
