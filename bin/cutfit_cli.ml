@@ -51,6 +51,9 @@ let config_arg =
   let print ppf c = Fmt.string ppf c.Cutfit.Cluster.name in
   Arg.(value & opt (conv (parse, print)) Cutfit.Cluster.config_i & info [ "c"; "config" ] ~docv:"CFG" ~doc:"Cluster configuration: i, ii, iii or iv.")
 
+let seed_arg ~default ~doc =
+  Arg.(value & opt int64 default & info [ "seed" ] ~docv:"SEED" ~doc)
+
 (* --- telemetry plumbing shared by run/compare --- *)
 
 let trace_out_arg =
@@ -204,7 +207,7 @@ let run_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner trace_out verbose paranoid =
+  let action algo graph config partitioner seed trace_out verbose paranoid =
     let g = load_graph graph in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     let p =
@@ -233,7 +236,7 @@ let run_cmd =
           Fmt.pr "triangles: %s@." (Cutfit_experiments.Report.commas total);
           trace
       | Cutfit.Advisor.Shortest_paths ->
-          let landmarks = Cutfit.Sssp.pick_landmarks ~seed:5L ~count:5 g in
+          let landmarks = Cutfit.Sssp.pick_landmarks ~seed ~count:5 g in
           let d, trace = Cutfit.Pipeline.shortest_paths ~landmarks p in
           let reached = ref 0 in
           Array.iter (fun row -> if row.(0) < max_int then incr reached) d;
@@ -244,7 +247,10 @@ let run_cmd =
     finish_telemetry ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an algorithm on a partitioned graph and print the simulated trace.")
-    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+    Term.(
+      const action $ algo_arg $ graph_pos1 $ config_arg $ strategy
+      $ seed_arg ~default:5L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
+      $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- compare --- *)
 
@@ -252,18 +258,175 @@ let compare_cmd =
   let graph_pos1 =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
   in
-  let action algo graph config trace_out verbose paranoid =
+  let action algo graph config seed trace_out verbose paranoid =
     let g = load_graph graph in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     List.iter
       (fun (name, t) -> Fmt.pr "%-10s %s@." name (Cutfit_experiments.Report.seconds t))
       (with_violation_report (fun () ->
-           Cutfit.Pipeline.compare_partitioners ~check:paranoid ~cluster:config ?telemetry
+           Cutfit.Pipeline.compare_partitioners ~check:paranoid ~cluster:config ~seed ?telemetry
              ~algorithm:algo g));
     finish_telemetry ()
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare simulated job time across the six partitioners.")
-    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+    Term.(
+      const action $ algo_arg $ graph_pos1 $ config_arg
+      $ seed_arg ~default:11L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
+      $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+
+(* --- workload --- *)
+
+let workload_cmd =
+  let module W = Cutfit_workload in
+  let mix_arg =
+    let doc =
+      Printf.sprintf "Job mix: %s." (String.concat ", " Cutfit_workload.Job.mix_names)
+    in
+    Arg.(value & opt string "uniform" & info [ "m"; "mix" ] ~docv:"MIX" ~doc)
+  in
+  let jobs_arg =
+    Arg.(value & opt int 40 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Number of jobs to generate.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Scheduling policy: fifo, or sjf (shortest predicted job first).")
+  in
+  let select_arg =
+    Arg.(
+      value & opt string "cache-aware"
+      & info [ "select" ] ~docv:"MODE"
+          ~doc:
+            "Strategy selection per job: heuristic (the paper's rules), measured (rank all \
+             candidates), or cache-aware (prefer a cached partitioning when its predicted \
+             penalty is below the threshold).")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:
+            "Cache-aware acceptance threshold: maximum relative predictive-metric penalty of a \
+             cached strategy over the best one.")
+  in
+  let cache_gb_arg =
+    Arg.(
+      value & opt float 8.0
+      & info [ "cache-gb" ] ~docv:"GB"
+          ~doc:"Partitioning-cache budget in paper-scale gigabytes; 0 disables the cache.")
+  in
+  let eviction_arg =
+    Arg.(
+      value & opt string "lru"
+      & info [ "eviction" ] ~docv:"POLICY"
+          ~doc:"Cache eviction policy: lru, or cost (cheapest to rebuild per byte goes first).")
+  in
+  let slots_arg =
+    Arg.(value & opt int 2 & info [ "slots" ] ~docv:"K" ~doc:"Concurrent executor slots.")
+  in
+  let verbose_events_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose-events" ] ~doc:"Print every job and cache event as the simulation runs.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run the workload sanitizer: cache accounting conservation, per-job cost \
+             decomposition, event-vs-record reconciliation, and the run-twice determinism \
+             digest. Exits non-zero on any violation.")
+  in
+  let action mix_name jobs seed policy_name select_name threshold cache_gb eviction_name slots
+      trace_out verbose check =
+    let fail fmt = Fmt.kstr (fun m -> Fmt.epr "cutfit: %s@." m; exit 2) fmt in
+    let mix =
+      match W.Job.find_mix mix_name with
+      | Some m -> m
+      | None -> fail "unknown mix %S (expected one of: %s)" mix_name (String.concat ", " W.Job.mix_names)
+    in
+    let policy =
+      match W.Engine.policy_of_string policy_name with
+      | Some p -> p
+      | None -> fail "unknown policy %S (fifo, sjf)" policy_name
+    in
+    let selection =
+      match W.Engine.selection_of_string ~threshold select_name with
+      | Some s -> s
+      | None -> fail "unknown selection mode %S (heuristic, measured, cache-aware)" select_name
+    in
+    let eviction =
+      match W.Cache.eviction_of_string eviction_name with
+      | Some e -> e
+      | None -> fail "unknown eviction policy %S (lru, cost)" eviction_name
+    in
+    let stream = W.Job.generate ~seed ~jobs mix in
+    let ring, read_ring = Cutfit.Sink.ring ~capacity:65536 () in
+    let sinks =
+      (match trace_out with Some path -> [ Cutfit.Sink.jsonl path ] | None -> [])
+      @ (if verbose then [ Cutfit.Sink.console ~verbose:true Format.std_formatter ] else [])
+      @ if check then [ ring ] else []
+    in
+    let telemetry = if sinks = [] then None else Some (Cutfit.Telemetry.create ~sinks ()) in
+    let budget_bytes = cache_gb *. 1.0e9 in
+    let report =
+      W.Engine.run ~slots ~eviction ~budget_bytes ~policy ~selection ?telemetry ~seed stream
+    in
+    let rows =
+      List.map
+        (fun (r : W.Engine.job_record) ->
+          [
+            string_of_int r.W.Engine.job.W.Job.id;
+            Cutfit.Advisor.algorithm_name r.W.Engine.job.W.Job.algorithm;
+            Printf.sprintf "%s/%d" r.W.Engine.job.W.Job.dataset r.W.Engine.job.W.Job.num_partitions;
+            r.W.Engine.strategy;
+            (if r.W.Engine.cache_hit then "hit" else "miss");
+            Cutfit_experiments.Report.fsig r.W.Engine.queue_s;
+            Cutfit_experiments.Report.fsig r.W.Engine.partition_s;
+            Cutfit_experiments.Report.fsig r.W.Engine.exec_s;
+            Cutfit_experiments.Report.fsig r.W.Engine.finish_s;
+            r.W.Engine.outcome;
+          ])
+        report.W.Engine.records
+    in
+    Fmt.pr "%s@."
+      (Cutfit_experiments.Report.table
+         ~header:
+           [ "job"; "algo"; "dataset"; "strategy"; "cache"; "queue"; "partition"; "exec";
+             "finish"; "outcome" ]
+         ~rows);
+    Fmt.pr "%a@." W.Engine.pp_summary report;
+    (match telemetry with Some t -> Cutfit.Telemetry.close t | None -> ());
+    (match trace_out with
+    | Some path -> Fmt.pr "wrote workload events to %s@." path
+    | None -> ());
+    if check then begin
+      let violations = W.Workload_check.report ~events:(read_ring ()) report in
+      let twice =
+        W.Workload_check.run_twice ~label:(Printf.sprintf "workload %s seed %Ld" mix_name seed)
+          (fun () ->
+            W.Engine.run ~slots ~eviction ~budget_bytes ~policy ~selection ~seed
+              (W.Job.generate ~seed ~jobs mix))
+      in
+      match violations @ twice with
+      | [] -> Fmt.pr "workload check: ok (digest %s)@." (W.Workload_check.digest report)
+      | vs ->
+          Fmt.epr "cutfit: workload sanitizer violations:@.%a@." Cutfit.Check.Violation.pp_list vs;
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Simulate a multi-job cluster workload: a seeded job stream scheduled over executor \
+          slots, with advisor-driven strategy selection and a budgeted partitioning cache.")
+    Term.(
+      const action $ mix_arg $ jobs_arg
+      $ seed_arg ~default:7L ~doc:"Seed of the job stream (and of each SSSP job's landmarks)."
+      $ policy_arg $ select_arg $ threshold_arg $ cache_gb_arg $ eviction_arg $ slots_arg
+      $ trace_out_arg $ verbose_events_arg $ check_arg)
 
 (* --- check --- *)
 
@@ -295,4 +458,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ datasets_cmd; generate_cmd; characterize_cmd; partition_cmd; advise_cmd; run_cmd;
-            compare_cmd; check_cmd ]))
+            compare_cmd; workload_cmd; check_cmd ]))

@@ -40,6 +40,8 @@ let trace_digest (t : Trace.t) =
 let events_digest events =
   Digest.to_hex (Digest.string (String.concat "\n" (List.map Event.to_line events)))
 
+let lines_digest lines = Digest.to_hex (Digest.string (String.concat "\n" lines))
+
 let run_twice ~label f =
   let first = f () in
   let second = f () in

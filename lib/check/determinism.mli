@@ -11,6 +11,11 @@ val trace_digest : Cutfit_bsp.Trace.t -> string
 
 val events_digest : Cutfit_obs.Event.t list -> string
 
+val lines_digest : string list -> string
+(** Digest of pre-rendered canonical lines (e.g. the workload engine's
+    report, serialized through the bit-exact JSONL codec) — the same
+    MD5-hex form as the other digests so {!run_twice} composes. *)
+
 val run_twice : label:string -> (unit -> string) -> Violation.t list
 (** [run_twice ~label f] runs [f] twice; [f] should perform a complete
     run and return its digest. *)

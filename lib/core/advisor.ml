@@ -58,6 +58,100 @@ let measure ?(candidates = Strategy.all) algo ~num_partitions g =
       if c <> 0 then c else compare a.metrics.Metrics.balance b.metrics.Metrics.balance)
     ranked
 
+(* --- predicted simulated cost (coarse, for scheduling/amortization) ---
+
+   These mirror the engine's cost model closely enough to rank
+   strategies and order jobs, not to reproduce the trace: the build
+   phase is re-derived exactly from the per-partition edge/vertex
+   counts the metrics already carry, while execution is summarized as
+   [supersteps] rounds whose traffic is proportional to the algorithm's
+   predictive metric. *)
+
+module Cluster = Cutfit_bsp.Cluster
+module Cost_model = Cutfit_bsp.Cost_model
+
+let predicted_build_s ?(cost = Cost_model.default) ?(cluster = Cluster.config_i) ?(scale = 1.0) g
+    (m : Metrics.t) =
+  let executors = cluster.Cluster.executors in
+  let cores = cluster.Cluster.cores_per_executor in
+  let per_exec_work = Array.make executors 0.0 in
+  let per_exec_bytes = Array.make executors 0.0 in
+  let remote_frac = float_of_int (executors - 1) /. float_of_int executors in
+  Array.iteri
+    (fun p e_p ->
+      let e = p mod executors in
+      let v_p = float_of_int m.Metrics.vertices_per_partition.(p) in
+      let e_p = float_of_int e_p in
+      per_exec_work.(e) <-
+        per_exec_work.(e)
+        +. (e_p *. cost.Cost_model.build_edge_s)
+        +. (v_p *. cost.Cost_model.build_vertex_s);
+      per_exec_bytes.(e) <-
+        per_exec_bytes.(e)
+        +. (e_p *. float_of_int cost.Cost_model.shuffle_edge_bytes *. remote_frac))
+    m.Metrics.edges_per_partition;
+  let compute =
+    Array.fold_left (fun acc w -> Float.max acc (w /. float_of_int cores)) 0.0 per_exec_work
+  in
+  let network =
+    Array.fold_left
+      (fun acc b -> Float.max acc (b /. Cluster.network_bytes_per_s cluster))
+      0.0 per_exec_bytes
+  in
+  let load =
+    float_of_int (Cutfit_graph.Graph_io.size_bytes g)
+    /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster)
+  in
+  let overhead =
+    cost.Cost_model.superstep_barrier_s
+    +. (float_of_int m.Metrics.num_partitions *. cost.Cost_model.task_dispatch_s)
+  in
+  scale *. (load +. Float.max compute network +. overhead)
+
+let predicted_exec_s ?(cost = Cost_model.default) ?(cluster = Cluster.config_i) ?(scale = 1.0)
+    ?(supersteps = 10) algo g (m : Metrics.t) =
+  let traffic = Metrics.metric_value m (predictive_metric algo) in
+  let edges = float_of_int (Graph.num_edges g) in
+  let vertices = float_of_int (Graph.num_vertices g) in
+  let per_step_work =
+    (edges *. (cost.Cost_model.edge_scan_s +. cost.Cost_model.msg_merge_s))
+    +. (vertices *. cost.Cost_model.vprog_s)
+    +. (2.0 *. traffic *. cost.Cost_model.msg_serialize_s)
+  in
+  let wire_bytes = traffic *. float_of_int (8 + cost.Cost_model.msg_wire_overhead_bytes) in
+  let per_step_network =
+    wire_bytes /. float_of_int cluster.Cluster.executors /. Cluster.network_bytes_per_s cluster
+  in
+  let overhead =
+    cost.Cost_model.superstep_barrier_s
+    +. (float_of_int m.Metrics.num_partitions *. cost.Cost_model.task_dispatch_s)
+  in
+  float_of_int supersteps
+  *. ((scale
+      *. Float.max
+           (per_step_work /. float_of_int (Cluster.total_cores cluster))
+           per_step_network)
+     +. overhead)
+
+type amortized = { base : ranked; build_s : float; exec_s : float; amortized_s : float }
+
+let measure_amortized ?candidates ?cost ?cluster ?scale ?supersteps ~expected_reuse algo
+    ~num_partitions g =
+  if expected_reuse <= 0.0 then invalid_arg "Advisor.measure_amortized: expected_reuse <= 0";
+  let amortized =
+    List.map
+      (fun base ->
+        let build_s = predicted_build_s ?cost ?cluster ?scale g base.metrics in
+        let exec_s = predicted_exec_s ?cost ?cluster ?scale ?supersteps algo g base.metrics in
+        { base; build_s; exec_s; amortized_s = exec_s +. (build_s /. expected_reuse) })
+      (measure ?candidates algo ~num_partitions g)
+  in
+  List.sort
+    (fun a b ->
+      let c = compare a.amortized_s b.amortized_s in
+      if c <> 0 then c else compare a.base.score b.base.score)
+    amortized
+
 let advise ?(measure_threshold_edges = 5_000_000) algo ~scale ~num_partitions g =
   if Graph.num_edges g <= measure_threshold_edges then
     match measure algo ~num_partitions g with

@@ -52,6 +52,70 @@ val measure :
     its metrics, and rank ascending by the algorithm's predictive
     metric (ties broken by balance). *)
 
+(** {2 Predicted cost and amortized ranking}
+
+    When partitionings are {e reused} across a stream of jobs (the
+    workload engine's cache), the one-time partition-build cost must be
+    amortized against execution time over the expected number of jobs
+    sharing it — the EASE framing of partitioner selection. The
+    predictors below are deliberately coarse: they mirror the simulated
+    cost model's build phase exactly (from the per-partition counts the
+    metrics carry) and summarize execution as [supersteps] rounds whose
+    traffic is proportional to the algorithm's predictive metric. They
+    rank strategies and order jobs; they do not reproduce traces. *)
+
+val predicted_build_s :
+  ?cost:Cutfit_bsp.Cost_model.t ->
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?scale:float ->
+  Cutfit_graph.Graph.t ->
+  Cutfit_partition.Metrics.t ->
+  float
+(** Predicted one-time cost of loading the dataset and materializing
+    this partitioning (per-executor build makespan, shuffle wire time,
+    task dispatch). Only [executors], [cores_per_executor] and the
+    bandwidth fields of [cluster] are read — the partition count comes
+    from the metrics. *)
+
+val predicted_exec_s :
+  ?cost:Cutfit_bsp.Cost_model.t ->
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?scale:float ->
+  ?supersteps:int ->
+  algorithm ->
+  Cutfit_graph.Graph.t ->
+  Cutfit_partition.Metrics.t ->
+  float
+(** Predicted per-run execution cost over [supersteps] (default 10)
+    rounds. Monotone in the algorithm's predictive metric for a fixed
+    graph and cluster, so ranking by it agrees with {!measure}. *)
+
+type amortized = {
+  base : ranked;
+  build_s : float;  (** {!predicted_build_s} of this candidate *)
+  exec_s : float;  (** {!predicted_exec_s} of this candidate *)
+  amortized_s : float;  (** [exec_s +. build_s /. expected_reuse] *)
+}
+
+val measure_amortized :
+  ?candidates:Cutfit_partition.Strategy.t list ->
+  ?cost:Cutfit_bsp.Cost_model.t ->
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?scale:float ->
+  ?supersteps:int ->
+  expected_reuse:float ->
+  algorithm ->
+  num_partitions:int ->
+  Cutfit_graph.Graph.t ->
+  amortized list
+(** {!measure}, re-ranked by amortized per-job cost: each candidate's
+    partition-build cost is folded over [expected_reuse] jobs sharing
+    the partitioning. As [expected_reuse] grows the ranking converges
+    to the plain {!measure} order (execution dominates); at low reuse
+    counts cheap-to-build strategies overtake better-fitting ones — the
+    paper's "cost of trying" tradeoff as a number.
+    @raise Invalid_argument if [expected_reuse <= 0]. *)
+
 val advise :
   ?measure_threshold_edges:int ->
   algorithm ->

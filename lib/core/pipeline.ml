@@ -34,6 +34,11 @@ let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale 
       @ Cutfit_check.Metrics_check.validate g ~num_partitions assignment (Pgraph.metrics pg));
   p
 
+let of_pgraph ?(cluster = Cluster.config_i) ?(scale = 1.0) ?telemetry ~partitioner pg =
+  if cluster.Cluster.num_partitions <> Pgraph.num_partitions pg then
+    invalid_arg "Pipeline.of_pgraph: cluster and partitioned graph disagree on partition count";
+  { graph = Pgraph.graph pg; pg; cluster; partitioner; scale; telemetry }
+
 let metrics p = Pgraph.metrics p.pg
 
 let check_prepared p =
@@ -86,7 +91,7 @@ let shortest_paths ~landmarks p =
   (r.Cutfit_algo.Sssp.distances, r.Cutfit_algo.Sssp.trace)
 
 let compare_partitioners ?(check = false) ?(partitioners = Partitioner.paper_six)
-    ?(cluster = Cluster.config_i) ?(scale = 1.0) ?telemetry ~algorithm g =
+    ?(cluster = Cluster.config_i) ?(scale = 1.0) ?(seed = 11L) ?telemetry ~algorithm g =
   let times =
     List.map
       (fun partitioner ->
@@ -99,7 +104,7 @@ let compare_partitioners ?(check = false) ?(partitioners = Partitioner.paper_six
               let _, _, t = triangles p in
               t
           | Advisor.Shortest_paths ->
-              let landmarks = Cutfit_algo.Sssp.pick_landmarks ~seed:11L ~count:3 p.graph in
+              let landmarks = Cutfit_algo.Sssp.pick_landmarks ~seed ~count:3 p.graph in
               snd (shortest_paths ~landmarks p)
         in
         let time = if Trace.completed trace then trace.Trace.total_s else Float.nan in

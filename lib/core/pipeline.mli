@@ -51,6 +51,20 @@ val prepare :
     any violation raises {!Cutfit_check.Violation.Violations}. Default
     [false] — the paranoid path costs an extra pass over the graph. *)
 
+val of_pgraph :
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?scale:float ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
+  partitioner:Cutfit_partition.Partitioner.t ->
+  Cutfit_bsp.Pgraph.t ->
+  prepared
+(** Wrap an {e already-built} partitioned graph — the workload engine's
+    cache-hit path, which skips the load and build phases by reusing a
+    frozen {!Cutfit_bsp.Pgraph}. [partitioner] names the strategy the
+    graph was built with (it is not re-applied).
+    @raise Invalid_argument when the cluster's partition count disagrees
+    with the graph's. *)
+
 val metrics : prepared -> Cutfit_partition.Metrics.t
 (** Partitioning metrics of the prepared graph. *)
 
@@ -72,12 +86,15 @@ val compare_partitioners :
   ?partitioners:Cutfit_partition.Partitioner.t list ->
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?scale:float ->
+  ?seed:int64 ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   (string * float) list
 (** Simulated job time per partitioner for one algorithm, ascending
-    (NaN last, for OOM). SSSP uses 3 deterministic landmarks. With
-    [telemetry], the six runs stream into one event sequence, each
-    bracketed by a [Run_start] naming algorithm and partitioner.
-    [check] is forwarded to each {!prepare}. *)
+    (NaN last, for OOM). SSSP picks 3 landmarks from [seed] (default
+    11L, the historical value — pass the CLI's [--seed] to vary the
+    sources deterministically). With [telemetry], the six runs stream
+    into one event sequence, each bracketed by a [Run_start] naming
+    algorithm and partitioner. [check] is forwarded to each
+    {!prepare}. *)

@@ -37,3 +37,40 @@ let to_csv ms = String.concat "\n" (header :: List.map row ms) ^ "\n"
 let save path ms =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv ms))
+
+module Json = Cutfit_obs.Json
+
+let json_of_measurements ms =
+  Json.List
+    (List.map
+       (fun m ->
+         let metrics = m.Run.metrics in
+         Json.Obj
+           [
+             ("dataset", Json.String m.Run.dataset.Cutfit_gen.Datasets.name);
+             ("partitioner", Json.String m.Run.partitioner);
+             ("config", Json.String m.Run.config);
+             ("algorithm", Json.String (Run.algo_name m.Run.algo));
+             ("balance", Json.Float metrics.Metrics.balance);
+             ("non_cut", Json.Int metrics.Metrics.non_cut);
+             ("cut", Json.Int metrics.Metrics.cut);
+             ("comm_cost", Json.Int metrics.Metrics.comm_cost);
+             ("part_stdev", Json.Float metrics.Metrics.part_stdev);
+             ("vertices_to_same", Json.Int metrics.Metrics.vertices_to_same);
+             ("vertices_to_other", Json.Int metrics.Metrics.vertices_to_other);
+             ("replication_factor", Json.Float metrics.Metrics.replication_factor);
+             ("time_s", if m.Run.completed then Json.Float m.Run.time_s else Json.Null);
+             ("network_s", Json.Float m.Run.network_s);
+             ("compute_s", Json.Float m.Run.compute_s);
+             ("supersteps", Json.Int m.Run.supersteps);
+             ("completed", Json.Bool m.Run.completed);
+           ])
+       ms)
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')

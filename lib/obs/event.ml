@@ -30,10 +30,49 @@ type run_end = {
   total_wire_bytes : float;
 }
 
+type job_submit = {
+  job_id : int;
+  algorithm : string;
+  dataset : string;
+  num_partitions : int;
+  arrival_s : float;
+}
+
+type job_start = {
+  job_id : int;
+  strategy : string;
+  cache_hit : bool;
+  start_s : float;
+  queue_s : float;
+}
+
+type job_end = {
+  job_id : int;
+  outcome : string;
+  partition_s : float;
+  exec_s : float;
+  finish_s : float;
+}
+
+type cache_op = {
+  op : string;
+  graph : string;
+  strategy : string;
+  num_partitions : int;
+  bytes : float;
+  occupancy_bytes : float;
+  entries : int;
+  at_s : float;
+}
+
 type t =
   | Run_start of { label : string }
   | Superstep of superstep
   | Run_end of run_end
+  | Job_submit of job_submit
+  | Job_start of job_start
+  | Job_end of job_end
+  | Cache_op of cache_op
 
 let skew s =
   if s.min_task_s > 0.0 then s.max_task_s /. s.min_task_s
@@ -82,6 +121,49 @@ let to_json = function
           ("total_messages", Json.Int r.total_messages);
           ("total_remote", Json.Int r.total_remote);
           ("total_wire_bytes", Json.Float r.total_wire_bytes);
+        ]
+  | Job_submit j ->
+      Json.Obj
+        [
+          ("type", Json.String "job_submit");
+          ("job_id", Json.Int j.job_id);
+          ("algorithm", Json.String j.algorithm);
+          ("dataset", Json.String j.dataset);
+          ("num_partitions", Json.Int j.num_partitions);
+          ("arrival_s", Json.Float j.arrival_s);
+        ]
+  | Job_start j ->
+      Json.Obj
+        [
+          ("type", Json.String "job_start");
+          ("job_id", Json.Int j.job_id);
+          ("strategy", Json.String j.strategy);
+          ("cache_hit", Json.Bool j.cache_hit);
+          ("start_s", Json.Float j.start_s);
+          ("queue_s", Json.Float j.queue_s);
+        ]
+  | Job_end j ->
+      Json.Obj
+        [
+          ("type", Json.String "job_end");
+          ("job_id", Json.Int j.job_id);
+          ("outcome", Json.String j.outcome);
+          ("partition_s", Json.Float j.partition_s);
+          ("exec_s", Json.Float j.exec_s);
+          ("finish_s", Json.Float j.finish_s);
+        ]
+  | Cache_op c ->
+      Json.Obj
+        [
+          ("type", Json.String "cache_op");
+          ("op", Json.String c.op);
+          ("graph", Json.String c.graph);
+          ("strategy", Json.String c.strategy);
+          ("num_partitions", Json.Int c.num_partitions);
+          ("bytes", Json.Float c.bytes);
+          ("occupancy_bytes", Json.Float c.occupancy_bytes);
+          ("entries", Json.Int c.entries);
+          ("at_s", Json.Float c.at_s);
         ]
 
 let field kind name conv j =
@@ -175,6 +257,53 @@ let run_end_of_json j =
          total_wire_bytes;
        })
 
+let job_submit_of_json j =
+  let int name = field "job_submit" name Json.to_int j in
+  let flt name = field "job_submit" name Json.to_float j in
+  let str name = field "job_submit" name Json.to_string_opt j in
+  let* job_id = int "job_id" in
+  let* algorithm = str "algorithm" in
+  let* dataset = str "dataset" in
+  let* num_partitions = int "num_partitions" in
+  let* arrival_s = flt "arrival_s" in
+  Ok (Job_submit { job_id; algorithm; dataset; num_partitions; arrival_s })
+
+let job_start_of_json j =
+  let int name = field "job_start" name Json.to_int j in
+  let flt name = field "job_start" name Json.to_float j in
+  let str name = field "job_start" name Json.to_string_opt j in
+  let* job_id = int "job_id" in
+  let* strategy = str "strategy" in
+  let* cache_hit = field "job_start" "cache_hit" Json.to_bool j in
+  let* start_s = flt "start_s" in
+  let* queue_s = flt "queue_s" in
+  Ok (Job_start { job_id; strategy; cache_hit; start_s; queue_s })
+
+let job_end_of_json j =
+  let int name = field "job_end" name Json.to_int j in
+  let flt name = field "job_end" name Json.to_float j in
+  let str name = field "job_end" name Json.to_string_opt j in
+  let* job_id = int "job_id" in
+  let* outcome = str "outcome" in
+  let* partition_s = flt "partition_s" in
+  let* exec_s = flt "exec_s" in
+  let* finish_s = flt "finish_s" in
+  Ok (Job_end { job_id; outcome; partition_s; exec_s; finish_s })
+
+let cache_op_of_json j =
+  let int name = field "cache_op" name Json.to_int j in
+  let flt name = field "cache_op" name Json.to_float j in
+  let str name = field "cache_op" name Json.to_string_opt j in
+  let* op = str "op" in
+  let* graph = str "graph" in
+  let* strategy = str "strategy" in
+  let* num_partitions = int "num_partitions" in
+  let* bytes = flt "bytes" in
+  let* occupancy_bytes = flt "occupancy_bytes" in
+  let* entries = int "entries" in
+  let* at_s = flt "at_s" in
+  Ok (Cache_op { op; graph; strategy; num_partitions; bytes; occupancy_bytes; entries; at_s })
+
 let of_json j =
   let* kind = field "event" "type" Json.to_string_opt j in
   match kind with
@@ -183,6 +312,10 @@ let of_json j =
       Ok (Run_start { label })
   | "superstep" -> superstep_of_json j
   | "run_end" -> run_end_of_json j
+  | "job_submit" -> job_submit_of_json j
+  | "job_start" -> job_start_of_json j
+  | "job_end" -> job_end_of_json j
+  | "cache_op" -> cache_op_of_json j
   | other -> Error (Printf.sprintf "event: unknown type %S" other)
 
 let to_line t = Json.to_string (to_json t)
@@ -209,3 +342,16 @@ let pp ppf = function
       Format.fprintf ppf
         "end %s: %s, %d supersteps, %.2fs total, %d msgs (%d remote), %.0f wire bytes" r.label
         r.outcome r.supersteps r.total_s r.total_messages r.total_remote r.total_wire_bytes
+  | Job_submit j ->
+      Format.fprintf ppf "job %3d submit : %s on %s/%d at %.2fs" j.job_id j.algorithm j.dataset
+        j.num_partitions j.arrival_s
+  | Job_start j ->
+      Format.fprintf ppf "job %3d start  : %s%s at %.2fs (queued %.2fs)" j.job_id j.strategy
+        (if j.cache_hit then " [cached]" else "")
+        j.start_s j.queue_s
+  | Job_end j ->
+      Format.fprintf ppf "job %3d end    : %s, partition %.2fs + exec %.2fs, done at %.2fs"
+        j.job_id j.outcome j.partition_s j.exec_s j.finish_s
+  | Cache_op c ->
+      Format.fprintf ppf "cache %-6s: %s/%s/%d %.0fB (now %d entries, %.0fB) at %.2fs" c.op
+        c.graph c.strategy c.num_partitions c.bytes c.entries c.occupancy_bytes c.at_s

@@ -47,11 +47,60 @@ type run_end = {
   total_wire_bytes : float;
 }
 
+(** {2 Workload-engine records}
+
+    The [lib/workload] engine narrates a multi-job simulation through
+    the same event stream: one {!job_submit} per generated job, a
+    {!job_start}/{!job_end} pair per execution, and one {!cache_op} per
+    partitioning-cache transition. All timestamps are simulated cluster
+    seconds on the workload clock (not per-run trace time). The records
+    reconcile with the engine's own per-job accounting — the invariant
+    {!Cutfit_workload} checks. *)
+
+type job_submit = {
+  job_id : int;
+  algorithm : string;  (** "PR", "CC", "TR" or "SSSP" *)
+  dataset : string;  (** dataset analogue name *)
+  num_partitions : int;
+  arrival_s : float;  (** submission instant on the simulated clock *)
+}
+
+type job_start = {
+  job_id : int;
+  strategy : string;  (** the partitioning strategy chosen for the job *)
+  cache_hit : bool;  (** the partitioning was served from the cache *)
+  start_s : float;  (** instant an executor slot admitted the job *)
+  queue_s : float;  (** [start_s -. arrival_s] *)
+}
+
+type job_end = {
+  job_id : int;
+  outcome : string;  (** as {!run_end.outcome} *)
+  partition_s : float;  (** load + partition build; 0 on a cache hit *)
+  exec_s : float;  (** compute supersteps + checkpoints *)
+  finish_s : float;  (** instant the slot freed *)
+}
+
+type cache_op = {
+  op : string;  (** ["hit"], ["miss"], ["insert"], ["evict"] or ["reject"] *)
+  graph : string;
+  strategy : string;
+  num_partitions : int;
+  bytes : float;  (** modeled resident bytes of the touched partitioning *)
+  occupancy_bytes : float;  (** cache occupancy after the operation *)
+  entries : int;  (** live entries after the operation *)
+  at_s : float;  (** simulated instant of the operation *)
+}
+
 type t =
   | Run_start of { label : string }
       (** segments multi-run streams (e.g. [compare] traces) *)
   | Superstep of superstep
   | Run_end of run_end
+  | Job_submit of job_submit
+  | Job_start of job_start
+  | Job_end of job_end
+  | Cache_op of cache_op
 
 val skew : superstep -> float
 (** [max_task_s /. min_task_s], or [infinity] when the smallest task is

@@ -223,6 +223,7 @@ let member key = function
   | _ -> None
 
 let to_int = function Int i -> Some i | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 
 let to_float = function
   | Float f -> Some f

@@ -33,6 +33,9 @@ val member : string -> t -> t option
 val to_int : t -> int option
 (** {!Int} as [int]; {!Float} values are not silently truncated. *)
 
+val to_bool : t -> bool option
+(** {!Bool} contents. *)
+
 val to_float : t -> float option
 (** {!Float} or {!Int} as [float]; [Null] reads back as [nan] (the
     printer's encoding of non-finite values). *)

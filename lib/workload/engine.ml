@@ -1,0 +1,454 @@
+module Advisor = Cutfit.Advisor
+module Pipeline = Cutfit.Pipeline
+module Graph = Cutfit_graph.Graph
+module Strategy = Cutfit_partition.Strategy
+module Partitioner = Cutfit_partition.Partitioner
+module Metrics = Cutfit_partition.Metrics
+module Cluster = Cutfit_bsp.Cluster
+module Cost_model = Cutfit_bsp.Cost_model
+module Pgraph = Cutfit_bsp.Pgraph
+module Trace = Cutfit_bsp.Trace
+module Datasets = Cutfit_gen.Datasets
+module Sssp = Cutfit_algo.Sssp
+module Splitmix64 = Cutfit_prng.Splitmix64
+module Telemetry = Cutfit_obs.Telemetry
+module Event = Cutfit_obs.Event
+module Json = Cutfit_obs.Json
+
+type policy = Fifo | Sjf
+
+let policy_name = function Fifo -> "fifo" | Sjf -> "sjf"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with "fifo" -> Some Fifo | "sjf" -> Some Sjf | _ -> None
+
+type selection = Heuristic | Measured | Cache_aware of float
+
+let selection_name = function
+  | Heuristic -> "heuristic"
+  | Measured -> "measured"
+  | Cache_aware _ -> "cache-aware"
+
+let selection_of_string ?(threshold = 0.25) s =
+  match String.lowercase_ascii s with
+  | "heuristic" -> Some Heuristic
+  | "measured" | "measure" -> Some Measured
+  | "cache-aware" | "cacheaware" | "cache" -> Some (Cache_aware threshold)
+  | _ -> None
+
+type job_record = {
+  job : Job.t;
+  strategy : string;
+  cache_hit : bool;
+  outcome : string;
+  start_s : float;
+  queue_s : float;
+  partition_s : float;
+  exec_s : float;
+  finish_s : float;
+}
+
+type report = {
+  policy : policy;
+  selection : selection;
+  eviction : Cache.eviction;
+  budget_bytes : float;
+  slots : int;
+  seed : int64;
+  records : job_record list;
+  cache : Cache.stats;
+  makespan_s : float;
+  total_queue_s : float;
+  total_partition_s : float;
+  total_exec_s : float;
+}
+
+(* Modeled resident bytes of a frozen partitioning: the cost model's
+   per-edge and per-vertex JVM object sizes over every partition's local
+   tables, at paper scale — the same footprint the memory model charges
+   executors during a run. *)
+let pgraph_bytes ~scale pg =
+  let cost = Cost_model.default in
+  let edges = ref 0 and verts = ref 0 in
+  for p = 0 to Pgraph.num_partitions pg - 1 do
+    edges := !edges + Pgraph.num_edges_of_partition pg p;
+    verts := !verts + Pgraph.local_vertices pg p
+  done;
+  scale
+  *. ((float_of_int !edges *. float_of_int cost.Cost_model.edge_object_bytes)
+     +. (float_of_int !verts *. float_of_int cost.Cost_model.vertex_object_bytes))
+
+let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
+    ?(budget_bytes = 8.0e9) ?iterations ?telemetry ?(policy = Fifo)
+    ?(selection = Cache_aware 0.25) ~seed jobs =
+  if slots < 1 then invalid_arg "Engine.run: slots must be >= 1";
+  let cache = Cache.create ~eviction ~budget_bytes () in
+  let emit e = match telemetry with None -> () | Some t -> Telemetry.emit t e in
+  (* Memoized per-dataset graph (and its paper scale) and per
+     (dataset, granularity, metric) advisor rankings — jobs sharing a
+     dataset share the measurement, as a resident advisor service
+     would. *)
+  let graphs : (string, Graph.t * float * Datasets.spec) Hashtbl.t = Hashtbl.create 16 in
+  let graph_of dataset =
+    match Hashtbl.find_opt graphs dataset with
+    | Some entry -> entry
+    | None ->
+        let spec = Datasets.find dataset in
+        let g = Datasets.generate spec in
+        let scale = float_of_int spec.Datasets.paper_edges /. float_of_int (Graph.num_edges g) in
+        let entry = (g, scale, spec) in
+        Hashtbl.replace graphs dataset entry;
+        entry
+  in
+  let rankings : (string, Advisor.ranked list) Hashtbl.t = Hashtbl.create 16 in
+  let ranked_for (job : Job.t) =
+    let metric = Advisor.predictive_metric job.Job.algorithm in
+    let key = Printf.sprintf "%s#%d#%s" job.Job.dataset job.Job.num_partitions metric in
+    match Hashtbl.find_opt rankings key with
+    | Some r -> r
+    | None ->
+        let g, _, _ = graph_of job.Job.dataset in
+        let r = Advisor.measure job.Job.algorithm ~num_partitions:job.Job.num_partitions g in
+        Hashtbl.replace rankings key r;
+        r
+  in
+  let cluster_for (job : Job.t) = { cluster with Cluster.num_partitions = job.Job.num_partitions } in
+  let choose_strategy ~at_s (job : Job.t) =
+    match selection with
+    | Heuristic ->
+        let _, _, spec = graph_of job.Job.dataset in
+        let size = Advisor.classify ~paper_scale_edges:(float_of_int spec.Datasets.paper_edges) in
+        Advisor.heuristic job.Job.algorithm ~size ~num_partitions:job.Job.num_partitions
+    | Measured -> (List.hd (ranked_for job)).Advisor.strategy
+    | Cache_aware threshold -> (
+        let ranked = ranked_for job in
+        let best = List.hd ranked in
+        let cached =
+          Cache.cached_strategies cache ~at_s ~graph:job.Job.dataset
+            ~num_partitions:job.Job.num_partitions
+        in
+        let is_cached (r : Advisor.ranked) =
+          List.exists (String.equal (Strategy.to_string r.Advisor.strategy)) cached
+        in
+        match List.find_opt is_cached ranked with
+        | Some r
+          when (r.Advisor.score -. best.Advisor.score) /. Float.max best.Advisor.score 1.0
+               <= threshold ->
+            r.Advisor.strategy
+        | Some _ | None -> best.Advisor.strategy)
+  in
+  let metrics_of (job : Job.t) strategy =
+    let name = Strategy.to_string strategy in
+    let r =
+      List.find
+        (fun (r : Advisor.ranked) -> String.equal (Strategy.to_string r.Advisor.strategy) name)
+        (ranked_for job)
+    in
+    r.Advisor.metrics
+  in
+  let predicted_service ~at_s (job : Job.t) =
+    let g, scale, _ = graph_of job.Job.dataset in
+    let strategy = choose_strategy ~at_s job in
+    let m = metrics_of job strategy in
+    let cl = cluster_for job in
+    let key =
+      {
+        Cache.graph = job.Job.dataset;
+        strategy = Strategy.to_string strategy;
+        num_partitions = job.Job.num_partitions;
+      }
+    in
+    let build =
+      if Cache.mem cache ~at_s key then 0.0
+      else Advisor.predicted_build_s ~cluster:cl ~scale g m
+    in
+    build +. Advisor.predicted_exec_s ~cluster:cl ~scale job.Job.algorithm g m
+  in
+  let emit_cache_op op (k : Cache.key) ~bytes ~occupancy ~entries ~at_s =
+    emit
+      (Event.Cache_op
+         {
+           Event.op;
+           graph = k.Cache.graph;
+           strategy = k.Cache.strategy;
+           num_partitions = k.Cache.num_partitions;
+           bytes;
+           occupancy_bytes = occupancy;
+           entries;
+           at_s;
+         })
+  in
+  let run_algorithm (job : Job.t) prepared =
+    match job.Job.algorithm with
+    | Advisor.Pagerank -> snd (Pipeline.pagerank ?iterations prepared)
+    | Advisor.Connected_components -> snd (Pipeline.connected_components ?iterations prepared)
+    | Advisor.Triangle_count ->
+        let _, _, trace = Pipeline.triangles prepared in
+        trace
+    | Advisor.Shortest_paths ->
+        let g, _, _ = graph_of job.Job.dataset in
+        let job_seed =
+          Splitmix64.mix64 (Int64.logxor seed (Int64.mul (Int64.of_int (job.Job.id + 1)) 0x9E3779B97F4A7C15L))
+        in
+        let landmarks = Sssp.pick_landmarks ~seed:job_seed ~count:3 g in
+        snd (Pipeline.shortest_paths ~landmarks prepared)
+  in
+  let execute ~start_s (job : Job.t) =
+    let g, scale, _ = graph_of job.Job.dataset in
+    let strategy = choose_strategy ~at_s:start_s job in
+    let sname = Strategy.to_string strategy in
+    let ckey =
+      { Cache.graph = job.Job.dataset; strategy = sname; num_partitions = job.Job.num_partitions }
+    in
+    let cached = Cache.find cache ~at_s:start_s ckey in
+    let prepared, hit =
+      match cached with
+      | Some pg ->
+          (Pipeline.of_pgraph ~cluster:(cluster_for job) ~scale ~partitioner:(Partitioner.Hash strategy) pg, true)
+      | None ->
+          ( Pipeline.prepare ~cluster:(cluster_for job) ~partitioner:(Partitioner.Hash strategy)
+              ~scale ~algorithm:job.Job.algorithm g,
+            false )
+    in
+    let snapshot = Cache.stats cache in
+    emit_cache_op
+      (if hit then "hit" else "miss")
+      ckey
+      ~bytes:(if hit then pgraph_bytes ~scale prepared.Pipeline.pg else 0.0)
+      ~occupancy:snapshot.Cache.bytes_in_cache ~entries:snapshot.Cache.entries ~at_s:start_s;
+    emit
+      (Event.Job_start
+         {
+           Event.job_id = job.Job.id;
+           strategy = sname;
+           cache_hit = hit;
+           start_s;
+           queue_s = start_s -. job.Job.arrival_s;
+         });
+    let trace = run_algorithm job prepared in
+    (* Decompose the real trace: the engines always record the load and
+       the step -1 build stage, whether or not the partitioning was
+       freshly built — a cache hit is exactly the run that skips them. *)
+    let build_s =
+      match
+        List.find_opt (fun (s : Trace.superstep) -> s.Trace.step = -1) trace.Trace.supersteps
+      with
+      | Some s -> s.Trace.time_s
+      | None -> 0.0
+    in
+    let partition_cost = trace.Trace.load_s +. build_s in
+    let exec_s = trace.Trace.total_s -. partition_cost in
+    let partition_s = if hit then 0.0 else partition_cost in
+    let finish_s = start_s +. partition_s +. exec_s in
+    if not hit then begin
+      let bytes = pgraph_bytes ~scale prepared.Pipeline.pg in
+      let available_s = start_s +. partition_cost in
+      let before = Cache.stats cache in
+      match
+        Cache.insert cache ~available_s ckey ~pg:prepared.Pipeline.pg ~bytes
+          ~rebuild_s:partition_cost
+      with
+      | `Inserted evicted ->
+          let occ = ref before.Cache.bytes_in_cache and ents = ref before.Cache.entries in
+          List.iter
+            (fun (k, b) ->
+              occ := !occ -. b;
+              ents := !ents - 1;
+              emit_cache_op "evict" k ~bytes:b ~occupancy:!occ ~entries:!ents ~at_s:available_s)
+            evicted;
+          occ := !occ +. bytes;
+          ents := !ents + 1;
+          emit_cache_op "insert" ckey ~bytes ~occupancy:!occ ~entries:!ents ~at_s:available_s
+      | `Rejected ->
+          emit_cache_op "reject" ckey ~bytes ~occupancy:before.Cache.bytes_in_cache
+            ~entries:before.Cache.entries ~at_s:available_s
+    end;
+    let record =
+      {
+        job;
+        strategy = sname;
+        cache_hit = hit;
+        outcome = Trace.outcome_name trace.Trace.outcome;
+        start_s;
+        queue_s = start_s -. job.Job.arrival_s;
+        partition_s;
+        exec_s;
+        finish_s;
+      }
+    in
+    emit
+      (Event.Job_end
+         {
+           Event.job_id = job.Job.id;
+           outcome = record.outcome;
+           partition_s;
+           exec_s;
+           finish_s;
+         });
+    record
+  in
+  (* --- discrete-event loop over executor slots --- *)
+  let by_arrival (a : Job.t) (b : Job.t) =
+    if a.Job.arrival_s <> b.Job.arrival_s then Float.compare a.Job.arrival_s b.Job.arrival_s
+    else compare a.Job.id b.Job.id
+  in
+  let future = ref (List.sort by_arrival jobs) in
+  List.iter
+    (fun (j : Job.t) ->
+      emit
+        (Event.Job_submit
+           {
+             Event.job_id = j.Job.id;
+             algorithm = Advisor.algorithm_name j.Job.algorithm;
+             dataset = j.Job.dataset;
+             num_partitions = j.Job.num_partitions;
+             arrival_s = j.Job.arrival_s;
+           }))
+    !future;
+  let pending = ref [] in
+  let records = ref [] in
+  let slot_free = Array.make slots 0.0 in
+  let more () = match (!future, !pending) with [], [] -> false | _ -> true in
+  let pick ~at_s = function
+    | [] -> None
+    | first :: rest ->
+        let better (a : Job.t) (b : Job.t) =
+          match policy with
+          | Fifo ->
+              if a.Job.arrival_s <> b.Job.arrival_s then a.Job.arrival_s < b.Job.arrival_s
+              else a.Job.id < b.Job.id
+          | Sjf ->
+              let ca = predicted_service ~at_s a and cb = predicted_service ~at_s b in
+              if ca <> cb then ca < cb else a.Job.id < b.Job.id
+        in
+        Some (List.fold_left (fun best c -> if better c best then c else best) first rest)
+  in
+  while more () do
+    let slot = ref 0 in
+    for i = 1 to slots - 1 do
+      if slot_free.(i) < slot_free.(!slot) then slot := i
+    done;
+    let t0 = slot_free.(!slot) in
+    (* With an empty queue the slot idles until the next arrival. *)
+    let t =
+      match (!pending, !future) with
+      | [], j :: _ -> Float.max t0 j.Job.arrival_s
+      | _ -> t0
+    in
+    let arrived, rest = List.partition (fun (j : Job.t) -> j.Job.arrival_s <= t) !future in
+    future := rest;
+    pending := !pending @ arrived;
+    match pick ~at_s:t !pending with
+    | None -> ()
+    | Some job ->
+        pending := List.filter (fun (j : Job.t) -> j.Job.id <> job.Job.id) !pending;
+        let record = execute ~start_s:t job in
+        slot_free.(!slot) <- record.finish_s;
+        records := record :: !records
+  done;
+  let records = List.sort (fun a b -> compare a.job.Job.id b.job.Job.id) !records in
+  let makespan_s = List.fold_left (fun acc r -> Float.max acc r.finish_s) 0.0 records in
+  let total_queue_s = List.fold_left (fun acc r -> acc +. r.queue_s) 0.0 records in
+  let total_partition_s = List.fold_left (fun acc r -> acc +. r.partition_s) 0.0 records in
+  let total_exec_s = List.fold_left (fun acc r -> acc +. r.exec_s) 0.0 records in
+  {
+    policy;
+    selection;
+    eviction;
+    budget_bytes;
+    slots;
+    seed;
+    records;
+    cache = Cache.stats cache;
+    makespan_s;
+    total_queue_s;
+    total_partition_s;
+    total_exec_s;
+  }
+
+let hit_rate r =
+  if r.cache.Cache.lookups = 0 then 0.0
+  else float_of_int r.cache.Cache.hits /. float_of_int r.cache.Cache.lookups
+
+let mean_queue_s r =
+  match r.records with [] -> 0.0 | l -> r.total_queue_s /. float_of_int (List.length l)
+
+(* --- canonical serialization --- *)
+
+let record_json r =
+  Json.Obj
+    [
+      ("job_id", Json.Int r.job.Job.id);
+      ("algorithm", Json.String (Advisor.algorithm_name r.job.Job.algorithm));
+      ("dataset", Json.String r.job.Job.dataset);
+      ("num_partitions", Json.Int r.job.Job.num_partitions);
+      ("arrival_s", Json.Float r.job.Job.arrival_s);
+      ("strategy", Json.String r.strategy);
+      ("cache_hit", Json.Bool r.cache_hit);
+      ("outcome", Json.String r.outcome);
+      ("start_s", Json.Float r.start_s);
+      ("queue_s", Json.Float r.queue_s);
+      ("partition_s", Json.Float r.partition_s);
+      ("exec_s", Json.Float r.exec_s);
+      ("finish_s", Json.Float r.finish_s);
+    ]
+
+let cache_json (s : Cache.stats) =
+  Json.Obj
+    [
+      ("budget_bytes", Json.Float s.Cache.budget_bytes);
+      ("lookups", Json.Int s.Cache.lookups);
+      ("hits", Json.Int s.Cache.hits);
+      ("misses", Json.Int s.Cache.misses);
+      ("insertions", Json.Int s.Cache.insertions);
+      ("evictions", Json.Int s.Cache.evictions);
+      ("rejections", Json.Int s.Cache.rejections);
+      ("bytes_inserted", Json.Float s.Cache.bytes_inserted);
+      ("bytes_evicted", Json.Float s.Cache.bytes_evicted);
+      ("bytes_in_cache", Json.Float s.Cache.bytes_in_cache);
+      ("entries", Json.Int s.Cache.entries);
+    ]
+
+let params_json r =
+  Json.Obj
+    [
+      ("policy", Json.String (policy_name r.policy));
+      ("selection", Json.String (selection_name r.selection));
+      ( "threshold",
+        match r.selection with Cache_aware t -> Json.Float t | Heuristic | Measured -> Json.Null );
+      ("eviction", Json.String (Cache.eviction_name r.eviction));
+      ("budget_bytes", Json.Float r.budget_bytes);
+      ("slots", Json.Int r.slots);
+      ("seed", Json.String (Int64.to_string r.seed));
+      ("jobs", Json.Int (List.length r.records));
+      ("makespan_s", Json.Float r.makespan_s);
+      ("total_queue_s", Json.Float r.total_queue_s);
+      ("total_partition_s", Json.Float r.total_partition_s);
+      ("total_exec_s", Json.Float r.total_exec_s);
+    ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("params", params_json r);
+      ("records", Json.List (List.map record_json r.records));
+      ("cache", cache_json r.cache);
+    ]
+
+let report_lines r =
+  (Json.to_string (params_json r) :: List.map (fun x -> Json.to_string (record_json x)) r.records)
+  @ [ Json.to_string (cache_json r.cache) ]
+
+let pp_summary ppf r =
+  let n = List.length r.records in
+  let hits = List.length (List.filter (fun x -> x.cache_hit) r.records) in
+  let oom = List.length (List.filter (fun x -> String.equal x.outcome "out-of-memory") r.records) in
+  Format.fprintf ppf "@[<v>workload: %d jobs, policy %s, selection %s, %d slot(s)@," n
+    (policy_name r.policy) (selection_name r.selection) r.slots;
+  Format.fprintf ppf "cache: %s eviction, budget %.1f GB: %d/%d hits, %d evictions, %d rejections@,"
+    (Cache.eviction_name r.eviction) (r.budget_bytes /. 1.0e9) hits r.cache.Cache.lookups
+    r.cache.Cache.evictions r.cache.Cache.rejections;
+  Format.fprintf ppf "makespan %.2f s | queue mean %.2f s | partition %.2f s | exec %.2f s"
+    r.makespan_s (mean_queue_s r) r.total_partition_s r.total_exec_s;
+  if oom > 0 then Format.fprintf ppf "@,%d job(s) ended out-of-memory" oom;
+  Format.fprintf ppf "@]"

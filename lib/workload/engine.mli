@@ -1,0 +1,108 @@
+(** Deterministic multi-job cluster workload engine.
+
+    Replays a {!Job} stream against the simulated cluster: a fixed
+    number of concurrent executor {e slots} admits jobs from the queue
+    on a discrete-event clock, every admitted job picks a partitioning
+    strategy through the advisor, consults the partitioning {!Cache},
+    and then actually runs the algorithm through {!Cutfit.Pipeline}
+    (the pregel engines produce the real simulated trace — nothing here
+    is a closed-form estimate). Each job's service time decomposes
+    against that trace: a cache miss pays load + partition build +
+    execution, a hit pays execution only.
+
+    Everything is deterministic: same jobs, policy, selection, cache
+    configuration and seed — bit-identical report, which is what
+    {!Workload_check.run_twice} digests. *)
+
+type policy =
+  | Fifo  (** admit in arrival order *)
+  | Sjf
+      (** shortest predicted job first: {!Cutfit.Advisor.predicted_build_s}
+          (skipped when the needed partitioning is already cached) plus
+          {!Cutfit.Advisor.predicted_exec_s} *)
+
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+type selection =
+  | Heuristic  (** the paper's free per-algorithm rules *)
+  | Measured  (** rank all candidates, take the best (memoized per graph) *)
+  | Cache_aware of float
+      (** like [Measured], but prefer the best {e cached} strategy when
+          its predictive-metric penalty relative to the overall best is
+          at most the threshold (e.g. [0.25] = accept up to 25% worse
+          expected traffic to skip a partition build) *)
+
+val selection_name : selection -> string
+
+val selection_of_string : ?threshold:float -> string -> selection option
+(** ["heuristic"], ["measured"], ["cache-aware"] (with [threshold],
+    default 0.25). *)
+
+type job_record = {
+  job : Job.t;
+  strategy : string;
+  cache_hit : bool;
+  outcome : string;  (** {!Cutfit_bsp.Trace.outcome_name} of the run *)
+  start_s : float;
+  queue_s : float;  (** [start_s -. arrival_s] *)
+  partition_s : float;  (** load + build actually paid; 0 on a cache hit *)
+  exec_s : float;  (** supersteps + checkpoints, from the trace *)
+  finish_s : float;  (** [start_s +. partition_s +. exec_s] *)
+}
+
+type report = {
+  policy : policy;
+  selection : selection;
+  eviction : Cache.eviction;
+  budget_bytes : float;
+  slots : int;
+  seed : int64;
+  records : job_record list;  (** ascending job id *)
+  cache : Cache.stats;
+  makespan_s : float;  (** last finish instant *)
+  total_queue_s : float;
+  total_partition_s : float;
+  total_exec_s : float;
+}
+
+val run :
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?slots:int ->
+  ?eviction:Cache.eviction ->
+  ?budget_bytes:float ->
+  ?iterations:int ->
+  ?telemetry:Cutfit_obs.Telemetry.t ->
+  ?policy:policy ->
+  ?selection:selection ->
+  seed:int64 ->
+  Job.t list ->
+  report
+(** Simulate the stream (any order; jobs are queued by arrival).
+    Defaults: cluster (i) reconfigured per job to its partition count,
+    2 slots, LRU, an 8 GB (paper-scale) budget, engine-default
+    iteration caps, FIFO, [Cache_aware 0.25]. [seed] derives each SSSP
+    job's landmark choice (mixed with the job id). With [telemetry],
+    the engine narrates the whole simulation as [Job_submit] /
+    [Job_start] / [Cache_op] / [Job_end] events that reconcile with the
+    returned records ({!Workload_check.report}).
+    @raise Invalid_argument if [slots < 1]. *)
+
+val hit_rate : report -> float
+(** Cache hits over lookups (0 when there were none). *)
+
+val mean_queue_s : report -> float
+
+val record_json : job_record -> Cutfit_obs.Json.t
+val report_json : report -> Cutfit_obs.Json.t
+(** Full report: parameters, per-job records, cache stats, aggregates. *)
+
+val report_lines : report -> string list
+(** Canonical JSONL: one parameter/summary line, one line per job
+    record, one cache-stats line — floats bit-exact, so the lines are a
+    digest-stable serialization of the whole simulation
+    ({!Workload_check.digest}). *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** Human-oriented multi-line summary (policy, makespan, queue, cache
+    hit rate) used by the CLI. *)

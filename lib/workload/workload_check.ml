@@ -1,0 +1,165 @@
+module Violation = Cutfit_check.Violation
+module Determinism = Cutfit_check.Determinism
+module Event = Cutfit_obs.Event
+
+let suite = "workload"
+
+let close a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= 1e-6 *. scale
+
+let cache_accounting (s : Cache.stats) =
+  let v = ref [] in
+  let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
+  let non_negative name n = if n < 0 then add "cache-negative" "%s is negative (%d)" name n in
+  non_negative "lookups" s.Cache.lookups;
+  non_negative "hits" s.Cache.hits;
+  non_negative "misses" s.Cache.misses;
+  non_negative "insertions" s.Cache.insertions;
+  non_negative "evictions" s.Cache.evictions;
+  non_negative "rejections" s.Cache.rejections;
+  non_negative "entries" s.Cache.entries;
+  if s.Cache.lookups <> s.Cache.hits + s.Cache.misses then
+    add "cache-lookup-split" "lookups (%d) <> hits (%d) + misses (%d)" s.Cache.lookups s.Cache.hits
+      s.Cache.misses;
+  if s.Cache.entries <> s.Cache.insertions - s.Cache.evictions then
+    add "cache-entry-conservation" "entries (%d) <> insertions (%d) - evictions (%d)"
+      s.Cache.entries s.Cache.insertions s.Cache.evictions;
+  if not (close s.Cache.bytes_in_cache (s.Cache.bytes_inserted -. s.Cache.bytes_evicted)) then
+    add "cache-byte-conservation"
+      "bytes in cache (%.0f) <> bytes inserted (%.0f) - bytes evicted (%.0f)"
+      s.Cache.bytes_in_cache s.Cache.bytes_inserted s.Cache.bytes_evicted;
+  if s.Cache.bytes_in_cache < 0.0 then
+    add "cache-negative" "bytes_in_cache is negative (%.0f)" s.Cache.bytes_in_cache;
+  if s.Cache.bytes_in_cache > s.Cache.budget_bytes && s.Cache.budget_bytes > 0.0 then
+    add "cache-over-budget" "bytes in cache (%.0f) exceed the budget (%.0f)"
+      s.Cache.bytes_in_cache s.Cache.budget_bytes;
+  List.rev !v
+
+let record_checks (records : Engine.job_record list) =
+  let v = ref [] in
+  let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
+  let last_id = ref (-1) in
+  List.iter
+    (fun (r : Engine.job_record) ->
+      let id = r.Engine.job.Job.id in
+      if id <= !last_id then add "record-order" "job %d out of order after job %d" id !last_id;
+      last_id := id;
+      if r.Engine.start_s < r.Engine.job.Job.arrival_s then
+        add "job-time-travel" "job %d started (%.6f) before it arrived (%.6f)" id r.Engine.start_s
+          r.Engine.job.Job.arrival_s;
+      if r.Engine.queue_s <> r.Engine.start_s -. r.Engine.job.Job.arrival_s then
+        add "job-queue-decomposition" "job %d queue_s (%.6f) <> start - arrival (%.6f)" id
+          r.Engine.queue_s
+          (r.Engine.start_s -. r.Engine.job.Job.arrival_s);
+      if r.Engine.finish_s <> r.Engine.start_s +. r.Engine.partition_s +. r.Engine.exec_s then
+        add "job-cost-decomposition"
+          "job %d finish_s (%.6f) <> start + partition + exec (%.6f)" id r.Engine.finish_s
+          (r.Engine.start_s +. r.Engine.partition_s +. r.Engine.exec_s);
+      if r.Engine.cache_hit && r.Engine.partition_s <> 0.0 then
+        add "job-hit-paid-build" "job %d hit the cache yet paid %.6f s of partitioning" id
+          r.Engine.partition_s;
+      if r.Engine.partition_s < 0.0 || r.Engine.exec_s < 0.0 then
+        add "job-negative-cost" "job %d has a negative cost component (partition %.6f, exec %.6f)"
+          id r.Engine.partition_s r.Engine.exec_s)
+    records;
+  List.rev !v
+
+let aggregate_checks (r : Engine.report) =
+  let v = ref [] in
+  let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
+  let fold f init = List.fold_left f init r.Engine.records in
+  let makespan = fold (fun acc x -> Float.max acc x.Engine.finish_s) 0.0 in
+  if r.Engine.makespan_s <> makespan then
+    add "aggregate-makespan" "makespan_s (%.6f) <> max finish over records (%.6f)"
+      r.Engine.makespan_s makespan;
+  let q = fold (fun acc x -> acc +. x.Engine.queue_s) 0.0 in
+  if r.Engine.total_queue_s <> q then
+    add "aggregate-queue" "total_queue_s (%.6f) <> sum over records (%.6f)" r.Engine.total_queue_s q;
+  let p = fold (fun acc x -> acc +. x.Engine.partition_s) 0.0 in
+  if r.Engine.total_partition_s <> p then
+    add "aggregate-partition" "total_partition_s (%.6f) <> sum over records (%.6f)"
+      r.Engine.total_partition_s p;
+  let e = fold (fun acc x -> acc +. x.Engine.exec_s) 0.0 in
+  if r.Engine.total_exec_s <> e then
+    add "aggregate-exec" "total_exec_s (%.6f) <> sum over records (%.6f)" r.Engine.total_exec_s e;
+  let n = List.length r.Engine.records in
+  if r.Engine.cache.Cache.lookups <> n then
+    add "aggregate-lookups" "cache lookups (%d) <> jobs executed (%d): one lookup per job"
+      r.Engine.cache.Cache.lookups n;
+  let hits = List.length (List.filter (fun x -> x.Engine.cache_hit) r.Engine.records) in
+  if r.Engine.cache.Cache.hits <> hits then
+    add "aggregate-hits" "cache hits (%d) <> hit records (%d)" r.Engine.cache.Cache.hits hits;
+  List.rev !v
+
+let event_checks (r : Engine.report) events =
+  let v = ref [] in
+  let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
+  let count f = List.length (List.filter f events) in
+  let n = List.length r.Engine.records in
+  let submits = count (function Event.Job_submit _ -> true | _ -> false) in
+  if submits <> n then add "event-submits" "%d Job_submit events for %d records" submits n;
+  let starts = count (function Event.Job_start _ -> true | _ -> false) in
+  if starts <> n then add "event-starts" "%d Job_start events for %d records" starts n;
+  let ends = count (function Event.Job_end _ -> true | _ -> false) in
+  if ends <> n then add "event-ends" "%d Job_end events for %d records" ends n;
+  let find_record id =
+    List.find_opt (fun (x : Engine.job_record) -> x.Engine.job.Job.id = id) r.Engine.records
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Event.Job_start js -> (
+          match find_record js.Event.job_id with
+          | None -> add "event-orphan" "Job_start for unknown job %d" js.Event.job_id
+          | Some x ->
+              if
+                (not (String.equal js.Event.strategy x.Engine.strategy))
+                || js.Event.cache_hit <> x.Engine.cache_hit
+                || js.Event.start_s <> x.Engine.start_s
+                || js.Event.queue_s <> x.Engine.queue_s
+              then
+                add "event-start-mismatch" "Job_start %d disagrees with its record"
+                  js.Event.job_id)
+      | Event.Job_end je -> (
+          match find_record je.Event.job_id with
+          | None -> add "event-orphan" "Job_end for unknown job %d" je.Event.job_id
+          | Some x ->
+              if
+                (not (String.equal je.Event.outcome x.Engine.outcome))
+                || je.Event.partition_s <> x.Engine.partition_s
+                || je.Event.exec_s <> x.Engine.exec_s
+                || je.Event.finish_s <> x.Engine.finish_s
+              then add "event-end-mismatch" "Job_end %d disagrees with its record" je.Event.job_id)
+      | Event.Job_submit js -> (
+          match find_record js.Event.job_id with
+          | None -> add "event-orphan" "Job_submit for unknown job %d" js.Event.job_id
+          | Some x ->
+              if js.Event.arrival_s <> x.Engine.job.Job.arrival_s then
+                add "event-submit-mismatch" "Job_submit %d disagrees with its record"
+                  js.Event.job_id)
+      | Event.Cache_op _ | Event.Run_start _ | Event.Superstep _ | Event.Run_end _ -> ())
+    events;
+  let ops name = count (function Event.Cache_op c -> String.equal c.Event.op name | _ -> false) in
+  let stats = r.Engine.cache in
+  let pair name observed expected =
+    if observed <> expected then
+      add "event-cache-ops" "%d %S cache events for %d counted in the stats" observed name
+        expected
+  in
+  pair "hit" (ops "hit") stats.Cache.hits;
+  pair "miss" (ops "miss") stats.Cache.misses;
+  pair "insert" (ops "insert") stats.Cache.insertions;
+  pair "evict" (ops "evict") stats.Cache.evictions;
+  pair "reject" (ops "reject") stats.Cache.rejections;
+  List.rev !v
+
+let report ?events (r : Engine.report) =
+  cache_accounting r.Engine.cache
+  @ record_checks r.Engine.records
+  @ aggregate_checks r
+  @ match events with None -> [] | Some evs -> event_checks r evs
+
+let digest r = Determinism.lines_digest (Engine.report_lines r)
+
+let run_twice ~label f = Determinism.run_twice ~label (fun () -> digest (f ()))

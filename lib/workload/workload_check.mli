@@ -1,0 +1,30 @@
+(** Sanitizer suites for the workload engine (suite ["workload"]).
+
+    Never asserts — returns {!Cutfit_check.Violation.t} lists, in the
+    house style. Three layers:
+
+    - {!cache_accounting} checks the cache's conservation laws on a bare
+      {!Cache.stats} record (lookups split into hits and misses, live
+      entries = insertions - evictions, bytes in cache = bytes inserted
+      - bytes evicted, budget respected) — fabricate an inconsistent
+      record and it must object;
+    - {!report} checks a full {!Engine.report}: per-record arithmetic
+      (queue, finish, hit implies no partition cost), aggregate
+      consistency (makespan, totals recomputed), and, when the emitted
+      event stream is supplied, event-vs-record reconciliation;
+    - {!digest}/{!run_twice} canonicalize a report through the JSONL
+      codec for bit-exact determinism checking. *)
+
+val cache_accounting : Cache.stats -> Cutfit_check.Violation.t list
+
+val report : ?events:Cutfit_obs.Event.t list -> Engine.report -> Cutfit_check.Violation.t list
+(** With [events], additionally reconciles the narrated stream against
+    the records: one submit/start/end triple per job with identical
+    fields, and cache-op counts equal to the cache's own counters. *)
+
+val digest : Engine.report -> string
+(** MD5 hex of {!Engine.report_lines} — floats bit-exact. *)
+
+val run_twice : label:string -> (unit -> Engine.report) -> Cutfit_check.Violation.t list
+(** Runs the thunk twice and compares {!digest}s
+    ({!Cutfit_check.Determinism.run_twice}). *)

@@ -11,6 +11,7 @@ let () =
       ("check", Test_check.suite);
       ("algo", Test_algo.suite);
       ("core", Test_core.suite);
+      ("workload", Test_workload.suite);
       ("experiments", Test_experiments.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

@@ -1,0 +1,297 @@
+(* Workload engine: job streams, the partitioning cache, the scheduler,
+   and the workload sanitizer. *)
+
+module Advisor = Cutfit.Advisor
+module Strategy = Cutfit.Strategy
+module Partitioner = Cutfit.Partitioner
+module Pgraph = Cutfit_bsp.Pgraph
+module Job = Cutfit_workload.Job
+module Cache = Cutfit_workload.Cache
+module Engine = Cutfit_workload.Engine
+module Workload_check = Cutfit_workload.Workload_check
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Any frozen pgraph serves as a cache payload. *)
+let payload =
+  let g = Test_util.random_graph ~seed:7L ~n:50 ~m:200 in
+  let assignment = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:4 g in
+  Pgraph.build g ~num_partitions:4 assignment
+
+let key graph strategy = { Cache.graph; strategy; num_partitions = 128 }
+
+let insert ?(available_s = 0.0) ?(rebuild_s = 1.0) cache k ~bytes =
+  Cache.insert cache ~available_s k ~pg:payload ~bytes ~rebuild_s
+
+(* --- job streams --- *)
+
+let mix = List.hd Job.mixes
+
+let test_generate_deterministic () =
+  let a = Job.generate ~seed:99L ~jobs:50 mix in
+  let b = Job.generate ~seed:99L ~jobs:50 mix in
+  checkb "same stream" true (a = b);
+  let c = Job.generate ~seed:100L ~jobs:50 mix in
+  checkb "different seed differs" true (a <> c)
+
+let test_generate_shape () =
+  let jobs = Job.generate ~seed:5L ~jobs:80 mix in
+  checki "count" 80 (List.length jobs);
+  let ok_dims =
+    List.for_all
+      (fun (j : Job.t) ->
+        List.mem_assoc j.Job.dataset mix.Job.datasets
+        && List.mem_assoc j.Job.num_partitions mix.Job.partition_counts)
+      jobs
+  in
+  checkb "every job drawn from the mix dimensions" true ok_dims;
+  let rec monotone = function
+    | (a : Job.t) :: (b : Job.t) :: rest -> a.Job.arrival_s <= b.Job.arrival_s && monotone (b :: rest)
+    | _ -> true
+  in
+  checkb "arrivals non-decreasing" true (monotone jobs);
+  checkb "ids sequential" true (List.mapi (fun i _ -> i) jobs = List.map (fun (j : Job.t) -> j.Job.id) jobs)
+
+let test_generate_validation () =
+  let bad = { mix with Job.datasets = [ ("no-such-graph", 1.0) ] } in
+  Alcotest.check_raises "unknown dataset"
+    (Invalid_argument "Job.generate: unknown dataset \"no-such-graph\"") (fun () ->
+      ignore (Job.generate ~seed:1L ~jobs:1 bad));
+  Alcotest.check_raises "negative count" (Invalid_argument "Job.generate: negative job count")
+    (fun () -> ignore (Job.generate ~seed:1L ~jobs:(-1) mix))
+
+(* --- cache mechanics --- *)
+
+let test_cache_hit_miss_evict () =
+  let c = Cache.create ~budget_bytes:100.0 () in
+  checkb "k1 inserted" true (insert c (key "g" "RVC") ~bytes:40.0 = `Inserted []);
+  checkb "k2 inserted" true (insert c (key "g" "1D") ~bytes:40.0 = `Inserted []);
+  (match insert c (key "g" "2D") ~bytes:40.0 with
+  | `Inserted [ (k, b) ] ->
+      Alcotest.(check string) "LRU victim is the oldest" "g/RVC/128" (Cache.key_id k);
+      Alcotest.(check (float 0.0)) "evicted bytes" 40.0 b
+  | _ -> Alcotest.fail "expected exactly one eviction");
+  checkb "evicted key misses" true (Cache.find c ~at_s:0.0 (key "g" "RVC") = None);
+  checkb "live key hits" true (Cache.find c ~at_s:0.0 (key "g" "1D") <> None);
+  checkb "new key hits" true (Cache.find c ~at_s:0.0 (key "g" "2D") <> None);
+  let s = Cache.stats c in
+  checki "lookups" 3 s.Cache.lookups;
+  checki "hits" 2 s.Cache.hits;
+  checki "misses" 1 s.Cache.misses;
+  checki "insertions" 3 s.Cache.insertions;
+  checki "evictions" 1 s.Cache.evictions;
+  checki "entries" 2 s.Cache.entries;
+  Alcotest.(check (float 0.0)) "bytes in cache" 80.0 s.Cache.bytes_in_cache;
+  checkb "accounting clean" true (Workload_check.cache_accounting s = [])
+
+let test_cache_lru_recency () =
+  let c = Cache.create ~budget_bytes:100.0 () in
+  ignore (insert c (key "g" "RVC") ~bytes:40.0);
+  ignore (insert c (key "g" "1D") ~bytes:40.0);
+  ignore (Cache.find c ~at_s:0.0 (key "g" "RVC"));
+  (* RVC is now fresher than 1D, so 1D is the victim. *)
+  match insert c (key "g" "2D") ~bytes:40.0 with
+  | `Inserted [ (k, _) ] -> Alcotest.(check string) "victim" "g/1D/128" (Cache.key_id k)
+  | _ -> Alcotest.fail "expected exactly one eviction"
+
+let test_cache_cost_aware () =
+  let c = Cache.create ~eviction:Cache.Cost_aware ~budget_bytes:100.0 () in
+  ignore (insert c (key "g" "RVC") ~bytes:40.0 ~rebuild_s:0.5);
+  ignore (insert c (key "g" "1D") ~bytes:40.0 ~rebuild_s:5.0);
+  (* RVC is the cheapest to rebuild per byte, so it goes first even
+     though 1D is older by recency-free tie-break standards. *)
+  match insert c (key "g" "2D") ~bytes:40.0 ~rebuild_s:1.0 with
+  | `Inserted [ (k, _) ] -> Alcotest.(check string) "victim" "g/RVC/128" (Cache.key_id k)
+  | _ -> Alcotest.fail "expected exactly one eviction"
+
+let test_cache_availability () =
+  let c = Cache.create ~budget_bytes:100.0 () in
+  ignore (insert c ~available_s:10.0 (key "g" "RVC") ~bytes:40.0);
+  checkb "invisible before its build completes" false (Cache.mem c ~at_s:5.0 (key "g" "RVC"));
+  checkb "visible at completion" true (Cache.mem c ~at_s:10.0 (key "g" "RVC"));
+  checkb "early lookup misses" true (Cache.find c ~at_s:5.0 (key "g" "RVC") = None);
+  let s = Cache.stats c in
+  checki "miss counted" 1 s.Cache.misses
+
+let test_cache_reject_and_disabled () =
+  let c = Cache.create ~budget_bytes:100.0 () in
+  checkb "oversized entry rejected" true (insert c (key "g" "RVC") ~bytes:200.0 = `Rejected);
+  checki "nothing evicted for it" 0 (Cache.stats c).Cache.evictions;
+  checki "rejection counted" 1 (Cache.stats c).Cache.rejections;
+  let off = Cache.create ~budget_bytes:0.0 () in
+  checkb "disabled cache rejects everything" true (insert off (key "g" "RVC") ~bytes:1.0 = `Rejected);
+  checkb "disabled cache always misses" true (Cache.find off ~at_s:0.0 (key "g" "RVC") = None)
+
+let test_cache_reinsert_replaces () =
+  let c = Cache.create ~budget_bytes:100.0 () in
+  ignore (insert c (key "g" "RVC") ~bytes:40.0);
+  (match insert c (key "g" "RVC") ~bytes:60.0 with
+  | `Inserted [ (k, b) ] ->
+      Alcotest.(check string) "old entry evicted" "g/RVC/128" (Cache.key_id k);
+      Alcotest.(check (float 0.0)) "old bytes" 40.0 b
+  | _ -> Alcotest.fail "expected the stale entry to be evicted");
+  let s = Cache.stats c in
+  checki "one live entry" 1 s.Cache.entries;
+  Alcotest.(check (float 0.0)) "new size" 60.0 s.Cache.bytes_in_cache;
+  checkb "accounting clean" true (Workload_check.cache_accounting s = [])
+
+(* Same insert sequence, same eviction order — twice, from scratch. *)
+let test_cache_eviction_order_deterministic () =
+  let scenario () =
+    let c = Cache.create ~budget_bytes:250.0 () in
+    let evicted = ref [] in
+    List.iteri
+      (fun i name ->
+        match insert c (key "g" name) ~bytes:(40.0 +. float_of_int i) ~rebuild_s:(float_of_int i) with
+        | `Inserted evs -> evicted := !evicted @ List.map (fun (k, _) -> Cache.key_id k) evs
+        | `Rejected -> ())
+      [ "RVC"; "1D"; "2D"; "CRVC"; "SC"; "DC"; "DBH"; "Greedy" ];
+    !evicted
+  in
+  let a = scenario () and b = scenario () in
+  checkb "some evictions happened" true (List.length a > 0);
+  checkb "identical order" true (a = b)
+
+let test_cache_accounting_fabricated () =
+  let consistent =
+    {
+      Cache.budget_bytes = 100.0;
+      lookups = 5;
+      hits = 2;
+      misses = 3;
+      insertions = 3;
+      evictions = 1;
+      rejections = 0;
+      bytes_inserted = 120.0;
+      bytes_evicted = 40.0;
+      bytes_in_cache = 80.0;
+      entries = 2;
+    }
+  in
+  checkb "consistent record passes" true (Workload_check.cache_accounting consistent = []);
+  let rules s = List.map (fun v -> v.Cutfit_check.Violation.rule) (Workload_check.cache_accounting s) in
+  checkb "lookup split violation" true
+    (List.mem "cache-lookup-split" (rules { consistent with Cache.hits = 1 }));
+  checkb "entry conservation violation" true
+    (List.mem "cache-entry-conservation" (rules { consistent with Cache.entries = 7 }));
+  checkb "byte conservation violation" true
+    (List.mem "cache-byte-conservation" (rules { consistent with Cache.bytes_in_cache = 10.0 }));
+  checkb "over budget violation" true
+    (List.mem "cache-over-budget"
+       (rules { consistent with Cache.bytes_in_cache = 120.0; bytes_inserted = 160.0 }));
+  checkb "negative counter violation" true
+    (List.mem "cache-negative" (rules { consistent with Cache.hits = -2; lookups = 1 }))
+
+(* --- the engine --- *)
+
+(* A small, fast mix: two cheap analogues, modest granularity, no SSSP. *)
+let engine_mix =
+  {
+    Job.name = "test";
+    description = "engine tests";
+    algorithms = [ (Advisor.Pagerank, 2.0); (Advisor.Connected_components, 1.0) ];
+    datasets = [ ("roadnet_pa", 2.0); ("youtube", 1.0) ];
+    partition_counts = [ (32, 1.0) ];
+    mean_interarrival_s = 0.5;
+  }
+
+let stream = Job.generate ~seed:21L ~jobs:8 engine_mix
+
+let run ?(policy = Engine.Fifo) ?(selection = Engine.Cache_aware 0.25) ?telemetry
+    ?(budget_bytes = 8.0e9) () =
+  Engine.run ~slots:2 ~budget_bytes ~iterations:4 ?telemetry ~policy ~selection ~seed:21L stream
+
+let test_engine_deterministic () =
+  checkb "run-twice digest" true
+    (Workload_check.run_twice ~label:"engine" (fun () -> run ()) = [])
+
+let test_engine_report_clean () =
+  let sink, read = Cutfit_obs.Sink.ring ~capacity:4096 () in
+  let telemetry = Cutfit_obs.Telemetry.create ~sinks:[ sink ] () in
+  let report = run ~telemetry () in
+  Cutfit_obs.Telemetry.close telemetry;
+  let violations = Workload_check.report ~events:(read ()) report in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun v -> v.Cutfit_check.Violation.rule) violations);
+  checki "all jobs recorded" (List.length stream) (List.length report.Engine.records)
+
+let test_engine_cache_effect () =
+  let cached = run () in
+  let uncached = run ~budget_bytes:0.0 () in
+  checkb "reuse mix produces hits" true (Engine.hit_rate cached > 0.0);
+  checkb "disabled cache never hits" true (Engine.hit_rate uncached = 0.0);
+  checki "disabled cache rejects every build" uncached.Engine.cache.Cache.misses
+    uncached.Engine.cache.Cache.rejections;
+  let paid r = r.Engine.total_partition_s in
+  checkb "cache saves partitioning time" true (paid cached < paid uncached);
+  List.iter
+    (fun (r : Engine.job_record) ->
+      if r.Engine.cache_hit then
+        Alcotest.(check (float 0.0)) "hits pay no partitioning" 0.0 r.Engine.partition_s)
+    cached.Engine.records
+
+let test_engine_policies_same_jobs () =
+  let ids report =
+    List.sort compare (List.map (fun (r : Engine.job_record) -> r.Engine.job.Job.id) report.Engine.records)
+  in
+  let fifo = run ~policy:Engine.Fifo () in
+  let sjf = run ~policy:Engine.Sjf () in
+  checkb "same job set under both policies" true (ids fifo = ids sjf);
+  checkb "fifo starts in arrival order" true
+    (let starts =
+       List.sort
+         (fun (a : Engine.job_record) b -> compare a.Engine.start_s b.Engine.start_s)
+         fifo.Engine.records
+     in
+     let arrivals = List.map (fun (r : Engine.job_record) -> r.Engine.job.Job.arrival_s) starts in
+     List.sort compare arrivals = arrivals)
+
+let test_engine_selection_modes () =
+  List.iter
+    (fun selection ->
+      let report = run ~selection () in
+      checkb
+        (Printf.sprintf "selection %s is clean" (Engine.selection_name selection))
+        true
+        (Workload_check.report report = []))
+    [ Engine.Heuristic; Engine.Measured ]
+
+let test_engine_rejects_bad_slots () =
+  Alcotest.check_raises "slots >= 1" (Invalid_argument "Engine.run: slots must be >= 1") (fun () ->
+      ignore (Engine.run ~slots:0 ~seed:1L []))
+
+let test_report_lines_roundtrip () =
+  let report = run () in
+  let lines = Engine.report_lines report in
+  checki "one line per record plus params and cache" (List.length report.Engine.records + 2)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Cutfit_obs.Json.of_string line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unparsable report line %s: %s" line e)
+    lines
+
+let suite =
+  [
+    Alcotest.test_case "job stream deterministic" `Quick test_generate_deterministic;
+    Alcotest.test_case "job stream shape" `Quick test_generate_shape;
+    Alcotest.test_case "job stream validation" `Quick test_generate_validation;
+    Alcotest.test_case "cache hit/miss/evict" `Quick test_cache_hit_miss_evict;
+    Alcotest.test_case "cache lru recency" `Quick test_cache_lru_recency;
+    Alcotest.test_case "cache cost-aware eviction" `Quick test_cache_cost_aware;
+    Alcotest.test_case "cache availability gating" `Quick test_cache_availability;
+    Alcotest.test_case "cache reject / disabled" `Quick test_cache_reject_and_disabled;
+    Alcotest.test_case "cache reinsert replaces" `Quick test_cache_reinsert_replaces;
+    Alcotest.test_case "cache eviction order deterministic" `Quick
+      test_cache_eviction_order_deterministic;
+    Alcotest.test_case "cache accounting fabricated" `Quick test_cache_accounting_fabricated;
+    Alcotest.test_case "engine deterministic" `Quick test_engine_deterministic;
+    Alcotest.test_case "engine report clean" `Quick test_engine_report_clean;
+    Alcotest.test_case "engine cache effect" `Quick test_engine_cache_effect;
+    Alcotest.test_case "engine policies same jobs" `Quick test_engine_policies_same_jobs;
+    Alcotest.test_case "engine selection modes" `Quick test_engine_selection_modes;
+    Alcotest.test_case "engine rejects bad slots" `Quick test_engine_rejects_bad_slots;
+    Alcotest.test_case "report lines roundtrip" `Quick test_report_lines_roundtrip;
+  ]

@@ -20,6 +20,9 @@ echo "== paranoid sanitizer pass"
 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa
 dune exec bin/cutfit_cli.exe -- run CC roadnet_pa --paranoid >/dev/null
 
+echo "== workload smoke (20 jobs, checked + digested)"
+dune exec bin/cutfit_cli.exe -- workload --jobs 20 --check >/dev/null
+
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"
   dune build @doc
