@@ -364,6 +364,110 @@ let workload ppf =
        ]);
   Format.fprintf ppf "@.wrote the machine-readable comparison to %s@." path
 
+(* --- faults: checkpoint cadence x fault rate, recovery overhead --- *)
+
+let faults ppf =
+  let spec = Cutfit.Datasets.find "pocek" in
+  let g = Cutfit.Datasets.generate spec in
+  let scale = Run.scale_of spec g in
+  Format.fprintf ppf
+    "PageRank on the Pocek analogue (advised partitioner, config (i))@.\
+     under seeded fault schedules: checkpoint cadence x fault rate, both@.\
+     recovery modes. Every faulty run is checked bit-identical to the@.\
+     fault-free baseline (the recovery-equivalence invariant); the table@.\
+     prices what that tolerance costs in simulated time:@.@.";
+  let run ?faults ?checkpoint_every () =
+    let p =
+      Cutfit.Pipeline.prepare ~scale ?faults ?checkpoint_every
+        ~algorithm:Cutfit.Advisor.Pagerank g
+    in
+    Cutfit.Pipeline.pagerank p
+  in
+  let base_ranks, base_trace = run () in
+  let base_digest = Cutfit.Check.Fault_check.float_attrs_digest base_ranks in
+  let rates = [ 0.0; 0.1; 0.5 ] in
+  let cadences = [ None; Some 2; Some 5 ] in
+  let cells =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun rate ->
+            List.map
+              (fun cadence ->
+                (* a pinned crash so both recovery modes are actually
+                   exercised, plus the rate-controlled random layer *)
+                let faults =
+                  if rate = 0.0 then None
+                  else
+                    Some (Cutfit.Faults.config ~mode (Printf.sprintf "crash@3,rand@%g" rate))
+                in
+                let ranks, trace = run ?faults ?checkpoint_every:cadence () in
+                let digest = Cutfit.Check.Fault_check.float_attrs_digest ranks in
+                if Cutfit.Trace.completed trace && digest <> base_digest then
+                  invalid_arg "bench faults: faulty run diverged from the baseline";
+                (mode, rate, cadence, trace))
+              cadences)
+          rates)
+      [ Cutfit.Faults.Rollback; Cutfit.Faults.Lineage ]
+  in
+  let cadence_name = function None -> "none" | Some k -> Printf.sprintf "every %d" k in
+  let rows =
+    List.map
+      (fun (mode, rate, cadence, (t : Cutfit.Trace.t)) ->
+        [
+          Cutfit.Faults.mode_name mode;
+          Printf.sprintf "%.0f%%" (100.0 *. rate);
+          cadence_name cadence;
+          string_of_int t.Cutfit.Trace.faults_injected;
+          string_of_int (Cutfit.Trace.num_recoveries t);
+          E.Report.seconds t.Cutfit.Trace.checkpoint_s;
+          E.Report.seconds t.Cutfit.Trace.recovery_s;
+          E.Report.seconds t.Cutfit.Trace.total_s;
+          Printf.sprintf "%+.0f%%"
+            (100.0
+            *. (t.Cutfit.Trace.total_s -. base_trace.Cutfit.Trace.total_s)
+            /. base_trace.Cutfit.Trace.total_s);
+          Cutfit.Trace.outcome_name t.Cutfit.Trace.outcome;
+        ])
+      cells
+  in
+  Format.fprintf ppf "%s@."
+    (E.Report.table
+       ~header:
+         [
+           "Mode"; "Rate"; "Checkpoint"; "Faults"; "Recoveries"; "Ckpt s"; "Recovery s";
+           "Total s"; "Overhead"; "Outcome";
+         ]
+       ~rows);
+  let cell_json (mode, rate, cadence, (t : Cutfit.Trace.t)) =
+    Json.Obj
+      [
+        ("mode", Json.String (Cutfit.Faults.mode_name mode));
+        ("fault_rate", Json.Float rate);
+        ( "checkpoint_every",
+          match cadence with None -> Json.Null | Some k -> Json.Int k );
+        ("faults_injected", Json.Int t.Cutfit.Trace.faults_injected);
+        ("recoveries", Json.Int (Cutfit.Trace.num_recoveries t));
+        ("checkpoints", Json.Int t.Cutfit.Trace.checkpoints);
+        ("checkpoint_s", Json.Float t.Cutfit.Trace.checkpoint_s);
+        ("recovery_s", Json.Float t.Cutfit.Trace.recovery_s);
+        ("total_s", Json.Float t.Cutfit.Trace.total_s);
+        ("outcome", Json.String (Cutfit.Trace.outcome_name t.Cutfit.Trace.outcome));
+        ("value_digest_matches_baseline", Json.Bool (Cutfit.Trace.completed t));
+      ]
+  in
+  let path = "BENCH_faults.json" in
+  E.Export.write_json path
+    (Json.Obj
+       [
+         ("dataset", Json.String spec.Cutfit.Datasets.name);
+         ("algorithm", Json.String "PR");
+         ("baseline_total_s", Json.Float base_trace.Cutfit.Trace.total_s);
+         ("baseline_value_digest", Json.String base_digest);
+         ("cells", Json.List (List.map cell_json cells));
+       ]);
+  Format.fprintf ppf "@.wrote the machine-readable grid to %s@." path
+
 (* --- telemetry: per-superstep observability + JSONL export --- *)
 
 let telemetry ppf =
@@ -415,7 +519,7 @@ let telemetry ppf =
     (E.Report.table ~header:[ "Quantity"; "Event stream"; "Trace.t" ] ~rows);
   Format.fprintf ppf "straggler spread (max/min jittered task time) per superstep:@.";
   List.iter
-    (fun s ->
+    (fun (s : Cutfit.Event.superstep) ->
       if s.Cutfit.Event.step >= 0 then
         Format.fprintf ppf "  step %2d: skew %.2f, barrier waits %s@." s.Cutfit.Event.step
           (Cutfit.Event.skew s)
@@ -489,6 +593,7 @@ let sections =
     ("sweep", ("Granularity sweep: 32..512 partitions", sweep));
     ("engines", ("Engine comparison: Pregel vs GAS", engines));
     ("workload", ("Workload engine: scheduling policies x cache budgets", workload));
+    ("faults", ("Fault tolerance: checkpoint cadence x fault rate", faults));
     ("export", ("CSV + JSON export of the evaluation matrix", export));
     ("telemetry", ("Telemetry: per-superstep observability + JSONL export", telemetry));
     ("micro", ("Micro-benchmarks (bechamel)", micro));

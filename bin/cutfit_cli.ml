@@ -6,13 +6,29 @@
 
 open Cmdliner
 
+(* Exit-code contract (tested by tools/verify.sh): 0 success, 1 a
+   violation or job/run failure, 2 a usage error (bad flag value,
+   unknown dataset, malformed fault spec). *)
+let exit_ok = 0
+let exit_failure = 1
+let exit_usage = 2
+
+(* A usage error detected after argument parsing: report and exit 2,
+   matching cmdliner's own parse errors. *)
+let usage_fail fmt =
+  Fmt.kstr
+    (fun m ->
+      Fmt.epr "cutfit: %s@." m;
+      exit exit_usage)
+    fmt
+
 let load_graph name_or_path =
   if Sys.file_exists name_or_path then Cutfit.Graph_io.load name_or_path
   else begin
     match Cutfit.Datasets.find name_or_path with
     | spec -> Cutfit.Datasets.generate spec
     | exception Not_found ->
-        Fmt.failwith "unknown dataset %S (expected a file or one of: %s)" name_or_path
+        usage_fail "unknown dataset %S (expected a file or one of: %s)" name_or_path
           (String.concat ", " Cutfit.Datasets.names)
   end
 
@@ -110,7 +126,60 @@ let with_violation_report f =
   | v -> v
   | exception Cutfit.Check.Violation.Violations vs ->
       Fmt.epr "cutfit: sanitizer violations:@.%a@." Cutfit.Check.Violation.pp_list vs;
-      exit 1
+      exit exit_failure
+
+(* --- fault-injection flags shared by run/compare/check/workload --- *)
+
+let faults_spec_arg =
+  let doc =
+    "Inject a deterministic fault schedule into every Pregel/GAS run. $(docv) is a \
+     comma-separated list of: $(b,crash\\@K)[:eE] (executor loss at superstep K), \
+     $(b,straggler\\@K-L)[:eE][:xF] (xF slowdown over K..L), $(b,net\\@K-L)[:xF] (bandwidth \
+     degraded to xF), $(b,loss\\@K)[:eE][:rN] (transient shuffle loss, N retransmissions), \
+     $(b,rand\\@R) (each superstep fires one random fault with probability R). Faults perturb \
+     only the simulated time accounting — final vertex values stay bit-identical."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Write a superstep checkpoint every $(docv) compute supersteps (costed via the storage \
+     bandwidth of the cost model). Rollback recovery replays from the last checkpoint."
+  in
+  Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the fault schedule's random draws (executor choices, rand\\@R firings).")
+
+let fault_mode_arg =
+  Arg.(
+    value & opt string "rollback"
+    & info [ "fault-mode" ] ~docv:"MODE"
+        ~doc:
+          "Recovery mode after an executor loss: $(b,rollback) (restart from the last \
+           checkpoint and replay) or $(b,lineage) (rebuild only the lost partitions).")
+
+let max_failures_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-failures" ] ~docv:"K"
+        ~doc:"Executor losses tolerated per run; one more aborts the run.")
+
+let faults_of_flags ~spec ~fault_seed ~max_failures ~mode =
+  match spec with
+  | None -> None
+  | Some raw -> (
+      let mode =
+        match Cutfit.Faults.mode_of_name mode with
+        | m -> m
+        | exception Cutfit.Faults.Parse_error msg -> usage_fail "%s" msg
+      in
+      match Cutfit.Faults.config ~seed:fault_seed ~max_failures ~mode raw with
+      | c -> Some c
+      | exception Cutfit.Faults.Parse_error msg -> usage_fail "bad --faults spec: %s" msg)
 
 (* --- datasets --- *)
 
@@ -122,7 +191,8 @@ let datasets_cmd =
           spec.Cutfit.Datasets.display
           (Cutfit_experiments.Report.commas spec.Cutfit.Datasets.paper_vertices)
           (Cutfit_experiments.Report.commas spec.Cutfit.Datasets.paper_edges))
-      Cutfit.Datasets.all
+      Cutfit.Datasets.all;
+    exit_ok
   in
   Cmd.v (Cmd.info "datasets" ~doc:"List the built-in dataset analogues.")
     Term.(const action $ const ())
@@ -138,7 +208,8 @@ let generate_cmd =
     Cutfit.Graph_io.save output g;
     Fmt.pr "wrote %s edges to %s@."
       (Cutfit_experiments.Report.commas (Cutfit.Graph.num_edges g))
-      output
+      output;
+    exit_ok
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a dataset analogue and save it as an edge list.")
     Term.(const action $ graph_arg $ output)
@@ -149,7 +220,8 @@ let characterize_cmd =
   let action graph =
     let g = load_graph graph in
     let c = Cutfit.Characterize.compute g in
-    Fmt.pr "%a@." Cutfit.Characterize.pp c
+    Fmt.pr "%a@." Cutfit.Characterize.pp c;
+    exit_ok
   in
   Cmd.v (Cmd.info "characterize" ~doc:"Measure the Table-1 characterization of a graph.")
     Term.(const action $ graph_arg)
@@ -168,7 +240,8 @@ let partition_cmd =
         let a = Cutfit.Partitioner.assign p ~num_partitions g in
         let m = Cutfit.Metrics.compute g ~num_partitions a in
         Fmt.pr "%-6s %a@." (Cutfit.Partitioner.name p) Cutfit.Metrics.pp m)
-      ps
+      ps;
+    exit_ok
   in
   Cmd.v (Cmd.info "partition" ~doc:"Partition a graph and print the five paper metrics.")
     Term.(const action $ graph_arg $ partitions_arg $ strategy)
@@ -193,7 +266,8 @@ let advise_cmd =
           (Cutfit.Strategy.to_string r.Cutfit.Advisor.strategy)
           (Cutfit.Advisor.predictive_metric algo)
           (Cutfit_experiments.Report.fsig r.Cutfit.Advisor.score))
-      (Cutfit.Advisor.measure algo ~num_partitions g)
+      (Cutfit.Advisor.measure algo ~num_partitions g);
+    exit_ok
   in
   Cmd.v (Cmd.info "advise" ~doc:"Recommend a partitioner for an algorithm on a graph.")
     Term.(const action $ algo_arg $ graph_pos1 $ partitions_arg)
@@ -207,17 +281,24 @@ let run_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner seed trace_out verbose paranoid =
+  let action algo graph config partitioner seed faults_spec checkpoint_every fault_seed
+      fault_mode max_failures trace_out verbose paranoid =
     let g = load_graph graph in
+    let faults =
+      faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
+    in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     let p =
       with_violation_report (fun () ->
-          Cutfit.Pipeline.prepare ~check:paranoid ~cluster:config ?partitioner ?telemetry
-            ~algorithm:algo g)
+          Cutfit.Pipeline.prepare ~check:paranoid ~cluster:config ?partitioner ?checkpoint_every
+            ?faults ?telemetry ~algorithm:algo g)
     in
     Fmt.pr "partitioner: %s, %s@."
       (Cutfit.Partitioner.name p.Cutfit.Pipeline.partitioner)
       (Cutfit.Cluster.describe config);
+    (match faults with
+    | Some f -> Fmt.pr "faults: %s@." (Cutfit.Faults.describe f)
+    | None -> ());
     let trace =
       match algo with
       | Cutfit.Advisor.Pagerank ->
@@ -244,13 +325,16 @@ let run_cmd =
           trace
     in
     Fmt.pr "%a@." Cutfit.Trace.pp_summary trace;
-    finish_telemetry ()
+    finish_telemetry ();
+    (* A run whose cluster died past the crash budget is a failed job. *)
+    if trace.Cutfit.Trace.outcome = Cutfit.Trace.Aborted then exit_failure else exit_ok
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an algorithm on a partitioned graph and print the simulated trace.")
     Term.(
       const action $ algo_arg $ graph_pos1 $ config_arg $ strategy
       $ seed_arg ~default:5L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
-      $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+      $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
+      $ max_failures_arg $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- compare --- *)
 
@@ -258,21 +342,27 @@ let compare_cmd =
   let graph_pos1 =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
   in
-  let action algo graph config seed trace_out verbose paranoid =
+  let action algo graph config seed faults_spec checkpoint_every fault_seed fault_mode
+      max_failures trace_out verbose paranoid =
     let g = load_graph graph in
+    let faults =
+      faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
+    in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     List.iter
       (fun (name, t) -> Fmt.pr "%-10s %s@." name (Cutfit_experiments.Report.seconds t))
       (with_violation_report (fun () ->
-           Cutfit.Pipeline.compare_partitioners ~check:paranoid ~cluster:config ~seed ?telemetry
-             ~algorithm:algo g));
-    finish_telemetry ()
+           Cutfit.Pipeline.compare_partitioners ~check:paranoid ~cluster:config ~seed
+             ?checkpoint_every ?faults ?telemetry ~algorithm:algo g));
+    finish_telemetry ();
+    exit_ok
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare simulated job time across the six partitioners.")
     Term.(
       const action $ algo_arg $ graph_pos1 $ config_arg
       $ seed_arg ~default:11L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
-      $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+      $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
+      $ max_failures_arg $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- workload --- *)
 
@@ -339,9 +429,18 @@ let workload_cmd =
              decomposition, event-vs-record reconciliation, and the run-twice determinism \
              digest. Exits non-zero on any violation.")
   in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Requeue a job whose cluster died up to $(docv) times (capped exponential \
+             backoff); past that the job fails permanently.")
+  in
   let action mix_name jobs seed policy_name select_name threshold cache_gb eviction_name slots
-      trace_out verbose check =
-    let fail fmt = Fmt.kstr (fun m -> Fmt.epr "cutfit: %s@." m; exit 2) fmt in
+      faults_spec checkpoint_every fault_seed fault_mode max_failures max_retries trace_out
+      verbose check =
+    let fail fmt = usage_fail fmt in
     let mix =
       match W.Job.find_mix mix_name with
       | Some m -> m
@@ -362,6 +461,10 @@ let workload_cmd =
       | Some e -> e
       | None -> fail "unknown eviction policy %S (lru, cost)" eviction_name
     in
+    let faults =
+      faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
+    in
+    if max_retries < 0 then fail "max-retries must be >= 0 (got %d)" max_retries;
     let stream = W.Job.generate ~seed ~jobs mix in
     let ring, read_ring = Cutfit.Sink.ring ~capacity:65536 () in
     let sinks =
@@ -372,7 +475,8 @@ let workload_cmd =
     let telemetry = if sinks = [] then None else Some (Cutfit.Telemetry.create ~sinks ()) in
     let budget_bytes = cache_gb *. 1.0e9 in
     let report =
-      W.Engine.run ~slots ~eviction ~budget_bytes ~policy ~selection ?telemetry ~seed stream
+      W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ~max_retries ~policy
+        ~selection ?telemetry ~seed stream
     in
     let rows =
       List.map
@@ -383,6 +487,7 @@ let workload_cmd =
             Printf.sprintf "%s/%d" r.W.Engine.job.W.Job.dataset r.W.Engine.job.W.Job.num_partitions;
             r.W.Engine.strategy;
             (if r.W.Engine.cache_hit then "hit" else "miss");
+            string_of_int r.W.Engine.attempts;
             Cutfit_experiments.Report.fsig r.W.Engine.queue_s;
             Cutfit_experiments.Report.fsig r.W.Engine.partition_s;
             Cutfit_experiments.Report.fsig r.W.Engine.exec_s;
@@ -394,7 +499,7 @@ let workload_cmd =
     Fmt.pr "%s@."
       (Cutfit_experiments.Report.table
          ~header:
-           [ "job"; "algo"; "dataset"; "strategy"; "cache"; "queue"; "partition"; "exec";
+           [ "job"; "algo"; "dataset"; "strategy"; "cache"; "try"; "queue"; "partition"; "exec";
              "finish"; "outcome" ]
          ~rows);
     Fmt.pr "%a@." W.Engine.pp_summary report;
@@ -402,20 +507,32 @@ let workload_cmd =
     (match trace_out with
     | Some path -> Fmt.pr "wrote workload events to %s@." path
     | None -> ());
-    if check then begin
-      let violations = W.Workload_check.report ~events:(read_ring ()) report in
-      let twice =
-        W.Workload_check.run_twice ~label:(Printf.sprintf "workload %s seed %Ld" mix_name seed)
-          (fun () ->
-            W.Engine.run ~slots ~eviction ~budget_bytes ~policy ~selection ~seed
-              (W.Job.generate ~seed ~jobs mix))
-      in
-      match violations @ twice with
-      | [] -> Fmt.pr "workload check: ok (digest %s)@." (W.Workload_check.digest report)
-      | vs ->
-          Fmt.epr "cutfit: workload sanitizer violations:@.%a@." Cutfit.Check.Violation.pp_list vs;
-          exit 1
+    let check_code =
+      if not check then exit_ok
+      else begin
+        let violations = W.Workload_check.report ~events:(read_ring ()) report in
+        let twice =
+          W.Workload_check.run_twice ~label:(Printf.sprintf "workload %s seed %Ld" mix_name seed)
+            (fun () ->
+              W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ~max_retries
+                ~policy ~selection ~seed
+                (W.Job.generate ~seed ~jobs mix))
+        in
+        match violations @ twice with
+        | [] ->
+            Fmt.pr "workload check: ok (digest %s)@." (W.Workload_check.digest report);
+            exit_ok
+        | vs ->
+            Fmt.epr "cutfit: workload sanitizer violations:@.%a@." Cutfit.Check.Violation.pp_list
+              vs;
+            exit_failure
+      end
+    in
+    if W.Engine.failed_jobs report > 0 then begin
+      Fmt.epr "cutfit: %d job(s) failed permanently@." (W.Engine.failed_jobs report);
+      exit_failure
     end
+    else check_code
   in
   Cmd.v
     (Cmd.info "workload"
@@ -426,7 +543,8 @@ let workload_cmd =
       const action $ mix_arg $ jobs_arg
       $ seed_arg ~default:7L ~doc:"Seed of the job stream (and of each SSSP job's landmarks)."
       $ policy_arg $ select_arg $ threshold_arg $ cache_gb_arg $ eviction_arg $ slots_arg
-      $ trace_out_arg $ verbose_events_arg $ check_arg)
+      $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
+      $ max_failures_arg $ max_retries_arg $ trace_out_arg $ verbose_events_arg $ check_arg)
 
 (* --- check --- *)
 
@@ -437,25 +555,45 @@ let check_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner =
+  let action algo graph config partitioner faults_spec checkpoint_every fault_seed fault_mode
+      max_failures =
     let g = load_graph graph in
-    let report = Cutfit.Sanitize.check_run ~cluster:config ?partitioner ~algorithm:algo g in
+    let faults =
+      faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
+    in
+    let report =
+      Cutfit.Sanitize.check_run ~cluster:config ?partitioner ?checkpoint_every ?faults
+        ~algorithm:algo g
+    in
     Fmt.pr "%a@." Cutfit.Sanitize.pp_report report;
-    if not (Cutfit.Sanitize.ok report) then exit 1
+    if Cutfit.Sanitize.ok report then exit_ok else exit_failure
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the full simulator sanitizer on one algorithm/graph pair: partition structure, \
           metrics recomputation, trace conservation laws, telemetry reconciliation, and the \
-          run-twice determinism digest. Exits non-zero on any violation.")
-    Term.(const action $ algo_arg $ graph_pos1 $ config_arg $ strategy)
+          run-twice determinism digest. With $(b,--faults), a sixth suite proves the \
+          recovery-equivalence invariant against a fault-free baseline. Exits non-zero on any \
+          violation.")
+    Term.(
+      const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ faults_spec_arg
+      $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg $ max_failures_arg)
 
 let () =
   let doc = "Tailor graph partitioning to the computation (Cut to Fit)." in
   let info = Cmd.info "cutfit" ~version:"1.0.0" ~doc in
+  (* Exit-code contract: actions return 0 (success) or 1 (violation /
+     failed job); cmdliner usage problems map to 2; an escaped
+     exception maps to 1 rather than cmdliner's 125. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ datasets_cmd; generate_cmd; characterize_cmd; partition_cmd; advise_cmd; run_cmd;
-            compare_cmd; workload_cmd; check_cmd ]))
+    (match
+       Cmd.eval_value
+         (Cmd.group info
+            [ datasets_cmd; generate_cmd; characterize_cmd; partition_cmd; advise_cmd; run_cmd;
+              compare_cmd; workload_cmd; check_cmd ])
+     with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> exit_ok
+    | Error (`Parse | `Term) -> exit_usage
+    | Error `Exn -> exit_failure)

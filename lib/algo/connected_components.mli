@@ -16,6 +16,8 @@ val run :
   ?iterations:int ->
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->

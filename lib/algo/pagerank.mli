@@ -12,16 +12,22 @@ val run :
   ?iterations:int ->
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->
   result
-(** Default 10 iterations. *)
+(** Default 10 iterations. [checkpoint_every] and [faults] are passed
+    through to {!Cutfit_bsp.Pregel.run}; injected faults never change
+    the ranks. *)
 
 val run_gas :
   ?iterations:int ->
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->

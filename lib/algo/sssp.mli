@@ -17,6 +17,7 @@ val run :
   ?scale:float ->
   ?cost:Cutfit_bsp.Cost_model.t ->
   ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   landmarks:int array ->

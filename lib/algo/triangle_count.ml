@@ -266,6 +266,9 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ?telemetry ~clus
       load_s;
       checkpoint_s = 0.0;
       checkpoints = 0;
+      recovery_s = 0.0;
+      recoveries = [];
+      faults_injected = 0;
       total_s;
       outcome = Trace.Completed;
       peak_executor_bytes = 0.0;
@@ -293,6 +296,7 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ?telemetry ~clus
              total_s;
              load_s;
              checkpoint_s = 0.0;
+             recovery_s = 0.0;
              total_messages = Trace.total_messages trace;
              total_remote = Trace.total_remote_messages trace;
              total_wire_bytes = Trace.total_wire_bytes trace;

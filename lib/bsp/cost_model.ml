@@ -17,6 +17,8 @@ type t = {
   vertex_object_bytes : int;
   driver_meta_per_task_bytes : float;
   gc_jitter : float;
+  retry_backoff_base_s : float;
+  retry_backoff_cap_s : float;
 }
 
 let default =
@@ -39,7 +41,22 @@ let default =
     vertex_object_bytes = 96;
     driver_meta_per_task_bytes = 2.0e6;
     gc_jitter = 0.6;
+    retry_backoff_base_s = 0.05;
+    retry_backoff_cap_s = 2.0;
   }
+
+(* Total backoff time charged for [retries] successive shuffle retry
+   attempts: base * (2^0 + 2^1 + ...), each term capped. *)
+let retry_backoff t ~retries =
+  let rec go i acc =
+    if i >= retries then acc
+    else
+      let d =
+        Float.min t.retry_backoff_cap_s (t.retry_backoff_base_s *. (2.0 ** float_of_int i))
+      in
+      go (i + 1) (acc +. d)
+  in
+  go 0 0.0
 
 (* Deterministic per-(task, superstep) work multiplier modelling JVM
    jitter (GC pauses, JIT warmup): uniform in [1, 1 + gc_jitter]. Task

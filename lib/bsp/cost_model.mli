@@ -41,6 +41,10 @@ type t = {
           work is multiplied by a deterministic factor in
           [1, 1 + gc_jitter]. Heterogeneous tasks pack better over more,
           smaller partitions — the paper's granularity effect. *)
+  retry_backoff_base_s : float;
+      (** first-attempt backoff delay when a transient shuffle loss forces
+          a retransmission *)
+  retry_backoff_cap_s : float;  (** ceiling on any single backoff delay *)
 }
 
 val default : t
@@ -59,3 +63,8 @@ val makespan : work:float array -> cores:int -> float
 (** Time to drain per-task single-core [work] seconds on [cores]
     identical cores: [max (max_i work) (sum work / cores)], the standard
     two-sided bound for list scheduling. *)
+
+val retry_backoff : t -> retries:int -> float
+(** Total capped exponential backoff delay accumulated over [retries]
+    successive shuffle retransmission attempts:
+    [sum_i min cap (base * 2^i)]. *)

@@ -1,0 +1,348 @@
+module Splitmix64 = Cutfit_prng.Splitmix64
+
+exception Parse_error of string
+
+type mode = Rollback | Lineage
+
+type item =
+  | Crash of { step : int; executor : int option }
+  | Straggler of { from_step : int; to_step : int; executor : int option; factor : float }
+  | Net of { from_step : int; to_step : int; factor : float }
+  | Loss of { step : int; executor : int option; retries : int }
+  | Rand of { rate : float }
+
+type config = {
+  items : item list;
+  raw : string;
+  seed : int;
+  max_failures : int;
+  mode : mode;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail "%s: expected an integer, got %S" what s
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail "%s: expected a number, got %S" what s
+
+(* "K" or "K-L": the inclusive superstep window a fault covers. *)
+let parse_window what s =
+  match String.index_opt s '-' with
+  | None ->
+      let k = parse_int what s in
+      (k, k)
+  | Some i ->
+      let k = parse_int what (String.sub s 0 i) in
+      let l = parse_int what (String.sub s (i + 1) (String.length s - i - 1)) in
+      if l < k then fail "%s: window %d-%d is backwards" what k l;
+      (k, l)
+
+type opts = {
+  mutable o_exec : int option;
+  mutable o_factor : float option;
+  mutable o_retries : int option;
+}
+
+let parse_opts what allowed parts =
+  let o = { o_exec = None; o_factor = None; o_retries = None } in
+  List.iter
+    (fun p ->
+      if String.length p < 2 then fail "%s: malformed option %S" what p;
+      let v = String.sub p 1 (String.length p - 1) in
+      let c = p.[0] in
+      if not (String.contains allowed c) then
+        fail "%s: option %S not valid here (allowed: %s)" what p allowed;
+      match c with
+      | 'e' -> o.o_exec <- Some (parse_int what v)
+      | 'x' -> o.o_factor <- Some (parse_float what v)
+      | 'r' -> o.o_retries <- Some (parse_int what v)
+      | _ -> fail "%s: unknown option %S" what p)
+    parts;
+  o
+
+let parse_item s =
+  match String.index_opt s '@' with
+  | None -> fail "fault %S: expected KIND@ARGS" s
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let head, opts =
+        match String.split_on_char ':' rest with
+        | [] -> fail "fault %S: missing arguments" s
+        | h :: t -> (h, t)
+      in
+      match kind with
+      | "crash" ->
+          let step = parse_int s head in
+          if step < 1 then fail "fault %S: crashes fire at supersteps >= 1" s;
+          let o = parse_opts s "e" opts in
+          Crash { step; executor = o.o_exec }
+      | "straggler" ->
+          let from_step, to_step = parse_window s head in
+          if from_step < 1 then fail "fault %S: stragglers fire at supersteps >= 1" s;
+          let o = parse_opts s "ex" opts in
+          let factor = Option.value o.o_factor ~default:4.0 in
+          if factor < 1.0 then fail "fault %S: straggler factor must be >= 1" s;
+          Straggler { from_step; to_step; executor = o.o_exec; factor }
+      | "net" ->
+          let from_step, to_step = parse_window s head in
+          if from_step < 1 then fail "fault %S: degraded windows start at superstep >= 1" s;
+          let o = parse_opts s "x" opts in
+          let factor = Option.value o.o_factor ~default:0.25 in
+          if factor <= 0.0 || factor > 1.0 then
+            fail "fault %S: net factor must be in (0, 1]" s;
+          Net { from_step; to_step; factor }
+      | "loss" ->
+          let step = parse_int s head in
+          if step < 1 then fail "fault %S: shuffle losses fire at supersteps >= 1" s;
+          let o = parse_opts s "er" opts in
+          let retries = Option.value o.o_retries ~default:1 in
+          if retries < 1 then fail "fault %S: retries must be >= 1" s;
+          Loss { step; executor = o.o_exec; retries }
+      | "rand" ->
+          let rate = parse_float s head in
+          if rate < 0.0 || rate > 1.0 then fail "fault %S: rate must be in [0, 1]" s;
+          Rand { rate }
+      | k -> fail "fault %S: unknown kind %S" s k)
+
+let parse_spec raw =
+  let items =
+    String.split_on_char ',' raw
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map parse_item
+  in
+  if items = [] then fail "fault spec %S: no faults given" raw;
+  items
+
+let config ?(seed = 42) ?(max_failures = 2) ?(mode = Rollback) raw =
+  { items = parse_spec raw; raw; seed; max_failures; mode }
+
+let mode_name = function Rollback -> "rollback" | Lineage -> "lineage"
+
+let mode_of_name = function
+  | "rollback" -> Rollback
+  | "lineage" -> Lineage
+  | s -> fail "unknown recovery mode %S (rollback|lineage)" s
+
+let describe c =
+  Printf.sprintf "faults %S seed=%d max-failures=%d recovery=%s" c.raw c.seed c.max_failures
+    (mode_name c.mode)
+
+(* Stateless per-(salt, step) draw: plan order never matters, so the
+   realized schedule depends only on (seed, spec), not on how the engine
+   interleaves calls. *)
+let draw ~seed ~salt ~k =
+  Splitmix64.mix64
+    (Int64.logxor
+       (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+       (Int64.add (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L) (Int64.of_int k)))
+
+let unit_float h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+let draw_mod h m = Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int m))
+
+type resolved =
+  | R_crash of { step : int; executor : int }
+  | R_straggler of { from_step : int; to_step : int; executor : int; factor : float }
+  | R_net of { from_step : int; to_step : int; factor : float }
+  | R_loss of { step : int; executor : int; retries : int }
+  | R_rand of { rate : float }
+
+type session = {
+  sconfig : config;
+  executors : int;
+  resolved : resolved list;
+  mutable crashes : int;
+}
+
+let session ~executors c =
+  if executors <= 0 then invalid_arg "Faults.session: executors <= 0";
+  let resolve idx = function
+    | Some e -> ((e mod executors) + executors) mod executors
+    | None -> draw_mod (draw ~seed:c.seed ~salt:idx ~k:0) executors
+  in
+  let resolved =
+    List.mapi
+      (fun idx -> function
+        | Crash { step; executor } -> R_crash { step; executor = resolve idx executor }
+        | Straggler { from_step; to_step; executor; factor } ->
+            R_straggler { from_step; to_step; executor = resolve idx executor; factor }
+        | Net { from_step; to_step; factor } -> R_net { from_step; to_step; factor }
+        | Loss { step; executor; retries } ->
+            R_loss { step; executor = resolve idx executor; retries }
+        | Rand { rate } -> R_rand { rate })
+      c.items
+  in
+  { sconfig = c; executors; resolved; crashes = 0 }
+
+let session_config s = s.sconfig
+let failures s = s.crashes
+
+let note_crash s =
+  s.crashes <- s.crashes + 1;
+  if s.crashes > s.sconfig.max_failures then `Abort else `Recover
+
+type announcement = { fault_kind : string; fault_executor : int; detail : string }
+
+type plan = {
+  compute_factor : int -> float;
+  network_factor : float;
+  loss : (int * int) option;
+  crash : int option;
+  announce : announcement list;
+}
+
+let neutral =
+  {
+    compute_factor = (fun _ -> 1.0);
+    network_factor = 1.0;
+    loss = None;
+    crash = None;
+    announce = [];
+  }
+
+let plan s ~step =
+  if step < 1 then neutral
+  else begin
+    let slow = Array.make s.executors 1.0 in
+    let netf = ref 1.0 in
+    let loss = ref None and crash = ref None in
+    let ann = ref [] in
+    let add_ann fault_kind fault_executor detail =
+      ann := { fault_kind; fault_executor; detail } :: !ann
+    in
+    List.iteri
+      (fun idx -> function
+        | R_crash c when c.step = step ->
+            if !crash = None then begin
+              crash := Some c.executor;
+              add_ann "crash" c.executor "executor lost at superstep barrier"
+            end
+        | R_straggler g when g.from_step <= step && step <= g.to_step ->
+            slow.(g.executor) <- slow.(g.executor) *. g.factor;
+            if step = g.from_step then
+              add_ann "straggler" g.executor
+                (Printf.sprintf "slowdown x%g through step %d" g.factor g.to_step)
+        | R_net n when n.from_step <= step && step <= n.to_step ->
+            netf := !netf *. n.factor;
+            if step = n.from_step then
+              add_ann "net" (-1)
+                (Printf.sprintf "bandwidth x%g through step %d" n.factor n.to_step)
+        | R_loss l when l.step = step ->
+            if !loss = None then begin
+              loss := Some (l.executor, l.retries);
+              add_ann "loss" l.executor
+                (Printf.sprintf "shuffle lost, %d retransmission(s)" l.retries)
+            end
+        | R_rand { rate } ->
+            let h = draw ~seed:s.sconfig.seed ~salt:(1000 + idx) ~k:step in
+            if unit_float h < rate then begin
+              let h2 = draw ~seed:s.sconfig.seed ~salt:(2000 + idx) ~k:step in
+              let e = draw_mod h2 s.executors in
+              match Int64.to_int (Int64.rem (Int64.shift_right_logical h 33) 4L) with
+              | 0 ->
+                  if !crash = None then begin
+                    crash := Some e;
+                    add_ann "crash" e "random executor loss"
+                  end
+              | 1 ->
+                  slow.(e) <- slow.(e) *. 4.0;
+                  add_ann "straggler" e "random slowdown x4"
+              | 2 ->
+                  netf := !netf *. 0.25;
+                  add_ann "net" (-1) "random bandwidth x0.25"
+              | _ ->
+                  if !loss = None then begin
+                    loss := Some (e, 1);
+                    add_ann "loss" e "random shuffle loss, 1 retransmission"
+                  end
+            end
+        | R_crash _ | R_straggler _ | R_net _ | R_loss _ -> ())
+      s.resolved;
+    {
+      compute_factor = (fun e -> slow.(e));
+      network_factor = !netf;
+      loss = !loss;
+      crash = !crash;
+      announce = List.rev !ann;
+    }
+  end
+
+(* --- Recovery cost accounting ------------------------------------- *)
+
+let rollback_recovery ~cluster ~at_step ~executor ~checkpointed ~graph_bytes ~load_s
+    ~(replayed : Trace.superstep list) =
+  (* All executors restart from the last checkpoint image (or, with no
+     checkpoint yet, re-read the dataset), then the recorded supersteps
+     since that point are replayed at their recorded cost. *)
+  let readback =
+    if checkpointed then
+      graph_bytes /. (float_of_int cluster.Cluster.executors *. Cluster.storage_bytes_per_s cluster)
+    else load_s
+  in
+  let replay_s =
+    List.fold_left (fun acc (s : Trace.superstep) -> acc +. s.time_s) 0.0 replayed
+  in
+  let wire =
+    List.fold_left (fun acc (s : Trace.superstep) -> acc +. s.wire_bytes) 0.0 replayed
+  in
+  {
+    Trace.at_step;
+    kind = "rollback";
+    executor;
+    replayed_steps = List.length replayed;
+    lost_edges = 0;
+    lost_replicas = 0;
+    recovery_wire_bytes = wire;
+    recovery_s = readback +. replay_s;
+  }
+
+let lineage_recovery ~cost ~cluster ~scale ~at_step ~executor ~lost_edges ~lost_vertices
+    ~lost_replicas ~attr_wire_bytes =
+  (* The replacement executor rebuilds exactly the lost edge partitions
+     from lineage: re-shuffle their edges in, re-materialize the local
+     structures, then re-broadcast every vertex view the executor hosted.
+     Cost scales with the replicas the cut placed there. *)
+  let cores = float_of_int cluster.Cluster.cores_per_executor in
+  let rebuild =
+    scale
+    *. ((float_of_int lost_edges *. cost.Cost_model.build_edge_s)
+       +. (float_of_int lost_vertices *. cost.Cost_model.build_vertex_s))
+    /. cores
+  in
+  let bandwidth = Cluster.network_bytes_per_s cluster in
+  let reshuffle_bytes =
+    scale *. float_of_int lost_edges *. float_of_int cost.Cost_model.shuffle_edge_bytes
+  in
+  let bcast_bytes = scale *. float_of_int lost_replicas *. attr_wire_bytes in
+  let wire = reshuffle_bytes +. bcast_bytes in
+  {
+    Trace.at_step;
+    kind = "lineage";
+    executor;
+    replayed_steps = 0;
+    lost_edges;
+    lost_replicas;
+    recovery_wire_bytes = wire;
+    recovery_s = rebuild +. (wire /. bandwidth) +. cost.Cost_model.superstep_barrier_s;
+  }
+
+let retry_recovery ~cost ~cluster ~at_step ~executor ~egress_bytes ~retries =
+  let bandwidth = Cluster.network_bytes_per_s cluster in
+  let retrans = float_of_int retries *. egress_bytes in
+  {
+    Trace.at_step;
+    kind = "shuffle-retry";
+    executor;
+    replayed_steps = 0;
+    lost_edges = 0;
+    lost_replicas = 0;
+    recovery_wire_bytes = retrans;
+    recovery_s = (retrans /. bandwidth) +. Cost_model.retry_backoff cost ~retries;
+  }

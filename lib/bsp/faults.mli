@@ -1,0 +1,142 @@
+(** Deterministic fault injection for the BSP engines.
+
+    A fault schedule is parsed from a compact spec string, realized
+    against a concrete cluster (unpinned executors are chosen by seeded
+    draws from [lib/prng]), and consulted by the engines once per
+    superstep. Faults only perturb the {e time} accounting — slowdowns,
+    degraded bandwidth, retransmissions, checkpoint/lineage recovery —
+    never the vertex values, which is what makes the recovery
+    equivalence invariant ([Fault_check]) provable bit-for-bit.
+
+    Spec grammar (comma-separated items):
+    {v
+    crash@K[:eE]              executor E crashes at superstep K's barrier
+    straggler@K[-L][:eE][:xF] executor E runs xF slower over steps K..L (default x4)
+    net@K[-L][:xF]            cluster bandwidth multiplied by F over K..L (default x0.25)
+    loss@K[:eE][:rN]          executor E's shuffle lost at step K, N retransmissions (default 1)
+    rand@R                    each step >= 1, with probability R, one random fault fires
+    v}
+
+    All steps are compute supersteps ([>= 1]); the build stage and
+    superstep 0 are never faulted. *)
+
+exception Parse_error of string
+
+type mode =
+  | Rollback  (** restart all executors from the last checkpoint, replay *)
+  | Lineage  (** rebuild only the lost partitions from the partitioner assignment *)
+
+type item =
+  | Crash of { step : int; executor : int option }
+  | Straggler of { from_step : int; to_step : int; executor : int option; factor : float }
+  | Net of { from_step : int; to_step : int; factor : float }
+  | Loss of { step : int; executor : int option; retries : int }
+  | Rand of { rate : float }
+
+type config = {
+  items : item list;
+  raw : string;  (** the original spec string, kept for display *)
+  seed : int;
+  max_failures : int;  (** crashes beyond this budget abort the run *)
+  mode : mode;
+}
+
+val parse_spec : string -> item list
+(** Raises {!Parse_error} with a human-readable message. *)
+
+val config : ?seed:int -> ?max_failures:int -> ?mode:mode -> string -> config
+(** Parse a spec string into a config. Defaults: [seed=42],
+    [max_failures=2], [mode=Rollback]. Raises {!Parse_error}. *)
+
+val mode_name : mode -> string
+val mode_of_name : string -> mode
+(** Raises {!Parse_error} on unknown names. *)
+
+val describe : config -> string
+
+(** {1 Realized schedules} *)
+
+type session
+(** A config realized against a concrete executor count: unpinned
+    executors resolved by seeded draws, plus the mutable crash budget. *)
+
+val session : executors:int -> config -> session
+val session_config : session -> config
+
+val failures : session -> int
+(** Crashes recorded so far via {!note_crash}. *)
+
+val note_crash : session -> [ `Recover | `Abort ]
+(** Record one executor loss against the budget. [`Abort] once the count
+    exceeds [max_failures]. *)
+
+type announcement = {
+  fault_kind : string;  (** "crash" | "straggler" | "net" | "loss" *)
+  fault_executor : int;  (** -1 when the fault is cluster-wide (net) *)
+  detail : string;
+}
+
+type plan = {
+  compute_factor : int -> float;
+      (** per-executor busy-time multiplier this superstep (>= 1) *)
+  network_factor : float;  (** cluster bandwidth multiplier (<= 1) *)
+  loss : (int * int) option;  (** (executor, retries) transient shuffle loss *)
+  crash : int option;  (** executor lost at this superstep's barrier *)
+  announce : announcement list;
+      (** faults firing {e at} this step, for [Fault_injected] events —
+          window faults announce once, at their first step *)
+}
+
+val neutral : plan
+(** The no-fault plan (identity factors, nothing fired). *)
+
+val plan : session -> step:int -> plan
+(** The realized plan for one superstep. Stateless per step: random
+    draws are keyed on (seed, item, step), so call order and replay
+    never change the schedule. *)
+
+(** {1 Recovery cost accounting}
+
+    Each helper prices one recovery and returns the itemized
+    {!Trace.recovery} record the engine appends to the trace. Recovery
+    traffic lands in [recovery_wire_bytes], deliberately outside the
+    supersteps' [wire_bytes], so the wire-payload law still holds. *)
+
+val rollback_recovery :
+  cluster:Cluster.t ->
+  at_step:int ->
+  executor:int ->
+  checkpointed:bool ->
+  graph_bytes:float ->
+  load_s:float ->
+  replayed:Trace.superstep list ->
+  Trace.recovery
+(** Checkpoint read-back (or dataset reload when [checkpointed] is
+    false, at [load_s]) plus the recorded cost of every replayed
+    superstep. *)
+
+val lineage_recovery :
+  cost:Cost_model.t ->
+  cluster:Cluster.t ->
+  scale:float ->
+  at_step:int ->
+  executor:int ->
+  lost_edges:int ->
+  lost_vertices:int ->
+  lost_replicas:int ->
+  attr_wire_bytes:float ->
+  Trace.recovery
+(** Re-shuffle and rebuild of the lost partitions plus re-broadcast of
+    every vertex view the executor hosted — recovery cost proportional
+    to the replicas the cut placed on the lost executor. *)
+
+val retry_recovery :
+  cost:Cost_model.t ->
+  cluster:Cluster.t ->
+  at_step:int ->
+  executor:int ->
+  egress_bytes:float ->
+  retries:int ->
+  Trace.recovery
+(** Retransmission of the lost egress plus capped exponential backoff
+    ({!Cost_model.retry_backoff}). *)

@@ -16,8 +16,8 @@ type ('v, 'g) program = {
 
 type 'v result = { attrs : 'v array; trace : Trace.t }
 
-let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?telemetry ~cluster pg
-    program =
+let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every
+    ?faults ?telemetry ~cluster pg program =
   let g = Pgraph.graph pg in
   let n = Graph.num_vertices g in
   let num_partitions = Pgraph.num_partitions pg in
@@ -42,8 +42,51 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?tel
   let steps = ref [] in
   let driver_meta = ref 0.0 in
   let outcome = ref Trace.Completed in
+  let checkpoint_s = ref 0.0 and checkpoints = ref 0 in
+  let fsession = Option.map (Faults.session ~executors) faults in
+  let recoveries = ref [] in
+  let recovery_total = ref 0.0 in
+  let faults_injected = ref 0 in
+  let last_ckpt = ref None in
+  let push_recovery (r : Trace.recovery) =
+    recoveries := r :: !recoveries;
+    recovery_total := !recovery_total +. r.Trace.recovery_s;
+    match telemetry with
+    | None -> ()
+    | Some t ->
+        Obs.Telemetry.emit t
+          (Obs.Event.Recovery
+             {
+               step = r.Trace.at_step;
+               kind = r.Trace.kind;
+               executor = r.Trace.executor;
+               replayed_steps = r.Trace.replayed_steps;
+               lost_edges = r.Trace.lost_edges;
+               lost_replicas = r.Trace.lost_replicas;
+               wire_bytes = r.Trace.recovery_wire_bytes;
+               recovery_s = r.Trace.recovery_s;
+             })
+  in
+  let graph_bytes =
+    scale
+    *. (float_of_int (Graph.num_edges g * cost.Cost_model.edge_object_bytes)
+       +. float_of_int (n * (cost.Cost_model.vertex_object_bytes + program.state_bytes)))
+  in
+  let take_checkpoint ~step =
+    incr checkpoints;
+    let write_s =
+      graph_bytes /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster)
+    in
+    checkpoint_s := !checkpoint_s +. write_s;
+    driver_meta := 0.0;
+    last_ckpt := Some step;
+    match telemetry with
+    | None -> ()
+    | Some t ->
+        Obs.Telemetry.emit t (Obs.Event.Checkpoint { step; bytes = graph_bytes; write_s })
+  in
 
-  let finish ~step ~work ~bytes_out ~active_edges ~messages ~shuffle_groups ~remote_shuffles
+  let finish ~step ~plan ~work ~bytes_out ~active_edges ~messages ~shuffle_groups ~remote_shuffles
       ~updated ~bcast ~remote_bcast =
     let jittered = Cost_model.jittered cost ~step work in
     let busy = Array.make executors 0.0 in
@@ -52,13 +95,16 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?tel
       for p = 0 to num_partitions - 1 do
         if exec_of p = e then mine := jittered.(p) :: !mine
       done;
-      busy.(e) <- scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores
+      busy.(e) <-
+        scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores
+        *. plan.Faults.compute_factor e
     done;
     let compute = Array.fold_left Float.max 0.0 busy in
+    let bandwidth_eff = bandwidth *. plan.Faults.network_factor in
     let network = ref 0.0 and wire = ref 0.0 in
     for e = 0 to executors - 1 do
       wire := !wire +. (scale *. bytes_out.(e));
-      let t = scale *. bytes_out.(e) /. bandwidth in
+      let t = scale *. bytes_out.(e) /. bandwidth_eff in
       if t > !network then network := t
     done;
     let overhead =
@@ -118,6 +164,22 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?tel
                overhead_s = stats.Trace.overhead_s;
                time_s = stats.Trace.time_s;
              }));
+    faults_injected := !faults_injected + List.length plan.Faults.announce;
+    (match telemetry with
+    | None -> ()
+    | Some t ->
+        List.iter
+          (fun (a : Faults.announcement) ->
+            Obs.Telemetry.emit t
+              (Obs.Event.Fault_injected
+                 { step; kind = a.fault_kind; executor = a.fault_executor; detail = a.detail }))
+          plan.Faults.announce);
+    (match plan.Faults.loss with
+    | None -> ()
+    | Some (e, retries) ->
+        push_recovery
+          (Faults.retry_recovery ~cost ~cluster ~at_step:step ~executor:e
+             ~egress_bytes:(scale *. bytes_out.(e)) ~retries));
     !driver_meta > cluster.Cluster.driver_memory_bytes
   in
 
@@ -136,8 +198,8 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?tel
         +. (m_p *. float_of_int cost.Cost_model.shuffle_edge_bytes *. remote_frac)
     done;
     ignore
-      (finish ~step:(-1) ~work ~bytes_out ~active_edges:0 ~messages:0 ~shuffle_groups:0
-         ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
+      (finish ~step:(-1) ~plan:Faults.neutral ~work ~bytes_out ~active_edges:0 ~messages:0
+         ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
   end;
 
   let step = ref 0 in
@@ -233,17 +295,70 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?tel
        sync-GAS; clear their leftovers. *)
     List.iter (fun v -> acc.(v) <- None) !touched;
     Bytes.blit next_active 0 active 0 n;
+    let plan =
+      match fsession with
+      | None -> Faults.neutral
+      | Some s -> Faults.plan s ~step:!step
+    in
     let hit_driver =
-      finish ~step:!step ~work ~bytes_out ~active_edges:!active_edges ~messages:!messages
+      finish ~step:!step ~plan ~work ~bytes_out ~active_edges:!active_edges ~messages:!messages
         ~shuffle_groups:!shuffle_groups ~remote_shuffles:!remote_shuffles ~updated:!updated
         ~bcast:!bcast ~remote_bcast:!remote_bcast
     in
+    let hit_driver =
+      match checkpoint_every with
+      | Some k when !step >= 1 && !step mod k = 0 ->
+          take_checkpoint ~step:!step;
+          false
+      | _ -> hit_driver
+    in
+    (* Same crash semantics as Pregel: recovery is pure re-accounting, so
+       the converged values never change. *)
+    let aborted = ref false in
+    (match (plan.Faults.crash, fsession) with
+    | Some lost, Some fs -> (
+        match Faults.note_crash fs with
+        | `Abort -> aborted := true
+        | `Recover -> (
+            match (Faults.session_config fs).Faults.mode with
+            | Faults.Rollback ->
+                let replayed =
+                  match !last_ckpt with
+                  | Some c ->
+                      List.filter (fun (s : Trace.superstep) -> s.Trace.step > c) !steps
+                  | None -> !steps
+                in
+                push_recovery
+                  (Faults.rollback_recovery ~cluster ~at_step:!step ~executor:lost
+                     ~checkpointed:(!last_ckpt <> None) ~graph_bytes
+                     ~load_s:
+                       (scale
+                       *. float_of_int (Cutfit_graph.Graph_io.size_bytes g)
+                       /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster))
+                     ~replayed)
+            | Faults.Lineage ->
+                let lost_edges = ref 0 and lost_vertices = ref 0 in
+                for p = 0 to num_partitions - 1 do
+                  if exec_of p = lost then begin
+                    lost_edges := !lost_edges + Pgraph.num_edges_of_partition pg p;
+                    lost_vertices := !lost_vertices + Pgraph.local_vertices pg p
+                  end
+                done;
+                push_recovery
+                  (Faults.lineage_recovery ~cost ~cluster ~scale ~at_step:!step ~executor:lost
+                     ~lost_edges:!lost_edges ~lost_vertices:!lost_vertices
+                     ~lost_replicas:!lost_vertices ~attr_wire_bytes:attr_wire)))
+    | _ -> ());
     let any_active =
       let rec scan v = v < n && (is_active v || scan (v + 1)) in
       scan 0
     in
     if hit_driver then begin
       outcome := Trace.Out_of_memory;
+      continue := false
+    end
+    else if !aborted then begin
+      outcome := Trace.Aborted;
       continue := false
     end
     else if not any_active then begin
@@ -264,14 +379,20 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?tel
   in
   let supersteps = List.rev !steps in
   let total_s =
-    List.fold_left (fun a (s : Trace.superstep) -> a +. s.time_s) load_s supersteps
+    List.fold_left
+      (fun a (s : Trace.superstep) -> a +. s.time_s)
+      (load_s +. !checkpoint_s +. !recovery_total)
+      supersteps
   in
   let trace =
     {
       Trace.supersteps;
       load_s;
-      checkpoint_s = 0.0;
-      checkpoints = 0;
+      checkpoint_s = !checkpoint_s;
+      checkpoints = !checkpoints;
+      recovery_s = !recovery_total;
+      recoveries = List.rev !recoveries;
+      faults_injected = !faults_injected;
       total_s;
       outcome = !outcome;
       peak_executor_bytes = 0.0;
@@ -303,7 +424,8 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?tel
              supersteps = compute_steps;
              total_s;
              load_s;
-             checkpoint_s = 0.0;
+             checkpoint_s = !checkpoint_s;
+             recovery_s = !recovery_total;
              total_messages = Trace.total_messages trace;
              total_remote = Trace.total_remote_messages trace;
              total_wire_bytes = Trace.total_wire_bytes trace;

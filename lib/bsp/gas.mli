@@ -46,6 +46,8 @@ val run :
   ?max_iterations:int ->
   ?scale:float ->
   ?cost:Cost_model.t ->
+  ?checkpoint_every:int ->
+  ?faults:Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
@@ -54,4 +56,7 @@ val run :
 (** Run until no vertex remains active or [max_iterations] (default
     500). All vertices start active. [telemetry] streams one
     {!Cutfit_obs.Event.Superstep} per stage and a closing [Run_end]
-    labelled ["gas"], exactly as {!Pregel.run} does. *)
+    labelled ["gas"], exactly as {!Pregel.run} does. [checkpoint_every]
+    and [faults] carry the same checkpoint/fault-injection semantics as
+    {!Pregel.run}: faults perturb only the time accounting, never the
+    converged attributes. *)

@@ -46,7 +46,7 @@ module Ivec = struct
 end
 
 let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every
-    ?telemetry ~cluster pg program =
+    ?faults ?telemetry ~cluster pg program =
   let g = Pgraph.graph pg in
   let n = Graph.num_vertices g in
   let num_partitions = Pgraph.num_partitions pg in
@@ -83,6 +83,30 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   let outcome = ref Trace.Completed in
   let driver_meta = ref 0.0 in
   let checkpoint_s = ref 0.0 and checkpoints = ref 0 in
+  let fsession = Option.map (Faults.session ~executors) faults in
+  let recoveries = ref [] in
+  let recovery_total = ref 0.0 in
+  let faults_injected = ref 0 in
+  let last_ckpt = ref None in
+  let push_recovery (r : Trace.recovery) =
+    recoveries := r :: !recoveries;
+    recovery_total := !recovery_total +. r.Trace.recovery_s;
+    match telemetry with
+    | None -> ()
+    | Some t ->
+        Obs.Telemetry.emit t
+          (Obs.Event.Recovery
+             {
+               step = r.Trace.at_step;
+               kind = r.Trace.kind;
+               executor = r.Trace.executor;
+               replayed_steps = r.Trace.replayed_steps;
+               lost_edges = r.Trace.lost_edges;
+               lost_replicas = r.Trace.lost_replicas;
+               wire_bytes = r.Trace.recovery_wire_bytes;
+               recovery_s = r.Trace.recovery_s;
+             })
+  in
   (* Writing the materialized graph to the storage tier truncates the
      driver's lineage — Spark's standard fix for long Pregel runs. *)
   let graph_bytes =
@@ -91,13 +115,18 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
        +. float_of_int
             (n * (cost.Cost_model.vertex_object_bytes + program.state_bytes)))
   in
-  let take_checkpoint () =
+  let take_checkpoint ~step =
     incr checkpoints;
-    checkpoint_s :=
-      !checkpoint_s
-      +. graph_bytes
-         /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster);
-    driver_meta := 0.0
+    let write_s =
+      graph_bytes /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster)
+    in
+    checkpoint_s := !checkpoint_s +. write_s;
+    driver_meta := 0.0;
+    last_ckpt := Some step;
+    match telemetry with
+    | None -> ()
+    | Some t ->
+        Obs.Telemetry.emit t (Obs.Event.Checkpoint { step; bytes = graph_bytes; write_s })
   in
 
   let msg_wire_bytes = float_of_int (program.msg_bytes + cost.Cost_model.msg_wire_overhead_bytes) in
@@ -127,10 +156,10 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
     (!updated, !bcast, !remote_bcast)
   in
 
-  let finish_superstep ~step ~work ~bytes_out ~active_edges ~messages ~shuffle_groups
+  let finish_superstep ~step ~plan ~work ~bytes_out ~active_edges ~messages ~shuffle_groups
       ~remote_shuffles ~updated ~bcast ~remote_bcast =
     (* Executor compute = makespan of its partitions' jittered work over
-       its cores. *)
+       its cores; an active straggler fault stretches its executor. *)
     let jittered = Cost_model.jittered cost ~step work in
     let busy = Array.make executors 0.0 in
     for e = 0 to executors - 1 do
@@ -139,13 +168,14 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
         if exec_of p = e then mine := jittered.(p) :: !mine
       done;
       let arr = Array.of_list !mine in
-      busy.(e) <- scale *. Cost_model.makespan ~work:arr ~cores
+      busy.(e) <- scale *. Cost_model.makespan ~work:arr ~cores *. plan.Faults.compute_factor e
     done;
     let compute = Array.fold_left Float.max 0.0 busy in
+    let bandwidth_eff = bandwidth *. plan.Faults.network_factor in
     let network = ref 0.0 and wire = ref 0.0 in
     for e = 0 to executors - 1 do
       wire := !wire +. (scale *. bytes_out.(e));
-      let t = scale *. bytes_out.(e) /. bandwidth in
+      let t = scale *. bytes_out.(e) /. bandwidth_eff in
       if t > !network then network := t
     done;
     let overhead =
@@ -208,6 +238,25 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
                overhead_s = stats.Trace.overhead_s;
                time_s = stats.Trace.time_s;
              }));
+    faults_injected := !faults_injected + List.length plan.Faults.announce;
+    (match telemetry with
+    | None -> ()
+    | Some t ->
+        List.iter
+          (fun (a : Faults.announcement) ->
+            Obs.Telemetry.emit t
+              (Obs.Event.Fault_injected
+                 { step; kind = a.fault_kind; executor = a.fault_executor; detail = a.detail }))
+          plan.Faults.announce);
+    (* A transient shuffle loss retransmits the executor's egress with
+       capped exponential backoff — charged as recovery time, outside the
+       superstep's own wire accounting. *)
+    (match plan.Faults.loss with
+    | None -> ()
+    | Some (e, retries) ->
+        push_recovery
+          (Faults.retry_recovery ~cost ~cluster ~at_step:step ~executor:e
+             ~egress_bytes:(scale *. bytes_out.(e)) ~retries));
     !driver_meta > cluster.Cluster.driver_memory_bytes
   in
 
@@ -229,8 +278,8 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       bytes_out.(exec_of p) <- bytes_out.(exec_of p) +. (m_p *. edge_wire *. remote_frac)
     done;
     ignore
-      (finish_superstep ~step:(-1) ~work ~bytes_out ~active_edges:0 ~messages:0 ~shuffle_groups:0
-         ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
+      (finish_superstep ~step:(-1) ~plan:Faults.neutral ~work ~bytes_out ~active_edges:0
+         ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
   end;
 
   (* Superstep 0: vprog everywhere with the initial message, then a full
@@ -250,8 +299,8 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
           done)
     in
     oom :=
-      finish_superstep ~step:0 ~work ~bytes_out ~active_edges:0 ~messages:0 ~shuffle_groups:0
-        ~remote_shuffles:0 ~updated ~bcast ~remote_bcast
+      finish_superstep ~step:0 ~plan:Faults.neutral ~work ~bytes_out ~active_edges:0 ~messages:0
+        ~shuffle_groups:0 ~remote_shuffles:0 ~updated ~bcast ~remote_bcast
   end;
 
   let step = ref 1 in
@@ -314,22 +363,71 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
     let updated, bcast, remote_bcast =
       apply_and_broadcast ~work ~bytes_out ~run_vprog:true (fun f -> Ivec.iter touched f)
     in
+    let plan =
+      match fsession with
+      | None -> Faults.neutral
+      | Some s -> Faults.plan s ~step:!step
+    in
     let hit_driver_limit =
-      finish_superstep ~step:!step ~work ~bytes_out ~active_edges:!active_edges
+      finish_superstep ~step:!step ~plan ~work ~bytes_out ~active_edges:!active_edges
         ~messages:!messages ~shuffle_groups:!shuffle_groups ~remote_shuffles:!remote_shuffles
         ~updated ~bcast ~remote_bcast
     in
     let hit_driver_limit =
       match checkpoint_every with
       | Some k when !step mod k = 0 ->
-          take_checkpoint ();
+          take_checkpoint ~step:!step;
           false
       | _ -> hit_driver_limit
     in
+    (* An executor lost at this superstep's barrier: recover (rollback
+       replay or lineage rebuild of its partitions) or, past the failure
+       budget, abort the run. Replay is pure re-accounting — the values
+       were already computed — so fault-free and faulty runs stay
+       bit-identical. *)
+    let aborted = ref false in
+    (match (plan.Faults.crash, fsession) with
+    | Some lost, Some fs -> (
+        match Faults.note_crash fs with
+        | `Abort -> aborted := true
+        | `Recover -> (
+            match (Faults.session_config fs).Faults.mode with
+            | Faults.Rollback ->
+                let replayed =
+                  match !last_ckpt with
+                  | Some c ->
+                      List.filter (fun (s : Trace.superstep) -> s.Trace.step > c) !steps
+                  | None -> !steps
+                in
+                push_recovery
+                  (Faults.rollback_recovery ~cluster ~at_step:!step ~executor:lost
+                     ~checkpointed:(!last_ckpt <> None) ~graph_bytes
+                     ~load_s:
+                       (scale
+                       *. float_of_int (Cutfit_graph.Graph_io.size_bytes g)
+                       /. (float_of_int executors *. Cluster.storage_bytes_per_s cluster))
+                     ~replayed)
+            | Faults.Lineage ->
+                let lost_edges = ref 0 and lost_vertices = ref 0 in
+                for p = 0 to num_partitions - 1 do
+                  if exec_of p = lost then begin
+                    lost_edges := !lost_edges + Pgraph.num_edges_of_partition pg p;
+                    lost_vertices := !lost_vertices + Pgraph.local_vertices pg p
+                  end
+                done;
+                push_recovery
+                  (Faults.lineage_recovery ~cost ~cluster ~scale ~at_step:!step ~executor:lost
+                     ~lost_edges:!lost_edges ~lost_vertices:!lost_vertices
+                     ~lost_replicas:!lost_vertices ~attr_wire_bytes)))
+    | _ -> ());
     let exec_peak = Array.fold_left Float.max 0.0 resident in
     if exec_peak > !peak_executor then peak_executor := exec_peak;
     if hit_driver_limit || exec_peak > cluster.Cluster.executor_memory_bytes then begin
       outcome := Trace.Out_of_memory;
+      continue := false
+    end
+    else if !aborted then begin
+      outcome := Trace.Aborted;
       continue := false
     end
     else if Ivec.length touched = 0 then begin
@@ -350,7 +448,9 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   in
   let supersteps = List.rev !steps in
   let total_s =
-    List.fold_left (fun acc (s : Trace.superstep) -> acc +. s.time_s) (load_s +. !checkpoint_s)
+    List.fold_left
+      (fun acc (s : Trace.superstep) -> acc +. s.time_s)
+      (load_s +. !checkpoint_s +. !recovery_total)
       supersteps
   in
   let trace =
@@ -359,6 +459,9 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       load_s;
       checkpoint_s = !checkpoint_s;
       checkpoints = !checkpoints;
+      recovery_s = !recovery_total;
+      recoveries = List.rev !recoveries;
+      faults_injected = !faults_injected;
       total_s;
       outcome = !outcome;
       peak_executor_bytes = !peak_executor;
@@ -391,6 +494,7 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
              total_s;
              load_s;
              checkpoint_s = !checkpoint_s;
+             recovery_s = !recovery_total;
              total_messages = Trace.total_messages trace;
              total_remote = Trace.total_remote_messages trace;
              total_wire_bytes = Trace.total_wire_bytes trace;

@@ -48,6 +48,7 @@ val run :
   ?scale:float ->
   ?cost:Cost_model.t ->
   ?checkpoint_every:int ->
+  ?faults:Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
@@ -63,6 +64,16 @@ val run :
     failures the paper hit. On out-of-memory the returned attributes
     reflect the last completed superstep and [trace.outcome] is
     [Out_of_memory].
+
+    [faults] attaches a deterministic {!Faults} schedule: stragglers and
+    degraded bandwidth stretch the affected supersteps' time, transient
+    shuffle losses and executor crashes append itemized
+    {!Trace.recovery} records (rollback replay against the last
+    [checkpoint_every] checkpoint, or lineage rebuild of the lost
+    partitions, per the config's mode), and crashes beyond the failure
+    budget end the run with [trace.outcome = Aborted]. Faults never
+    touch the computed attributes: a faulty run's [attrs] are
+    bit-identical to the fault-free run's.
 
     When [telemetry] is given, every stage (including the [step = -1]
     build stage) emits one {!Cutfit_obs.Event.Superstep} record derived

@@ -14,13 +14,27 @@ type superstep = {
   time_s : float;
 }
 
-type outcome = Completed | Max_supersteps | Out_of_memory
+type recovery = {
+  at_step : int;
+  kind : string;
+  executor : int;
+  replayed_steps : int;
+  lost_edges : int;
+  lost_replicas : int;
+  recovery_wire_bytes : float;
+  recovery_s : float;
+}
+
+type outcome = Completed | Max_supersteps | Out_of_memory | Aborted
 
 type t = {
   supersteps : superstep list;
   load_s : float;
   checkpoint_s : float;
   checkpoints : int;
+  recovery_s : float;
+  recoveries : recovery list;
+  faults_injected : int;
   total_s : float;
   outcome : outcome;
   peak_executor_bytes : float;
@@ -37,12 +51,14 @@ let total_wire_bytes t = List.fold_left (fun acc s -> acc +. s.wire_bytes) 0.0 t
 let total_network_s t = List.fold_left (fun acc s -> acc +. s.network_s) 0.0 t.supersteps
 let total_compute_s t = List.fold_left (fun acc s -> acc +. s.compute_s) 0.0 t.supersteps
 let total_overhead_s t = List.fold_left (fun acc s -> acc +. s.overhead_s) 0.0 t.supersteps
-let completed t = t.outcome <> Out_of_memory
+let num_recoveries t = List.length t.recoveries
+let completed t = match t.outcome with Out_of_memory | Aborted -> false | Completed | Max_supersteps -> true
 
 let outcome_name = function
   | Completed -> "completed"
   | Max_supersteps -> "max-supersteps"
   | Out_of_memory -> "out-of-memory"
+  | Aborted -> "aborted"
 
 let pp_superstep ppf s =
   Format.fprintf ppf
@@ -50,12 +66,29 @@ let pp_superstep ppf s =
     s.step s.active_edges s.messages s.shuffle_groups s.remote_shuffles s.broadcast_replicas
     s.remote_broadcasts s.wire_bytes s.time_s s.compute_s s.network_s s.overhead_s
 
+let pp_recovery ppf r =
+  Format.fprintf ppf "step %2d: %s of executor %d (%s) %.3fs"
+    r.at_step r.kind r.executor
+    (match r.kind with
+    | "rollback" -> Printf.sprintf "replayed %d supersteps" r.replayed_steps
+    | "lineage" ->
+        Printf.sprintf "rebuilt %d edges, %d replica views" r.lost_edges r.lost_replicas
+    | _ -> Printf.sprintf "%.0f bytes retransmitted" r.recovery_wire_bytes)
+    r.recovery_s
+
 let pp_summary ppf t =
   let outcome =
-    match t.outcome with Out_of_memory -> "OUT-OF-MEMORY" | o -> outcome_name o
+    match t.outcome with
+    | Out_of_memory -> "OUT-OF-MEMORY"
+    | Aborted -> "ABORTED"
+    | o -> outcome_name o
   in
-  Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s)"
+  Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s%s)"
     outcome (num_supersteps t) t.total_s t.load_s (total_compute_s t) (total_network_s t)
     (total_overhead_s t)
     (if t.checkpoints > 0 then Printf.sprintf ", %d ckpt %.2fs" t.checkpoints t.checkpoint_s
+     else "")
+    (if t.recoveries <> [] || t.faults_injected > 0 then
+       Printf.sprintf ", %d fault(s) %d recover(ies) %.2fs" t.faults_injected
+         (num_recoveries t) t.recovery_s
      else "")

@@ -23,17 +23,35 @@ type superstep = {
   time_s : float;  (** max(compute, network) + overhead — shuffle overlaps compute *)
 }
 
+type recovery = {
+  at_step : int;  (** superstep at whose barrier the fault surfaced *)
+  kind : string;  (** "rollback" | "lineage" | "shuffle-retry" *)
+  executor : int;  (** the executor that crashed / lost the shuffle *)
+  replayed_steps : int;  (** rollback: supersteps replayed since checkpoint *)
+  lost_edges : int;  (** lineage: edges rebuilt on the replacement executor *)
+  lost_replicas : int;  (** lineage: replica views re-broadcast *)
+  recovery_wire_bytes : float;
+      (** bytes moved only because of the fault (reshuffle, retransmit) —
+          deliberately outside {!superstep.wire_bytes} so the wire-payload
+          law over supersteps still holds on faulty runs *)
+  recovery_s : float;  (** modeled time charged for this recovery *)
+}
+
 type outcome =
   | Completed
   | Max_supersteps  (** stopped by the iteration cap (normal for PR/CC) *)
   | Out_of_memory  (** the memory model tripped; the run is invalid *)
+  | Aborted  (** executor failures exceeded the fault budget *)
 
 type t = {
   supersteps : superstep list;  (** chronological *)
   load_s : float;  (** reading the dataset from the storage tier *)
   checkpoint_s : float;  (** time spent writing lineage checkpoints *)
   checkpoints : int;  (** how many checkpoints were taken *)
-  total_s : float;  (** load + checkpoints + all supersteps *)
+  recovery_s : float;  (** sum of {!recovery.recovery_s} *)
+  recoveries : recovery list;  (** chronological *)
+  faults_injected : int;  (** faults the schedule fired during this run *)
+  total_s : float;  (** load + checkpoints + recoveries + all supersteps *)
   outcome : outcome;
   peak_executor_bytes : float;
   driver_meta_bytes : float;
@@ -47,17 +65,22 @@ val total_remote_messages : t -> int
     every recorded stage. *)
 
 val total_wire_bytes : t -> float
-(** Sum of {!superstep.wire_bytes} over every recorded stage. *)
+(** Sum of {!superstep.wire_bytes} over every recorded stage. Recovery
+    traffic is accounted separately in {!recovery.recovery_wire_bytes}. *)
 
 val total_network_s : t -> float
 val total_compute_s : t -> float
 val total_overhead_s : t -> float
+
+val num_recoveries : t -> int
+
 val completed : t -> bool
-(** [true] unless the run ended in {!Out_of_memory}. *)
+(** [true] unless the run ended in {!Out_of_memory} or {!Aborted}. *)
 
 val outcome_name : outcome -> string
 (** Stable lowercase name ("completed", "max-supersteps",
-    "out-of-memory") used in telemetry exports. *)
+    "out-of-memory", "aborted") used in telemetry exports. *)
 
 val pp_summary : Format.formatter -> t -> unit
 val pp_superstep : Format.formatter -> superstep -> unit
+val pp_recovery : Format.formatter -> recovery -> unit

@@ -29,6 +29,19 @@ let trace_digest (t : Trace.t) =
   buf_float b t.Trace.load_s;
   buf_float b t.Trace.checkpoint_s;
   buf_int b t.Trace.checkpoints;
+  List.iter
+    (fun (r : Trace.recovery) ->
+      buf_int b r.Trace.at_step;
+      Buffer.add_string b (r.Trace.kind ^ ";");
+      buf_int b r.Trace.executor;
+      buf_int b r.Trace.replayed_steps;
+      buf_int b r.Trace.lost_edges;
+      buf_int b r.Trace.lost_replicas;
+      buf_float b r.Trace.recovery_wire_bytes;
+      buf_float b r.Trace.recovery_s)
+    t.Trace.recoveries;
+  buf_float b t.Trace.recovery_s;
+  buf_int b t.Trace.faults_injected;
   buf_float b t.Trace.total_s;
   Buffer.add_string b (Trace.outcome_name t.Trace.outcome);
   buf_float b t.Trace.peak_executor_bytes;

@@ -97,15 +97,54 @@ let validate ?payload (t : Trace.t) =
   let total =
     List.fold_left
       (fun a (s : Trace.superstep) -> a +. s.Trace.time_s)
-      (t.Trace.load_s +. t.Trace.checkpoint_s)
+      (t.Trace.load_s +. t.Trace.checkpoint_s +. t.Trace.recovery_s)
       t.Trace.supersteps
   in
   if not (feq total t.Trace.total_s) then
-    bad "total-time" "total_s = %.17g but load + checkpoints + supersteps = %.17g" t.Trace.total_s
-      total;
+    bad "total-time" "total_s = %.17g but load + checkpoints + recovery + supersteps = %.17g"
+      t.Trace.total_s total;
   if t.Trace.checkpoints = 0 && t.Trace.checkpoint_s <> 0.0 then
     bad "checkpoint-time" "%g checkpoint seconds recorded with zero checkpoints"
       t.Trace.checkpoint_s;
+  (* Recovery accounting: every recovery is itemized, its cost folds up
+     to the trace total exactly, and no recovery exists without a fault
+     having been injected. *)
+  let recovery_total =
+    List.fold_left (fun a (r : Trace.recovery) -> a +. r.Trace.recovery_s) 0.0 t.Trace.recoveries
+  in
+  if not (feq recovery_total t.Trace.recovery_s) then
+    bad "recovery-time" "recovery_s = %.17g but itemized recoveries sum to %.17g"
+      t.Trace.recovery_s recovery_total;
+  if t.Trace.faults_injected < 0 then
+    bad "fault-count" "faults_injected = %d < 0" t.Trace.faults_injected;
+  if List.length t.Trace.recoveries > t.Trace.faults_injected then
+    bad "recovery-without-fault" "%d recoveries recorded for %d injected faults"
+      (List.length t.Trace.recoveries) t.Trace.faults_injected;
+  List.iter
+    (fun (r : Trace.recovery) ->
+      (match r.Trace.kind with
+      | "rollback" | "lineage" | "shuffle-retry" -> ()
+      | k -> bad "recovery-kind" "step %d: unknown recovery kind %S" r.Trace.at_step k);
+      if r.Trace.recovery_s < 0.0 then
+        bad "recovery-cost" "step %d: recovery_s = %g < 0" r.Trace.at_step r.Trace.recovery_s;
+      if r.Trace.recovery_wire_bytes < 0.0 then
+        bad "recovery-cost" "step %d: recovery_wire_bytes = %g < 0" r.Trace.at_step
+          r.Trace.recovery_wire_bytes;
+      if r.Trace.replayed_steps < 0 || r.Trace.lost_edges < 0 || r.Trace.lost_replicas < 0 then
+        bad "recovery-cost" "step %d: negative recovery counters" r.Trace.at_step;
+      if
+        (not (String.equal r.Trace.kind "rollback"))
+        && r.Trace.replayed_steps <> 0
+      then
+        bad "recovery-shape" "step %d: %s recovery replayed %d steps" r.Trace.at_step r.Trace.kind
+          r.Trace.replayed_steps;
+      if
+        (not (String.equal r.Trace.kind "lineage"))
+        && (r.Trace.lost_edges <> 0 || r.Trace.lost_replicas <> 0)
+      then
+        bad "recovery-shape" "step %d: %s recovery claims lost partitions" r.Trace.at_step
+          r.Trace.kind)
+    t.Trace.recoveries;
   List.rev !acc
 
 let tsuite = "telemetry"
@@ -185,6 +224,7 @@ let reconcile (t : Trace.t) events =
       check_float "total-time" r.Event.total_s t.Trace.total_s;
       check_float "load-time" r.Event.load_s t.Trace.load_s;
       check_float "checkpoint-time" r.Event.checkpoint_s t.Trace.checkpoint_s;
+      check_float "recovery-time" r.Event.recovery_s t.Trace.recovery_s;
       if not (String.equal r.Event.outcome (Trace.outcome_name t.Trace.outcome)) then
         bad "outcome" "run_end outcome %S, trace says %S" r.Event.outcome
           (Trace.outcome_name t.Trace.outcome);
@@ -192,4 +232,39 @@ let reconcile (t : Trace.t) events =
         (List.fold_left
            (fun n (s : Trace.superstep) -> if s.Trace.step >= 0 then n + 1 else n)
            0 t.Trace.supersteps));
+  (* Fault-layer events mirror the trace's recovery bookkeeping 1:1. *)
+  let ckpts = List.filter_map (function Event.Checkpoint c -> Some c | _ -> None) events in
+  if List.length ckpts <> t.Trace.checkpoints then
+    bad "checkpoint-events" "%d checkpoint events for %d trace checkpoints" (List.length ckpts)
+      t.Trace.checkpoints
+  else begin
+    let written = List.fold_left (fun a (c : Event.checkpoint) -> a +. c.Event.write_s) 0.0 ckpts in
+    if not (feq written t.Trace.checkpoint_s) then
+      bad "checkpoint-events" "checkpoint events sum to %.17g write seconds, trace has %.17g"
+        written t.Trace.checkpoint_s
+  end;
+  let faults = List.filter_map (function Event.Fault_injected f -> Some f | _ -> None) events in
+  if List.length faults <> t.Trace.faults_injected then
+    bad "fault-events" "%d fault_injected events for %d injected faults" (List.length faults)
+      t.Trace.faults_injected;
+  let recovs = List.filter_map (function Event.Recovery r -> Some r | _ -> None) events in
+  if List.length recovs <> List.length t.Trace.recoveries then
+    bad "recovery-events" "%d recovery events for %d trace recoveries" (List.length recovs)
+      (List.length t.Trace.recoveries)
+  else
+    List.iter2
+      (fun (r : Trace.recovery) (e : Event.recovery) ->
+        if
+          e.Event.step <> r.Trace.at_step
+          || (not (String.equal e.Event.kind r.Trace.kind))
+          || e.Event.executor <> r.Trace.executor
+          || e.Event.replayed_steps <> r.Trace.replayed_steps
+          || e.Event.lost_edges <> r.Trace.lost_edges
+          || e.Event.lost_replicas <> r.Trace.lost_replicas
+          || (not (feq e.Event.wire_bytes r.Trace.recovery_wire_bytes))
+          || not (feq e.Event.recovery_s r.Trace.recovery_s)
+        then
+          bad "recovery-events" "recovery event at step %d disagrees with the trace record"
+            e.Event.step)
+      t.Trace.recoveries recovs;
   List.rev !acc

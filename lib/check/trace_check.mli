@@ -6,7 +6,12 @@
     zero wire bytes whenever a compute superstep moved nothing between
     executors, the [time_s = max(compute, network) + overhead]
     decomposition, and the total-time roll-up (recomputed with the
-    engines' own fold, so compared exactly).
+    engines' own fold, so compared exactly — with checkpoint and
+    recovery time included). Faulty traces additionally satisfy the
+    recovery-accounting laws: itemized recoveries sum bit-exactly to
+    [recovery_s], recoveries never outnumber injected faults, and each
+    recovery record carries only the counters its kind can produce
+    (replayed steps for rollback, lost partitions for lineage).
 
     With [?payload], compute supersteps must additionally satisfy
     [wire_bytes = scale * (remote_shuffles * msg_wire_bytes +
@@ -20,7 +25,10 @@
     built from (sent = received, local + remote = total, bit-equal
     floats), executor busy/barrier decompositions must rebuild
     [compute_s], and the [Run_end] record must match the trace's own
-    aggregates. *)
+    aggregates. Fault-layer events reconcile too: checkpoint events
+    match the trace's checkpoint count and write time, [Fault_injected]
+    events count the trace's [faults_injected], and each [Recovery]
+    event mirrors its trace record field-for-field. *)
 
 type payload = {
   msg_wire_bytes : float;  (** bytes per remote shuffle aggregate, overhead included *)

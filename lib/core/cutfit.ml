@@ -61,6 +61,7 @@ module Pgraph = Cutfit_bsp.Pgraph
 module Pregel = Cutfit_bsp.Pregel
 module Gas = Cutfit_bsp.Gas
 module Trace = Cutfit_bsp.Trace
+module Faults = Cutfit_bsp.Faults
 
 (* Algorithms *)
 module Pagerank = Cutfit_algo.Pagerank

@@ -12,10 +12,12 @@ type prepared = {
   partitioner : Partitioner.t;
   scale : float;
   telemetry : Obs.Telemetry.t option;
+  checkpoint_every : int option;
+  faults : Cutfit_bsp.Faults.config option;
 }
 
-let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?telemetry
-    ~algorithm g =
+let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0)
+    ?checkpoint_every ?faults ?telemetry ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -27,17 +29,18 @@ let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale 
     Cutfit_check.Violation.raise_if_any
       (Cutfit_check.Pgraph_check.assignment g ~num_partitions assignment);
   let pg = Pgraph.build g ~num_partitions assignment in
-  let p = { graph = g; pg; cluster; partitioner; scale; telemetry } in
+  let p = { graph = g; pg; cluster; partitioner; scale; telemetry; checkpoint_every; faults } in
   if check then
     Cutfit_check.Violation.raise_if_any
       (Cutfit_check.Pgraph_check.validate pg
       @ Cutfit_check.Metrics_check.validate g ~num_partitions assignment (Pgraph.metrics pg));
   p
 
-let of_pgraph ?(cluster = Cluster.config_i) ?(scale = 1.0) ?telemetry ~partitioner pg =
+let of_pgraph ?(cluster = Cluster.config_i) ?(scale = 1.0) ?checkpoint_every ?faults ?telemetry
+    ~partitioner pg =
   if cluster.Cluster.num_partitions <> Pgraph.num_partitions pg then
     invalid_arg "Pipeline.of_pgraph: cluster and partitioned graph disagree on partition count";
-  { graph = Pgraph.graph pg; pg; cluster; partitioner; scale; telemetry }
+  { graph = Pgraph.graph pg; pg; cluster; partitioner; scale; telemetry; checkpoint_every; faults }
 
 let metrics p = Pgraph.metrics p.pg
 
@@ -61,19 +64,23 @@ let start_run p label =
 let pagerank ?iterations p =
   start_run p "pagerank";
   let r =
-    Cutfit_algo.Pagerank.run ?iterations ~scale:p.scale ?telemetry:p.telemetry ~cluster:p.cluster
-      p.pg
+    Cutfit_algo.Pagerank.run ?iterations ~scale:p.scale ?checkpoint_every:p.checkpoint_every
+      ?faults:p.faults ?telemetry:p.telemetry ~cluster:p.cluster p.pg
   in
   (r.Cutfit_algo.Pagerank.ranks, r.Cutfit_algo.Pagerank.trace)
 
 let connected_components ?iterations p =
   start_run p "connected_components";
   let r =
-    Cutfit_algo.Connected_components.run ?iterations ~scale:p.scale ?telemetry:p.telemetry
+    Cutfit_algo.Connected_components.run ?iterations ~scale:p.scale
+      ?checkpoint_every:p.checkpoint_every ?faults:p.faults ?telemetry:p.telemetry
       ~cluster:p.cluster p.pg
   in
   (r.Cutfit_algo.Connected_components.labels, r.Cutfit_algo.Connected_components.trace)
 
+(* Triangle counting builds its four stages outside the Pregel/GAS
+   engines, so the fault schedule does not apply to it: a TR run in a
+   faulty workload simply executes fault-free. *)
 let triangles p =
   start_run p "triangle_count";
   let r =
@@ -86,16 +93,21 @@ let triangles p =
 let shortest_paths ~landmarks p =
   start_run p "shortest_paths";
   let r =
-    Cutfit_algo.Sssp.run ~scale:p.scale ?telemetry:p.telemetry ~cluster:p.cluster ~landmarks p.pg
+    Cutfit_algo.Sssp.run ~scale:p.scale ?checkpoint_every:p.checkpoint_every ?faults:p.faults
+      ?telemetry:p.telemetry ~cluster:p.cluster ~landmarks p.pg
   in
   (r.Cutfit_algo.Sssp.distances, r.Cutfit_algo.Sssp.trace)
 
 let compare_partitioners ?(check = false) ?(partitioners = Partitioner.paper_six)
-    ?(cluster = Cluster.config_i) ?(scale = 1.0) ?(seed = 11L) ?telemetry ~algorithm g =
+    ?(cluster = Cluster.config_i) ?(scale = 1.0) ?(seed = 11L) ?checkpoint_every ?faults
+    ?telemetry ~algorithm g =
   let times =
     List.map
       (fun partitioner ->
-        let p = prepare ~check ~cluster ~partitioner ~scale ?telemetry ~algorithm g in
+        let p =
+          prepare ~check ~cluster ~partitioner ~scale ?checkpoint_every ?faults ?telemetry
+            ~algorithm g
+        in
         let trace =
           match algorithm with
           | Advisor.Pagerank -> snd (pagerank p)

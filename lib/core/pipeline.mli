@@ -29,6 +29,10 @@ type prepared = {
   scale : float;
   telemetry : Cutfit_obs.Telemetry.t option;
       (** threaded into every run launched from this preparation *)
+  checkpoint_every : int option;
+      (** superstep checkpoint cadence, threaded into every Pregel/GAS run *)
+  faults : Cutfit_bsp.Faults.config option;
+      (** deterministic fault schedule, threaded into every Pregel/GAS run *)
 }
 
 val prepare :
@@ -36,6 +40,8 @@ val prepare :
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?partitioner:Cutfit_partition.Partitioner.t ->
   ?scale:float ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
@@ -44,6 +50,11 @@ val prepare :
     configuration (i), the advisor's strategy, scale 1.0, no telemetry.
     Existing callers are unchanged — omitting [telemetry] keeps the
     zero-allocation fast path in the engines.
+
+    [checkpoint_every] and [faults] are forwarded to every Pregel/GAS
+    run launched from this preparation. Triangle counting builds its
+    stages outside those engines, so the fault schedule does not apply
+    to it — a TR run in a faulty pipeline simply executes fault-free.
 
     With [~check:true] the assignment is validated before the build and
     the frozen {!Cutfit_bsp.Pgraph} plus its metrics are sanitized after
@@ -54,6 +65,8 @@ val prepare :
 val of_pgraph :
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?scale:float ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   partitioner:Cutfit_partition.Partitioner.t ->
   Cutfit_bsp.Pgraph.t ->
@@ -87,6 +100,8 @@ val compare_partitioners :
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?scale:float ->
   ?seed:int64 ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->

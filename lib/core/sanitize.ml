@@ -36,23 +36,36 @@ let payload ~scale ~landmarks algorithm =
   | Advisor.Shortest_paths -> of_bytes (96 + (64 * Array.length landmarks))
   | Advisor.Triangle_count -> None
 
-let run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g =
+(* One sanitized run. Besides the trace and the captured event stream,
+   every run yields a canonical digest of its final vertex values —
+   what the fault suite compares bit-for-bit across baseline and faulty
+   executions. *)
+let run_once ?checkpoint_every ?faults ~cluster ~partitioner ~scale ~landmarks ~algorithm g =
   let sink, contents = Obs.Sink.ring ~capacity:65536 () in
   let telemetry = Obs.Telemetry.create ~sinks:[ sink ] () in
-  let p = Pipeline.prepare ~cluster ~partitioner ~scale ~telemetry ~algorithm g in
-  let trace =
+  let p =
+    Pipeline.prepare ~cluster ~partitioner ~scale ?checkpoint_every ?faults ~telemetry ~algorithm g
+  in
+  let trace, attrs_digest =
     match algorithm with
-    | Advisor.Pagerank -> snd (Pipeline.pagerank p)
-    | Advisor.Connected_components -> snd (Pipeline.connected_components p)
+    | Advisor.Pagerank ->
+        let ranks, t = Pipeline.pagerank p in
+        (t, Check.Fault_check.float_attrs_digest ranks)
+    | Advisor.Connected_components ->
+        let labels, t = Pipeline.connected_components p in
+        (t, Check.Fault_check.int_attrs_digest labels)
     | Advisor.Triangle_count ->
-        let _, _, t = Pipeline.triangles p in
-        t
-    | Advisor.Shortest_paths -> snd (Pipeline.shortest_paths ~landmarks p)
+        let per_vertex, _, t = Pipeline.triangles p in
+        (t, Check.Fault_check.int_attrs_digest per_vertex)
+    | Advisor.Shortest_paths ->
+        let distances, t = Pipeline.shortest_paths ~landmarks p in
+        (t, Check.Fault_check.int_attrs_digest (Array.concat (Array.to_list distances)))
   in
   Obs.Telemetry.close telemetry;
-  (p, trace, contents ())
+  (p, trace, attrs_digest, contents ())
 
-let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorithm g =
+let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpoint_every ?faults
+    ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -64,7 +77,9 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorit
     | Advisor.Shortest_paths -> Cutfit_algo.Sssp.pick_landmarks ~seed:11L ~count:3 g
     | _ -> [||]
   in
-  let p, trace, events = run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g in
+  let p, trace, attrs_digest, events =
+    run_once ?checkpoint_every ?faults ~cluster ~partitioner ~scale ~landmarks ~algorithm g
+  in
   let assignment = Pgraph.assignment p.Pipeline.pg in
   let pgraph_v = Check.Pgraph_check.validate p.Pipeline.pg in
   let metrics_v =
@@ -76,15 +91,30 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorit
   let telemetry_v = Check.Trace_check.reconcile trace events in
   let trace_digest = Check.Determinism.trace_digest trace in
   let events_digest = Check.Determinism.events_digest events in
+  let label =
+    Printf.sprintf "%s/%s" (Advisor.algorithm_name algorithm) (Partitioner.name partitioner)
+  in
   let digest_of_run () =
-    let _, trace, events = run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g in
+    let _, trace, _, events =
+      run_once ?checkpoint_every ?faults ~cluster ~partitioner ~scale ~landmarks ~algorithm g
+    in
     Check.Determinism.trace_digest trace ^ "/" ^ Check.Determinism.events_digest events
   in
-  let determinism_v =
-    Check.Determinism.run_twice
-      ~label:
-        (Printf.sprintf "%s/%s" (Advisor.algorithm_name algorithm) (Partitioner.name partitioner))
-      digest_of_run
+  let determinism_v = Check.Determinism.run_twice ~label digest_of_run in
+  (* With a fault schedule the sanitized run above is the faulty one; a
+     sixth suite replays the same pipeline fault-free and proves the
+     recovery-equivalence invariant: bit-identical vertex values, same
+     communication structure, never cheaper in compute time. *)
+  let faults_v =
+    match faults with
+    | None -> None
+    | Some _ ->
+        let _, baseline, baseline_attrs, _ =
+          run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g
+        in
+        Some
+          (Check.Fault_check.equivalence ~label ~baseline ~faulty:trace
+             ~baseline_attrs ~faulty_attrs:attrs_digest ())
   in
   let suites =
     [
@@ -94,12 +124,15 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ~algorit
       ("telemetry", List.length telemetry_v);
       ("determinism", List.length determinism_v);
     ]
+    @ match faults_v with None -> [] | Some v -> [ ("faults", List.length v) ]
   in
   {
     algorithm;
     partitioner;
     suites;
-    violations = pgraph_v @ metrics_v @ trace_v @ telemetry_v @ determinism_v;
+    violations =
+      pgraph_v @ metrics_v @ trace_v @ telemetry_v @ determinism_v
+      @ Option.value ~default:[] faults_v;
     trace_digest;
     events_digest;
   }

@@ -8,7 +8,12 @@
     (recomputation + §3.1 identity), [trace] (conservation laws, with
     the wire-payload law on the Pregel-engine algorithms), [telemetry]
     (event stream vs trace reconciliation), [determinism] (two more
-    identical runs must digest identically). *)
+    identical runs must digest identically). With a fault schedule a
+    sixth suite, [faults], replays the pipeline fault-free and proves
+    the recovery-equivalence invariant via {!Cutfit_check.Fault_check}:
+    the faulty run's final vertex values are bit-identical to the
+    baseline's, its communication structure is unchanged, and its
+    compute supersteps never sum cheaper. *)
 
 type report = {
   algorithm : Advisor.algorithm;
@@ -25,6 +30,8 @@ val check_run :
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?partitioner:Cutfit_partition.Partitioner.t ->
   ?scale:float ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   report
@@ -32,6 +39,7 @@ val check_run :
     advisor's partitioner, scale 1.0. SSSP uses the same 3 deterministic
     landmarks as {!Pipeline.compare_partitioners}. Runs the pipeline
     three times in total (once observed, twice for the determinism
-    digest). *)
+    digest) — four with [faults], which adds the fault-free baseline
+    for the equivalence suite. *)
 
 val pp_report : Format.formatter -> report -> unit

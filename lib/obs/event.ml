@@ -25,10 +25,33 @@ type run_end = {
   total_s : float;
   load_s : float;
   checkpoint_s : float;
+  recovery_s : float;
   total_messages : int;
   total_remote : int;
   total_wire_bytes : float;
 }
+
+type fault_injected = {
+  step : int;
+  kind : string;  (** "crash" | "straggler" | "net" | "loss" *)
+  executor : int;  (** -1 when cluster-wide *)
+  detail : string;
+}
+
+type checkpoint = { step : int; bytes : float; write_s : float }
+
+type recovery = {
+  step : int;
+  kind : string;  (** "rollback" | "lineage" | "shuffle-retry" *)
+  executor : int;
+  replayed_steps : int;
+  lost_edges : int;
+  lost_replicas : int;
+  wire_bytes : float;
+  recovery_s : float;
+}
+
+type job_retry = { job_id : int; attempt : int; delay_s : float; resubmit_s : float }
 
 type job_submit = {
   job_id : int;
@@ -69,9 +92,13 @@ type t =
   | Run_start of { label : string }
   | Superstep of superstep
   | Run_end of run_end
+  | Fault_injected of fault_injected
+  | Checkpoint of checkpoint
+  | Recovery of recovery
   | Job_submit of job_submit
   | Job_start of job_start
   | Job_end of job_end
+  | Job_retry of job_retry
   | Cache_op of cache_op
 
 let skew s =
@@ -118,9 +145,40 @@ let to_json = function
           ("total_s", Json.Float r.total_s);
           ("load_s", Json.Float r.load_s);
           ("checkpoint_s", Json.Float r.checkpoint_s);
+          ("recovery_s", Json.Float r.recovery_s);
           ("total_messages", Json.Int r.total_messages);
           ("total_remote", Json.Int r.total_remote);
           ("total_wire_bytes", Json.Float r.total_wire_bytes);
+        ]
+  | Fault_injected f ->
+      Json.Obj
+        [
+          ("type", Json.String "fault_injected");
+          ("step", Json.Int f.step);
+          ("kind", Json.String f.kind);
+          ("executor", Json.Int f.executor);
+          ("detail", Json.String f.detail);
+        ]
+  | Checkpoint c ->
+      Json.Obj
+        [
+          ("type", Json.String "checkpoint");
+          ("step", Json.Int c.step);
+          ("bytes", Json.Float c.bytes);
+          ("write_s", Json.Float c.write_s);
+        ]
+  | Recovery r ->
+      Json.Obj
+        [
+          ("type", Json.String "recovery");
+          ("step", Json.Int r.step);
+          ("kind", Json.String r.kind);
+          ("executor", Json.Int r.executor);
+          ("replayed_steps", Json.Int r.replayed_steps);
+          ("lost_edges", Json.Int r.lost_edges);
+          ("lost_replicas", Json.Int r.lost_replicas);
+          ("wire_bytes", Json.Float r.wire_bytes);
+          ("recovery_s", Json.Float r.recovery_s);
         ]
   | Job_submit j ->
       Json.Obj
@@ -151,6 +209,15 @@ let to_json = function
           ("partition_s", Json.Float j.partition_s);
           ("exec_s", Json.Float j.exec_s);
           ("finish_s", Json.Float j.finish_s);
+        ]
+  | Job_retry j ->
+      Json.Obj
+        [
+          ("type", Json.String "job_retry");
+          ("job_id", Json.Int j.job_id);
+          ("attempt", Json.Int j.attempt);
+          ("delay_s", Json.Float j.delay_s);
+          ("resubmit_s", Json.Float j.resubmit_s);
         ]
   | Cache_op c ->
       Json.Obj
@@ -240,6 +307,7 @@ let run_end_of_json j =
   let* total_s = flt "total_s" in
   let* load_s = flt "load_s" in
   let* checkpoint_s = flt "checkpoint_s" in
+  let* recovery_s = flt "recovery_s" in
   let* total_messages = int "total_messages" in
   let* total_remote = int "total_remote" in
   let* total_wire_bytes = flt "total_wire_bytes" in
@@ -252,10 +320,42 @@ let run_end_of_json j =
          total_s;
          load_s;
          checkpoint_s;
+         recovery_s;
          total_messages;
          total_remote;
          total_wire_bytes;
        })
+
+let fault_injected_of_json j =
+  let int name = field "fault_injected" name Json.to_int j in
+  let str name = field "fault_injected" name Json.to_string_opt j in
+  let* step = int "step" in
+  let* kind = str "kind" in
+  let* executor = int "executor" in
+  let* detail = str "detail" in
+  Ok (Fault_injected { step; kind; executor; detail })
+
+let checkpoint_of_json j =
+  let* step = field "checkpoint" "step" Json.to_int j in
+  let* bytes = field "checkpoint" "bytes" Json.to_float j in
+  let* write_s = field "checkpoint" "write_s" Json.to_float j in
+  Ok (Checkpoint { step; bytes; write_s })
+
+let recovery_of_json j =
+  let int name = field "recovery" name Json.to_int j in
+  let flt name = field "recovery" name Json.to_float j in
+  let str name = field "recovery" name Json.to_string_opt j in
+  let* step = int "step" in
+  let* kind = str "kind" in
+  let* executor = int "executor" in
+  let* replayed_steps = int "replayed_steps" in
+  let* lost_edges = int "lost_edges" in
+  let* lost_replicas = int "lost_replicas" in
+  let* wire_bytes = flt "wire_bytes" in
+  let* recovery_s = flt "recovery_s" in
+  Ok
+    (Recovery
+       { step; kind; executor; replayed_steps; lost_edges; lost_replicas; wire_bytes; recovery_s })
 
 let job_submit_of_json j =
   let int name = field "job_submit" name Json.to_int j in
@@ -290,6 +390,15 @@ let job_end_of_json j =
   let* finish_s = flt "finish_s" in
   Ok (Job_end { job_id; outcome; partition_s; exec_s; finish_s })
 
+let job_retry_of_json j =
+  let int name = field "job_retry" name Json.to_int j in
+  let flt name = field "job_retry" name Json.to_float j in
+  let* job_id = int "job_id" in
+  let* attempt = int "attempt" in
+  let* delay_s = flt "delay_s" in
+  let* resubmit_s = flt "resubmit_s" in
+  Ok (Job_retry { job_id; attempt; delay_s; resubmit_s })
+
 let cache_op_of_json j =
   let int name = field "cache_op" name Json.to_int j in
   let flt name = field "cache_op" name Json.to_float j in
@@ -312,9 +421,13 @@ let of_json j =
       Ok (Run_start { label })
   | "superstep" -> superstep_of_json j
   | "run_end" -> run_end_of_json j
+  | "fault_injected" -> fault_injected_of_json j
+  | "checkpoint" -> checkpoint_of_json j
+  | "recovery" -> recovery_of_json j
   | "job_submit" -> job_submit_of_json j
   | "job_start" -> job_start_of_json j
   | "job_end" -> job_end_of_json j
+  | "job_retry" -> job_retry_of_json j
   | "cache_op" -> cache_op_of_json j
   | other -> Error (Printf.sprintf "event: unknown type %S" other)
 
@@ -342,6 +455,15 @@ let pp ppf = function
       Format.fprintf ppf
         "end %s: %s, %d supersteps, %.2fs total, %d msgs (%d remote), %.0f wire bytes" r.label
         r.outcome r.supersteps r.total_s r.total_messages r.total_remote r.total_wire_bytes
+  | Fault_injected f ->
+      Format.fprintf ppf "fault step %2d: %s%s — %s" f.step f.kind
+        (if f.executor >= 0 then Printf.sprintf " on executor %d" f.executor else "")
+        f.detail
+  | Checkpoint c ->
+      Format.fprintf ppf "ckpt  step %2d: %.0fB written in %.3fs" c.step c.bytes c.write_s
+  | Recovery r ->
+      Format.fprintf ppf "recov step %2d: %s of executor %d (%d replayed, %d edges, %d views) %.3fs"
+        r.step r.kind r.executor r.replayed_steps r.lost_edges r.lost_replicas r.recovery_s
   | Job_submit j ->
       Format.fprintf ppf "job %3d submit : %s on %s/%d at %.2fs" j.job_id j.algorithm j.dataset
         j.num_partitions j.arrival_s
@@ -352,6 +474,9 @@ let pp ppf = function
   | Job_end j ->
       Format.fprintf ppf "job %3d end    : %s, partition %.2fs + exec %.2fs, done at %.2fs"
         j.job_id j.outcome j.partition_s j.exec_s j.finish_s
+  | Job_retry j ->
+      Format.fprintf ppf "job %3d retry  : attempt %d failed, requeued at %.2fs (+%.2fs backoff)"
+        j.job_id j.attempt j.resubmit_s j.delay_s
   | Cache_op c ->
       Format.fprintf ppf "cache %-6s: %s/%s/%d %.0fB (now %d entries, %.0fB) at %.2fs" c.op
         c.graph c.strategy c.num_partitions c.bytes c.entries c.occupancy_bytes c.at_s

@@ -37,14 +37,45 @@ type superstep = {
 
 type run_end = {
   label : string;  (** engine or algorithm identifier, e.g. ["pregel"] *)
-  outcome : string;  (** ["completed"], ["max-supersteps"] or ["out-of-memory"] *)
+  outcome : string;
+      (** ["completed"], ["max-supersteps"], ["out-of-memory"] or
+          ["aborted"] *)
   supersteps : int;  (** compute supersteps recorded (build stage excluded) *)
-  total_s : float;  (** simulated job time including load and checkpoints *)
+  total_s : float;  (** simulated job time including load, checkpoints, recovery *)
   load_s : float;
   checkpoint_s : float;
+  recovery_s : float;  (** total time spent recovering from injected faults *)
   total_messages : int;
   total_remote : int;  (** remote shuffles + remote broadcasts, all steps *)
   total_wire_bytes : float;
+}
+
+(** {2 Fault-injection records}
+
+    Emitted by the engines when a [Faults] schedule is attached: one
+    {!fault_injected} per fault firing, one {!checkpoint} per superstep
+    checkpoint written, one {!recovery} per recovery the engine paid
+    for. The records mirror the trace's own recovery bookkeeping
+    field-for-field, so event aggregates reconcile exactly. *)
+
+type fault_injected = {
+  step : int;
+  kind : string;  (** "crash" | "straggler" | "net" | "loss" *)
+  executor : int;  (** -1 when the fault is cluster-wide (net) *)
+  detail : string;
+}
+
+type checkpoint = { step : int; bytes : float; write_s : float }
+
+type recovery = {
+  step : int;
+  kind : string;  (** "rollback" | "lineage" | "shuffle-retry" *)
+  executor : int;
+  replayed_steps : int;
+  lost_edges : int;
+  lost_replicas : int;
+  wire_bytes : float;  (** bytes moved only because of the fault *)
+  recovery_s : float;
 }
 
 (** {2 Workload-engine records}
@@ -81,8 +112,17 @@ type job_end = {
   finish_s : float;  (** instant the slot freed *)
 }
 
+type job_retry = {
+  job_id : int;
+  attempt : int;  (** the attempt number that just failed (1-based) *)
+  delay_s : float;  (** requeue backoff added before the next attempt *)
+  resubmit_s : float;  (** simulated instant the job re-enters the queue *)
+}
+
 type cache_op = {
-  op : string;  (** ["hit"], ["miss"], ["insert"], ["evict"] or ["reject"] *)
+  op : string;
+      (** ["hit"], ["miss"], ["insert"], ["evict"], ["invalidate"] (entry
+          lost to a cluster restart) or ["reject"] *)
   graph : string;
   strategy : string;
   num_partitions : int;
@@ -97,9 +137,13 @@ type t =
       (** segments multi-run streams (e.g. [compare] traces) *)
   | Superstep of superstep
   | Run_end of run_end
+  | Fault_injected of fault_injected
+  | Checkpoint of checkpoint
+  | Recovery of recovery
   | Job_submit of job_submit
   | Job_start of job_start
   | Job_end of job_end
+  | Job_retry of job_retry
   | Cache_op of cache_op
 
 val skew : superstep -> float

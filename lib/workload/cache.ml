@@ -21,9 +21,11 @@ type stats = {
   misses : int;
   insertions : int;
   evictions : int;
+  invalidations : int;
   rejections : int;
   bytes_inserted : float;
   bytes_evicted : float;
+  bytes_invalidated : float;
   bytes_in_cache : float;
   entries : int;
 }
@@ -50,9 +52,11 @@ type t = {
   mutable misses : int;
   mutable insertions : int;
   mutable evictions : int;
+  mutable invalidations : int;
   mutable rejections : int;
   mutable bytes_inserted : float;
   mutable bytes_evicted : float;
+  mutable bytes_invalidated : float;
 }
 
 let create ?(eviction = Lru) ~budget_bytes () =
@@ -68,9 +72,11 @@ let create ?(eviction = Lru) ~budget_bytes () =
     misses = 0;
     insertions = 0;
     evictions = 0;
+    invalidations = 0;
     rejections = 0;
     bytes_inserted = 0.0;
     bytes_evicted = 0.0;
+    bytes_invalidated = 0.0;
   }
 
 let eviction_policy t = t.eviction
@@ -163,6 +169,20 @@ let insert t ~available_s k ~pg ~bytes ~rebuild_s =
     `Inserted (List.rev !evicted)
   end
 
+(* Drop every live entry at once — the cluster restarted, so nothing a
+   dead executor hosted can be reused. Counted separately from eviction
+   pressure so the conservation laws can tell the two apart. *)
+let invalidate_all t =
+  let victims = entries_by_seq t in
+  List.map
+    (fun e ->
+      Hashtbl.remove t.table (key_id e.ekey);
+      t.occupancy <- t.occupancy -. e.bytes;
+      t.invalidations <- t.invalidations + 1;
+      t.bytes_invalidated <- t.bytes_invalidated +. e.bytes;
+      (e.ekey, e.bytes))
+    victims
+
 let stats t =
   let live = entries_by_seq t in
   let bytes_in_cache = List.fold_left (fun acc e -> acc +. e.bytes) 0.0 live in
@@ -173,9 +193,11 @@ let stats t =
     misses = t.misses;
     insertions = t.insertions;
     evictions = t.evictions;
+    invalidations = t.invalidations;
     rejections = t.rejections;
     bytes_inserted = t.bytes_inserted;
     bytes_evicted = t.bytes_evicted;
+    bytes_invalidated = t.bytes_invalidated;
     bytes_in_cache;
     entries = List.length live;
   }

@@ -34,9 +34,11 @@ type stats = {
   misses : int;
   insertions : int;
   evictions : int;
+  invalidations : int;  (** entries dropped by {!invalidate_all} *)
   rejections : int;  (** entries larger than the whole budget *)
   bytes_inserted : float;
   bytes_evicted : float;
+  bytes_invalidated : float;
   bytes_in_cache : float;  (** recomputed over live entries *)
   entries : int;
 }
@@ -78,5 +80,14 @@ val insert :
     or [`Rejected] when [bytes] exceeds the whole budget (nothing is
     evicted for an entry that can never fit). Re-inserting a live key
     replaces it (the old entry counts as evicted). *)
+
+val invalidate_all : t -> (key * float) list
+(** Drop every entry (live or pending), in insertion order, returning
+    the dropped [(key, bytes)] pairs. The workload engine calls this
+    when a job's cluster dies past its crash budget: cached
+    partitionings were resident on the lost executors, so none survives
+    the cluster restart. Counted as [invalidations], not [evictions] —
+    the conservation law is
+    [entries = insertions - evictions - invalidations]. *)
 
 val stats : t -> stats

@@ -8,6 +8,7 @@ module Cluster = Cutfit_bsp.Cluster
 module Cost_model = Cutfit_bsp.Cost_model
 module Pgraph = Cutfit_bsp.Pgraph
 module Trace = Cutfit_bsp.Trace
+module Faults = Cutfit_bsp.Faults
 module Datasets = Cutfit_gen.Datasets
 module Sssp = Cutfit_algo.Sssp
 module Splitmix64 = Cutfit_prng.Splitmix64
@@ -41,12 +42,18 @@ type job_record = {
   strategy : string;
   cache_hit : bool;
   outcome : string;
+  attempts : int;
+  recoveries : int;
+  recovery_s : float;
+  failed : bool;
   start_s : float;
   queue_s : float;
   partition_s : float;
   exec_s : float;
   finish_s : float;
 }
+
+type job_failure = { job_id : int; failed_attempts : int; reason : string }
 
 type report = {
   policy : policy;
@@ -55,13 +62,30 @@ type report = {
   budget_bytes : float;
   slots : int;
   seed : int64;
+  max_retries : int;
+  fault_spec : string option;
+  checkpoint_every : int option;
   records : job_record list;
+  failures : job_failure list;
+  retries : int;
   cache : Cache.stats;
   makespan_s : float;
   total_queue_s : float;
   total_partition_s : float;
   total_exec_s : float;
 }
+
+let failed_jobs r = List.length r.failures
+
+(* Requeue backoff after a cluster loss: capped exponential on the
+   attempt number, in simulated seconds — long enough to model a
+   cluster restart, bounded so a stubborn schedule cannot stall the
+   queue forever. *)
+let retry_backoff_base_s = 2.0
+let retry_backoff_cap_s = 30.0
+
+let retry_delay_s ~attempt =
+  Float.min retry_backoff_cap_s (retry_backoff_base_s *. (2.0 ** float_of_int (attempt - 1)))
 
 (* Modeled resident bytes of a frozen partitioning: the cost model's
    per-edge and per-vertex JVM object sizes over every partition's local
@@ -79,9 +103,10 @@ let pgraph_bytes ~scale pg =
      +. (float_of_int !verts *. float_of_int cost.Cost_model.vertex_object_bytes))
 
 let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
-    ?(budget_bytes = 8.0e9) ?iterations ?telemetry ?(policy = Fifo)
-    ?(selection = Cache_aware 0.25) ~seed jobs =
+    ?(budget_bytes = 8.0e9) ?iterations ?checkpoint_every ?faults ?(max_retries = 2) ?telemetry
+    ?(policy = Fifo) ?(selection = Cache_aware 0.25) ~seed jobs =
   if slots < 1 then invalid_arg "Engine.run: slots must be >= 1";
+  if max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
   let cache = Cache.create ~eviction ~budget_bytes () in
   let emit e = match telemetry with None -> () | Some t -> Telemetry.emit t e in
   (* Memoized per-dataset graph (and its paper scale) and per
@@ -113,6 +138,35 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         r
   in
   let cluster_for (job : Job.t) = { cluster with Cluster.num_partitions = job.Job.num_partitions } in
+  (* One fault realization per (job, attempt): the schedule's items stay
+     exactly as specified, but the seeded draws (random faults, unpinned
+     executors) differ per job and per retry — a retried job faces a
+     fresh realization of the same fault environment, so a [rand@R]
+     schedule can kill one attempt and spare the next. *)
+  let faults_for (job : Job.t) ~attempt =
+    match faults with
+    | None -> None
+    | Some (f : Faults.config) ->
+        let mixed =
+          Splitmix64.mix64
+            (Int64.logxor
+               (Int64.mul (Int64.of_int (job.Job.id + 1)) 0x9E3779B97F4A7C15L)
+               (Int64.add
+                  (Int64.of_int f.Faults.seed)
+                  (Int64.mul (Int64.of_int attempt) 0xBF58476D1CE4E5B9L)))
+        in
+        Some { f with Faults.seed = Int64.to_int mixed land 0x3FFFFFFF }
+  in
+  (* Structural admission control: a malformed job must produce a failed
+     record, never an exception out of the scheduler loop. *)
+  let invalid_reason (job : Job.t) =
+    if job.Job.num_partitions < 1 then
+      Some (Printf.sprintf "num_partitions %d < 1" job.Job.num_partitions)
+    else
+      match Datasets.find job.Job.dataset with
+      | _ -> None
+      | exception Not_found -> Some (Printf.sprintf "unknown dataset %S" job.Job.dataset)
+  in
   let choose_strategy ~at_s (job : Job.t) =
     match selection with
     | Heuristic ->
@@ -193,7 +247,12 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         let landmarks = Sssp.pick_landmarks ~seed:job_seed ~count:3 g in
         snd (Pipeline.shortest_paths ~landmarks prepared)
   in
-  let execute ~start_s (job : Job.t) =
+  (* One attempt of one job. Returns the attempt's record plus its
+     structural status: [`Ok] (recorded as-is), [`Lost] (the cluster
+     died past the run's crash budget — candidate for requeueing), or
+     [`Error reason] (an exception from the pipeline, converted into a
+     failed record so nothing escapes the scheduler loop). *)
+  let execute ~start_s ~attempt (job : Job.t) =
     let g, scale, _ = graph_of job.Job.dataset in
     let strategy = choose_strategy ~at_s:start_s job in
     let sname = Strategy.to_string strategy in
@@ -201,13 +260,16 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
       { Cache.graph = job.Job.dataset; strategy = sname; num_partitions = job.Job.num_partitions }
     in
     let cached = Cache.find cache ~at_s:start_s ckey in
+    let job_faults = faults_for job ~attempt in
     let prepared, hit =
       match cached with
       | Some pg ->
-          (Pipeline.of_pgraph ~cluster:(cluster_for job) ~scale ~partitioner:(Partitioner.Hash strategy) pg, true)
+          ( Pipeline.of_pgraph ~cluster:(cluster_for job) ~scale ?checkpoint_every
+              ?faults:job_faults ~partitioner:(Partitioner.Hash strategy) pg,
+            true )
       | None ->
           ( Pipeline.prepare ~cluster:(cluster_for job) ~partitioner:(Partitioner.Hash strategy)
-              ~scale ~algorithm:job.Job.algorithm g,
+              ~scale ?checkpoint_every ?faults:job_faults ~algorithm:job.Job.algorithm g,
             false )
     in
     let snapshot = Cache.stats cache in
@@ -225,74 +287,109 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
            start_s;
            queue_s = start_s -. job.Job.arrival_s;
          });
-    let trace = run_algorithm job prepared in
-    (* Decompose the real trace: the engines always record the load and
-       the step -1 build stage, whether or not the partitioning was
-       freshly built — a cache hit is exactly the run that skips them. *)
-    let build_s =
-      match
-        List.find_opt (fun (s : Trace.superstep) -> s.Trace.step = -1) trace.Trace.supersteps
-      with
-      | Some s -> s.Trace.time_s
-      | None -> 0.0
-    in
-    let partition_cost = trace.Trace.load_s +. build_s in
-    let exec_s = trace.Trace.total_s -. partition_cost in
-    let partition_s = if hit then 0.0 else partition_cost in
-    let finish_s = start_s +. partition_s +. exec_s in
-    if not hit then begin
-      let bytes = pgraph_bytes ~scale prepared.Pipeline.pg in
-      let available_s = start_s +. partition_cost in
-      let before = Cache.stats cache in
-      match
-        Cache.insert cache ~available_s ckey ~pg:prepared.Pipeline.pg ~bytes
-          ~rebuild_s:partition_cost
-      with
-      | `Inserted evicted ->
-          let occ = ref before.Cache.bytes_in_cache and ents = ref before.Cache.entries in
-          List.iter
-            (fun (k, b) ->
-              occ := !occ -. b;
-              ents := !ents - 1;
-              emit_cache_op "evict" k ~bytes:b ~occupancy:!occ ~entries:!ents ~at_s:available_s)
-            evicted;
-          occ := !occ +. bytes;
-          ents := !ents + 1;
-          emit_cache_op "insert" ckey ~bytes ~occupancy:!occ ~entries:!ents ~at_s:available_s
-      | `Rejected ->
-          emit_cache_op "reject" ckey ~bytes ~occupancy:before.Cache.bytes_in_cache
-            ~entries:before.Cache.entries ~at_s:available_s
-    end;
-    let record =
+    let mk_record ~outcome ~recoveries ~recovery_s ~partition_s ~exec_s =
       {
         job;
         strategy = sname;
         cache_hit = hit;
-        outcome = Trace.outcome_name trace.Trace.outcome;
+        outcome;
+        attempts = attempt;
+        recoveries;
+        recovery_s;
+        failed = false;
         start_s;
         queue_s = start_s -. job.Job.arrival_s;
         partition_s;
         exec_s;
-        finish_s;
+        finish_s = start_s +. partition_s +. exec_s;
       }
     in
-    emit
-      (Event.Job_end
-         {
-           Event.job_id = job.Job.id;
-           outcome = record.outcome;
-           partition_s;
-           exec_s;
-           finish_s;
-         });
-    record
+    match run_algorithm job prepared with
+    | exception (Invalid_argument reason | Failure reason) ->
+        let record =
+          mk_record ~outcome:"error" ~recoveries:0 ~recovery_s:0.0 ~partition_s:0.0 ~exec_s:0.0
+        in
+        emit
+          (Event.Job_end
+             {
+               Event.job_id = job.Job.id;
+               outcome = record.outcome;
+               partition_s = 0.0;
+               exec_s = 0.0;
+               finish_s = record.finish_s;
+             });
+        (record, `Error reason)
+    | trace ->
+        (* Decompose the real trace: the engines always record the load
+           and the step -1 build stage, whether or not the partitioning
+           was freshly built — a cache hit is exactly the run that skips
+           them. *)
+        let build_s =
+          match
+            List.find_opt (fun (s : Trace.superstep) -> s.Trace.step = -1) trace.Trace.supersteps
+          with
+          | Some s -> s.Trace.time_s
+          | None -> 0.0
+        in
+        let partition_cost = trace.Trace.load_s +. build_s in
+        let exec_s = trace.Trace.total_s -. partition_cost in
+        let partition_s = if hit then 0.0 else partition_cost in
+        let lost = trace.Trace.outcome = Trace.Aborted in
+        (* A partitioning built by a run whose cluster then died never
+           becomes reusable — it was resident on the lost executors. *)
+        if (not hit) && not lost then begin
+          let bytes = pgraph_bytes ~scale prepared.Pipeline.pg in
+          let available_s = start_s +. partition_cost in
+          let before = Cache.stats cache in
+          match
+            Cache.insert cache ~available_s ckey ~pg:prepared.Pipeline.pg ~bytes
+              ~rebuild_s:partition_cost
+          with
+          | `Inserted evicted ->
+              let occ = ref before.Cache.bytes_in_cache and ents = ref before.Cache.entries in
+              List.iter
+                (fun (k, b) ->
+                  occ := !occ -. b;
+                  ents := !ents - 1;
+                  emit_cache_op "evict" k ~bytes:b ~occupancy:!occ ~entries:!ents ~at_s:available_s)
+                evicted;
+              occ := !occ +. bytes;
+              ents := !ents + 1;
+              emit_cache_op "insert" ckey ~bytes ~occupancy:!occ ~entries:!ents ~at_s:available_s
+          | `Rejected ->
+              emit_cache_op "reject" ckey ~bytes ~occupancy:before.Cache.bytes_in_cache
+                ~entries:before.Cache.entries ~at_s:available_s
+        end;
+        let record =
+          mk_record
+            ~outcome:(Trace.outcome_name trace.Trace.outcome)
+            ~recoveries:(Trace.num_recoveries trace) ~recovery_s:trace.Trace.recovery_s
+            ~partition_s ~exec_s
+        in
+        emit
+          (Event.Job_end
+             {
+               Event.job_id = job.Job.id;
+               outcome = record.outcome;
+               partition_s;
+               exec_s;
+               finish_s = record.finish_s;
+             });
+        (record, if lost then `Lost else `Ok)
   in
   (* --- discrete-event loop over executor slots --- *)
-  let by_arrival (a : Job.t) (b : Job.t) =
-    if a.Job.arrival_s <> b.Job.arrival_s then Float.compare a.Job.arrival_s b.Job.arrival_s
-    else compare a.Job.id b.Job.id
+  (* The future queue carries [(ready_s, job)]: initially the job's own
+     arrival instant, and for a requeued job its backed-off resubmit
+     instant. The job record itself is never altered, so every record
+     and event keeps the original arrival. *)
+  let by_ready (ra, (a : Job.t)) (rb, (b : Job.t)) =
+    if ra <> rb then Float.compare ra rb else compare a.Job.id b.Job.id
   in
-  let future = ref (List.sort by_arrival jobs) in
+  let rec insert_future entry = function
+    | [] -> [ entry ]
+    | e :: rest -> if by_ready entry e < 0 then entry :: e :: rest else e :: insert_future entry rest
+  in
+  let sorted = List.sort (fun (a : Job.t) b -> by_ready (a.Job.arrival_s, a) (b.Job.arrival_s, b)) jobs in
   List.iter
     (fun (j : Job.t) ->
       emit
@@ -304,9 +401,43 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
              num_partitions = j.Job.num_partitions;
              arrival_s = j.Job.arrival_s;
            }))
-    !future;
-  let pending = ref [] in
+    sorted;
   let records = ref [] in
+  let failures = ref [] in
+  let retries = ref 0 in
+  (* Malformed jobs fail structurally at admission: a zero-attempt
+     failed record, no slot time, no cache traffic. *)
+  let admitted =
+    List.filter
+      (fun (j : Job.t) ->
+        match invalid_reason j with
+        | None -> true
+        | Some reason ->
+            records :=
+              {
+                job = j;
+                strategy = "-";
+                cache_hit = false;
+                outcome = "invalid";
+                attempts = 0;
+                recoveries = 0;
+                recovery_s = 0.0;
+                failed = true;
+                start_s = j.Job.arrival_s;
+                queue_s = 0.0;
+                partition_s = 0.0;
+                exec_s = 0.0;
+                finish_s = j.Job.arrival_s;
+              }
+              :: !records;
+            failures := { job_id = j.Job.id; failed_attempts = 0; reason } :: !failures;
+            false)
+      sorted
+  in
+  let future = ref (List.map (fun (j : Job.t) -> (j.Job.arrival_s, j)) admitted) in
+  let attempt_no : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let attempt_of (j : Job.t) = Option.value ~default:1 (Hashtbl.find_opt attempt_no j.Job.id) in
+  let pending = ref [] in
   let slot_free = Array.make slots 0.0 in
   let more () = match (!future, !pending) with [], [] -> false | _ -> true in
   let pick ~at_s = function
@@ -323,30 +454,66 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         in
         Some (List.fold_left (fun best c -> if better c best then c else best) first rest)
   in
+  let fail record reason =
+    records := { record with failed = true } :: !records;
+    failures := { job_id = record.job.Job.id; failed_attempts = record.attempts; reason } :: !failures
+  in
   while more () do
     let slot = ref 0 in
     for i = 1 to slots - 1 do
       if slot_free.(i) < slot_free.(!slot) then slot := i
     done;
     let t0 = slot_free.(!slot) in
-    (* With an empty queue the slot idles until the next arrival. *)
+    (* With an empty queue the slot idles until the next ready job. *)
     let t =
       match (!pending, !future) with
-      | [], j :: _ -> Float.max t0 j.Job.arrival_s
+      | [], (ready, _) :: _ -> Float.max t0 ready
       | _ -> t0
     in
-    let arrived, rest = List.partition (fun (j : Job.t) -> j.Job.arrival_s <= t) !future in
+    let arrived, rest = List.partition (fun (ready, _) -> ready <= t) !future in
     future := rest;
-    pending := !pending @ arrived;
+    pending := !pending @ List.map snd arrived;
     match pick ~at_s:t !pending with
     | None -> ()
-    | Some job ->
+    | Some job -> (
         pending := List.filter (fun (j : Job.t) -> j.Job.id <> job.Job.id) !pending;
-        let record = execute ~start_s:t job in
+        let attempt = attempt_of job in
+        let record, status = execute ~start_s:t ~attempt job in
         slot_free.(!slot) <- record.finish_s;
-        records := record :: !records
+        match status with
+        | `Ok -> records := record :: !records
+        | `Error reason -> fail record reason
+        | `Lost ->
+            (* The job's cluster died past its crash budget: every cached
+               partitioning was resident on it, so the whole cache is
+               invalidated before anything else runs. *)
+            let before = Cache.stats cache in
+            let dropped = Cache.invalidate_all cache in
+            let occ = ref before.Cache.bytes_in_cache and ents = ref before.Cache.entries in
+            List.iter
+              (fun (k, b) ->
+                occ := !occ -. b;
+                ents := !ents - 1;
+                emit_cache_op "invalidate" k ~bytes:b ~occupancy:!occ ~entries:!ents
+                  ~at_s:record.finish_s)
+              dropped;
+            if attempt <= max_retries then begin
+              let delay_s = retry_delay_s ~attempt in
+              let resubmit_s = record.finish_s +. delay_s in
+              emit
+                (Event.Job_retry { Event.job_id = job.Job.id; attempt; delay_s; resubmit_s });
+              incr retries;
+              Hashtbl.replace attempt_no job.Job.id (attempt + 1);
+              future := insert_future (resubmit_s, job) !future
+            end
+            else
+              fail record
+                (Printf.sprintf "cluster lost beyond the retry budget (%d attempt(s))" attempt))
   done;
   let records = List.sort (fun a b -> compare a.job.Job.id b.job.Job.id) !records in
+  let failures =
+    List.sort (fun (a : job_failure) b -> compare a.job_id b.job_id) !failures
+  in
   let makespan_s = List.fold_left (fun acc r -> Float.max acc r.finish_s) 0.0 records in
   let total_queue_s = List.fold_left (fun acc r -> acc +. r.queue_s) 0.0 records in
   let total_partition_s = List.fold_left (fun acc r -> acc +. r.partition_s) 0.0 records in
@@ -358,7 +525,12 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     budget_bytes;
     slots;
     seed;
+    max_retries;
+    fault_spec = Option.map (fun (f : Faults.config) -> f.Faults.raw) faults;
+    checkpoint_every;
     records;
+    failures;
+    retries = !retries;
     cache = Cache.stats cache;
     makespan_s;
     total_queue_s;
@@ -386,6 +558,10 @@ let record_json r =
       ("strategy", Json.String r.strategy);
       ("cache_hit", Json.Bool r.cache_hit);
       ("outcome", Json.String r.outcome);
+      ("attempts", Json.Int r.attempts);
+      ("recoveries", Json.Int r.recoveries);
+      ("recovery_s", Json.Float r.recovery_s);
+      ("failed", Json.Bool r.failed);
       ("start_s", Json.Float r.start_s);
       ("queue_s", Json.Float r.queue_s);
       ("partition_s", Json.Float r.partition_s);
@@ -402,9 +578,11 @@ let cache_json (s : Cache.stats) =
       ("misses", Json.Int s.Cache.misses);
       ("insertions", Json.Int s.Cache.insertions);
       ("evictions", Json.Int s.Cache.evictions);
+      ("invalidations", Json.Int s.Cache.invalidations);
       ("rejections", Json.Int s.Cache.rejections);
       ("bytes_inserted", Json.Float s.Cache.bytes_inserted);
       ("bytes_evicted", Json.Float s.Cache.bytes_evicted);
+      ("bytes_invalidated", Json.Float s.Cache.bytes_invalidated);
       ("bytes_in_cache", Json.Float s.Cache.bytes_in_cache);
       ("entries", Json.Int s.Cache.entries);
     ]
@@ -420,6 +598,12 @@ let params_json r =
       ("budget_bytes", Json.Float r.budget_bytes);
       ("slots", Json.Int r.slots);
       ("seed", Json.String (Int64.to_string r.seed));
+      ("max_retries", Json.Int r.max_retries);
+      ("faults", match r.fault_spec with Some s -> Json.String s | None -> Json.Null);
+      ( "checkpoint_every",
+        match r.checkpoint_every with Some k -> Json.Int k | None -> Json.Null );
+      ("retries", Json.Int r.retries);
+      ("failed_jobs", Json.Int (failed_jobs r));
       ("jobs", Json.Int (List.length r.records));
       ("makespan_s", Json.Float r.makespan_s);
       ("total_queue_s", Json.Float r.total_queue_s);
@@ -427,16 +611,26 @@ let params_json r =
       ("total_exec_s", Json.Float r.total_exec_s);
     ]
 
+let failure_json (f : job_failure) =
+  Json.Obj
+    [
+      ("job_id", Json.Int f.job_id);
+      ("failed_attempts", Json.Int f.failed_attempts);
+      ("reason", Json.String f.reason);
+    ]
+
 let report_json r =
   Json.Obj
     [
       ("params", params_json r);
       ("records", Json.List (List.map record_json r.records));
+      ("failures", Json.List (List.map failure_json r.failures));
       ("cache", cache_json r.cache);
     ]
 
 let report_lines r =
   (Json.to_string (params_json r) :: List.map (fun x -> Json.to_string (record_json x)) r.records)
+  @ List.map (fun f -> Json.to_string (failure_json f)) r.failures
   @ [ Json.to_string (cache_json r.cache) ]
 
 let pp_summary ppf r =
@@ -450,5 +644,13 @@ let pp_summary ppf r =
     r.cache.Cache.evictions r.cache.Cache.rejections;
   Format.fprintf ppf "makespan %.2f s | queue mean %.2f s | partition %.2f s | exec %.2f s"
     r.makespan_s (mean_queue_s r) r.total_partition_s r.total_exec_s;
+  (match r.fault_spec with
+  | None -> ()
+  | Some spec ->
+      let recov = List.fold_left (fun acc x -> acc + x.recoveries) 0 r.records in
+      let recov_s = List.fold_left (fun acc x -> acc +. x.recovery_s) 0.0 r.records in
+      Format.fprintf ppf "@,faults %S: %d recover(ies) %.2f s | %d retry(ies) | %d invalidation(s)"
+        spec recov recov_s r.retries r.cache.Cache.invalidations);
   if oom > 0 then Format.fprintf ppf "@,%d job(s) ended out-of-memory" oom;
+  if failed_jobs r > 0 then Format.fprintf ppf "@,%d job(s) failed permanently" (failed_jobs r);
   Format.fprintf ppf "@]"

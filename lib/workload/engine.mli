@@ -12,7 +12,24 @@
 
     Everything is deterministic: same jobs, policy, selection, cache
     configuration and seed — bit-identical report, which is what
-    {!Workload_check.run_twice} digests. *)
+    {!Workload_check.run_twice} digests. That holds with a fault
+    schedule too: fault realizations are seeded per (job, attempt), so
+    a faulty workload replays byte-identically.
+
+    {2 Fault tolerance}
+
+    With [?faults], every Pregel/GAS run executes under a per-job
+    realization of the schedule ({!Cutfit_bsp.Faults}). A run whose
+    cluster dies past its crash budget ends with outcome [aborted]; the
+    engine then invalidates the whole partitioning cache (everything
+    was resident on the lost cluster) and requeues the job with capped
+    exponential backoff, up to [max_retries] extra attempts — each
+    retry gets a {e fresh} fault realization, so transient schedules
+    ([rand@R]) usually succeed on retry while pinned deterministic
+    crashes exhaust the budget and fail the job {e structurally}: a
+    [failed] record plus a {!job_failure}, never an exception out of
+    the scheduler loop. Malformed jobs (unknown dataset, nonsensical
+    granularity) fail the same way at admission, with zero attempts. *)
 
 type policy =
   | Fifo  (** admit in arrival order *)
@@ -41,15 +58,32 @@ val selection_of_string : ?threshold:float -> string -> selection option
 
 type job_record = {
   job : Job.t;
-  strategy : string;
+  strategy : string;  (** ["-"] when the job never ran (invalid) *)
   cache_hit : bool;
-  outcome : string;  (** {!Cutfit_bsp.Trace.outcome_name} of the run *)
-  start_s : float;
-  queue_s : float;  (** [start_s -. arrival_s] *)
+  outcome : string;
+      (** {!Cutfit_bsp.Trace.outcome_name} of the final attempt's run,
+          or ["invalid"] / ["error"] for structural failures *)
+  attempts : int;  (** runs actually launched (0 for invalid jobs) *)
+  recoveries : int;  (** recovery records in the final attempt's trace *)
+  recovery_s : float;  (** recovery time in the final attempt's trace *)
+  failed : bool;  (** the job ended without a completed run *)
+  start_s : float;  (** final attempt's admission instant *)
+  queue_s : float;
+      (** [start_s -. arrival_s] — for a retried job this spans the
+          failed attempts and their backoff *)
   partition_s : float;  (** load + build actually paid; 0 on a cache hit *)
-  exec_s : float;  (** supersteps + checkpoints, from the trace *)
+  exec_s : float;  (** supersteps + checkpoints + recovery, from the trace *)
   finish_s : float;  (** [start_s +. partition_s +. exec_s] *)
 }
+
+type job_failure = {
+  job_id : int;
+  failed_attempts : int;  (** attempts consumed before giving up *)
+  reason : string;  (** human-readable cause *)
+}
+(** Structured permanent failure — the Result shape of a job that never
+    produced a completed run. Every failure pairs with a [failed]
+    record; no exception ever escapes {!run} for a per-job problem. *)
 
 type report = {
   policy : policy;
@@ -58,7 +92,12 @@ type report = {
   budget_bytes : float;
   slots : int;
   seed : int64;
-  records : job_record list;  (** ascending job id *)
+  max_retries : int;
+  fault_spec : string option;  (** the raw [--faults] spec, when any *)
+  checkpoint_every : int option;
+  records : job_record list;  (** ascending job id, one per job *)
+  failures : job_failure list;  (** ascending job id *)
+  retries : int;  (** requeues performed = [Job_retry] events emitted *)
   cache : Cache.stats;
   makespan_s : float;  (** last finish instant *)
   total_queue_s : float;
@@ -66,12 +105,23 @@ type report = {
   total_exec_s : float;
 }
 
+val failed_jobs : report -> int
+(** [List.length r.failures]. *)
+
+val retry_delay_s : attempt:int -> float
+(** Requeue backoff after the [attempt]-th failed attempt (1-based):
+    capped exponential, [min 30.0 (2.0 *. 2.0 ** (attempt - 1))]
+    simulated seconds. *)
+
 val run :
   ?cluster:Cutfit_bsp.Cluster.t ->
   ?slots:int ->
   ?eviction:Cache.eviction ->
   ?budget_bytes:float ->
   ?iterations:int ->
+  ?checkpoint_every:int ->
+  ?faults:Cutfit_bsp.Faults.config ->
+  ?max_retries:int ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   ?policy:policy ->
   ?selection:selection ->
@@ -81,12 +131,14 @@ val run :
 (** Simulate the stream (any order; jobs are queued by arrival).
     Defaults: cluster (i) reconfigured per job to its partition count,
     2 slots, LRU, an 8 GB (paper-scale) budget, engine-default
-    iteration caps, FIFO, [Cache_aware 0.25]. [seed] derives each SSSP
-    job's landmark choice (mixed with the job id). With [telemetry],
-    the engine narrates the whole simulation as [Job_submit] /
-    [Job_start] / [Cache_op] / [Job_end] events that reconcile with the
+    iteration caps, FIFO, [Cache_aware 0.25], no faults, no
+    checkpointing, [max_retries = 2]. [seed] derives each SSSP job's
+    landmark choice (mixed with the job id). With [telemetry], the
+    engine narrates the whole simulation as [Job_submit] / [Job_start]
+    / [Cache_op] / [Job_end] events — plus [Job_retry] per requeue and
+    ["invalidate"] cache ops per cluster loss — that reconcile with the
     returned records ({!Workload_check.report}).
-    @raise Invalid_argument if [slots < 1]. *)
+    @raise Invalid_argument if [slots < 1] or [max_retries < 0]. *)
 
 val hit_rate : report -> float
 (** Cache hits over lookups (0 when there were none). *)
@@ -94,14 +146,17 @@ val hit_rate : report -> float
 val mean_queue_s : report -> float
 
 val record_json : job_record -> Cutfit_obs.Json.t
+val failure_json : job_failure -> Cutfit_obs.Json.t
+
 val report_json : report -> Cutfit_obs.Json.t
-(** Full report: parameters, per-job records, cache stats, aggregates. *)
+(** Full report: parameters, per-job records, permanent failures, cache
+    stats, aggregates. *)
 
 val report_lines : report -> string list
 (** Canonical JSONL: one parameter/summary line, one line per job
-    record, one cache-stats line — floats bit-exact, so the lines are a
-    digest-stable serialization of the whole simulation
-    ({!Workload_check.digest}). *)
+    record, one line per permanent failure, one cache-stats line —
+    floats bit-exact, so the lines are a digest-stable serialization of
+    the whole simulation ({!Workload_check.digest}). *)
 
 val pp_summary : Format.formatter -> report -> unit
 (** Human-oriented multi-line summary (policy, makespan, queue, cache

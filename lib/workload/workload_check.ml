@@ -17,18 +17,25 @@ let cache_accounting (s : Cache.stats) =
   non_negative "misses" s.Cache.misses;
   non_negative "insertions" s.Cache.insertions;
   non_negative "evictions" s.Cache.evictions;
+  non_negative "invalidations" s.Cache.invalidations;
   non_negative "rejections" s.Cache.rejections;
   non_negative "entries" s.Cache.entries;
   if s.Cache.lookups <> s.Cache.hits + s.Cache.misses then
     add "cache-lookup-split" "lookups (%d) <> hits (%d) + misses (%d)" s.Cache.lookups s.Cache.hits
       s.Cache.misses;
-  if s.Cache.entries <> s.Cache.insertions - s.Cache.evictions then
-    add "cache-entry-conservation" "entries (%d) <> insertions (%d) - evictions (%d)"
-      s.Cache.entries s.Cache.insertions s.Cache.evictions;
-  if not (close s.Cache.bytes_in_cache (s.Cache.bytes_inserted -. s.Cache.bytes_evicted)) then
+  if s.Cache.entries <> s.Cache.insertions - s.Cache.evictions - s.Cache.invalidations then
+    add "cache-entry-conservation"
+      "entries (%d) <> insertions (%d) - evictions (%d) - invalidations (%d)" s.Cache.entries
+      s.Cache.insertions s.Cache.evictions s.Cache.invalidations;
+  if
+    not
+      (close s.Cache.bytes_in_cache
+         (s.Cache.bytes_inserted -. s.Cache.bytes_evicted -. s.Cache.bytes_invalidated))
+  then
     add "cache-byte-conservation"
-      "bytes in cache (%.0f) <> bytes inserted (%.0f) - bytes evicted (%.0f)"
-      s.Cache.bytes_in_cache s.Cache.bytes_inserted s.Cache.bytes_evicted;
+      "bytes in cache (%.0f) <> bytes inserted (%.0f) - evicted (%.0f) - invalidated (%.0f)"
+      s.Cache.bytes_in_cache s.Cache.bytes_inserted s.Cache.bytes_evicted
+      s.Cache.bytes_invalidated;
   if s.Cache.bytes_in_cache < 0.0 then
     add "cache-negative" "bytes_in_cache is negative (%.0f)" s.Cache.bytes_in_cache;
   if s.Cache.bytes_in_cache > s.Cache.budget_bytes && s.Cache.budget_bytes > 0.0 then
@@ -61,7 +68,28 @@ let record_checks (records : Engine.job_record list) =
           r.Engine.partition_s;
       if r.Engine.partition_s < 0.0 || r.Engine.exec_s < 0.0 then
         add "job-negative-cost" "job %d has a negative cost component (partition %.6f, exec %.6f)"
-          id r.Engine.partition_s r.Engine.exec_s)
+          id r.Engine.partition_s r.Engine.exec_s;
+      if r.Engine.attempts < 0 || r.Engine.recoveries < 0 || r.Engine.recovery_s < 0.0 then
+        add "job-negative-fault-counters"
+          "job %d has negative fault counters (attempts %d, recoveries %d, recovery_s %.6f)" id
+          r.Engine.attempts r.Engine.recoveries r.Engine.recovery_s;
+      if r.Engine.attempts = 0 then begin
+        (* A zero-attempt job never ran: no costs, no cache traffic,
+           and it must be marked failed. *)
+        if
+          (not r.Engine.failed)
+          || r.Engine.cache_hit
+          || r.Engine.partition_s <> 0.0
+          || r.Engine.exec_s <> 0.0
+          || r.Engine.recoveries <> 0
+        then add "job-invalid-shape" "zero-attempt job %d carries run artifacts" id
+      end
+      else if
+        r.Engine.failed
+        && not (List.mem r.Engine.outcome [ "aborted"; "error" ])
+      then
+        add "job-failed-outcome" "job %d is marked failed yet its outcome is %S" id
+          r.Engine.outcome)
     records;
   List.rev !v
 
@@ -83,13 +111,34 @@ let aggregate_checks (r : Engine.report) =
   let e = fold (fun acc x -> acc +. x.Engine.exec_s) 0.0 in
   if r.Engine.total_exec_s <> e then
     add "aggregate-exec" "total_exec_s (%.6f) <> sum over records (%.6f)" r.Engine.total_exec_s e;
-  let n = List.length r.Engine.records in
-  if r.Engine.cache.Cache.lookups <> n then
-    add "aggregate-lookups" "cache lookups (%d) <> jobs executed (%d): one lookup per job"
-      r.Engine.cache.Cache.lookups n;
+  let attempts = fold (fun acc x -> acc + x.Engine.attempts) 0 in
+  if r.Engine.cache.Cache.lookups <> attempts then
+    add "aggregate-lookups" "cache lookups (%d) <> attempts launched (%d): one lookup per attempt"
+      r.Engine.cache.Cache.lookups attempts;
+  (* Only the final attempt's hit flag survives in the record, so the
+     stats may count more hits than the records show — never fewer. *)
   let hits = List.length (List.filter (fun x -> x.Engine.cache_hit) r.Engine.records) in
-  if r.Engine.cache.Cache.hits <> hits then
-    add "aggregate-hits" "cache hits (%d) <> hit records (%d)" r.Engine.cache.Cache.hits hits;
+  if r.Engine.cache.Cache.hits < hits then
+    add "aggregate-hits" "cache hits (%d) < hit records (%d)" r.Engine.cache.Cache.hits hits;
+  let retries = fold (fun acc x -> acc + max 0 (x.Engine.attempts - 1)) 0 in
+  if r.Engine.retries <> retries then
+    add "aggregate-retries" "retries (%d) <> sum of extra attempts over records (%d)"
+      r.Engine.retries retries;
+  let failed = List.length (List.filter (fun x -> x.Engine.failed) r.Engine.records) in
+  if List.length r.Engine.failures <> failed then
+    add "aggregate-failures" "%d failure records for %d failed job records"
+      (List.length r.Engine.failures) failed;
+  List.iter
+    (fun (f : Engine.job_failure) ->
+      match
+        List.find_opt
+          (fun (x : Engine.job_record) -> x.Engine.job.Job.id = f.Engine.job_id)
+          r.Engine.records
+      with
+      | Some x when x.Engine.failed -> ()
+      | Some _ -> add "failure-orphan" "failure for job %d whose record is not failed" f.Engine.job_id
+      | None -> add "failure-orphan" "failure for unknown job %d" f.Engine.job_id)
+    r.Engine.failures;
   List.rev !v
 
 let event_checks (r : Engine.report) events =
@@ -97,12 +146,19 @@ let event_checks (r : Engine.report) events =
   let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
   let count f = List.length (List.filter f events) in
   let n = List.length r.Engine.records in
+  let attempts =
+    List.fold_left (fun acc (x : Engine.job_record) -> acc + x.Engine.attempts) 0 r.Engine.records
+  in
   let submits = count (function Event.Job_submit _ -> true | _ -> false) in
   if submits <> n then add "event-submits" "%d Job_submit events for %d records" submits n;
   let starts = count (function Event.Job_start _ -> true | _ -> false) in
-  if starts <> n then add "event-starts" "%d Job_start events for %d records" starts n;
+  if starts <> attempts then
+    add "event-starts" "%d Job_start events for %d attempts" starts attempts;
   let ends = count (function Event.Job_end _ -> true | _ -> false) in
-  if ends <> n then add "event-ends" "%d Job_end events for %d records" ends n;
+  if ends <> attempts then add "event-ends" "%d Job_end events for %d attempts" ends attempts;
+  let retry_events = count (function Event.Job_retry _ -> true | _ -> false) in
+  if retry_events <> r.Engine.retries then
+    add "event-retries" "%d Job_retry events for %d counted retries" retry_events r.Engine.retries;
   let find_record id =
     List.find_opt (fun (x : Engine.job_record) -> x.Engine.job.Job.id = id) r.Engine.records
   in
@@ -110,13 +166,16 @@ let event_checks (r : Engine.report) events =
     (fun ev ->
       match ev with
       | Event.Job_start js -> (
+          (* Earlier (failed) attempts stream their own Job_start; only
+             the final attempt — the one sharing the record's admission
+             instant — must match it field-for-field. *)
           match find_record js.Event.job_id with
           | None -> add "event-orphan" "Job_start for unknown job %d" js.Event.job_id
+          | Some x when js.Event.start_s <> x.Engine.start_s -> ()
           | Some x ->
               if
                 (not (String.equal js.Event.strategy x.Engine.strategy))
                 || js.Event.cache_hit <> x.Engine.cache_hit
-                || js.Event.start_s <> x.Engine.start_s
                 || js.Event.queue_s <> x.Engine.queue_s
               then
                 add "event-start-mismatch" "Job_start %d disagrees with its record"
@@ -124,12 +183,12 @@ let event_checks (r : Engine.report) events =
       | Event.Job_end je -> (
           match find_record je.Event.job_id with
           | None -> add "event-orphan" "Job_end for unknown job %d" je.Event.job_id
+          | Some x when je.Event.finish_s <> x.Engine.finish_s -> ()
           | Some x ->
               if
                 (not (String.equal je.Event.outcome x.Engine.outcome))
                 || je.Event.partition_s <> x.Engine.partition_s
                 || je.Event.exec_s <> x.Engine.exec_s
-                || je.Event.finish_s <> x.Engine.finish_s
               then add "event-end-mismatch" "Job_end %d disagrees with its record" je.Event.job_id)
       | Event.Job_submit js -> (
           match find_record js.Event.job_id with
@@ -138,7 +197,8 @@ let event_checks (r : Engine.report) events =
               if js.Event.arrival_s <> x.Engine.job.Job.arrival_s then
                 add "event-submit-mismatch" "Job_submit %d disagrees with its record"
                   js.Event.job_id)
-      | Event.Cache_op _ | Event.Run_start _ | Event.Superstep _ | Event.Run_end _ -> ())
+      | Event.Cache_op _ | Event.Run_start _ | Event.Superstep _ | Event.Run_end _
+      | Event.Fault_injected _ | Event.Checkpoint _ | Event.Recovery _ | Event.Job_retry _ -> ())
     events;
   let ops name = count (function Event.Cache_op c -> String.equal c.Event.op name | _ -> false) in
   let stats = r.Engine.cache in
@@ -151,6 +211,7 @@ let event_checks (r : Engine.report) events =
   pair "miss" (ops "miss") stats.Cache.misses;
   pair "insert" (ops "insert") stats.Cache.insertions;
   pair "evict" (ops "evict") stats.Cache.evictions;
+  pair "invalidate" (ops "invalidate") stats.Cache.invalidations;
   pair "reject" (ops "reject") stats.Cache.rejections;
   List.rev !v
 

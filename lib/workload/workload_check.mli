@@ -5,13 +5,16 @@
 
     - {!cache_accounting} checks the cache's conservation laws on a bare
       {!Cache.stats} record (lookups split into hits and misses, live
-      entries = insertions - evictions, bytes in cache = bytes inserted
-      - bytes evicted, budget respected) — fabricate an inconsistent
-      record and it must object;
+      entries = insertions - evictions - invalidations, bytes in cache
+      = bytes inserted - evicted - invalidated, budget respected) —
+      fabricate an inconsistent record and it must object;
     - {!report} checks a full {!Engine.report}: per-record arithmetic
-      (queue, finish, hit implies no partition cost), aggregate
-      consistency (makespan, totals recomputed), and, when the emitted
-      event stream is supplied, event-vs-record reconciliation;
+      (queue, finish, hit implies no partition cost, failed jobs carry
+      a failing outcome, zero-attempt jobs carry no run artifacts),
+      aggregate consistency (makespan, totals recomputed, one cache
+      lookup per attempt, retries and failures recounted against the
+      records), and, when the emitted event stream is supplied,
+      event-vs-record reconciliation;
     - {!digest}/{!run_twice} canonicalize a report through the JSONL
       codec for bit-exact determinism checking. *)
 

@@ -12,6 +12,7 @@ let () =
       ("algo", Test_algo.suite);
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);
+      ("faults", Test_faults.suite);
       ("experiments", Test_experiments.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

@@ -120,6 +120,7 @@ let test_event_roundtrip () =
         total_s = 1.25;
         load_s = 0.125;
         checkpoint_s = 0.0;
+        recovery_s = 0.0;
         total_messages = 1234;
         total_remote = 567;
         total_wire_bytes = 89012.5;
@@ -354,7 +355,7 @@ let test_jsonl_file_reconciles () =
     (List.fold_left (fun acc s -> acc + s.Event.remote_shuffles + s.Event.remote_broadcasts) 0 ss);
   checkf "wire bytes from the file, bit-exact"
     (Trace.total_wire_bytes trace)
-    (List.fold_left (fun acc s -> acc +. s.Event.wire_bytes) 0.0 ss)
+    (List.fold_left (fun acc (s : Event.superstep) -> acc +. s.Event.wire_bytes) 0.0 ss)
 
 let test_zero_superstep_run () =
   (* An edgeless graph: no messages ever flow, so the run ends after the
@@ -376,7 +377,8 @@ let test_zero_superstep_run () =
   checki "no remote messages" (Trace.total_remote_messages trace)
     (List.fold_left (fun acc s -> acc + s.Event.remote_shuffles + s.Event.remote_broadcasts) 0 ss);
   List.iter
-    (fun s -> if s.Event.step > 0 then checki "late steps idle" 0 s.Event.messages)
+    (fun (s : Event.superstep) ->
+      if s.Event.step > 0 then checki "late steps idle" 0 s.Event.messages)
     ss;
   match run_ends_of (contents ()) with
   | [ e ] -> Alcotest.(check string) "still completes" "completed" e.Event.outcome

@@ -162,9 +162,11 @@ let test_cache_accounting_fabricated () =
       misses = 3;
       insertions = 3;
       evictions = 1;
+      invalidations = 0;
       rejections = 0;
       bytes_inserted = 120.0;
       bytes_evicted = 40.0;
+      bytes_invalidated = 0.0;
       bytes_in_cache = 80.0;
       entries = 2;
     }

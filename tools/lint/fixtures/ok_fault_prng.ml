@@ -1,0 +1,18 @@
+(* expect: none *)
+(* The fault-schedule idiom: every random draw is a stateless hash of
+   (seed, salt, step) through lib/prng — no [Random], no self-init, no
+   wall clock — so a realized schedule replays bit-identically no
+   matter how the engine interleaves its plan calls. *)
+let draw ~seed ~salt ~step =
+  Cutfit_prng.Splitmix64.mix64
+    (Int64.logxor
+       (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+       (Int64.add (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L) (Int64.of_int step)))
+
+let fires ~seed ~salt ~step ~rate =
+  let h = draw ~seed ~salt ~step in
+  Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 < rate
+
+let victim ~seed ~salt ~step ~executors =
+  let h = draw ~seed ~salt ~step in
+  Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int executors))

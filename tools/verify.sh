@@ -23,6 +23,46 @@ dune exec bin/cutfit_cli.exe -- run CC roadnet_pa --paranoid >/dev/null
 echo "== workload smoke (20 jobs, checked + digested)"
 dune exec bin/cutfit_cli.exe -- workload --jobs 20 --check >/dev/null
 
+echo "== seeded fault smoke (recovery equivalence + faulty workload)"
+# the sixth sanitizer suite: faulty run must be bit-identical to the
+# fault-free baseline
+dune exec bin/cutfit_cli.exe -- check PR roadnet_pa \
+  --faults 'crash@3,straggler@1-2:x3' --checkpoint-every 3 >/dev/null
+# a survivable faulty workload must pass its own sanitizer and digest
+dune exec bin/cutfit_cli.exe -- workload --jobs 12 --check \
+  --faults 'straggler@1-2:x3,loss@2' --checkpoint-every 3 >/dev/null
+
+echo "== run-twice digest on a faulty trace"
+d1=$(dune exec bin/cutfit_cli.exe -- run PR roadnet_pa \
+  --faults 'crash@2,rand@0.1' --checkpoint-every 2)
+d2=$(dune exec bin/cutfit_cli.exe -- run PR roadnet_pa \
+  --faults 'crash@2,rand@0.1' --checkpoint-every 2)
+if [ "$d1" != "$d2" ]; then
+  echo "faulty trace digests diverge:" >&2
+  echo "  $d1" >&2
+  echo "  $d2" >&2
+  exit 1
+fi
+
+echo "== exit-code contract (0 success / 1 failure / 2 usage)"
+expect_exit() {
+  want="$1"; shift
+  set +e
+  "$@" >/dev/null 2>&1
+  got=$?
+  set -e
+  if [ "$got" != "$want" ]; then
+    echo "expected exit $want, got $got: $*" >&2
+    exit 1
+  fi
+}
+expect_exit 0 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa
+expect_exit 1 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa \
+  --faults 'crash@1,crash@2' --max-failures 0
+expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --faults 'crash@0'
+expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR no_such_dataset
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --max-retries -1
+
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"
   dune build @doc
