@@ -4,6 +4,7 @@
    Usage: main.exe [section ...]
    Sections: table1 figure1 figure2 table2 table3 figure3 figure4
              figure5 figure6 checks infra ablation advisor costmodel
+             sweep engines workload faults resilience telemetry export
              micro all (default: all)
 
    The (dataset x partitioner x configuration x algorithm) matrix is
@@ -468,6 +469,129 @@ let faults ppf =
        ]);
   Format.fprintf ppf "@.wrote the machine-readable grid to %s@." path
 
+(* --- resilience: speculation on/off x straggler intensity x queue bound --- *)
+
+let resilience ppf =
+  let seed = 7L and n_jobs = 20 in
+  let mix =
+    match W.Job.find_mix "uniform" with Some m -> m | None -> invalid_arg "uniform mix"
+  in
+  let jobs = W.Job.generate ~seed ~jobs:n_jobs mix in
+  Format.fprintf ppf
+    "Tail latency under stragglers: the same %d-job uniform stream (SJF,@.\
+     cache-aware selection) replayed under straggler intensities, with and@.\
+     without speculative re-execution, bounded and unbounded admission@.\
+     queues. Speculation re-runs a straggling executor's superstep tasks@.\
+     on the least-loaded executor at a priced cost (launch RPC, re-shuffle,@.\
+     clone compute) — values stay bit-identical, only the tail moves:@.@."
+    n_jobs;
+  let cells =
+    List.concat_map
+      (fun factor ->
+        List.concat_map
+          (fun queue_bound ->
+            List.map
+              (fun speculate ->
+                let faults =
+                  Cutfit.Faults.config (Printf.sprintf "straggler@2:x%d" factor)
+                in
+                let speculation =
+                  if speculate then Some (Cutfit.Speculation.config ()) else None
+                in
+                let r =
+                  W.Engine.run ~faults ?speculation ?queue_bound ~policy:W.Engine.Sjf ~seed
+                    jobs
+                in
+                (factor, queue_bound, speculate, r))
+              [ false; true ])
+          [ None; Some 4 ])
+      [ 4; 8; 16 ]
+  in
+  let shed_rate (r : W.Engine.report) =
+    float_of_int (W.Engine.shed_jobs r) /. float_of_int n_jobs
+  in
+  let ptiles (r : W.Engine.report) =
+    match W.Engine.latency_percentiles r with
+    | Some p -> p
+    | None -> invalid_arg "bench resilience: a cell finished no jobs"
+  in
+  let bound_name = function None -> "unbounded" | Some b -> string_of_int b in
+  let rows =
+    List.map
+      (fun (factor, queue_bound, speculate, (r : W.Engine.report)) ->
+        let p = ptiles r in
+        [
+          Printf.sprintf "x%d" factor;
+          bound_name queue_bound;
+          (if speculate then "on" else "off");
+          string_of_int (W.Engine.shed_jobs r);
+          Printf.sprintf "%.0f%%" (100.0 *. shed_rate r);
+          string_of_int (W.Engine.total_speculations r);
+          Printf.sprintf "%.1f" p.Cutfit_stats.Summary.p50;
+          Printf.sprintf "%.1f" p.Cutfit_stats.Summary.p95;
+          Printf.sprintf "%.1f" p.Cutfit_stats.Summary.p99;
+          Printf.sprintf "%.1f" r.W.Engine.makespan_s;
+        ])
+      cells
+  in
+  Format.fprintf ppf "%s@."
+    (E.Report.table
+       ~header:
+         [
+           "Straggler"; "Queue"; "Speculate"; "Shed"; "Shed rate"; "Clones"; "p50"; "p95";
+           "p99"; "Makespan s";
+         ]
+       ~rows);
+  (* Headline: the paired p99 deltas, speculation on vs off. *)
+  List.iter
+    (fun factor ->
+      let pick speculate =
+        List.find_map
+          (fun (f, b, s, r) ->
+            if f = factor && b = None && s = speculate then Some (ptiles r) else None)
+          cells
+      in
+      match (pick false, pick true) with
+      | Some off, Some on_ ->
+          Format.fprintf ppf
+            "straggler x%-2d (unbounded): p99 %.1fs -> %.1fs with speculation (%+.0f%%)@."
+            factor off.Cutfit_stats.Summary.p99 on_.Cutfit_stats.Summary.p99
+            (100.0
+            *. (on_.Cutfit_stats.Summary.p99 -. off.Cutfit_stats.Summary.p99)
+            /. off.Cutfit_stats.Summary.p99)
+      | _ -> ())
+    [ 4; 8; 16 ];
+  let cell_json (factor, queue_bound, speculate, (r : W.Engine.report)) =
+    let p = ptiles r in
+    Json.Obj
+      [
+        ("straggler_factor", Json.Int factor);
+        ( "queue_bound",
+          match queue_bound with None -> Json.Null | Some b -> Json.Int b );
+        ("speculate", Json.Bool speculate);
+        ("shed_jobs", Json.Int (W.Engine.shed_jobs r));
+        ("shed_rate", Json.Float (shed_rate r));
+        ("speculations", Json.Int (W.Engine.total_speculations r));
+        ("latency_p50_s", Json.Float p.Cutfit_stats.Summary.p50);
+        ("latency_p95_s", Json.Float p.Cutfit_stats.Summary.p95);
+        ("latency_p99_s", Json.Float p.Cutfit_stats.Summary.p99);
+        ("makespan_s", Json.Float r.W.Engine.makespan_s);
+        ("retries", Json.Int r.W.Engine.retries);
+      ]
+  in
+  let path = "BENCH_resilience.json" in
+  E.Export.write_json path
+    (Json.Obj
+       [
+         ("mix", Json.String mix.W.Job.name);
+         ("jobs", Json.Int n_jobs);
+         ("policy", Json.String "sjf");
+         ("seed", Json.String (Int64.to_string seed));
+         ("speculate_threshold", Json.Float 2.0);
+         ("cells", Json.List (List.map cell_json cells));
+       ]);
+  Format.fprintf ppf "@.wrote the machine-readable grid to %s@." path
+
 (* --- telemetry: per-superstep observability + JSONL export --- *)
 
 let telemetry ppf =
@@ -594,6 +718,7 @@ let sections =
     ("engines", ("Engine comparison: Pregel vs GAS", engines));
     ("workload", ("Workload engine: scheduling policies x cache budgets", workload));
     ("faults", ("Fault tolerance: checkpoint cadence x fault rate", faults));
+    ("resilience", ("Resilience: speculation x straggler intensity x queue bound", resilience));
     ("export", ("CSV + JSON export of the evaluation matrix", export));
     ("telemetry", ("Telemetry: per-superstep observability + JSONL export", telemetry));
     ("micro", ("Micro-benchmarks (bechamel)", micro));

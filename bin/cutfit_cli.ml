@@ -181,6 +181,31 @@ let faults_of_flags ~spec ~fault_seed ~max_failures ~mode =
       | c -> Some c
       | exception Cutfit.Faults.Parse_error msg -> usage_fail "bad --faults spec: %s" msg)
 
+(* --- speculative re-execution flags shared by run/compare/check/workload --- *)
+
+let speculate_arg =
+  let doc =
+    "Launch a priced speculative clone of a straggling executor's superstep tasks on the \
+     least-loaded executor; the earlier finisher wins. Like faults, speculation perturbs only \
+     the simulated time accounting — final vertex values stay bit-identical."
+  in
+  Arg.(value & flag & info [ "speculate" ] ~doc)
+
+let speculate_threshold_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "speculate-threshold" ] ~docv:"X"
+        ~doc:
+          "Multiple of the median per-executor busy time past which the slowest executor is \
+           declared a straggler (>= 1).")
+
+let speculation_of_flags ~speculate ~threshold ~fault_seed =
+  if not speculate then None
+  else
+    match Cutfit.Speculation.config ~threshold ~seed:fault_seed () with
+    | c -> Some c
+    | exception Invalid_argument msg -> usage_fail "bad --speculate-threshold: %s" msg
+
 (* --- datasets --- *)
 
 let datasets_cmd =
@@ -282,22 +307,30 @@ let run_cmd =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
   let action algo graph config partitioner seed faults_spec checkpoint_every fault_seed
-      fault_mode max_failures trace_out verbose paranoid =
+      fault_mode max_failures speculate speculate_threshold trace_out verbose paranoid =
     let g = load_graph graph in
     let faults =
       faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
+    in
+    let speculation =
+      speculation_of_flags ~speculate ~threshold:speculate_threshold ~fault_seed
     in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     let p =
       with_violation_report (fun () ->
           Cutfit.Pipeline.prepare ~check:paranoid ~cluster:config ?partitioner ?checkpoint_every
-            ?faults ?telemetry ~algorithm:algo g)
+            ?faults ?speculation ?telemetry ~algorithm:algo g)
     in
     Fmt.pr "partitioner: %s, %s@."
       (Cutfit.Partitioner.name p.Cutfit.Pipeline.partitioner)
       (Cutfit.Cluster.describe config);
     (match faults with
     | Some f -> Fmt.pr "faults: %s@." (Cutfit.Faults.describe f)
+    | None -> ());
+    (match speculation with
+    | Some s ->
+        Fmt.pr "speculation: on (threshold x%g over the median executor busy time)@."
+          s.Cutfit.Speculation.threshold
     | None -> ());
     let trace =
       match algo with
@@ -334,7 +367,8 @@ let run_cmd =
       const action $ algo_arg $ graph_pos1 $ config_arg $ strategy
       $ seed_arg ~default:5L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
       $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
-      $ max_failures_arg $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+      $ max_failures_arg $ speculate_arg $ speculate_threshold_arg $ trace_out_arg
+      $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- compare --- *)
 
@@ -343,17 +377,20 @@ let compare_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH" ~doc:"Dataset or file.")
   in
   let action algo graph config seed faults_spec checkpoint_every fault_seed fault_mode
-      max_failures trace_out verbose paranoid =
+      max_failures speculate speculate_threshold trace_out verbose paranoid =
     let g = load_graph graph in
     let faults =
       faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
+    in
+    let speculation =
+      speculation_of_flags ~speculate ~threshold:speculate_threshold ~fault_seed
     in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     List.iter
       (fun (name, t) -> Fmt.pr "%-10s %s@." name (Cutfit_experiments.Report.seconds t))
       (with_violation_report (fun () ->
            Cutfit.Pipeline.compare_partitioners ~check:paranoid ~cluster:config ~seed
-             ?checkpoint_every ?faults ?telemetry ~algorithm:algo g));
+             ?checkpoint_every ?faults ?speculation ?telemetry ~algorithm:algo g));
     finish_telemetry ();
     exit_ok
   in
@@ -362,7 +399,8 @@ let compare_cmd =
       const action $ algo_arg $ graph_pos1 $ config_arg
       $ seed_arg ~default:11L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
       $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
-      $ max_failures_arg $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
+      $ max_failures_arg $ speculate_arg $ speculate_threshold_arg $ trace_out_arg
+      $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- workload --- *)
 
@@ -437,9 +475,65 @@ let workload_cmd =
             "Requeue a job whose cluster died up to $(docv) times (capped exponential \
              backoff); past that the job fails permanently.")
   in
+  let queue_bound_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admission-control queue capacity: a first-attempt job meeting a full queue is \
+             shed per $(b,--shed-policy). Retries bypass the bound. Unbounded by default.")
+  in
+  let shed_policy_arg =
+    Arg.(
+      value & opt string "reject"
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:
+            "What to shed when the bounded queue is full: $(b,reject) (the incoming job) or \
+             $(b,drop-oldest) (displace the longest-waiting queued job).")
+  in
+  let deadline_s_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-s" ] ~docv:"S"
+          ~doc:
+            "Absolute per-job SLO deadline: arrival + $(docv) simulated seconds. A queued job \
+             past its deadline is culled; a running job is cancelled at the deadline instant.")
+  in
+  let deadline_factor_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-factor" ] ~docv:"F"
+          ~doc:
+            "Predicted-service SLO deadline: arrival + $(docv) x the advisor-predicted service \
+             time at admission. Mutually exclusive with $(b,--deadline-s).")
+  in
+  let breaker_k_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "breaker-k" ] ~docv:"K"
+          ~doc:
+            "Arm a per-(dataset, strategy) circuit breaker: $(docv) consecutive failed \
+             attempts open it, degrading selection to the cheapest cached strategy until a \
+             probe succeeds after the cooldown.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "breaker-cooldown" ] ~docv:"S"
+          ~doc:"Seconds an open breaker blocks its strategy before a half-open probe.")
+  in
+  let backpressure_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "backpressure" ] ~docv:"N"
+          ~doc:
+            "Queue-depth watermark past which strategy selection degrades to the cheapest \
+             cached partitioning (skip builds while the cluster is drowning).")
+  in
   let action mix_name jobs seed policy_name select_name threshold cache_gb eviction_name slots
-      faults_spec checkpoint_every fault_seed fault_mode max_failures max_retries trace_out
-      verbose check =
+      faults_spec checkpoint_every fault_seed fault_mode max_failures max_retries speculate
+      speculate_threshold queue_bound shed_policy_name deadline_s deadline_factor breaker_k
+      breaker_cooldown backpressure trace_out verbose check =
     let fail fmt = usage_fail fmt in
     let mix =
       match W.Job.find_mix mix_name with
@@ -464,6 +558,35 @@ let workload_cmd =
     let faults =
       faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
     in
+    let speculation =
+      speculation_of_flags ~speculate ~threshold:speculate_threshold ~fault_seed
+    in
+    let shed_policy =
+      match W.Engine.shed_policy_of_string shed_policy_name with
+      | Some p -> p
+      | None -> fail "unknown shed policy %S (reject, drop-oldest)" shed_policy_name
+    in
+    let deadline =
+      match (deadline_s, deadline_factor) with
+      | None, None -> None
+      | Some s, None ->
+          if s <= 0.0 then fail "deadline-s must be positive (got %g)" s;
+          Some (W.Engine.Absolute s)
+      | None, Some f ->
+          if f <= 0.0 then fail "deadline-factor must be positive (got %g)" f;
+          Some (W.Engine.Factor f)
+      | Some _, Some _ -> fail "--deadline-s and --deadline-factor are mutually exclusive"
+    in
+    (match queue_bound with
+    | Some b when b < 1 -> fail "queue-bound must be >= 1 (got %d)" b
+    | _ -> ());
+    (match breaker_k with
+    | Some k when k < 1 -> fail "breaker-k must be >= 1 (got %d)" k
+    | _ -> ());
+    (match backpressure with
+    | Some w when w < 0 -> fail "backpressure must be >= 0 (got %d)" w
+    | _ -> ());
+    if breaker_cooldown < 0.0 then fail "breaker-cooldown must be >= 0 (got %g)" breaker_cooldown;
     if max_retries < 0 then fail "max-retries must be >= 0 (got %d)" max_retries;
     let stream = W.Job.generate ~seed ~jobs mix in
     let ring, read_ring = Cutfit.Sink.ring ~capacity:65536 () in
@@ -475,8 +598,10 @@ let workload_cmd =
     let telemetry = if sinks = [] then None else Some (Cutfit.Telemetry.create ~sinks ()) in
     let budget_bytes = cache_gb *. 1.0e9 in
     let report =
-      W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ~max_retries ~policy
-        ~selection ?telemetry ~seed stream
+      W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ?speculation
+        ~max_retries ?queue_bound ~shed_policy ?deadline ?breaker_k
+        ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ?telemetry ~seed
+        stream
     in
     let rows =
       List.map
@@ -514,8 +639,9 @@ let workload_cmd =
         let twice =
           W.Workload_check.run_twice ~label:(Printf.sprintf "workload %s seed %Ld" mix_name seed)
             (fun () ->
-              W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ~max_retries
-                ~policy ~selection ~seed
+              W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ?speculation
+                ~max_retries ?queue_bound ~shed_policy ?deadline ?breaker_k
+                ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ~seed
                 (W.Job.generate ~seed ~jobs mix))
         in
         match violations @ twice with
@@ -544,7 +670,9 @@ let workload_cmd =
       $ seed_arg ~default:7L ~doc:"Seed of the job stream (and of each SSSP job's landmarks)."
       $ policy_arg $ select_arg $ threshold_arg $ cache_gb_arg $ eviction_arg $ slots_arg
       $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
-      $ max_failures_arg $ max_retries_arg $ trace_out_arg $ verbose_events_arg $ check_arg)
+      $ max_failures_arg $ max_retries_arg $ speculate_arg $ speculate_threshold_arg
+      $ queue_bound_arg $ shed_policy_arg $ deadline_s_arg $ deadline_factor_arg $ breaker_k_arg
+      $ breaker_cooldown_arg $ backpressure_arg $ trace_out_arg $ verbose_events_arg $ check_arg)
 
 (* --- check --- *)
 
@@ -556,14 +684,17 @@ let check_cmd =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
   let action algo graph config partitioner faults_spec checkpoint_every fault_seed fault_mode
-      max_failures =
+      max_failures speculate speculate_threshold =
     let g = load_graph graph in
     let faults =
       faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
     in
+    let speculation =
+      speculation_of_flags ~speculate ~threshold:speculate_threshold ~fault_seed
+    in
     let report =
       Cutfit.Sanitize.check_run ~cluster:config ?partitioner ?checkpoint_every ?faults
-        ~algorithm:algo g
+        ?speculation ~algorithm:algo g
     in
     Fmt.pr "%a@." Cutfit.Sanitize.pp_report report;
     if Cutfit.Sanitize.ok report then exit_ok else exit_failure
@@ -573,12 +704,13 @@ let check_cmd =
        ~doc:
          "Run the full simulator sanitizer on one algorithm/graph pair: partition structure, \
           metrics recomputation, trace conservation laws, telemetry reconciliation, and the \
-          run-twice determinism digest. With $(b,--faults), a sixth suite proves the \
-          recovery-equivalence invariant against a fault-free baseline. Exits non-zero on any \
-          violation.")
+          run-twice determinism digest. With $(b,--faults) or $(b,--speculate), a sixth suite \
+          proves the value-equivalence invariant against a clean baseline. Exits non-zero on \
+          any violation.")
     Term.(
       const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ faults_spec_arg
-      $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg $ max_failures_arg)
+      $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg $ max_failures_arg
+      $ speculate_arg $ speculate_threshold_arg)
 
 let () =
   let doc = "Tailor graph partitioning to the computation (Cut to Fit)." in

@@ -16,10 +16,11 @@ let program =
     msg_bytes = 8;
   }
 
-let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?telemetry ~cluster pg =
+let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+    ~cluster pg =
   let r =
-    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?telemetry
-      ~cluster pg program
+    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?speculation
+      ?telemetry ~cluster pg program
   in
   { labels = r.Pregel.attrs; trace = r.Pregel.trace }
 

@@ -21,11 +21,12 @@ let program g =
     msg_bytes = 8;
   }
 
-let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?telemetry ~cluster pg =
+let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+    ~cluster pg =
   let g = Cutfit_bsp.Pgraph.graph pg in
   let r =
-    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?telemetry
-      ~cluster pg (program g)
+    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?speculation
+      ?telemetry ~cluster pg (program g)
   in
   { ranks = r.Pregel.attrs; trace = r.Pregel.trace }
 
@@ -72,11 +73,12 @@ let gas_program g iterations =
   },
   iterations
 
-let run_gas ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?telemetry ~cluster pg =
+let run_gas ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+    ~cluster pg =
   let g = Cutfit_bsp.Pgraph.graph pg in
   let program, max_iterations = gas_program g iterations in
   let r =
-    Cutfit_bsp.Gas.run ~max_iterations ?scale ?cost ?checkpoint_every ?faults ?telemetry
-      ~cluster pg program
+    Cutfit_bsp.Gas.run ~max_iterations ?scale ?cost ?checkpoint_every ?faults ?speculation
+      ?telemetry ~cluster pg program
   in
   { ranks = r.Cutfit_bsp.Gas.attrs; trace = r.Cutfit_bsp.Gas.trace }

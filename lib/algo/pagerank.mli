@@ -14,6 +14,7 @@ val run :
   ?cost:Cutfit_bsp.Cost_model.t ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->
@@ -28,6 +29,7 @@ val run_gas :
   ?cost:Cutfit_bsp.Cost_model.t ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   Cutfit_bsp.Pgraph.t ->

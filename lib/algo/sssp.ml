@@ -38,16 +38,16 @@ let program ~landmarks =
     msg_bytes = bytes;
   }
 
-let run ?(max_supersteps = 2000) ?scale ?cost ?checkpoint_every ?faults ?telemetry ~cluster
-    ~landmarks pg =
+let run ?(max_supersteps = 2000) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+    ~cluster ~landmarks pg =
   if Array.length landmarks = 0 then invalid_arg "Sssp.run: empty landmark set";
   let n = Graph.num_vertices (Cutfit_bsp.Pgraph.graph pg) in
   Array.iter
     (fun v -> if v < 0 || v >= n then invalid_arg "Sssp.run: landmark out of range")
     landmarks;
   let r =
-    Pregel.run ~max_supersteps ?scale ?cost ?checkpoint_every ?faults ?telemetry ~cluster pg
-      (program ~landmarks)
+    Pregel.run ~max_supersteps ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+      ~cluster pg (program ~landmarks)
   in
   { distances = r.Pregel.attrs; trace = r.Pregel.trace }
 

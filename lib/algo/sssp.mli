@@ -18,6 +18,7 @@ val run :
   ?cost:Cutfit_bsp.Cost_model.t ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   landmarks:int array ->

@@ -19,6 +19,7 @@ type t = {
   gc_jitter : float;
   retry_backoff_base_s : float;
   retry_backoff_cap_s : float;
+  speculation_rpc_s : float;
 }
 
 let default =
@@ -43,6 +44,7 @@ let default =
     gc_jitter = 0.6;
     retry_backoff_base_s = 0.05;
     retry_backoff_cap_s = 2.0;
+    speculation_rpc_s = 2.0e-3;
   }
 
 (* Total backoff time charged for [retries] successive shuffle retry

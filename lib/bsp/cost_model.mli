@@ -45,6 +45,10 @@ type t = {
       (** first-attempt backoff delay when a transient shuffle loss forces
           a retransmission *)
   retry_backoff_cap_s : float;  (** ceiling on any single backoff delay *)
+  speculation_rpc_s : float;
+      (** driver round-trip to launch (and later kill) a speculative
+          clone of a straggling executor's tasks — charged once per
+          speculation on top of the re-dispatch cost *)
 }
 
 val default : t

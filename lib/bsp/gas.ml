@@ -17,7 +17,7 @@ type ('v, 'g) program = {
 type 'v result = { attrs : 'v array; trace : Trace.t }
 
 let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every
-    ?faults ?telemetry ~cluster pg program =
+    ?faults ?speculation ?telemetry ~cluster pg program =
   let g = Pgraph.graph pg in
   let n = Graph.num_vertices g in
   let num_partitions = Pgraph.num_partitions pg in
@@ -48,6 +48,40 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   let recovery_total = ref 0.0 in
   let faults_injected = ref 0 in
   let last_ckpt = ref None in
+  let parts_per_exec = Array.make executors 0 in
+  for p = 0 to num_partitions - 1 do
+    parts_per_exec.(exec_of p) <- parts_per_exec.(exec_of p) + 1
+  done;
+  let speculations = ref [] in
+  let speculation_total = ref 0.0 in
+  let push_speculation (s : Trace.speculation) =
+    speculations := s :: !speculations;
+    speculation_total := !speculation_total +. s.Trace.speculative_compute_s;
+    match telemetry with
+    | None -> ()
+    | Some t ->
+        Obs.Telemetry.emit t
+          (Obs.Event.Speculative_launch
+             {
+               step = s.Trace.at_step;
+               executor = s.Trace.executor;
+               host = s.Trace.host;
+               cloned_partitions = s.Trace.cloned_partitions;
+               original_busy_s = s.Trace.original_busy_s;
+               clone_busy_s = s.Trace.clone_busy_s;
+               wire_bytes = s.Trace.speculative_wire_bytes;
+               compute_s = s.Trace.speculative_compute_s;
+             });
+        if s.Trace.won then
+          Obs.Telemetry.emit t
+            (Obs.Event.Speculative_win
+               {
+                 step = s.Trace.at_step;
+                 executor = s.Trace.executor;
+                 host = s.Trace.host;
+                 saved_s = s.Trace.saved_s;
+               })
+  in
   let push_recovery (r : Trace.recovery) =
     recoveries := r :: !recoveries;
     recovery_total := !recovery_total +. r.Trace.recovery_s;
@@ -86,21 +120,32 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
         Obs.Telemetry.emit t (Obs.Event.Checkpoint { step; bytes = graph_bytes; write_s })
   in
 
-  let finish ~step ~plan ~work ~bytes_out ~active_edges ~messages ~shuffle_groups ~remote_shuffles
-      ~updated ~bcast ~remote_bcast =
+  let finish ~step ~plan ~work ~bytes_out ~bytes_in ~active_edges ~messages ~shuffle_groups
+      ~remote_shuffles ~updated ~bcast ~remote_bcast =
     let jittered = Cost_model.jittered cost ~step work in
+    let clean_busy = Array.make executors 0.0 in
     let busy = Array.make executors 0.0 in
     for e = 0 to executors - 1 do
       let mine = ref [] in
       for p = 0 to num_partitions - 1 do
         if exec_of p = e then mine := jittered.(p) :: !mine
       done;
-      busy.(e) <-
-        scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores
-        *. plan.Faults.compute_factor e
+      clean_busy.(e) <- scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores;
+      busy.(e) <- clean_busy.(e) *. plan.Faults.compute_factor e
     done;
-    let compute = Array.fold_left Float.max 0.0 busy in
     let bandwidth_eff = bandwidth *. plan.Faults.network_factor in
+    (* Same speculation pass as Pregel: decided from the step's own
+       deterministic busy/ingress data, rewriting only the time
+       accounting. *)
+    let busy, spec =
+      match speculation with
+      | Some cfg when step >= 1 ->
+          Speculation.evaluate cfg ~cost ~bandwidth:bandwidth_eff ~step ~busy ~clean_busy
+            ~ingress:(Array.map (fun b -> scale *. b) bytes_in)
+            ~partitions:parts_per_exec
+      | _ -> (busy, None)
+    in
+    let compute = Array.fold_left Float.max 0.0 busy in
     let network = ref 0.0 and wire = ref 0.0 in
     for e = 0 to executors - 1 do
       wire := !wire +. (scale *. bytes_out.(e));
@@ -174,6 +219,7 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
               (Obs.Event.Fault_injected
                  { step; kind = a.fault_kind; executor = a.fault_executor; detail = a.detail }))
           plan.Faults.announce);
+    Option.iter push_speculation spec;
     (match plan.Faults.loss with
     | None -> ()
     | Some (e, retries) ->
@@ -187,6 +233,7 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   begin
     let work = Array.make num_partitions 0.0 in
     let bytes_out = Array.make executors 0.0 in
+    let bytes_in = Array.make executors 0.0 in
     let remote_frac = float_of_int (executors - 1) /. float_of_int executors in
     for p = 0 to num_partitions - 1 do
       let m_p = float_of_int (Pgraph.num_edges_of_partition pg p) in
@@ -198,8 +245,8 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
         +. (m_p *. float_of_int cost.Cost_model.shuffle_edge_bytes *. remote_frac)
     done;
     ignore
-      (finish ~step:(-1) ~plan:Faults.neutral ~work ~bytes_out ~active_edges:0 ~messages:0
-         ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
+      (finish ~step:(-1) ~plan:Faults.neutral ~work ~bytes_out ~bytes_in ~active_edges:0
+         ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
   end;
 
   let step = ref 0 in
@@ -207,6 +254,7 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   while !continue do
     let work = Array.make num_partitions 0.0 in
     let bytes_out = Array.make executors 0.0 in
+    let bytes_in = Array.make executors 0.0 in
     let active_edges = ref 0 and messages = ref 0 in
     let shuffle_groups = ref 0 and remote_shuffles = ref 0 in
     touched := [];
@@ -231,6 +279,7 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
           if exec_of mp <> pexec then begin
             incr remote_shuffles;
             bytes_out.(pexec) <- bytes_out.(pexec) +. gather_wire;
+            bytes_in.(exec_of mp) <- bytes_in.(exec_of mp) +. gather_wire;
             work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s
           end
         end
@@ -278,7 +327,8 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
             work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s;
             if exec_of q <> mexec then begin
               incr remote_bcast;
-              bytes_out.(mexec) <- bytes_out.(mexec) +. attr_wire
+              bytes_out.(mexec) <- bytes_out.(mexec) +. attr_wire;
+              bytes_in.(exec_of q) <- bytes_in.(exec_of q) +. attr_wire
             end);
         (* Scatter signals the neighbours, GraphLab-style, so data-driven
            programs (stay = false) still propagate. *)
@@ -301,9 +351,9 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       | Some s -> Faults.plan s ~step:!step
     in
     let hit_driver =
-      finish ~step:!step ~plan ~work ~bytes_out ~active_edges:!active_edges ~messages:!messages
-        ~shuffle_groups:!shuffle_groups ~remote_shuffles:!remote_shuffles ~updated:!updated
-        ~bcast:!bcast ~remote_bcast:!remote_bcast
+      finish ~step:!step ~plan ~work ~bytes_out ~bytes_in ~active_edges:!active_edges
+        ~messages:!messages ~shuffle_groups:!shuffle_groups ~remote_shuffles:!remote_shuffles
+        ~updated:!updated ~bcast:!bcast ~remote_bcast:!remote_bcast
     in
     let hit_driver =
       match checkpoint_every with
@@ -393,6 +443,8 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       recovery_s = !recovery_total;
       recoveries = List.rev !recoveries;
       faults_injected = !faults_injected;
+      speculations = List.rev !speculations;
+      speculation_s = !speculation_total;
       total_s;
       outcome = !outcome;
       peak_executor_bytes = 0.0;

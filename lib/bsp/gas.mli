@@ -48,6 +48,7 @@ val run :
   ?cost:Cost_model.t ->
   ?checkpoint_every:int ->
   ?faults:Faults.config ->
+  ?speculation:Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
@@ -57,6 +58,7 @@ val run :
     500). All vertices start active. [telemetry] streams one
     {!Cutfit_obs.Event.Superstep} per stage and a closing [Run_end]
     labelled ["gas"], exactly as {!Pregel.run} does. [checkpoint_every]
-    and [faults] carry the same checkpoint/fault-injection semantics as
-    {!Pregel.run}: faults perturb only the time accounting, never the
+    [faults] and [speculation] carry the same checkpoint /
+    fault-injection / straggler-mitigation semantics as {!Pregel.run}:
+    faults and speculation perturb only the time accounting, never the
     converged attributes. *)

@@ -46,7 +46,7 @@ module Ivec = struct
 end
 
 let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every
-    ?faults ?telemetry ~cluster pg program =
+    ?faults ?speculation ?telemetry ~cluster pg program =
   let g = Pgraph.graph pg in
   let n = Graph.num_vertices g in
   let num_partitions = Pgraph.num_partitions pg in
@@ -78,6 +78,10 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
                  * (cost.Cost_model.vertex_object_bytes + program.state_bytes)))
   done;
   let peak_executor = ref (Array.fold_left Float.max 0.0 resident) in
+  let parts_per_exec = Array.make executors 0 in
+  for p = 0 to num_partitions - 1 do
+    parts_per_exec.(exec_of p) <- parts_per_exec.(exec_of p) + 1
+  done;
 
   let steps = ref [] in
   let outcome = ref Trace.Completed in
@@ -88,6 +92,36 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   let recovery_total = ref 0.0 in
   let faults_injected = ref 0 in
   let last_ckpt = ref None in
+  let speculations = ref [] in
+  let speculation_total = ref 0.0 in
+  let push_speculation (s : Trace.speculation) =
+    speculations := s :: !speculations;
+    speculation_total := !speculation_total +. s.Trace.speculative_compute_s;
+    match telemetry with
+    | None -> ()
+    | Some t ->
+        Obs.Telemetry.emit t
+          (Obs.Event.Speculative_launch
+             {
+               step = s.Trace.at_step;
+               executor = s.Trace.executor;
+               host = s.Trace.host;
+               cloned_partitions = s.Trace.cloned_partitions;
+               original_busy_s = s.Trace.original_busy_s;
+               clone_busy_s = s.Trace.clone_busy_s;
+               wire_bytes = s.Trace.speculative_wire_bytes;
+               compute_s = s.Trace.speculative_compute_s;
+             });
+        if s.Trace.won then
+          Obs.Telemetry.emit t
+            (Obs.Event.Speculative_win
+               {
+                 step = s.Trace.at_step;
+                 executor = s.Trace.executor;
+                 host = s.Trace.host;
+                 saved_s = s.Trace.saved_s;
+               })
+  in
   let push_recovery (r : Trace.recovery) =
     recoveries := r :: !recoveries;
     recovery_total := !recovery_total +. r.Trace.recovery_s;
@@ -137,7 +171,7 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   (* One superstep of vertex-side work shared by superstep 0 and the
      main loop: run vprog on [vertices], then broadcast the updated
      attributes along the routing table, charging work and bytes. *)
-  let apply_and_broadcast ~work ~bytes_out ~run_vprog vertices =
+  let apply_and_broadcast ~work ~bytes_out ~bytes_in ~run_vprog vertices =
     let updated = ref 0 and bcast = ref 0 and remote_bcast = ref 0 in
     vertices (fun v ->
         incr updated;
@@ -151,16 +185,18 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
             work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s;
             if exec_of q <> mexec then begin
               incr remote_bcast;
-              bytes_out.(mexec) <- bytes_out.(mexec) +. attr_wire_bytes
+              bytes_out.(mexec) <- bytes_out.(mexec) +. attr_wire_bytes;
+              bytes_in.(exec_of q) <- bytes_in.(exec_of q) +. attr_wire_bytes
             end));
     (!updated, !bcast, !remote_bcast)
   in
 
-  let finish_superstep ~step ~plan ~work ~bytes_out ~active_edges ~messages ~shuffle_groups
-      ~remote_shuffles ~updated ~bcast ~remote_bcast =
+  let finish_superstep ~step ~plan ~work ~bytes_out ~bytes_in ~active_edges ~messages
+      ~shuffle_groups ~remote_shuffles ~updated ~bcast ~remote_bcast =
     (* Executor compute = makespan of its partitions' jittered work over
        its cores; an active straggler fault stretches its executor. *)
     let jittered = Cost_model.jittered cost ~step work in
+    let clean_busy = Array.make executors 0.0 in
     let busy = Array.make executors 0.0 in
     for e = 0 to executors - 1 do
       let mine = ref [] in
@@ -168,10 +204,23 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
         if exec_of p = e then mine := jittered.(p) :: !mine
       done;
       let arr = Array.of_list !mine in
-      busy.(e) <- scale *. Cost_model.makespan ~work:arr ~cores *. plan.Faults.compute_factor e
+      clean_busy.(e) <- scale *. Cost_model.makespan ~work:arr ~cores;
+      busy.(e) <- clean_busy.(e) *. plan.Faults.compute_factor e
     done;
-    let compute = Array.fold_left Float.max 0.0 busy in
     let bandwidth_eff = bandwidth *. plan.Faults.network_factor in
+    (* Speculative re-execution of the slowest executor's tasks: decided
+       from the same deterministic busy/ingress data the step already
+       produced, so it only rewrites the time accounting — the values,
+       counters and superstep wire bytes are untouched. *)
+    let busy, spec =
+      match speculation with
+      | Some cfg when step >= 1 ->
+          Speculation.evaluate cfg ~cost ~bandwidth:bandwidth_eff ~step ~busy ~clean_busy
+            ~ingress:(Array.map (fun b -> scale *. b) bytes_in)
+            ~partitions:parts_per_exec
+      | _ -> (busy, None)
+    in
+    let compute = Array.fold_left Float.max 0.0 busy in
     let network = ref 0.0 and wire = ref 0.0 in
     for e = 0 to executors - 1 do
       wire := !wire +. (scale *. bytes_out.(e));
@@ -248,6 +297,7 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
               (Obs.Event.Fault_injected
                  { step; kind = a.fault_kind; executor = a.fault_executor; detail = a.detail }))
           plan.Faults.announce);
+    Option.iter push_speculation spec;
     (* A transient shuffle loss retransmits the executor's egress with
        capped exponential backoff — charged as recovery time, outside the
        superstep's own wire accounting. *)
@@ -266,6 +316,7 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   begin
     let work = Array.make num_partitions 0.0 in
     let bytes_out = Array.make executors 0.0 in
+    let bytes_in = Array.make executors 0.0 in
     let edge_wire = float_of_int cost.Cost_model.shuffle_edge_bytes in
     for p = 0 to num_partitions - 1 do
       let m_p = float_of_int (Pgraph.num_edges_of_partition pg p) in
@@ -278,8 +329,9 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       bytes_out.(exec_of p) <- bytes_out.(exec_of p) +. (m_p *. edge_wire *. remote_frac)
     done;
     ignore
-      (finish_superstep ~step:(-1) ~plan:Faults.neutral ~work ~bytes_out ~active_edges:0
-         ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
+      (finish_superstep ~step:(-1) ~plan:Faults.neutral ~work ~bytes_out ~bytes_in
+         ~active_edges:0 ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0
+         ~remote_bcast:0)
   end;
 
   (* Superstep 0: vprog everywhere with the initial message, then a full
@@ -288,19 +340,20 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   begin
     let work = Array.make num_partitions 0.0 in
     let bytes_out = Array.make executors 0.0 in
+    let bytes_in = Array.make executors 0.0 in
     for v = 0 to n - 1 do
       attrs.(v) <- program.vprog v attrs.(v) program.initial_msg;
       Bytes.unsafe_set active v '\001'
     done;
     let updated, bcast, remote_bcast =
-      apply_and_broadcast ~work ~bytes_out ~run_vprog:true (fun f ->
+      apply_and_broadcast ~work ~bytes_out ~bytes_in ~run_vprog:true (fun f ->
           for v = 0 to n - 1 do
             f v
           done)
     in
     oom :=
-      finish_superstep ~step:0 ~plan:Faults.neutral ~work ~bytes_out ~active_edges:0 ~messages:0
-        ~shuffle_groups:0 ~remote_shuffles:0 ~updated ~bcast ~remote_bcast
+      finish_superstep ~step:0 ~plan:Faults.neutral ~work ~bytes_out ~bytes_in ~active_edges:0
+        ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated ~bcast ~remote_bcast
   end;
 
   let step = ref 1 in
@@ -309,6 +362,7 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   while !continue do
     let work = Array.make num_partitions 0.0 in
     let bytes_out = Array.make executors 0.0 in
+    let bytes_in = Array.make executors 0.0 in
     let active_edges = ref 0 and messages = ref 0 in
     let shuffle_groups = ref 0 and remote_shuffles = ref 0 in
     Ivec.clear touched;
@@ -335,6 +389,7 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
           if exec_of mp <> pexec then begin
             incr remote_shuffles;
             bytes_out.(pexec) <- bytes_out.(pexec) +. msg_wire_bytes;
+            bytes_in.(exec_of mp) <- bytes_in.(exec_of mp) +. msg_wire_bytes;
             work.(mp) <- work.(mp) +. cost.Cost_model.msg_serialize_s
           end
         end
@@ -361,7 +416,8 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
        values); apply_and_broadcast only charges the vprog cost and the
        replica refresh. *)
     let updated, bcast, remote_bcast =
-      apply_and_broadcast ~work ~bytes_out ~run_vprog:true (fun f -> Ivec.iter touched f)
+      apply_and_broadcast ~work ~bytes_out ~bytes_in ~run_vprog:true (fun f ->
+          Ivec.iter touched f)
     in
     let plan =
       match fsession with
@@ -369,9 +425,9 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       | Some s -> Faults.plan s ~step:!step
     in
     let hit_driver_limit =
-      finish_superstep ~step:!step ~plan ~work ~bytes_out ~active_edges:!active_edges
-        ~messages:!messages ~shuffle_groups:!shuffle_groups ~remote_shuffles:!remote_shuffles
-        ~updated ~bcast ~remote_bcast
+      finish_superstep ~step:!step ~plan ~work ~bytes_out ~bytes_in
+        ~active_edges:!active_edges ~messages:!messages ~shuffle_groups:!shuffle_groups
+        ~remote_shuffles:!remote_shuffles ~updated ~bcast ~remote_bcast
     in
     let hit_driver_limit =
       match checkpoint_every with
@@ -462,6 +518,8 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       recovery_s = !recovery_total;
       recoveries = List.rev !recoveries;
       faults_injected = !faults_injected;
+      speculations = List.rev !speculations;
+      speculation_s = !speculation_total;
       total_s;
       outcome = !outcome;
       peak_executor_bytes = !peak_executor;

@@ -49,6 +49,7 @@ val run :
   ?cost:Cost_model.t ->
   ?checkpoint_every:int ->
   ?faults:Faults.config ->
+  ?speculation:Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
@@ -74,6 +75,15 @@ val run :
     budget end the run with [trace.outcome = Aborted]. Faults never
     touch the computed attributes: a faulty run's [attrs] are
     bit-identical to the fault-free run's.
+
+    [speculation] enables {!Speculation} straggler mitigation at every
+    compute superstep (step >= 1): when the slowest executor's busy
+    time exceeds the configured multiple of the median, its tasks are
+    cloned onto the least-loaded executor and the earlier finisher
+    wins, appending an itemized {!Trace.speculation} record (and
+    [Speculative_launch] / [Speculative_win] telemetry). Like faults,
+    speculation perturbs only the time accounting — attributes,
+    counters and superstep wire bytes are untouched.
 
     When [telemetry] is given, every stage (including the [step = -1]
     build stage) emits one {!Cutfit_obs.Event.Superstep} record derived

@@ -25,6 +25,19 @@ type recovery = {
   recovery_s : float;
 }
 
+type speculation = {
+  at_step : int;
+  executor : int;
+  host : int;
+  cloned_partitions : int;
+  original_busy_s : float;
+  clone_busy_s : float;
+  speculative_compute_s : float;
+  speculative_wire_bytes : float;
+  won : bool;
+  saved_s : float;
+}
+
 type outcome = Completed | Max_supersteps | Out_of_memory | Aborted
 
 type t = {
@@ -35,6 +48,8 @@ type t = {
   recovery_s : float;
   recoveries : recovery list;
   faults_injected : int;
+  speculations : speculation list;
+  speculation_s : float;
   total_s : float;
   outcome : outcome;
   peak_executor_bytes : float;
@@ -52,6 +67,13 @@ let total_network_s t = List.fold_left (fun acc s -> acc +. s.network_s) 0.0 t.s
 let total_compute_s t = List.fold_left (fun acc s -> acc +. s.compute_s) 0.0 t.supersteps
 let total_overhead_s t = List.fold_left (fun acc s -> acc +. s.overhead_s) 0.0 t.supersteps
 let num_recoveries t = List.length t.recoveries
+let num_speculations t = List.length t.speculations
+
+let speculation_wins t =
+  List.fold_left (fun acc s -> if s.won then acc + 1 else acc) 0 t.speculations
+
+let total_speculative_wire_bytes t =
+  List.fold_left (fun acc s -> acc +. s.speculative_wire_bytes) 0.0 t.speculations
 let completed t = match t.outcome with Out_of_memory | Aborted -> false | Completed | Max_supersteps -> true
 
 let outcome_name = function
@@ -66,7 +88,7 @@ let pp_superstep ppf s =
     s.step s.active_edges s.messages s.shuffle_groups s.remote_shuffles s.broadcast_replicas
     s.remote_broadcasts s.wire_bytes s.time_s s.compute_s s.network_s s.overhead_s
 
-let pp_recovery ppf r =
+let pp_recovery ppf (r : recovery) =
   Format.fprintf ppf "step %2d: %s of executor %d (%s) %.3fs"
     r.at_step r.kind r.executor
     (match r.kind with
@@ -76,6 +98,12 @@ let pp_recovery ppf r =
     | _ -> Printf.sprintf "%.0f bytes retransmitted" r.recovery_wire_bytes)
     r.recovery_s
 
+let pp_speculation ppf s =
+  Format.fprintf ppf "step %2d: executor %d cloned onto %d (%d tasks, %.0fB reshuffled) %s%s"
+    s.at_step s.executor s.host s.cloned_partitions s.speculative_wire_bytes
+    (if s.won then "clone won" else "original won")
+    (if s.won then Printf.sprintf ", saved %.3fs" s.saved_s else "")
+
 let pp_summary ppf t =
   let outcome =
     match t.outcome with
@@ -83,7 +111,7 @@ let pp_summary ppf t =
     | Aborted -> "ABORTED"
     | o -> outcome_name o
   in
-  Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s%s)"
+  Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s%s%s)"
     outcome (num_supersteps t) t.total_s t.load_s (total_compute_s t) (total_network_s t)
     (total_overhead_s t)
     (if t.checkpoints > 0 then Printf.sprintf ", %d ckpt %.2fs" t.checkpoints t.checkpoint_s
@@ -91,4 +119,8 @@ let pp_summary ppf t =
     (if t.recoveries <> [] || t.faults_injected > 0 then
        Printf.sprintf ", %d fault(s) %d recover(ies) %.2fs" t.faults_injected
          (num_recoveries t) t.recovery_s
+     else "")
+    (if t.speculations <> [] then
+       Printf.sprintf ", %d speculation(s) (%d won) %.2fs extra compute" (num_speculations t)
+         (speculation_wins t) t.speculation_s
      else "")

@@ -37,6 +37,27 @@ type recovery = {
   recovery_s : float;  (** modeled time charged for this recovery *)
 }
 
+type speculation = {
+  at_step : int;  (** superstep whose barrier launched the clone *)
+  executor : int;  (** the straggling executor whose tasks were cloned *)
+  host : int;  (** the least-loaded executor the clone ran on *)
+  cloned_partitions : int;  (** tasks re-dispatched to the host *)
+  original_busy_s : float;  (** the straggler's (stretched) busy time *)
+  clone_busy_s : float;
+      (** the clone's finish time from barrier start: host's own busy +
+          launch RPC + re-dispatch + re-shuffle + clean re-execution *)
+  speculative_compute_s : float;
+      (** compute the clone burned re-running the straggler's tasks —
+          resource cost charged whether or not the clone won *)
+  speculative_wire_bytes : float;
+      (** the straggler's shuffle ingress, re-sent to the host —
+          deliberately outside {!superstep.wire_bytes} so the
+          wire-payload law over supersteps still holds (same convention
+          as {!recovery.recovery_wire_bytes}) *)
+  won : bool;  (** the clone finished first and its results were taken *)
+  saved_s : float;  (** original - clone busy when won, else 0 *)
+}
+
 type outcome =
   | Completed
   | Max_supersteps  (** stopped by the iteration cap (normal for PR/CC) *)
@@ -51,6 +72,12 @@ type t = {
   recovery_s : float;  (** sum of {!recovery.recovery_s} *)
   recoveries : recovery list;  (** chronological *)
   faults_injected : int;  (** faults the schedule fired during this run *)
+  speculations : speculation list;  (** chronological *)
+  speculation_s : float;
+      (** sum of {!speculation.speculative_compute_s} — extra cluster
+          compute paid for clones. Deliberately NOT part of [total_s]:
+          clones run in parallel with the straggler, so their win (or
+          waste) is already reflected in each superstep's [time_s]. *)
   total_s : float;  (** load + checkpoints + recoveries + all supersteps *)
   outcome : outcome;
   peak_executor_bytes : float;
@@ -74,6 +101,15 @@ val total_overhead_s : t -> float
 
 val num_recoveries : t -> int
 
+val num_speculations : t -> int
+
+val speculation_wins : t -> int
+(** How many recorded speculations took the clone's result. *)
+
+val total_speculative_wire_bytes : t -> float
+(** Sum of {!speculation.speculative_wire_bytes}; like recovery
+    traffic, outside {!total_wire_bytes}. *)
+
 val completed : t -> bool
 (** [true] unless the run ended in {!Out_of_memory} or {!Aborted}. *)
 
@@ -84,3 +120,4 @@ val outcome_name : outcome -> string
 val pp_summary : Format.formatter -> t -> unit
 val pp_superstep : Format.formatter -> superstep -> unit
 val pp_recovery : Format.formatter -> recovery -> unit
+val pp_speculation : Format.formatter -> speculation -> unit

@@ -42,6 +42,20 @@ let trace_digest (t : Trace.t) =
     t.Trace.recoveries;
   buf_float b t.Trace.recovery_s;
   buf_int b t.Trace.faults_injected;
+  List.iter
+    (fun (s : Trace.speculation) ->
+      buf_int b s.Trace.at_step;
+      buf_int b s.Trace.executor;
+      buf_int b s.Trace.host;
+      buf_int b s.Trace.cloned_partitions;
+      buf_float b s.Trace.original_busy_s;
+      buf_float b s.Trace.clone_busy_s;
+      buf_float b s.Trace.speculative_compute_s;
+      buf_float b s.Trace.speculative_wire_bytes;
+      buf_int b (if s.Trace.won then 1 else 0);
+      buf_float b s.Trace.saved_s)
+    t.Trace.speculations;
+  buf_float b t.Trace.speculation_s;
   buf_float b t.Trace.total_s;
   Buffer.add_string b (Trace.outcome_name t.Trace.outcome);
   buf_float b t.Trace.peak_executor_bytes;

@@ -27,10 +27,12 @@ let equivalence ?(label = "run") ~baseline ~faulty ~baseline_attrs ~faulty_attrs
     baseline.Trace.faults_injected <> 0
     || baseline.Trace.recoveries <> []
     || baseline.Trace.recovery_s <> 0.0
+    || baseline.Trace.speculations <> []
   then
-    bad "baseline-faulted" "%s: baseline run carries %d faults / %d recoveries" label
-      baseline.Trace.faults_injected
-      (List.length baseline.Trace.recoveries);
+    bad "baseline-faulted" "%s: baseline run carries %d faults / %d recoveries / %d speculations"
+      label baseline.Trace.faults_injected
+      (List.length baseline.Trace.recoveries)
+      (List.length baseline.Trace.speculations);
   let faulty_valid = Trace.completed faulty in
   (* The core invariant: faults perturb time accounting only. A faulty
      run that still completed must have converged to bit-identical

@@ -145,6 +145,55 @@ let validate ?payload (t : Trace.t) =
         bad "recovery-shape" "step %d: %s recovery claims lost partitions" r.Trace.at_step
           r.Trace.kind)
     t.Trace.recoveries;
+  (* Speculation accounting: every clone is itemized, its extra compute
+     folds up to the trace total exactly, and each record is internally
+     consistent — the clone ran elsewhere, the win flag matches the
+     busy-time comparison, and the superstep the clone raced in pays at
+     least the winner's busy time. speculation_s is deliberately NOT
+     part of total_s (the clone burns a different executor's cycles in
+     parallel), which the total-time law above already enforces. *)
+  let speculation_total =
+    List.fold_left
+      (fun a (s : Trace.speculation) -> a +. s.Trace.speculative_compute_s)
+      0.0 t.Trace.speculations
+  in
+  if not (feq speculation_total t.Trace.speculation_s) then
+    bad "speculation-time" "speculation_s = %.17g but itemized clones sum to %.17g"
+      t.Trace.speculation_s speculation_total;
+  List.iter
+    (fun (s : Trace.speculation) ->
+      let step = s.Trace.at_step in
+      if step < 1 then bad "speculation-step" "speculation at step %d: clones race only at compute supersteps" step;
+      if s.Trace.host = s.Trace.executor then
+        bad "speculation-shape" "step %d: clone hosted on the straggler itself (executor %d)" step
+          s.Trace.executor;
+      if s.Trace.executor < 0 || s.Trace.host < 0 then
+        bad "speculation-shape" "step %d: negative executor ids (%d -> %d)" step s.Trace.executor
+          s.Trace.host;
+      if s.Trace.cloned_partitions <= 0 then
+        bad "speculation-shape" "step %d: clone of %d partitions" step s.Trace.cloned_partitions;
+      if
+        s.Trace.original_busy_s <= 0.0 || s.Trace.clone_busy_s < 0.0
+        || s.Trace.speculative_compute_s < 0.0
+        || s.Trace.speculative_wire_bytes < 0.0
+      then bad "speculation-cost" "step %d: negative speculation cost component" step;
+      if s.Trace.won <> (s.Trace.clone_busy_s < s.Trace.original_busy_s) then
+        bad "speculation-winner" "step %d: won = %b yet clone busy %.17g vs original %.17g" step
+          s.Trace.won s.Trace.clone_busy_s s.Trace.original_busy_s;
+      let saved = if s.Trace.won then s.Trace.original_busy_s -. s.Trace.clone_busy_s else 0.0 in
+      if not (feq s.Trace.saved_s saved) then
+        bad "speculation-saved" "step %d: saved_s = %.17g, expected %.17g" step s.Trace.saved_s
+          saved;
+      match
+        List.find_opt (fun (ss : Trace.superstep) -> ss.Trace.step = step) t.Trace.supersteps
+      with
+      | None -> bad "speculation-step" "speculation at step %d which the trace never ran" step
+      | Some ss ->
+          let winner = if s.Trace.won then s.Trace.clone_busy_s else s.Trace.original_busy_s in
+          if ss.Trace.compute_s < winner then
+            bad "speculation-compute" "step %d: compute_s %.17g < winning busy time %.17g" step
+              ss.Trace.compute_s winner)
+    t.Trace.speculations;
   List.rev !acc
 
 let tsuite = "telemetry"
@@ -267,4 +316,46 @@ let reconcile (t : Trace.t) events =
           bad "recovery-events" "recovery event at step %d disagrees with the trace record"
             e.Event.step)
       t.Trace.recoveries recovs;
+  (* Speculation events mirror the trace's clone bookkeeping 1:1: one
+     launch per record, one win per record that took the clone. *)
+  let launches =
+    List.filter_map (function Event.Speculative_launch s -> Some s | _ -> None) events
+  in
+  if List.length launches <> List.length t.Trace.speculations then
+    bad "speculation-events" "%d speculative_launch events for %d trace speculations"
+      (List.length launches)
+      (List.length t.Trace.speculations)
+  else
+    List.iter2
+      (fun (s : Trace.speculation) (e : Event.speculative_launch) ->
+        if
+          e.Event.step <> s.Trace.at_step
+          || e.Event.executor <> s.Trace.executor
+          || e.Event.host <> s.Trace.host
+          || e.Event.cloned_partitions <> s.Trace.cloned_partitions
+          || (not (feq e.Event.original_busy_s s.Trace.original_busy_s))
+          || (not (feq e.Event.clone_busy_s s.Trace.clone_busy_s))
+          || (not (feq e.Event.wire_bytes s.Trace.speculative_wire_bytes))
+          || not (feq e.Event.compute_s s.Trace.speculative_compute_s)
+        then
+          bad "speculation-events" "speculative_launch at step %d disagrees with the trace record"
+            e.Event.step)
+      t.Trace.speculations launches;
+  let wins = List.filter_map (function Event.Speculative_win w -> Some w | _ -> None) events in
+  let won = List.filter (fun (s : Trace.speculation) -> s.Trace.won) t.Trace.speculations in
+  if List.length wins <> List.length won then
+    bad "speculation-events" "%d speculative_win events for %d winning clones" (List.length wins)
+      (List.length won)
+  else
+    List.iter2
+      (fun (s : Trace.speculation) (e : Event.speculative_win) ->
+        if
+          e.Event.step <> s.Trace.at_step
+          || e.Event.executor <> s.Trace.executor
+          || e.Event.host <> s.Trace.host
+          || not (feq e.Event.saved_s s.Trace.saved_s)
+        then
+          bad "speculation-events" "speculative_win at step %d disagrees with the trace record"
+            e.Event.step)
+      won wins;
   List.rev !acc

@@ -62,6 +62,7 @@ module Pregel = Cutfit_bsp.Pregel
 module Gas = Cutfit_bsp.Gas
 module Trace = Cutfit_bsp.Trace
 module Faults = Cutfit_bsp.Faults
+module Speculation = Cutfit_bsp.Speculation
 
 (* Algorithms *)
 module Pagerank = Cutfit_algo.Pagerank

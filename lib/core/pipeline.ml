@@ -14,10 +14,11 @@ type prepared = {
   telemetry : Obs.Telemetry.t option;
   checkpoint_every : int option;
   faults : Cutfit_bsp.Faults.config option;
+  speculation : Cutfit_bsp.Speculation.config option;
 }
 
 let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0)
-    ?checkpoint_every ?faults ?telemetry ~algorithm g =
+    ?checkpoint_every ?faults ?speculation ?telemetry ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -29,18 +30,30 @@ let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale 
     Cutfit_check.Violation.raise_if_any
       (Cutfit_check.Pgraph_check.assignment g ~num_partitions assignment);
   let pg = Pgraph.build g ~num_partitions assignment in
-  let p = { graph = g; pg; cluster; partitioner; scale; telemetry; checkpoint_every; faults } in
+  let p =
+    { graph = g; pg; cluster; partitioner; scale; telemetry; checkpoint_every; faults; speculation }
+  in
   if check then
     Cutfit_check.Violation.raise_if_any
       (Cutfit_check.Pgraph_check.validate pg
       @ Cutfit_check.Metrics_check.validate g ~num_partitions assignment (Pgraph.metrics pg));
   p
 
-let of_pgraph ?(cluster = Cluster.config_i) ?(scale = 1.0) ?checkpoint_every ?faults ?telemetry
-    ~partitioner pg =
+let of_pgraph ?(cluster = Cluster.config_i) ?(scale = 1.0) ?checkpoint_every ?faults ?speculation
+    ?telemetry ~partitioner pg =
   if cluster.Cluster.num_partitions <> Pgraph.num_partitions pg then
     invalid_arg "Pipeline.of_pgraph: cluster and partitioned graph disagree on partition count";
-  { graph = Pgraph.graph pg; pg; cluster; partitioner; scale; telemetry; checkpoint_every; faults }
+  {
+    graph = Pgraph.graph pg;
+    pg;
+    cluster;
+    partitioner;
+    scale;
+    telemetry;
+    checkpoint_every;
+    faults;
+    speculation;
+  }
 
 let metrics p = Pgraph.metrics p.pg
 
@@ -65,7 +78,7 @@ let pagerank ?iterations p =
   start_run p "pagerank";
   let r =
     Cutfit_algo.Pagerank.run ?iterations ~scale:p.scale ?checkpoint_every:p.checkpoint_every
-      ?faults:p.faults ?telemetry:p.telemetry ~cluster:p.cluster p.pg
+      ?faults:p.faults ?speculation:p.speculation ?telemetry:p.telemetry ~cluster:p.cluster p.pg
   in
   (r.Cutfit_algo.Pagerank.ranks, r.Cutfit_algo.Pagerank.trace)
 
@@ -73,8 +86,8 @@ let connected_components ?iterations p =
   start_run p "connected_components";
   let r =
     Cutfit_algo.Connected_components.run ?iterations ~scale:p.scale
-      ?checkpoint_every:p.checkpoint_every ?faults:p.faults ?telemetry:p.telemetry
-      ~cluster:p.cluster p.pg
+      ?checkpoint_every:p.checkpoint_every ?faults:p.faults ?speculation:p.speculation
+      ?telemetry:p.telemetry ~cluster:p.cluster p.pg
   in
   (r.Cutfit_algo.Connected_components.labels, r.Cutfit_algo.Connected_components.trace)
 
@@ -94,19 +107,19 @@ let shortest_paths ~landmarks p =
   start_run p "shortest_paths";
   let r =
     Cutfit_algo.Sssp.run ~scale:p.scale ?checkpoint_every:p.checkpoint_every ?faults:p.faults
-      ?telemetry:p.telemetry ~cluster:p.cluster ~landmarks p.pg
+      ?speculation:p.speculation ?telemetry:p.telemetry ~cluster:p.cluster ~landmarks p.pg
   in
   (r.Cutfit_algo.Sssp.distances, r.Cutfit_algo.Sssp.trace)
 
 let compare_partitioners ?(check = false) ?(partitioners = Partitioner.paper_six)
     ?(cluster = Cluster.config_i) ?(scale = 1.0) ?(seed = 11L) ?checkpoint_every ?faults
-    ?telemetry ~algorithm g =
+    ?speculation ?telemetry ~algorithm g =
   let times =
     List.map
       (fun partitioner ->
         let p =
-          prepare ~check ~cluster ~partitioner ~scale ?checkpoint_every ?faults ?telemetry
-            ~algorithm g
+          prepare ~check ~cluster ~partitioner ~scale ?checkpoint_every ?faults ?speculation
+            ?telemetry ~algorithm g
         in
         let trace =
           match algorithm with

@@ -33,6 +33,8 @@ type prepared = {
       (** superstep checkpoint cadence, threaded into every Pregel/GAS run *)
   faults : Cutfit_bsp.Faults.config option;
       (** deterministic fault schedule, threaded into every Pregel/GAS run *)
+  speculation : Cutfit_bsp.Speculation.config option;
+      (** straggler-mitigation config, threaded into every Pregel/GAS run *)
 }
 
 val prepare :
@@ -42,6 +44,7 @@ val prepare :
   ?scale:float ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
@@ -51,10 +54,11 @@ val prepare :
     Existing callers are unchanged — omitting [telemetry] keeps the
     zero-allocation fast path in the engines.
 
-    [checkpoint_every] and [faults] are forwarded to every Pregel/GAS
-    run launched from this preparation. Triangle counting builds its
-    stages outside those engines, so the fault schedule does not apply
-    to it — a TR run in a faulty pipeline simply executes fault-free.
+    [checkpoint_every], [faults] and [speculation] are forwarded to
+    every Pregel/GAS run launched from this preparation. Triangle
+    counting builds its stages outside those engines, so neither the
+    fault schedule nor speculative re-execution applies to it — a TR run
+    in a faulty pipeline simply executes fault-free.
 
     With [~check:true] the assignment is validated before the build and
     the frozen {!Cutfit_bsp.Pgraph} plus its metrics are sanitized after
@@ -67,6 +71,7 @@ val of_pgraph :
   ?scale:float ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   partitioner:Cutfit_partition.Partitioner.t ->
   Cutfit_bsp.Pgraph.t ->
@@ -102,6 +107,7 @@ val compare_partitioners :
   ?seed:int64 ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->

@@ -40,11 +40,13 @@ let payload ~scale ~landmarks algorithm =
    every run yields a canonical digest of its final vertex values —
    what the fault suite compares bit-for-bit across baseline and faulty
    executions. *)
-let run_once ?checkpoint_every ?faults ~cluster ~partitioner ~scale ~landmarks ~algorithm g =
+let run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale ~landmarks
+    ~algorithm g =
   let sink, contents = Obs.Sink.ring ~capacity:65536 () in
   let telemetry = Obs.Telemetry.create ~sinks:[ sink ] () in
   let p =
-    Pipeline.prepare ~cluster ~partitioner ~scale ?checkpoint_every ?faults ~telemetry ~algorithm g
+    Pipeline.prepare ~cluster ~partitioner ~scale ?checkpoint_every ?faults ?speculation
+      ~telemetry ~algorithm g
   in
   let trace, attrs_digest =
     match algorithm with
@@ -65,7 +67,7 @@ let run_once ?checkpoint_every ?faults ~cluster ~partitioner ~scale ~landmarks ~
   (p, trace, attrs_digest, contents ())
 
 let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpoint_every ?faults
-    ~algorithm g =
+    ?speculation ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -78,7 +80,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
     | _ -> [||]
   in
   let p, trace, attrs_digest, events =
-    run_once ?checkpoint_every ?faults ~cluster ~partitioner ~scale ~landmarks ~algorithm g
+    run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale ~landmarks
+      ~algorithm g
   in
   let assignment = Pgraph.assignment p.Pipeline.pg in
   let pgraph_v = Check.Pgraph_check.validate p.Pipeline.pg in
@@ -96,19 +99,21 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
   in
   let digest_of_run () =
     let _, trace, _, events =
-      run_once ?checkpoint_every ?faults ~cluster ~partitioner ~scale ~landmarks ~algorithm g
+      run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale ~landmarks
+        ~algorithm g
     in
     Check.Determinism.trace_digest trace ^ "/" ^ Check.Determinism.events_digest events
   in
   let determinism_v = Check.Determinism.run_twice ~label digest_of_run in
-  (* With a fault schedule the sanitized run above is the faulty one; a
-     sixth suite replays the same pipeline fault-free and proves the
-     recovery-equivalence invariant: bit-identical vertex values, same
-     communication structure, never cheaper in compute time. *)
+  (* With a fault schedule (or speculation) the sanitized run above is
+     the perturbed one; a sixth suite replays the same pipeline
+     fault-free and speculation-free and proves the equivalence
+     invariant: bit-identical vertex values, same communication
+     structure, never cheaper in compute time. *)
   let faults_v =
-    match faults with
-    | None -> None
-    | Some _ ->
+    match (faults, speculation) with
+    | None, None -> None
+    | _ ->
         let _, baseline, baseline_attrs, _ =
           run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g
         in

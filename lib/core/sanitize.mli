@@ -8,12 +8,13 @@
     (recomputation + §3.1 identity), [trace] (conservation laws, with
     the wire-payload law on the Pregel-engine algorithms), [telemetry]
     (event stream vs trace reconciliation), [determinism] (two more
-    identical runs must digest identically). With a fault schedule a
-    sixth suite, [faults], replays the pipeline fault-free and proves
-    the recovery-equivalence invariant via {!Cutfit_check.Fault_check}:
-    the faulty run's final vertex values are bit-identical to the
-    baseline's, its communication structure is unchanged, and its
-    compute supersteps never sum cheaper. *)
+    identical runs must digest identically). With a fault schedule or a
+    speculation config a sixth suite, [faults], replays the pipeline
+    fault-free and speculation-free and proves the equivalence invariant
+    via {!Cutfit_check.Fault_check}: the perturbed run's final vertex
+    values are bit-identical to the baseline's, its communication
+    structure is unchanged, and its compute supersteps never sum
+    cheaper. *)
 
 type report = {
   algorithm : Advisor.algorithm;
@@ -32,6 +33,7 @@ val check_run :
   ?scale:float ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   report
@@ -39,7 +41,7 @@ val check_run :
     advisor's partitioner, scale 1.0. SSSP uses the same 3 deterministic
     landmarks as {!Pipeline.compare_partitioners}. Runs the pipeline
     three times in total (once observed, twice for the determinism
-    digest) — four with [faults], which adds the fault-free baseline
-    for the equivalence suite. *)
+    digest) — four with [faults] or [speculation], which add the
+    unperturbed baseline for the equivalence suite. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -51,7 +51,37 @@ type recovery = {
   recovery_s : float;
 }
 
+type speculative_launch = {
+  step : int;
+  executor : int;  (** the straggler whose tasks were cloned *)
+  host : int;  (** the least-loaded executor hosting the clone *)
+  cloned_partitions : int;
+  original_busy_s : float;
+  clone_busy_s : float;
+  wire_bytes : float;  (** re-shuffled ingress, outside the wire-payload law *)
+  compute_s : float;  (** extra compute burned by the clone *)
+}
+
+type speculative_win = { step : int; executor : int; host : int; saved_s : float }
+
 type job_retry = { job_id : int; attempt : int; delay_s : float; resubmit_s : float }
+
+type job_shed = {
+  job_id : int;
+  at_s : float;
+  queue_depth : int;  (** admission queue depth when the shed decision fired *)
+  policy : string;  (** "reject" | "drop-oldest" *)
+}
+
+type deadline_exceeded = {
+  job_id : int;
+  deadline_s : float;  (** the job's absolute SLO deadline *)
+  overshoot_s : float;  (** how far past the deadline the job was cancelled *)
+  started : bool;  (** false: culled from the queue; true: cancelled mid-run *)
+}
+
+type breaker_open = { dataset : string; strategy : string; at_s : float; failures : int }
+type breaker_close = { dataset : string; strategy : string; at_s : float }
 
 type job_submit = {
   job_id : int;
@@ -95,10 +125,16 @@ type t =
   | Fault_injected of fault_injected
   | Checkpoint of checkpoint
   | Recovery of recovery
+  | Speculative_launch of speculative_launch
+  | Speculative_win of speculative_win
   | Job_submit of job_submit
   | Job_start of job_start
   | Job_end of job_end
   | Job_retry of job_retry
+  | Job_shed of job_shed
+  | Deadline_exceeded of deadline_exceeded
+  | Breaker_open of breaker_open
+  | Breaker_close of breaker_close
   | Cache_op of cache_op
 
 let skew s =
@@ -179,6 +215,63 @@ let to_json = function
           ("lost_replicas", Json.Int r.lost_replicas);
           ("wire_bytes", Json.Float r.wire_bytes);
           ("recovery_s", Json.Float r.recovery_s);
+        ]
+  | Speculative_launch s ->
+      Json.Obj
+        [
+          ("type", Json.String "speculative_launch");
+          ("step", Json.Int s.step);
+          ("executor", Json.Int s.executor);
+          ("host", Json.Int s.host);
+          ("cloned_partitions", Json.Int s.cloned_partitions);
+          ("original_busy_s", Json.Float s.original_busy_s);
+          ("clone_busy_s", Json.Float s.clone_busy_s);
+          ("wire_bytes", Json.Float s.wire_bytes);
+          ("compute_s", Json.Float s.compute_s);
+        ]
+  | Speculative_win s ->
+      Json.Obj
+        [
+          ("type", Json.String "speculative_win");
+          ("step", Json.Int s.step);
+          ("executor", Json.Int s.executor);
+          ("host", Json.Int s.host);
+          ("saved_s", Json.Float s.saved_s);
+        ]
+  | Job_shed j ->
+      Json.Obj
+        [
+          ("type", Json.String "job_shed");
+          ("job_id", Json.Int j.job_id);
+          ("at_s", Json.Float j.at_s);
+          ("queue_depth", Json.Int j.queue_depth);
+          ("policy", Json.String j.policy);
+        ]
+  | Deadline_exceeded d ->
+      Json.Obj
+        [
+          ("type", Json.String "deadline_exceeded");
+          ("job_id", Json.Int d.job_id);
+          ("deadline_s", Json.Float d.deadline_s);
+          ("overshoot_s", Json.Float d.overshoot_s);
+          ("started", Json.Bool d.started);
+        ]
+  | Breaker_open b ->
+      Json.Obj
+        [
+          ("type", Json.String "breaker_open");
+          ("dataset", Json.String b.dataset);
+          ("strategy", Json.String b.strategy);
+          ("at_s", Json.Float b.at_s);
+          ("failures", Json.Int b.failures);
+        ]
+  | Breaker_close b ->
+      Json.Obj
+        [
+          ("type", Json.String "breaker_close");
+          ("dataset", Json.String b.dataset);
+          ("strategy", Json.String b.strategy);
+          ("at_s", Json.Float b.at_s);
         ]
   | Job_submit j ->
       Json.Obj
@@ -357,6 +450,65 @@ let recovery_of_json j =
     (Recovery
        { step; kind; executor; replayed_steps; lost_edges; lost_replicas; wire_bytes; recovery_s })
 
+let speculative_launch_of_json j =
+  let int name = field "speculative_launch" name Json.to_int j in
+  let flt name = field "speculative_launch" name Json.to_float j in
+  let* step = int "step" in
+  let* executor = int "executor" in
+  let* host = int "host" in
+  let* cloned_partitions = int "cloned_partitions" in
+  let* original_busy_s = flt "original_busy_s" in
+  let* clone_busy_s = flt "clone_busy_s" in
+  let* wire_bytes = flt "wire_bytes" in
+  let* compute_s = flt "compute_s" in
+  Ok
+    (Speculative_launch
+       {
+         step;
+         executor;
+         host;
+         cloned_partitions;
+         original_busy_s;
+         clone_busy_s;
+         wire_bytes;
+         compute_s;
+       })
+
+let speculative_win_of_json j =
+  let int name = field "speculative_win" name Json.to_int j in
+  let* step = int "step" in
+  let* executor = int "executor" in
+  let* host = int "host" in
+  let* saved_s = field "speculative_win" "saved_s" Json.to_float j in
+  Ok (Speculative_win { step; executor; host; saved_s })
+
+let job_shed_of_json j =
+  let* job_id = field "job_shed" "job_id" Json.to_int j in
+  let* at_s = field "job_shed" "at_s" Json.to_float j in
+  let* queue_depth = field "job_shed" "queue_depth" Json.to_int j in
+  let* policy = field "job_shed" "policy" Json.to_string_opt j in
+  Ok (Job_shed { job_id; at_s; queue_depth; policy })
+
+let deadline_exceeded_of_json j =
+  let* job_id = field "deadline_exceeded" "job_id" Json.to_int j in
+  let* deadline_s = field "deadline_exceeded" "deadline_s" Json.to_float j in
+  let* overshoot_s = field "deadline_exceeded" "overshoot_s" Json.to_float j in
+  let* started = field "deadline_exceeded" "started" Json.to_bool j in
+  Ok (Deadline_exceeded { job_id; deadline_s; overshoot_s; started })
+
+let breaker_open_of_json j =
+  let* dataset = field "breaker_open" "dataset" Json.to_string_opt j in
+  let* strategy = field "breaker_open" "strategy" Json.to_string_opt j in
+  let* at_s = field "breaker_open" "at_s" Json.to_float j in
+  let* failures = field "breaker_open" "failures" Json.to_int j in
+  Ok (Breaker_open { dataset; strategy; at_s; failures })
+
+let breaker_close_of_json j =
+  let* dataset = field "breaker_close" "dataset" Json.to_string_opt j in
+  let* strategy = field "breaker_close" "strategy" Json.to_string_opt j in
+  let* at_s = field "breaker_close" "at_s" Json.to_float j in
+  Ok (Breaker_close { dataset; strategy; at_s })
+
 let job_submit_of_json j =
   let int name = field "job_submit" name Json.to_int j in
   let flt name = field "job_submit" name Json.to_float j in
@@ -424,10 +576,16 @@ let of_json j =
   | "fault_injected" -> fault_injected_of_json j
   | "checkpoint" -> checkpoint_of_json j
   | "recovery" -> recovery_of_json j
+  | "speculative_launch" -> speculative_launch_of_json j
+  | "speculative_win" -> speculative_win_of_json j
   | "job_submit" -> job_submit_of_json j
   | "job_start" -> job_start_of_json j
   | "job_end" -> job_end_of_json j
   | "job_retry" -> job_retry_of_json j
+  | "job_shed" -> job_shed_of_json j
+  | "deadline_exceeded" -> deadline_exceeded_of_json j
+  | "breaker_open" -> breaker_open_of_json j
+  | "breaker_close" -> breaker_close_of_json j
   | "cache_op" -> cache_op_of_json j
   | other -> Error (Printf.sprintf "event: unknown type %S" other)
 
@@ -464,6 +622,13 @@ let pp ppf = function
   | Recovery r ->
       Format.fprintf ppf "recov step %2d: %s of executor %d (%d replayed, %d edges, %d views) %.3fs"
         r.step r.kind r.executor r.replayed_steps r.lost_edges r.lost_replicas r.recovery_s
+  | Speculative_launch s ->
+      Format.fprintf ppf
+        "spec  step %2d: executor %d cloned onto %d (%d tasks, %.0fB reshuffled, +%.3fs compute)"
+        s.step s.executor s.host s.cloned_partitions s.wire_bytes s.compute_s
+  | Speculative_win s ->
+      Format.fprintf ppf "spec  step %2d: clone on %d beat executor %d, saved %.3fs" s.step
+        s.host s.executor s.saved_s
   | Job_submit j ->
       Format.fprintf ppf "job %3d submit : %s on %s/%d at %.2fs" j.job_id j.algorithm j.dataset
         j.num_partitions j.arrival_s
@@ -477,6 +642,19 @@ let pp ppf = function
   | Job_retry j ->
       Format.fprintf ppf "job %3d retry  : attempt %d failed, requeued at %.2fs (+%.2fs backoff)"
         j.job_id j.attempt j.resubmit_s j.delay_s
+  | Job_shed j ->
+      Format.fprintf ppf "job %3d shed   : queue depth %d, policy %s, at %.2fs" j.job_id
+        j.queue_depth j.policy j.at_s
+  | Deadline_exceeded d ->
+      Format.fprintf ppf "job %3d deadline: missed %.2fs SLO by %.2fs (%s)" d.job_id d.deadline_s
+        d.overshoot_s
+        (if d.started then "cancelled mid-run" else "culled from queue")
+  | Breaker_open b ->
+      Format.fprintf ppf "breaker open  : %s/%s after %d consecutive failures at %.2fs" b.dataset
+        b.strategy b.failures b.at_s
+  | Breaker_close b ->
+      Format.fprintf ppf "breaker close : %s/%s probe succeeded at %.2fs" b.dataset b.strategy
+        b.at_s
   | Cache_op c ->
       Format.fprintf ppf "cache %-6s: %s/%s/%d %.0fB (now %d entries, %.0fB) at %.2fs" c.op
         c.graph c.strategy c.num_partitions c.bytes c.entries c.occupancy_bytes c.at_s

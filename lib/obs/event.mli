@@ -78,6 +78,27 @@ type recovery = {
   recovery_s : float;
 }
 
+(** {2 Speculation records}
+
+    Emitted by the engines when a [Speculation] config is attached: one
+    {!speculative_launch} per clone launched at a superstep barrier,
+    followed by a {!speculative_win} when the clone finished first and
+    its results were taken. The fields mirror [Trace.speculation]
+    exactly, so event counts and sums reconcile with the trace. *)
+
+type speculative_launch = {
+  step : int;
+  executor : int;  (** the straggler whose tasks were cloned *)
+  host : int;  (** the least-loaded executor hosting the clone *)
+  cloned_partitions : int;
+  original_busy_s : float;
+  clone_busy_s : float;
+  wire_bytes : float;  (** re-shuffled ingress, outside the wire-payload law *)
+  compute_s : float;  (** extra compute burned by the clone *)
+}
+
+type speculative_win = { step : int; executor : int; host : int; saved_s : float }
+
 (** {2 Workload-engine records}
 
     The [lib/workload] engine narrates a multi-job simulation through
@@ -119,6 +140,29 @@ type job_retry = {
   resubmit_s : float;  (** simulated instant the job re-enters the queue *)
 }
 
+type job_shed = {
+  job_id : int;
+  at_s : float;  (** simulated instant the shed decision fired *)
+  queue_depth : int;  (** admission queue depth at that instant *)
+  policy : string;  (** "reject" | "drop-oldest" *)
+}
+
+type deadline_exceeded = {
+  job_id : int;
+  deadline_s : float;  (** the job's absolute SLO deadline *)
+  overshoot_s : float;  (** how far past the deadline the cancel landed *)
+  started : bool;  (** false: culled from the queue; true: cancelled mid-run *)
+}
+
+type breaker_open = {
+  dataset : string;
+  strategy : string;
+  at_s : float;
+  failures : int;  (** consecutive failures that tripped the breaker *)
+}
+
+type breaker_close = { dataset : string; strategy : string; at_s : float }
+
 type cache_op = {
   op : string;
       (** ["hit"], ["miss"], ["insert"], ["evict"], ["invalidate"] (entry
@@ -140,10 +184,16 @@ type t =
   | Fault_injected of fault_injected
   | Checkpoint of checkpoint
   | Recovery of recovery
+  | Speculative_launch of speculative_launch
+  | Speculative_win of speculative_win
   | Job_submit of job_submit
   | Job_start of job_start
   | Job_end of job_end
   | Job_retry of job_retry
+  | Job_shed of job_shed
+  | Deadline_exceeded of deadline_exceeded
+  | Breaker_open of breaker_open
+  | Breaker_close of breaker_close
   | Cache_op of cache_op
 
 val skew : superstep -> float

@@ -30,6 +30,28 @@ let quantile xs q =
 
 let median xs = quantile xs 0.5
 
+type ptiles = { p50 : float; p95 : float; p99 : float }
+
+(* Nearest-rank percentile: the smallest sample such that at least
+   [q * n] samples are <= it (sorted.(ceil (q * n)) - 1). Unlike
+   [quantile] this never interpolates, so every reported percentile is
+   a value that actually occurred — the right definition for tail
+   latencies, and trivially deterministic. *)
+let nearest_rank sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  sorted.(idx)
+
+let percentiles xs =
+  if Array.length xs = 0 then invalid_arg "Summary.percentiles: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { p50 = nearest_rank sorted 0.50; p95 = nearest_rank sorted 0.95; p99 = nearest_rank sorted 0.99 }
+
+let pp_ptiles ppf p =
+  Format.fprintf ppf "p50=%.4g p95=%.4g p99=%.4g" p.p50 p.p95 p.p99
+
 type t = { n : int; mean : float; stdev : float; min : float; max : float; median : float }
 
 let describe xs =

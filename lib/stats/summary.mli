@@ -19,6 +19,16 @@ val quantile : float array -> float -> float
 
 val median : float array -> float
 
+type ptiles = { p50 : float; p95 : float; p99 : float }
+
+val percentiles : float array -> ptiles
+(** Nearest-rank p50/p95/p99: each is the smallest sample with at least
+    [q * n] samples at or below it — no interpolation, so the result is
+    always a value that actually occurred (the convention for tail
+    latencies). Deterministic. @raise Invalid_argument on empty. *)
+
+val pp_ptiles : Format.formatter -> ptiles -> unit
+
 type t = { n : int; mean : float; stdev : float; min : float; max : float; median : float }
 
 val describe : float array -> t

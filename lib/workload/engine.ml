@@ -9,6 +9,8 @@ module Cost_model = Cutfit_bsp.Cost_model
 module Pgraph = Cutfit_bsp.Pgraph
 module Trace = Cutfit_bsp.Trace
 module Faults = Cutfit_bsp.Faults
+module Speculation = Cutfit_bsp.Speculation
+module Summary = Cutfit_stats.Summary
 module Datasets = Cutfit_gen.Datasets
 module Sssp = Cutfit_algo.Sssp
 module Splitmix64 = Cutfit_prng.Splitmix64
@@ -37,6 +39,30 @@ let selection_of_string ?(threshold = 0.25) s =
   | "cache-aware" | "cacheaware" | "cache" -> Some (Cache_aware threshold)
   | _ -> None
 
+type shed_policy = Reject | Drop_oldest
+
+let shed_policy_name = function Reject -> "reject" | Drop_oldest -> "drop-oldest"
+
+let shed_policy_of_string s =
+  match String.lowercase_ascii s with
+  | "reject" -> Some Reject
+  | "drop-oldest" | "dropoldest" | "oldest" -> Some Drop_oldest
+  | _ -> None
+
+type deadline = Absolute of float | Factor of float
+
+let deadline_name = function
+  | Absolute s -> Printf.sprintf "absolute:%g" s
+  | Factor f -> Printf.sprintf "factor:%g" f
+
+type breaker_trip = {
+  trip_dataset : string;
+  trip_strategy : string;
+  trip_at_s : float;
+  opened : bool;
+  trip_failures : int;
+}
+
 type job_record = {
   job : Job.t;
   strategy : string;
@@ -45,6 +71,8 @@ type job_record = {
   attempts : int;
   recoveries : int;
   recovery_s : float;
+  speculations : int;
+  deadline_s : float option;
   failed : bool;
   start_s : float;
   queue_s : float;
@@ -65,8 +93,16 @@ type report = {
   max_retries : int;
   fault_spec : string option;
   checkpoint_every : int option;
+  queue_bound : int option;
+  shed_policy : shed_policy;
+  deadline : deadline option;
+  breaker_k : int option;
+  breaker_cooldown_s : float;
+  backpressure : int option;
+  speculation : Speculation.config option;
   records : job_record list;
   failures : job_failure list;
+  breaker_trips : breaker_trip list;
   retries : int;
   cache : Cache.stats;
   makespan_s : float;
@@ -76,6 +112,26 @@ type report = {
 }
 
 let failed_jobs r = List.length r.failures
+
+let count_outcome name r =
+  List.length (List.filter (fun x -> String.equal x.outcome name) r.records)
+
+let shed_jobs = count_outcome "shed"
+let deadline_jobs = count_outcome "deadline"
+let total_speculations r = List.fold_left (fun acc x -> acc + x.speculations) 0 r.records
+
+(* Job latency = finish - arrival, over the jobs that actually produced
+   a result: sheds, deadline cancels and other permanent failures are
+   accounted separately (their latency would be an artifact of the
+   give-up instant, not of service). *)
+let latency_percentiles r =
+  match
+    List.filter_map
+      (fun x -> if x.failed then None else Some (x.finish_s -. x.job.Job.arrival_s))
+      r.records
+  with
+  | [] -> None
+  | l -> Some (Summary.percentiles (Array.of_list l))
 
 (* Requeue backoff after a cluster loss: capped exponential on the
    attempt number, in simulated seconds — long enough to model a
@@ -103,10 +159,25 @@ let pgraph_bytes ~scale pg =
      +. (float_of_int !verts *. float_of_int cost.Cost_model.vertex_object_bytes))
 
 let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
-    ?(budget_bytes = 8.0e9) ?iterations ?checkpoint_every ?faults ?(max_retries = 2) ?telemetry
-    ?(policy = Fifo) ?(selection = Cache_aware 0.25) ~seed jobs =
+    ?(budget_bytes = 8.0e9) ?iterations ?checkpoint_every ?faults ?speculation ?(max_retries = 2)
+    ?queue_bound ?(shed_policy = Reject) ?deadline ?breaker_k ?(breaker_cooldown_s = 60.0)
+    ?backpressure ?telemetry ?(policy = Fifo) ?(selection = Cache_aware 0.25) ~seed jobs =
   if slots < 1 then invalid_arg "Engine.run: slots must be >= 1";
   if max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
+  (match queue_bound with
+  | Some b when b < 1 -> invalid_arg "Engine.run: queue_bound must be >= 1"
+  | _ -> ());
+  (match deadline with
+  | Some (Absolute s) when s <= 0.0 -> invalid_arg "Engine.run: absolute deadline must be > 0"
+  | Some (Factor f) when f <= 0.0 -> invalid_arg "Engine.run: deadline factor must be > 0"
+  | _ -> ());
+  (match breaker_k with
+  | Some k when k < 1 -> invalid_arg "Engine.run: breaker_k must be >= 1"
+  | _ -> ());
+  if breaker_cooldown_s < 0.0 then invalid_arg "Engine.run: breaker_cooldown_s must be >= 0";
+  (match backpressure with
+  | Some w when w < 0 -> invalid_arg "Engine.run: backpressure watermark must be >= 0"
+  | _ -> ());
   let cache = Cache.create ~eviction ~budget_bytes () in
   let emit e = match telemetry with None -> () | Some t -> Telemetry.emit t e in
   (* Memoized per-dataset graph (and its paper scale) and per
@@ -167,29 +238,131 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
       | _ -> None
       | exception Not_found -> Some (Printf.sprintf "unknown dataset %S" job.Job.dataset)
   in
-  let choose_strategy ~at_s (job : Job.t) =
-    match selection with
-    | Heuristic ->
-        let _, _, spec = graph_of job.Job.dataset in
-        let size = Advisor.classify ~paper_scale_edges:(float_of_int spec.Datasets.paper_edges) in
-        Advisor.heuristic job.Job.algorithm ~size ~num_partitions:job.Job.num_partitions
-    | Measured -> (List.hd (ranked_for job)).Advisor.strategy
-    | Cache_aware threshold -> (
-        let ranked = ranked_for job in
-        let best = List.hd ranked in
-        let cached =
-          Cache.cached_strategies cache ~at_s ~graph:job.Job.dataset
-            ~num_partitions:job.Job.num_partitions
-        in
-        let is_cached (r : Advisor.ranked) =
-          List.exists (String.equal (Strategy.to_string r.Advisor.strategy)) cached
-        in
-        match List.find_opt is_cached ranked with
-        | Some r
-          when (r.Advisor.score -. best.Advisor.score) /. Float.max best.Advisor.score 1.0
-               <= threshold ->
-            r.Advisor.strategy
-        | Some _ | None -> best.Advisor.strategy)
+  (* --- circuit breakers --- *)
+  (* One breaker per (dataset, strategy): [breaker_k] consecutive
+     aborted / error / out-of-memory attempts open it; while open (and
+     inside the cooldown) selection routes around the strategy via the
+     degraded cache-aware path. Past the cooldown the breaker is
+     half-open: the next job that selects the strategy is the probe — a
+     success closes the breaker, a failure re-arms the cooldown. Cells
+     are (consecutive failures, open-since). *)
+  let breakers : (string, int ref * float option ref) Hashtbl.t = Hashtbl.create 16 in
+  let breaker_trips = ref [] in
+  let breaker_key ~dataset ~strategy = dataset ^ "/" ^ strategy in
+  let breaker_cell ~dataset ~strategy =
+    let key = breaker_key ~dataset ~strategy in
+    match Hashtbl.find_opt breakers key with
+    | Some c -> c
+    | None ->
+        let c = (ref 0, ref None) in
+        Hashtbl.replace breakers key c;
+        c
+  in
+  let breaker_blocks ~at_s ~dataset strategy_name =
+    match breaker_k with
+    | None -> false
+    | Some _ -> (
+        match Hashtbl.find_opt breakers (breaker_key ~dataset ~strategy:strategy_name) with
+        | Some (_, { contents = Some since }) -> at_s < since +. breaker_cooldown_s
+        | _ -> false)
+  in
+  let breaker_note ~at_s ~dataset ~strategy ok =
+    match breaker_k with
+    | None -> ()
+    | Some k ->
+        let fails, open_since = breaker_cell ~dataset ~strategy in
+        if ok then begin
+          fails := 0;
+          match !open_since with
+          | None -> ()
+          | Some _ ->
+              open_since := None;
+              breaker_trips :=
+                {
+                  trip_dataset = dataset;
+                  trip_strategy = strategy;
+                  trip_at_s = at_s;
+                  opened = false;
+                  trip_failures = 0;
+                }
+                :: !breaker_trips;
+              emit (Event.Breaker_close { Event.dataset; strategy; at_s })
+        end
+        else begin
+          incr fails;
+          (* Trip on the k-th consecutive failure; a failed half-open
+             probe re-arms the open state (a fresh cooldown). *)
+          if !fails >= k || !open_since <> None then begin
+            open_since := Some at_s;
+            breaker_trips :=
+              {
+                trip_dataset = dataset;
+                trip_strategy = strategy;
+                trip_at_s = at_s;
+                opened = true;
+                trip_failures = !fails;
+              }
+              :: !breaker_trips;
+            emit (Event.Breaker_open { Event.dataset; strategy; at_s; failures = !fails })
+          end
+        end
+  in
+  (* The degraded selection path, used under queue backpressure and when
+     the preferred strategy's breaker is open: best-ranked strategy that
+     is already cached (zero build cost) and not breaker-blocked, then
+     the best non-blocked strategy, then the overall best as a last
+     resort (everything blocked — the probe). *)
+  let degraded_pick ~at_s (job : Job.t) =
+    let ranked = ranked_for job in
+    let cached =
+      Cache.cached_strategies cache ~at_s ~graph:job.Job.dataset
+        ~num_partitions:job.Job.num_partitions
+    in
+    let is_cached (r : Advisor.ranked) =
+      List.exists (String.equal (Strategy.to_string r.Advisor.strategy)) cached
+    in
+    let unblocked (r : Advisor.ranked) =
+      not (breaker_blocks ~at_s ~dataset:job.Job.dataset (Strategy.to_string r.Advisor.strategy))
+    in
+    match List.find_opt (fun r -> is_cached r && unblocked r) ranked with
+    | Some r -> r.Advisor.strategy
+    | None -> (
+        match List.find_opt unblocked ranked with
+        | Some r -> r.Advisor.strategy
+        | None -> (List.hd ranked).Advisor.strategy)
+  in
+  let choose_strategy ?(depth = 0) ~at_s (job : Job.t) =
+    let preferred =
+      match selection with
+      | Heuristic ->
+          let _, _, spec = graph_of job.Job.dataset in
+          let size =
+            Advisor.classify ~paper_scale_edges:(float_of_int spec.Datasets.paper_edges)
+          in
+          Advisor.heuristic job.Job.algorithm ~size ~num_partitions:job.Job.num_partitions
+      | Measured -> (List.hd (ranked_for job)).Advisor.strategy
+      | Cache_aware threshold -> (
+          let ranked = ranked_for job in
+          let best = List.hd ranked in
+          let cached =
+            Cache.cached_strategies cache ~at_s ~graph:job.Job.dataset
+              ~num_partitions:job.Job.num_partitions
+          in
+          let is_cached (r : Advisor.ranked) =
+            List.exists (String.equal (Strategy.to_string r.Advisor.strategy)) cached
+          in
+          match List.find_opt is_cached ranked with
+          | Some r
+            when (r.Advisor.score -. best.Advisor.score) /. Float.max best.Advisor.score 1.0
+                 <= threshold ->
+              r.Advisor.strategy
+          | Some _ | None -> best.Advisor.strategy)
+    in
+    let overloaded = match backpressure with Some w -> depth > w | None -> false in
+    if overloaded then degraded_pick ~at_s job
+    else if breaker_blocks ~at_s ~dataset:job.Job.dataset (Strategy.to_string preferred) then
+      degraded_pick ~at_s job
+    else preferred
   in
   let metrics_of (job : Job.t) strategy =
     let name = Strategy.to_string strategy in
@@ -217,6 +390,29 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
       else Advisor.predicted_build_s ~cluster:cl ~scale g m
     in
     build +. Advisor.predicted_exec_s ~cluster:cl ~scale job.Job.algorithm g m
+  in
+  (* Per-job SLO deadline, memoized at first use (admission or SJF
+     ranking): an absolute offset from arrival, or the advisor-predicted
+     service time times a factor — so a job's SLO scales with what the
+     advisor believes the job should cost. The deadline never moves
+     across retries: the SLO is a property of the job, not the
+     attempt. *)
+  let deadlines : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let deadline_of (job : Job.t) =
+    match deadline with
+    | None -> None
+    | Some d -> (
+        match Hashtbl.find_opt deadlines job.Job.id with
+        | Some v -> Some v
+        | None ->
+            let v =
+              match d with
+              | Absolute s -> job.Job.arrival_s +. s
+              | Factor f ->
+                  job.Job.arrival_s +. (f *. predicted_service ~at_s:job.Job.arrival_s job)
+            in
+            Hashtbl.replace deadlines job.Job.id v;
+            Some v)
   in
   let emit_cache_op op (k : Cache.key) ~bytes ~occupancy ~entries ~at_s =
     emit
@@ -252,9 +448,10 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
      died past the run's crash budget — candidate for requeueing), or
      [`Error reason] (an exception from the pipeline, converted into a
      failed record so nothing escapes the scheduler loop). *)
-  let execute ~start_s ~attempt (job : Job.t) =
+  let execute ~start_s ~attempt ~depth (job : Job.t) =
     let g, scale, _ = graph_of job.Job.dataset in
-    let strategy = choose_strategy ~at_s:start_s job in
+    let dl = deadline_of job in
+    let strategy = choose_strategy ~depth ~at_s:start_s job in
     let sname = Strategy.to_string strategy in
     let ckey =
       { Cache.graph = job.Job.dataset; strategy = sname; num_partitions = job.Job.num_partitions }
@@ -265,11 +462,12 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
       match cached with
       | Some pg ->
           ( Pipeline.of_pgraph ~cluster:(cluster_for job) ~scale ?checkpoint_every
-              ?faults:job_faults ~partitioner:(Partitioner.Hash strategy) pg,
+              ?faults:job_faults ?speculation ~partitioner:(Partitioner.Hash strategy) pg,
             true )
       | None ->
           ( Pipeline.prepare ~cluster:(cluster_for job) ~partitioner:(Partitioner.Hash strategy)
-              ~scale ?checkpoint_every ?faults:job_faults ~algorithm:job.Job.algorithm g,
+              ~scale ?checkpoint_every ?faults:job_faults ?speculation
+              ~algorithm:job.Job.algorithm g,
             false )
     in
     let snapshot = Cache.stats cache in
@@ -287,7 +485,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
            start_s;
            queue_s = start_s -. job.Job.arrival_s;
          });
-    let mk_record ~outcome ~recoveries ~recovery_s ~partition_s ~exec_s =
+    let mk_record ~outcome ~recoveries ~recovery_s ~speculations ~partition_s ~exec_s =
       {
         job;
         strategy = sname;
@@ -296,6 +494,8 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         attempts = attempt;
         recoveries;
         recovery_s;
+        speculations;
+        deadline_s = dl;
         failed = false;
         start_s;
         queue_s = start_s -. job.Job.arrival_s;
@@ -307,7 +507,8 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     match run_algorithm job prepared with
     | exception (Invalid_argument reason | Failure reason) ->
         let record =
-          mk_record ~outcome:"error" ~recoveries:0 ~recovery_s:0.0 ~partition_s:0.0 ~exec_s:0.0
+          mk_record ~outcome:"error" ~recoveries:0 ~recovery_s:0.0 ~speculations:0
+            ~partition_s:0.0 ~exec_s:0.0
         in
         emit
           (Event.Job_end
@@ -320,6 +521,33 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
              });
         (record, `Error reason)
     | trace ->
+        (* The BSP engines run without a telemetry handle here (the
+           workload stream narrates at job granularity), so itemize this
+           attempt's speculative clones from the trace it returned. *)
+        List.iter
+          (fun (s : Cutfit_bsp.Trace.speculation) ->
+            emit
+              (Event.Speculative_launch
+                 {
+                   Event.step = s.Cutfit_bsp.Trace.at_step;
+                   executor = s.Cutfit_bsp.Trace.executor;
+                   host = s.Cutfit_bsp.Trace.host;
+                   cloned_partitions = s.Cutfit_bsp.Trace.cloned_partitions;
+                   original_busy_s = s.Cutfit_bsp.Trace.original_busy_s;
+                   clone_busy_s = s.Cutfit_bsp.Trace.clone_busy_s;
+                   wire_bytes = s.Cutfit_bsp.Trace.speculative_wire_bytes;
+                   compute_s = s.Cutfit_bsp.Trace.speculative_compute_s;
+                 });
+            if s.Cutfit_bsp.Trace.won then
+              emit
+                (Event.Speculative_win
+                   {
+                     Event.step = s.Cutfit_bsp.Trace.at_step;
+                     executor = s.Cutfit_bsp.Trace.executor;
+                     host = s.Cutfit_bsp.Trace.host;
+                     saved_s = s.Cutfit_bsp.Trace.saved_s;
+                   }))
+          trace.Trace.speculations;
         (* Decompose the real trace: the engines always record the load
            and the step -1 build stage, whether or not the partitioning
            was freshly built — a cache hit is exactly the run that skips
@@ -332,12 +560,26 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
           | None -> 0.0
         in
         let partition_cost = trace.Trace.load_s +. build_s in
-        let exec_s = trace.Trace.total_s -. partition_cost in
+        let exec_total = trace.Trace.total_s -. partition_cost in
         let partition_s = if hit then 0.0 else partition_cost in
         let lost = trace.Trace.outcome = Trace.Aborted in
+        let natural_finish = start_s +. partition_s +. exec_total in
+        (* An SLO cancel kills the run at its deadline: the slot frees
+           there, the work past the deadline is never paid — but the
+           work up to it is, which is the wasted-work accounting. Lost
+           (aborted) runs keep their own outcome; the retry gate decides
+           whether the deadline still leaves room to requeue. *)
+        let overdue =
+          (not lost) && match dl with Some d -> natural_finish > d | None -> false
+        in
         (* A partitioning built by a run whose cluster then died never
-           becomes reusable — it was resident on the lost executors. *)
-        if (not hit) && not lost then begin
+           becomes reusable — it was resident on the lost executors. A
+           build that would only have finished past the job's deadline
+           cancel never completed either. *)
+        if
+          (not hit) && (not lost)
+          && (match dl with Some d -> start_s +. partition_cost <= d | None -> true)
+        then begin
           let bytes = pgraph_bytes ~scale prepared.Pipeline.pg in
           let available_s = start_s +. partition_cost in
           let before = Cache.stats cache in
@@ -361,21 +603,43 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                 ~entries:before.Cache.entries ~at_s:available_s
         end;
         let record =
-          mk_record
-            ~outcome:(Trace.outcome_name trace.Trace.outcome)
-            ~recoveries:(Trace.num_recoveries trace) ~recovery_s:trace.Trace.recovery_s
-            ~partition_s ~exec_s
+          if overdue then begin
+            let d = match dl with Some d -> d | None -> assert false in
+            let run_s = d -. start_s in
+            let truncated_partition_s = Float.min partition_s run_s in
+            mk_record ~outcome:"deadline" ~recoveries:(Trace.num_recoveries trace)
+              ~recovery_s:trace.Trace.recovery_s ~speculations:(Trace.num_speculations trace)
+              ~partition_s:truncated_partition_s
+              ~exec_s:(run_s -. truncated_partition_s)
+          end
+          else
+            mk_record
+              ~outcome:(Trace.outcome_name trace.Trace.outcome)
+              ~recoveries:(Trace.num_recoveries trace) ~recovery_s:trace.Trace.recovery_s
+              ~speculations:(Trace.num_speculations trace) ~partition_s ~exec_s:exec_total
         in
         emit
           (Event.Job_end
              {
                Event.job_id = job.Job.id;
                outcome = record.outcome;
-               partition_s;
-               exec_s;
+               partition_s = record.partition_s;
+               exec_s = record.exec_s;
                finish_s = record.finish_s;
              });
-        (record, if lost then `Lost else `Ok)
+        if overdue then begin
+          let d = match dl with Some d -> d | None -> assert false in
+          emit
+            (Event.Deadline_exceeded
+               {
+                 Event.job_id = job.Job.id;
+                 deadline_s = d;
+                 overshoot_s = natural_finish -. d;
+                 started = true;
+               });
+          (record, `Deadline (natural_finish -. d))
+        end
+        else (record, if lost then `Lost else `Ok)
   in
   (* --- discrete-event loop over executor slots --- *)
   (* The future queue carries [(ready_s, job)]: initially the job's own
@@ -422,6 +686,8 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                 attempts = 0;
                 recoveries = 0;
                 recovery_s = 0.0;
+                speculations = 0;
+                deadline_s = None;
                 failed = true;
                 start_s = j.Job.arrival_s;
                 queue_s = 0.0;
@@ -458,6 +724,118 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     records := { record with failed = true } :: !records;
     failures := { job_id = record.job.Job.id; failed_attempts = record.attempts; reason } :: !failures
   in
+  (* A job the admission queue refused: a failed zero-cost record at the
+     shed instant. Sheds never consume a retry attempt and never touch
+     the cache. *)
+  let shed ~at_s ~depth (j : Job.t) =
+    let launched = max 0 (attempt_of j - 1) in
+    let record =
+      {
+        job = j;
+        strategy = "-";
+        cache_hit = false;
+        outcome = "shed";
+        attempts = launched;
+        recoveries = 0;
+        recovery_s = 0.0;
+        speculations = 0;
+        deadline_s = Hashtbl.find_opt deadlines j.Job.id;
+        failed = false;
+        start_s = at_s;
+        queue_s = at_s -. j.Job.arrival_s;
+        partition_s = 0.0;
+        exec_s = 0.0;
+        finish_s = at_s;
+      }
+    in
+    fail record
+      (Printf.sprintf "shed by admission control (%s, queue depth %d)"
+         (shed_policy_name shed_policy) depth);
+    emit
+      (Event.Job_shed
+         {
+           Event.job_id = j.Job.id;
+           at_s;
+           queue_depth = depth;
+           policy = shed_policy_name shed_policy;
+         })
+  in
+  (* Bounded admission: a first-attempt job meeting a full queue is shed
+     ([Reject]) or displaces the oldest queued job ([Drop_oldest]).
+     Requeued retries bypass the bound — they already held a queue claim
+     when they first ran. *)
+  let admit ~ready (j : Job.t) =
+    if attempt_of j > 1 then pending := !pending @ [ j ]
+    else
+      match queue_bound with
+      | Some bound when List.length !pending >= bound -> (
+          let depth = List.length !pending in
+          match shed_policy with
+          | Reject -> shed ~at_s:ready ~depth j
+          | Drop_oldest ->
+              let oldest =
+                List.fold_left
+                  (fun (best : Job.t) (c : Job.t) ->
+                    if
+                      c.Job.arrival_s < best.Job.arrival_s
+                      || (c.Job.arrival_s = best.Job.arrival_s && c.Job.id < best.Job.id)
+                    then c
+                    else best)
+                  (List.hd !pending) (List.tl !pending)
+              in
+              pending := List.filter (fun (x : Job.t) -> x.Job.id <> oldest.Job.id) !pending;
+              shed ~at_s:ready ~depth oldest;
+              pending := !pending @ [ j ])
+      | _ -> pending := !pending @ [ j ]
+  in
+  (* SLO enforcement in the queue: any pending job already past its
+     deadline is cancelled where it stands — a failed record pinned at
+     the deadline instant, no slot time, no retry consumed. *)
+  let cull_expired ~at_s =
+    match deadline with
+    | None -> ()
+    | Some _ ->
+        let expired, alive =
+          List.partition
+            (fun (j : Job.t) ->
+              match deadline_of j with Some d -> at_s >= d | None -> false)
+            !pending
+        in
+        pending := alive;
+        List.iter
+          (fun (j : Job.t) ->
+            let d = match deadline_of j with Some d -> d | None -> assert false in
+            let launched = max 0 (attempt_of j - 1) in
+            let record =
+              {
+                job = j;
+                strategy = "-";
+                cache_hit = false;
+                outcome = "deadline";
+                attempts = launched;
+                recoveries = 0;
+                recovery_s = 0.0;
+                speculations = 0;
+                deadline_s = Some d;
+                failed = false;
+                start_s = d;
+                queue_s = d -. j.Job.arrival_s;
+                partition_s = 0.0;
+                exec_s = 0.0;
+                finish_s = d;
+              }
+            in
+            fail record (Printf.sprintf "missed its SLO deadline (%.2f s) in the queue" d);
+            emit
+              (Event.Deadline_exceeded
+                 {
+                   Event.job_id = j.Job.id;
+                   deadline_s = d;
+                   overshoot_s = at_s -. d;
+                   started = false;
+                 }))
+          expired
+  in
   while more () do
     let slot = ref 0 in
     for i = 1 to slots - 1 do
@@ -472,17 +850,35 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     in
     let arrived, rest = List.partition (fun (ready, _) -> ready <= t) !future in
     future := rest;
-    pending := !pending @ List.map snd arrived;
+    List.iter (fun (ready, j) -> admit ~ready j) arrived;
+    cull_expired ~at_s:t;
     match pick ~at_s:t !pending with
     | None -> ()
     | Some job -> (
         pending := List.filter (fun (j : Job.t) -> j.Job.id <> job.Job.id) !pending;
         let attempt = attempt_of job in
-        let record, status = execute ~start_s:t ~attempt job in
+        let record, status = execute ~start_s:t ~attempt ~depth:(List.length !pending) job in
         slot_free.(!slot) <- record.finish_s;
+        (* The breaker judges the attempt's real verdict: aborted, error
+           and out-of-memory count against the (dataset, strategy) pair;
+           deadline cancels are slowness, not a strategy failure, and
+           carry no verdict. *)
+        (match status with
+        | `Deadline _ -> ()
+        | (`Ok | `Error _ | `Lost) as s ->
+            let ok =
+              match s with
+              | `Error _ | `Lost -> false
+              | `Ok -> not (String.equal record.outcome "out-of-memory")
+            in
+            breaker_note ~at_s:record.finish_s ~dataset:job.Job.dataset
+              ~strategy:record.strategy ok);
         match status with
         | `Ok -> records := record :: !records
         | `Error reason -> fail record reason
+        | `Deadline overshoot ->
+            fail record
+              (Printf.sprintf "cancelled at its SLO deadline (ran %.2f s over)" overshoot)
         | `Lost ->
             (* The job's cluster died past its crash budget: every cached
                partitioning was resident on it, so the whole cache is
@@ -497,15 +893,26 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                 emit_cache_op "invalidate" k ~bytes:b ~occupancy:!occ ~entries:!ents
                   ~at_s:record.finish_s)
               dropped;
-            if attempt <= max_retries then begin
-              let delay_s = retry_delay_s ~attempt in
-              let resubmit_s = record.finish_s +. delay_s in
+            let delay_s = retry_delay_s ~attempt in
+            let resubmit_s = record.finish_s +. delay_s in
+            (* A requeue is pointless when the backed-off resubmission
+               would already land past the job's SLO deadline — the
+               attempt is not consumed, the job fails here and now. *)
+            let deadline_allows =
+              match deadline_of job with Some d -> resubmit_s < d | None -> true
+            in
+            if attempt <= max_retries && deadline_allows then begin
               emit
                 (Event.Job_retry { Event.job_id = job.Job.id; attempt; delay_s; resubmit_s });
               incr retries;
               Hashtbl.replace attempt_no job.Job.id (attempt + 1);
               future := insert_future (resubmit_s, job) !future
             end
+            else if not deadline_allows then
+              fail record
+                (Printf.sprintf
+                   "cluster lost and the SLO deadline leaves no time to retry (%d attempt(s))"
+                   attempt)
             else
               fail record
                 (Printf.sprintf "cluster lost beyond the retry budget (%d attempt(s))" attempt))
@@ -528,8 +935,16 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     max_retries;
     fault_spec = Option.map (fun (f : Faults.config) -> f.Faults.raw) faults;
     checkpoint_every;
+    queue_bound;
+    shed_policy;
+    deadline;
+    breaker_k;
+    breaker_cooldown_s;
+    backpressure;
+    speculation;
     records;
     failures;
+    breaker_trips = List.rev !breaker_trips;
     retries = !retries;
     cache = Cache.stats cache;
     makespan_s;
@@ -561,6 +976,8 @@ let record_json r =
       ("attempts", Json.Int r.attempts);
       ("recoveries", Json.Int r.recoveries);
       ("recovery_s", Json.Float r.recovery_s);
+      ("speculations", Json.Int r.speculations);
+      ("deadline_s", match r.deadline_s with Some d -> Json.Float d | None -> Json.Null);
       ("failed", Json.Bool r.failed);
       ("start_s", Json.Float r.start_s);
       ("queue_s", Json.Float r.queue_s);
@@ -602,13 +1019,41 @@ let params_json r =
       ("faults", match r.fault_spec with Some s -> Json.String s | None -> Json.Null);
       ( "checkpoint_every",
         match r.checkpoint_every with Some k -> Json.Int k | None -> Json.Null );
+      ("queue_bound", match r.queue_bound with Some b -> Json.Int b | None -> Json.Null);
+      ("shed_policy", Json.String (shed_policy_name r.shed_policy));
+      ("deadline", match r.deadline with Some d -> Json.String (deadline_name d) | None -> Json.Null);
+      ("breaker_k", match r.breaker_k with Some k -> Json.Int k | None -> Json.Null);
+      ("breaker_cooldown_s", Json.Float r.breaker_cooldown_s);
+      ("backpressure", match r.backpressure with Some w -> Json.Int w | None -> Json.Null);
+      ("speculate", Json.Bool (r.speculation <> None));
+      ( "speculate_threshold",
+        match r.speculation with
+        | Some c -> Json.Float c.Speculation.threshold
+        | None -> Json.Null );
       ("retries", Json.Int r.retries);
       ("failed_jobs", Json.Int (failed_jobs r));
+      ("shed_jobs", Json.Int (shed_jobs r));
+      ("deadline_jobs", Json.Int (deadline_jobs r));
+      ("speculations", Json.Int (total_speculations r));
+      ( "breaker_opens",
+        Json.Int (List.length (List.filter (fun t -> t.opened) r.breaker_trips)) );
+      ( "breaker_closes",
+        Json.Int (List.length (List.filter (fun t -> not t.opened) r.breaker_trips)) );
       ("jobs", Json.Int (List.length r.records));
       ("makespan_s", Json.Float r.makespan_s);
       ("total_queue_s", Json.Float r.total_queue_s);
       ("total_partition_s", Json.Float r.total_partition_s);
       ("total_exec_s", Json.Float r.total_exec_s);
+      ( "latency",
+        match latency_percentiles r with
+        | None -> Json.Null
+        | Some p ->
+            Json.Obj
+              [
+                ("p50", Json.Float p.Summary.p50);
+                ("p95", Json.Float p.Summary.p95);
+                ("p99", Json.Float p.Summary.p99);
+              ] );
     ]
 
 let failure_json (f : job_failure) =
@@ -619,18 +1064,30 @@ let failure_json (f : job_failure) =
       ("reason", Json.String f.reason);
     ]
 
+let breaker_trip_json (t : breaker_trip) =
+  Json.Obj
+    [
+      ("breaker", Json.String (if t.opened then "open" else "close"));
+      ("dataset", Json.String t.trip_dataset);
+      ("strategy", Json.String t.trip_strategy);
+      ("at_s", Json.Float t.trip_at_s);
+      ("failures", Json.Int t.trip_failures);
+    ]
+
 let report_json r =
   Json.Obj
     [
       ("params", params_json r);
       ("records", Json.List (List.map record_json r.records));
       ("failures", Json.List (List.map failure_json r.failures));
+      ("breaker_trips", Json.List (List.map breaker_trip_json r.breaker_trips));
       ("cache", cache_json r.cache);
     ]
 
 let report_lines r =
   (Json.to_string (params_json r) :: List.map (fun x -> Json.to_string (record_json x)) r.records)
   @ List.map (fun f -> Json.to_string (failure_json f)) r.failures
+  @ List.map (fun t -> Json.to_string (breaker_trip_json t)) r.breaker_trips
   @ [ Json.to_string (cache_json r.cache) ]
 
 let pp_summary ppf r =
@@ -644,6 +1101,9 @@ let pp_summary ppf r =
     r.cache.Cache.evictions r.cache.Cache.rejections;
   Format.fprintf ppf "makespan %.2f s | queue mean %.2f s | partition %.2f s | exec %.2f s"
     r.makespan_s (mean_queue_s r) r.total_partition_s r.total_exec_s;
+  (match latency_percentiles r with
+  | None -> ()
+  | Some p -> Format.fprintf ppf "@,latency %a" Summary.pp_ptiles p);
   (match r.fault_spec with
   | None -> ()
   | Some spec ->
@@ -651,6 +1111,24 @@ let pp_summary ppf r =
       let recov_s = List.fold_left (fun acc x -> acc +. x.recovery_s) 0.0 r.records in
       Format.fprintf ppf "@,faults %S: %d recover(ies) %.2f s | %d retry(ies) | %d invalidation(s)"
         spec recov recov_s r.retries r.cache.Cache.invalidations);
+  if r.speculation <> None then
+    Format.fprintf ppf "@,speculation: %d clone(s) launched across all runs" (total_speculations r);
+  (match (r.queue_bound, shed_jobs r) with
+  | None, _ -> ()
+  | Some b, shed ->
+      Format.fprintf ppf "@,admission: queue bound %d (%s): %d job(s) shed" b
+        (shed_policy_name r.shed_policy) shed);
+  (match (r.deadline, deadline_jobs r) with
+  | None, _ -> ()
+  | Some d, missed ->
+      Format.fprintf ppf "@,deadlines (%s): %d job(s) cancelled" (deadline_name d) missed);
+  (match r.breaker_k with
+  | None -> ()
+  | Some k ->
+      let opens = List.length (List.filter (fun t -> t.opened) r.breaker_trips) in
+      let closes = List.length (List.filter (fun t -> not t.opened) r.breaker_trips) in
+      Format.fprintf ppf "@,breakers (k=%d, cooldown %.0f s): %d open(s), %d close(s)" k
+        r.breaker_cooldown_s opens closes);
   if oom > 0 then Format.fprintf ppf "@,%d job(s) ended out-of-memory" oom;
   if failed_jobs r > 0 then Format.fprintf ppf "@,%d job(s) failed permanently" (failed_jobs r);
   Format.fprintf ppf "@]"

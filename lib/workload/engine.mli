@@ -56,16 +56,56 @@ val selection_of_string : ?threshold:float -> string -> selection option
 (** ["heuristic"], ["measured"], ["cache-aware"] (with [threshold],
     default 0.25). *)
 
+type shed_policy =
+  | Reject  (** shed the incoming job when the queue is full *)
+  | Drop_oldest
+      (** displace the longest-waiting queued job (by arrival, then id)
+          to make room for the incoming one *)
+
+val shed_policy_name : shed_policy -> string
+val shed_policy_of_string : string -> shed_policy option
+
+type deadline =
+  | Absolute of float  (** SLO deadline = arrival + this many seconds *)
+  | Factor of float
+      (** SLO deadline = arrival + factor x the advisor-predicted
+          service time at admission (build, skipped when cached, plus
+          execution) — the job's SLO scales with its expected cost *)
+
+val deadline_name : deadline -> string
+(** ["absolute:<s>"] or ["factor:<f>"], the canonical spelling used in
+    the report's parameter line. *)
+
+type breaker_trip = {
+  trip_dataset : string;
+  trip_strategy : string;
+  trip_at_s : float;  (** the attempt-finish instant that transitioned it *)
+  opened : bool;  (** [true] = opened (or re-armed), [false] = closed *)
+  trip_failures : int;  (** consecutive failures at an open; 0 at a close *)
+}
+(** One circuit-breaker state transition — the audit trail
+    {!Workload_check} checks for state-machine legality (first trip
+    opens; a close only follows an open). The list is in the engine's
+    decision order; with concurrent slots an attempt processed later
+    can finish earlier, so [trip_at_s] is not globally sorted. *)
+
 type job_record = {
   job : Job.t;
   strategy : string;  (** ["-"] when the job never ran (invalid) *)
   cache_hit : bool;
   outcome : string;
-      (** {!Cutfit_bsp.Trace.outcome_name} of the final attempt's run,
-          or ["invalid"] / ["error"] for structural failures *)
-  attempts : int;  (** runs actually launched (0 for invalid jobs) *)
+      (** {!Cutfit_bsp.Trace.outcome_name} of the final attempt's run;
+          ["invalid"] / ["error"] for structural failures; ["shed"] when
+          admission control refused the job; ["deadline"] when its SLO
+          deadline cancelled it (queued or mid-run) *)
+  attempts : int;  (** runs actually launched (0 for invalid/shed jobs) *)
   recoveries : int;  (** recovery records in the final attempt's trace *)
   recovery_s : float;  (** recovery time in the final attempt's trace *)
+  speculations : int;
+      (** speculative clones launched in the final attempt's trace *)
+  deadline_s : float option;
+      (** the job's absolute SLO deadline, when deadlines are enabled
+          and the engine computed it before the job ended *)
   failed : bool;  (** the job ended without a completed run *)
   start_s : float;  (** final attempt's admission instant *)
   queue_s : float;
@@ -95,8 +135,18 @@ type report = {
   max_retries : int;
   fault_spec : string option;  (** the raw [--faults] spec, when any *)
   checkpoint_every : int option;
+  queue_bound : int option;  (** admission-queue capacity, when bounded *)
+  shed_policy : shed_policy;
+  deadline : deadline option;
+  breaker_k : int option;  (** consecutive failures that open a breaker *)
+  breaker_cooldown_s : float;
+  backpressure : int option;
+      (** queue-depth watermark past which selection degrades to the
+          cheapest cached strategy *)
+  speculation : Cutfit_bsp.Speculation.config option;
   records : job_record list;  (** ascending job id, one per job *)
   failures : job_failure list;  (** ascending job id *)
+  breaker_trips : breaker_trip list;  (** in decision order *)
   retries : int;  (** requeues performed = [Job_retry] events emitted *)
   cache : Cache.stats;
   makespan_s : float;  (** last finish instant *)
@@ -107,6 +157,21 @@ type report = {
 
 val failed_jobs : report -> int
 (** [List.length r.failures]. *)
+
+val shed_jobs : report -> int
+(** Records with outcome ["shed"]. *)
+
+val deadline_jobs : report -> int
+(** Records with outcome ["deadline"] (queued culls and mid-run
+    cancels). *)
+
+val total_speculations : report -> int
+(** Speculative clones launched across all final-attempt traces. *)
+
+val latency_percentiles : report -> Cutfit_stats.Summary.ptiles option
+(** Nearest-rank p50/p95/p99 of job latency ([finish_s -. arrival_s])
+    over the records that produced a result (failed jobs excluded);
+    [None] when every job failed. *)
 
 val retry_delay_s : attempt:int -> float
 (** Requeue backoff after the [attempt]-th failed attempt (1-based):
@@ -121,7 +186,14 @@ val run :
   ?iterations:int ->
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
+  ?speculation:Cutfit_bsp.Speculation.config ->
   ?max_retries:int ->
+  ?queue_bound:int ->
+  ?shed_policy:shed_policy ->
+  ?deadline:deadline ->
+  ?breaker_k:int ->
+  ?breaker_cooldown_s:float ->
+  ?backpressure:int ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   ?policy:policy ->
   ?selection:selection ->
@@ -138,7 +210,35 @@ val run :
     / [Cache_op] / [Job_end] events — plus [Job_retry] per requeue and
     ["invalidate"] cache ops per cluster loss — that reconcile with the
     returned records ({!Workload_check.report}).
-    @raise Invalid_argument if [slots < 1] or [max_retries < 0]. *)
+
+    {b Overload protection and straggler mitigation.}
+
+    [speculation] forwards a {!Cutfit_bsp.Speculation} config into
+    every Pregel/GAS run: stragglers get priced speculative clones,
+    perturbing only each run's time accounting (the per-record
+    [speculations] count and [Speculative_launch] / [Speculative_win]
+    events itemize the clones).
+
+    [queue_bound] caps the admission queue: a first-attempt job meeting
+    a full queue is shed per [shed_policy] (default [Reject]) — a
+    failed zero-cost ["shed"] record plus a [Job_shed] event; retries
+    bypass the bound. [deadline] attaches a per-job SLO: a queued job
+    past its deadline is culled where it stands, a running job is
+    cancelled at the deadline instant (outcome ["deadline"], wasted
+    work accounted up to the cancel, [Deadline_exceeded] event); neither
+    consumes a retry attempt nor invalidates the cache.
+
+    [breaker_k] arms a per-(dataset, strategy) circuit breaker: that
+    many consecutive aborted / error / out-of-memory attempts open it,
+    routing selection to the degraded cache-aware path until a probe
+    succeeds after [breaker_cooldown_s] (default 60 s) — every
+    transition is a {!breaker_trip} and a [Breaker_open] /
+    [Breaker_close] event. [backpressure] is a queue-depth watermark
+    past which selection degrades to the cheapest cached strategy even
+    with every breaker closed.
+    @raise Invalid_argument if [slots < 1], [max_retries < 0],
+    [queue_bound < 1], a non-positive deadline, [breaker_k < 1],
+    [breaker_cooldown_s < 0] or [backpressure < 0]. *)
 
 val hit_rate : report -> float
 (** Cache hits over lookups (0 when there were none). *)
@@ -147,16 +247,19 @@ val mean_queue_s : report -> float
 
 val record_json : job_record -> Cutfit_obs.Json.t
 val failure_json : job_failure -> Cutfit_obs.Json.t
+val breaker_trip_json : breaker_trip -> Cutfit_obs.Json.t
 
 val report_json : report -> Cutfit_obs.Json.t
-(** Full report: parameters, per-job records, permanent failures, cache
-    stats, aggregates. *)
+(** Full report: parameters, per-job records, permanent failures,
+    breaker trips, cache stats, aggregates. *)
 
 val report_lines : report -> string list
-(** Canonical JSONL: one parameter/summary line, one line per job
-    record, one line per permanent failure, one cache-stats line —
-    floats bit-exact, so the lines are a digest-stable serialization of
-    the whole simulation ({!Workload_check.digest}). *)
+(** Canonical JSONL: one parameter/summary line (now carrying the
+    overload knobs and the latency percentiles), one line per job
+    record, one line per permanent failure, one line per breaker trip,
+    one cache-stats line — floats bit-exact, so the lines are a
+    digest-stable serialization of the whole simulation
+    ({!Workload_check.digest}). *)
 
 val pp_summary : Format.formatter -> report -> unit
 (** Human-oriented multi-line summary (policy, makespan, queue, cache

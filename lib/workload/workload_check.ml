@@ -4,6 +4,12 @@ module Event = Cutfit_obs.Event
 
 let suite = "workload"
 
+(* The outcome vocabulary partitions cleanly: a failed record carries
+   exactly one of the failing outcomes, a successful record one of the
+   run outcomes that produced a result. *)
+let failing_outcomes = [ "aborted"; "error"; "invalid"; "shed"; "deadline" ]
+let ok_outcomes = [ "completed"; "max-supersteps"; "out-of-memory" ]
+
 let close a b =
   let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
   Float.abs (a -. b) <= 1e-6 *. scale
@@ -73,24 +79,91 @@ let record_checks (records : Engine.job_record list) =
         add "job-negative-fault-counters"
           "job %d has negative fault counters (attempts %d, recoveries %d, recovery_s %.6f)" id
           r.Engine.attempts r.Engine.recoveries r.Engine.recovery_s;
+      if r.Engine.speculations < 0 then
+        add "job-negative-fault-counters" "job %d has a negative speculation count (%d)" id
+          r.Engine.speculations;
       if r.Engine.attempts = 0 then begin
         (* A zero-attempt job never ran: no costs, no cache traffic,
-           and it must be marked failed. *)
+           and it must be marked failed (invalid at admission, shed by
+           admission control, or culled from the queue at its
+           deadline). *)
         if
           (not r.Engine.failed)
           || r.Engine.cache_hit
           || r.Engine.partition_s <> 0.0
           || r.Engine.exec_s <> 0.0
           || r.Engine.recoveries <> 0
+          || r.Engine.speculations <> 0
         then add "job-invalid-shape" "zero-attempt job %d carries run artifacts" id
-      end
-      else if
-        r.Engine.failed
-        && not (List.mem r.Engine.outcome [ "aborted"; "error" ])
-      then
+      end;
+      if r.Engine.failed && not (List.mem r.Engine.outcome failing_outcomes) then
         add "job-failed-outcome" "job %d is marked failed yet its outcome is %S" id
-          r.Engine.outcome)
+          r.Engine.outcome;
+      if (not r.Engine.failed) && not (List.mem r.Engine.outcome ok_outcomes) then
+        add "job-ok-outcome" "job %d is not failed yet its outcome is %S" id r.Engine.outcome;
+      if String.equal r.Engine.outcome "shed" then begin
+        (* A shed job was refused at its admission instant: it carries
+           its arrival bookkeeping but no run costs at all. *)
+        if r.Engine.finish_s <> r.Engine.start_s then
+          add "job-shed-shape" "shed job %d accrued run time (start %.6f, finish %.6f)" id
+            r.Engine.start_s r.Engine.finish_s;
+        if r.Engine.cache_hit then add "job-shed-shape" "shed job %d claims a cache hit" id
+      end;
+      (match (r.Engine.outcome, r.Engine.deadline_s) with
+      | "deadline", None ->
+          add "job-deadline-shape" "job %d was deadline-cancelled without a recorded deadline" id
+      | "deadline", Some d ->
+          (* Whether culled from the queue or truncated mid-run, the
+             cancel pins the record's finish at the deadline instant
+             (unless the job was already past it when first seen). *)
+          if r.Engine.finish_s > d && not (close r.Engine.finish_s d) then
+            add "job-deadline-shape" "job %d finished (%.6f) past its deadline (%.6f)" id
+              r.Engine.finish_s d
+      | _, Some d ->
+          if (not r.Engine.failed) && r.Engine.finish_s > d && not (close r.Engine.finish_s d)
+          then
+            add "job-deadline-respected"
+              "job %d completed (%.6f) past its SLO deadline (%.6f) without being cancelled" id
+              r.Engine.finish_s d
+      | _, None -> ()))
     records;
+  List.rev !v
+
+(* Breaker trips are a per-(dataset, strategy) state machine: the first
+   trip opens, a close only ever follows an open, opens carry the
+   failure streak that tripped them and closes a cleared streak. The
+   list is in the engine's decision order — with concurrent slots an
+   attempt processed later can finish earlier, so the stamped instants
+   are not globally sorted and carry no ordering law. *)
+let breaker_checks (r : Engine.report) =
+  let v = ref [] in
+  let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
+  (match (r.Engine.breaker_k, r.Engine.breaker_trips) with
+  | None, [] -> ()
+  | None, trips ->
+      add "breaker-unarmed" "%d breaker trips recorded with no breaker armed" (List.length trips)
+  | Some k, trips ->
+      let states : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (t : Engine.breaker_trip) ->
+          let key = t.Engine.trip_dataset ^ "/" ^ t.Engine.trip_strategy in
+          let was_open =
+            match Hashtbl.find_opt states key with Some b -> b | None -> false
+          in
+          if t.Engine.opened then begin
+            if t.Engine.trip_failures < k then
+              add "breaker-premature" "breaker %s opened after only %d failures (threshold %d)"
+                key t.Engine.trip_failures k
+          end
+          else begin
+            if not was_open then
+              add "breaker-close-without-open" "breaker %s closed while already closed" key;
+            if t.Engine.trip_failures <> 0 then
+              add "breaker-dirty-close" "breaker %s closed with %d residual failures" key
+                t.Engine.trip_failures
+          end;
+          Hashtbl.replace states key t.Engine.opened)
+        trips);
   List.rev !v
 
 let aggregate_checks (r : Engine.report) =
@@ -121,9 +194,27 @@ let aggregate_checks (r : Engine.report) =
   if r.Engine.cache.Cache.hits < hits then
     add "aggregate-hits" "cache hits (%d) < hit records (%d)" r.Engine.cache.Cache.hits hits;
   let retries = fold (fun acc x -> acc + max 0 (x.Engine.attempts - 1)) 0 in
-  if r.Engine.retries <> retries then
-    add "aggregate-retries" "retries (%d) <> sum of extra attempts over records (%d)"
+  let outcome name = List.length (List.filter (fun x -> String.equal x.Engine.outcome name) r.Engine.records) in
+  (* A requeued job later culled at its deadline keeps the attempts it
+     actually launched, so the recount is a floor once deadlines can
+     interrupt the retry chain; without them it is exact. *)
+  if outcome "deadline" = 0 then begin
+    if r.Engine.retries <> retries then
+      add "aggregate-retries" "retries (%d) <> sum of extra attempts over records (%d)"
+        r.Engine.retries retries
+  end
+  else if r.Engine.retries < retries then
+    add "aggregate-retries" "retries (%d) < sum of extra attempts over records (%d)"
       r.Engine.retries retries;
+  (* Every submitted job lands in exactly one bucket: a successful run
+     outcome, or one of the failing outcomes (abort, structural error,
+     invalid at admission, shed by admission control, SLO cancel). *)
+  let bucketed =
+    List.fold_left (fun acc name -> acc + outcome name) 0 (failing_outcomes @ ok_outcomes)
+  in
+  let n = List.length r.Engine.records in
+  if bucketed <> n then
+    add "aggregate-outcome-conservation" "%d records bucket into %d known outcomes" n bucketed;
   let failed = List.length (List.filter (fun x -> x.Engine.failed) r.Engine.records) in
   if List.length r.Engine.failures <> failed then
     add "aggregate-failures" "%d failure records for %d failed job records"
@@ -159,6 +250,73 @@ let event_checks (r : Engine.report) events =
   let retry_events = count (function Event.Job_retry _ -> true | _ -> false) in
   if retry_events <> r.Engine.retries then
     add "event-retries" "%d Job_retry events for %d counted retries" retry_events r.Engine.retries;
+  let outcome name =
+    List.length (List.filter (fun (x : Engine.job_record) -> String.equal x.Engine.outcome name) r.Engine.records)
+  in
+  let sheds = count (function Event.Job_shed _ -> true | _ -> false) in
+  if sheds <> outcome "shed" then
+    add "event-sheds" "%d Job_shed events for %d shed records" sheds (outcome "shed");
+  let cancels = count (function Event.Deadline_exceeded _ -> true | _ -> false) in
+  if cancels <> outcome "deadline" then
+    add "event-deadlines" "%d Deadline_exceeded events for %d deadline-cancelled records" cancels
+      (outcome "deadline");
+  (* Breaker events are the trip list, narrated: same transitions, same
+     order, same fields. *)
+  let opens = List.filter_map (function Event.Breaker_open b -> Some b | _ -> None) events in
+  let closes = List.filter_map (function Event.Breaker_close b -> Some b | _ -> None) events in
+  let opened_trips = List.filter (fun (t : Engine.breaker_trip) -> t.Engine.opened) r.Engine.breaker_trips in
+  let closed_trips = List.filter (fun (t : Engine.breaker_trip) -> not t.Engine.opened) r.Engine.breaker_trips in
+  if List.length opens <> List.length opened_trips then
+    add "event-breaker" "%d Breaker_open events for %d opening trips" (List.length opens)
+      (List.length opened_trips)
+  else
+    List.iter2
+      (fun (b : Event.breaker_open) (t : Engine.breaker_trip) ->
+        if
+          (not (String.equal b.Event.dataset t.Engine.trip_dataset))
+          || (not (String.equal b.Event.strategy t.Engine.trip_strategy))
+          || b.Event.at_s <> t.Engine.trip_at_s
+          || b.Event.failures <> t.Engine.trip_failures
+        then
+          add "event-breaker" "Breaker_open for %s/%s disagrees with its trip" b.Event.dataset
+            b.Event.strategy)
+      opens opened_trips;
+  if List.length closes <> List.length closed_trips then
+    add "event-breaker" "%d Breaker_close events for %d closing trips" (List.length closes)
+      (List.length closed_trips)
+  else
+    List.iter2
+      (fun (b : Event.breaker_close) (t : Engine.breaker_trip) ->
+        if
+          (not (String.equal b.Event.dataset t.Engine.trip_dataset))
+          || (not (String.equal b.Event.strategy t.Engine.trip_strategy))
+          || b.Event.at_s <> t.Engine.trip_at_s
+        then
+          add "event-breaker" "Breaker_close for %s/%s disagrees with its trip" b.Event.dataset
+            b.Event.strategy)
+      closes closed_trips;
+  (* Superseded (retried) attempts launched speculations of their own,
+     so the stream may carry more launches than the surviving records —
+     never fewer, and none at all without a speculation config. *)
+  let launches = count (function Event.Speculative_launch _ -> true | _ -> false) in
+  let wins = count (function Event.Speculative_win _ -> true | _ -> false) in
+  let record_specs =
+    List.fold_left (fun acc (x : Engine.job_record) -> acc + x.Engine.speculations) 0 r.Engine.records
+  in
+  (match r.Engine.speculation with
+  | None ->
+      if launches <> 0 || wins <> 0 then
+        add "event-speculation" "%d speculative events with speculation disabled" (launches + wins)
+  | Some _ ->
+      if launches < record_specs then
+        add "event-speculation" "%d Speculative_launch events for %d recorded clones" launches
+          record_specs;
+      if r.Engine.retries = 0 && outcome "deadline" = 0 && launches <> record_specs then
+        add "event-speculation"
+          "%d Speculative_launch events for %d recorded clones with no superseded attempts"
+          launches record_specs;
+      if wins > launches then
+        add "event-speculation" "%d Speculative_win events for %d launches" wins launches);
   let find_record id =
     List.find_opt (fun (x : Engine.job_record) -> x.Engine.job.Job.id = id) r.Engine.records
   in
@@ -197,8 +355,37 @@ let event_checks (r : Engine.report) events =
               if js.Event.arrival_s <> x.Engine.job.Job.arrival_s then
                 add "event-submit-mismatch" "Job_submit %d disagrees with its record"
                   js.Event.job_id)
+      | Event.Job_shed s -> (
+          match find_record s.Event.job_id with
+          | None -> add "event-orphan" "Job_shed for unknown job %d" s.Event.job_id
+          | Some x ->
+              if not (String.equal x.Engine.outcome "shed") then
+                add "event-shed-mismatch" "Job_shed %d but its record's outcome is %S"
+                  s.Event.job_id x.Engine.outcome
+              else if
+                (not (String.equal s.Event.policy (Engine.shed_policy_name r.Engine.shed_policy)))
+                || s.Event.at_s <> x.Engine.start_s
+              then add "event-shed-mismatch" "Job_shed %d disagrees with its record" s.Event.job_id)
+      | Event.Deadline_exceeded d -> (
+          match find_record d.Event.job_id with
+          | None -> add "event-orphan" "Deadline_exceeded for unknown job %d" d.Event.job_id
+          | Some x ->
+              if not (String.equal x.Engine.outcome "deadline") then
+                add "event-deadline-mismatch"
+                  "Deadline_exceeded %d but its record's outcome is %S" d.Event.job_id
+                  x.Engine.outcome
+              else if
+                (match x.Engine.deadline_s with
+                | Some rd -> rd <> d.Event.deadline_s
+                | None -> true)
+                || d.Event.overshoot_s < 0.0
+              then
+                add "event-deadline-mismatch" "Deadline_exceeded %d disagrees with its record"
+                  d.Event.job_id)
       | Event.Cache_op _ | Event.Run_start _ | Event.Superstep _ | Event.Run_end _
-      | Event.Fault_injected _ | Event.Checkpoint _ | Event.Recovery _ | Event.Job_retry _ -> ())
+      | Event.Fault_injected _ | Event.Checkpoint _ | Event.Recovery _ | Event.Job_retry _
+      | Event.Speculative_launch _ | Event.Speculative_win _ | Event.Breaker_open _
+      | Event.Breaker_close _ -> ())
     events;
   let ops name = count (function Event.Cache_op c -> String.equal c.Event.op name | _ -> false) in
   let stats = r.Engine.cache in
@@ -219,6 +406,7 @@ let report ?events (r : Engine.report) =
   cache_accounting r.Engine.cache
   @ record_checks r.Engine.records
   @ aggregate_checks r
+  @ breaker_checks r
   @ match events with None -> [] | Some evs -> event_checks r evs
 
 let digest r = Determinism.lines_digest (Engine.report_lines r)

@@ -10,11 +10,17 @@
       fabricate an inconsistent record and it must object;
     - {!report} checks a full {!Engine.report}: per-record arithmetic
       (queue, finish, hit implies no partition cost, failed jobs carry
-      a failing outcome, zero-attempt jobs carry no run artifacts),
-      aggregate consistency (makespan, totals recomputed, one cache
-      lookup per attempt, retries and failures recounted against the
-      records), and, when the emitted event stream is supplied,
-      event-vs-record reconciliation;
+      a failing outcome, zero-attempt jobs carry no run artifacts, shed
+      jobs accrue no cost, deadline-cancelled jobs finish at their
+      deadline and no uncancelled job overshoots its SLO), aggregate
+      consistency (makespan, totals recomputed, one cache lookup per
+      attempt, retries and failures recounted against the records,
+      every record bucketing into a known outcome), breaker-trip
+      state-machine legality (first trip opens at the armed threshold,
+      a close only follows an open, chronological order), and, when the
+      emitted event stream is supplied, event-vs-record reconciliation
+      — including the shed / deadline / breaker / speculation
+      narration;
     - {!digest}/{!run_twice} canonicalize a report through the JSONL
       codec for bit-exact determinism checking. *)
 

@@ -13,6 +13,7 @@ let () =
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);
       ("faults", Test_faults.suite);
+      ("resilience", Test_resilience.suite);
       ("experiments", Test_experiments.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

@@ -1,0 +1,32 @@
+(* expect: none *)
+(* The speculation idiom: clone placement must replay bit-identically,
+   so host tie-breaks are a stateless splitmix64 hash keyed
+   (seed, step) through lib/prng — no [Random], no self-init, no wall
+   clock — and the straggler scan uses explicit float comparisons, not
+   polymorphic compare, on the per-executor busy times. *)
+let tie_break ~seed ~step n =
+  let h =
+    Cutfit_prng.Splitmix64.mix64
+      (Int64.logxor
+         (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+         (Int64.add
+            (Int64.mul 0xBF58476D1CE4E5B9L (Int64.of_int (step + 1)))
+            0x94D049BB133111EBL))
+  in
+  Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int n))
+
+let slowest (busy : float array) =
+  let s = ref 0 in
+  Array.iteri (fun e b -> if b > busy.(!s) then s := e) busy;
+  !s
+
+let pick_host ~seed ~step ~straggler (busy : float array) =
+  let best = ref infinity in
+  Array.iteri (fun e b -> if e <> straggler && b < !best then best := b) busy;
+  let ties = ref [] in
+  for e = Array.length busy - 1 downto 0 do
+    if e <> straggler && Float.equal busy.(e) !best then ties := e :: !ties
+  done;
+  match !ties with
+  | [ e ] -> e
+  | ties -> List.nth ties (tie_break ~seed ~step (List.length ties))

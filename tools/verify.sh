@@ -32,6 +32,34 @@ dune exec bin/cutfit_cli.exe -- check PR roadnet_pa \
 dune exec bin/cutfit_cli.exe -- workload --jobs 12 --check \
   --faults 'straggler@1-2:x3,loss@2' --checkpoint-every 3 >/dev/null
 
+echo "== overload smoke (speculation + admission control)"
+# straggler-heavy stream with speculative re-execution: value
+# equivalence, shed/deadline/breaker conservation and the run-twice
+# digest all ride on --check
+dune exec bin/cutfit_cli.exe -- workload --jobs 16 --policy sjf \
+  --faults 'straggler@2:x8' --speculate --check >/dev/null
+# a tiny queue bound must shed jobs (permanent failures -> exit 1)
+# while the sanitizer stays green on the same run
+set +e
+out=$(dune exec bin/cutfit_cli.exe -- workload --jobs 16 --queue-bound 2 \
+  --deadline-factor 6 --breaker-k 2 --backpressure 3 --check 2>/dev/null)
+got=$?
+set -e
+if [ "$got" != 1 ]; then
+  echo "expected exit 1 from the shedding workload, got $got" >&2
+  exit 1
+fi
+echo "$out" | grep -q "workload check: ok" || {
+  echo "shedding workload failed its sanitizer:" >&2
+  echo "$out" >&2
+  exit 1
+}
+echo "$out" | grep -q "admission: queue bound 2 (reject): 12 job(s) shed" || {
+  echo "shedding workload did not shed the expected 12 jobs:" >&2
+  echo "$out" >&2
+  exit 1
+}
+
 echo "== run-twice digest on a faulty trace"
 d1=$(dune exec bin/cutfit_cli.exe -- run PR roadnet_pa \
   --faults 'crash@2,rand@0.1' --checkpoint-every 2)
@@ -62,6 +90,10 @@ expect_exit 1 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa \
 expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --faults 'crash@0'
 expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR no_such_dataset
 expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --max-retries -1
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --queue-bound 0
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --deadline-s -1
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --deadline-s 5 --deadline-factor 2
+expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --speculate --speculate-threshold 0.5
 
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"
