@@ -70,6 +70,32 @@ let config_arg =
 let seed_arg ~default ~doc =
   Arg.(value & opt int64 default & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* --- execution-engine flags shared by run/check --- *)
+
+type engine = Boxed | Csr_engine
+
+let engine_arg =
+  let parse = function
+    | "boxed" -> Ok Boxed
+    | "csr" -> Ok Csr_engine
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (boxed, csr)" s))
+  in
+  let print ppf e = Fmt.string ppf (match e with Boxed -> "boxed" | Csr_engine -> "csr") in
+  let doc =
+    "Execution engine: $(b,boxed) (the simulated GraphX/Spark runtime with its cost model and \
+     trace) or $(b,csr) (the compact flat-array kernels executed for real on OCaml domains; \
+     reports measured wall time instead of a simulated trace). Values are bit-identical \
+     between the two."
+  in
+  Arg.(value & opt (conv (parse, print)) Boxed & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let domains_arg =
+  let doc =
+    "Worker domains for $(b,--engine csr) (ignored by the boxed engine). Results are \
+     bit-identical at any value; see docs/PERFORMANCE.md."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 (* --- telemetry plumbing shared by run/compare --- *)
 
 let trace_out_arg =
@@ -306,9 +332,10 @@ let run_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner seed faults_spec checkpoint_every fault_seed
-      fault_mode max_failures speculate speculate_threshold trace_out verbose paranoid =
+  let action algo graph config partitioner seed engine domains faults_spec checkpoint_every
+      fault_seed fault_mode max_failures speculate speculate_threshold trace_out verbose paranoid =
     let g = load_graph graph in
+    if domains < 1 then usage_fail "domains must be >= 1 (got %d)" domains;
     let faults =
       faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
     in
@@ -332,43 +359,83 @@ let run_cmd =
         Fmt.pr "speculation: on (threshold x%g over the median executor busy time)@."
           s.Cutfit.Speculation.threshold
     | None -> ());
-    let trace =
-      match algo with
-      | Cutfit.Advisor.Pagerank ->
-          let ranks, trace = Cutfit.Pipeline.pagerank p in
-          let top = ref 0 in
-          Array.iteri (fun v r -> if r > ranks.(!top) then top := v) ranks;
-          Fmt.pr "top vertex: %d (rank %.3f)@." !top ranks.(!top);
-          trace
-      | Cutfit.Advisor.Connected_components ->
-          let labels, trace = Cutfit.Pipeline.connected_components p in
-          let distinct = List.length (List.sort_uniq compare (Array.to_list labels)) in
-          Fmt.pr "components (labels after 10 iterations): %d@." distinct;
-          trace
-      | Cutfit.Advisor.Triangle_count ->
-          let _, total, trace = Cutfit.Pipeline.triangles p in
-          Fmt.pr "triangles: %s@." (Cutfit_experiments.Report.commas total);
-          trace
-      | Cutfit.Advisor.Shortest_paths ->
-          let landmarks = Cutfit.Sssp.pick_landmarks ~seed ~count:5 g in
-          let d, trace = Cutfit.Pipeline.shortest_paths ~landmarks p in
-          let reached = ref 0 in
-          Array.iter (fun row -> if row.(0) < max_int then incr reached) d;
-          Fmt.pr "vertices reaching landmark 0: %d@." !reached;
-          trace
-    in
-    Fmt.pr "%a@." Cutfit.Trace.pp_summary trace;
-    finish_telemetry ();
-    (* A run whose cluster died past the crash budget is a failed job. *)
-    if trace.Cutfit.Trace.outcome = Cutfit.Trace.Aborted then exit_failure else exit_ok
+    match engine with
+    | Csr_engine ->
+        (match (faults, speculation) with
+        | None, None -> ()
+        | _ ->
+            Fmt.pr
+              "note: --faults/--speculate perturb only the simulated engines; the csr engine \
+               runs them fault-free (values are identical either way)@.");
+        let c = Cutfit.Csr.build p.Cutfit.Pipeline.pg in
+        let edges = Cutfit.Graph.num_edges p.Cutfit.Pipeline.graph in
+        let rounds = ref 1 in
+        let t0 = Cutfit.Clock.wall () in
+        (match algo with
+        | Cutfit.Advisor.Pagerank ->
+            let ranks = Cutfit.Pagerank.run_csr ~domains ~rounds c in
+            let top = ref 0 in
+            Array.iteri (fun v r -> if r > ranks.(!top) then top := v) ranks;
+            Fmt.pr "top vertex: %d (rank %.3f)@." !top ranks.(!top)
+        | Cutfit.Advisor.Connected_components ->
+            let labels = Cutfit.Connected_components.run_csr ~domains ~rounds c in
+            let distinct = List.length (List.sort_uniq compare (Array.to_list labels)) in
+            Fmt.pr "components (labels after 10 iterations): %d@." distinct
+        | Cutfit.Advisor.Triangle_count ->
+            let _, total = Cutfit.Triangle_count.run_csr ~domains c in
+            Fmt.pr "triangles: %s@." (Cutfit_experiments.Report.commas total)
+        | Cutfit.Advisor.Shortest_paths ->
+            let landmarks = Cutfit.Sssp.pick_landmarks ~seed ~count:5 g in
+            let d = Cutfit.Sssp.run_csr ~domains ~rounds ~landmarks c in
+            let reached = ref 0 in
+            Array.iter (fun row -> if row.(0) < max_int then incr reached) d;
+            Fmt.pr "vertices reaching landmark 0: %d@." !reached);
+        let elapsed = Cutfit.Clock.wall () -. t0 in
+        let scans = edges * !rounds in
+        Fmt.pr "csr engine: %d domain(s), %d superstep(s), %.4f s measured, %s edge scans/s@."
+          domains !rounds elapsed
+          (Cutfit_experiments.Report.commas
+             (int_of_float (float_of_int scans /. Float.max elapsed 1e-9)));
+        finish_telemetry ();
+        exit_ok
+    | Boxed ->
+        let trace =
+          match algo with
+          | Cutfit.Advisor.Pagerank ->
+              let ranks, trace = Cutfit.Pipeline.pagerank p in
+              let top = ref 0 in
+              Array.iteri (fun v r -> if r > ranks.(!top) then top := v) ranks;
+              Fmt.pr "top vertex: %d (rank %.3f)@." !top ranks.(!top);
+              trace
+          | Cutfit.Advisor.Connected_components ->
+              let labels, trace = Cutfit.Pipeline.connected_components p in
+              let distinct = List.length (List.sort_uniq compare (Array.to_list labels)) in
+              Fmt.pr "components (labels after 10 iterations): %d@." distinct;
+              trace
+          | Cutfit.Advisor.Triangle_count ->
+              let _, total, trace = Cutfit.Pipeline.triangles p in
+              Fmt.pr "triangles: %s@." (Cutfit_experiments.Report.commas total);
+              trace
+          | Cutfit.Advisor.Shortest_paths ->
+              let landmarks = Cutfit.Sssp.pick_landmarks ~seed ~count:5 g in
+              let d, trace = Cutfit.Pipeline.shortest_paths ~landmarks p in
+              let reached = ref 0 in
+              Array.iter (fun row -> if row.(0) < max_int then incr reached) d;
+              Fmt.pr "vertices reaching landmark 0: %d@." !reached;
+              trace
+        in
+        Fmt.pr "%a@." Cutfit.Trace.pp_summary trace;
+        finish_telemetry ();
+        (* A run whose cluster died past the crash budget is a failed job. *)
+        if trace.Cutfit.Trace.outcome = Cutfit.Trace.Aborted then exit_failure else exit_ok
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an algorithm on a partitioned graph and print the simulated trace.")
     Term.(
       const action $ algo_arg $ graph_pos1 $ config_arg $ strategy
       $ seed_arg ~default:5L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
-      $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
-      $ max_failures_arg $ speculate_arg $ speculate_threshold_arg $ trace_out_arg
-      $ verbose_supersteps_arg $ paranoid_arg)
+      $ engine_arg $ domains_arg $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg
+      $ fault_mode_arg $ max_failures_arg $ speculate_arg $ speculate_threshold_arg
+      $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- compare --- *)
 
@@ -683,18 +750,26 @@ let check_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner faults_spec checkpoint_every fault_seed fault_mode
-      max_failures speculate speculate_threshold =
+  let action algo graph config partitioner engine domains faults_spec checkpoint_every fault_seed
+      fault_mode max_failures speculate speculate_threshold =
     let g = load_graph graph in
+    if domains < 1 then usage_fail "domains must be >= 1 (got %d)" domains;
     let faults =
       faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
     in
     let speculation =
       speculation_of_flags ~speculate ~threshold:speculate_threshold ~fault_seed
     in
+    (* With the csr engine, also prove boxed-vs-csr bit-identity at the
+       standard domain counts plus whatever --domains asked for. *)
+    let engine_domains =
+      match engine with
+      | Boxed -> None
+      | Csr_engine -> Some (List.sort_uniq Int.compare (domains :: [ 1; 2; 4 ]))
+    in
     let report =
       Cutfit.Sanitize.check_run ~cluster:config ?partitioner ?checkpoint_every ?faults
-        ?speculation ~algorithm:algo g
+        ?speculation ?engine_domains ~algorithm:algo g
     in
     Fmt.pr "%a@." Cutfit.Sanitize.pp_report report;
     if Cutfit.Sanitize.ok report then exit_ok else exit_failure
@@ -705,12 +780,14 @@ let check_cmd =
          "Run the full simulator sanitizer on one algorithm/graph pair: partition structure, \
           metrics recomputation, trace conservation laws, telemetry reconciliation, and the \
           run-twice determinism digest. With $(b,--faults) or $(b,--speculate), a sixth suite \
-          proves the value-equivalence invariant against a clean baseline. Exits non-zero on \
-          any violation.")
+          proves the value-equivalence invariant against a clean baseline. With \
+          $(b,--engine csr), an $(b,engines) suite proves the compact kernels reproduce the \
+          boxed engine's values bit-for-bit at domain counts 1, 2, 4 and $(b,--domains). Exits \
+          non-zero on any violation.")
     Term.(
-      const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ faults_spec_arg
-      $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg $ max_failures_arg
-      $ speculate_arg $ speculate_threshold_arg)
+      const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ engine_arg $ domains_arg
+      $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
+      $ max_failures_arg $ speculate_arg $ speculate_threshold_arg)
 
 let () =
   let doc = "Tailor graph partitioning to the computation (Cut to Fit)." in

@@ -25,3 +25,90 @@ let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?
   { labels = r.Pregel.attrs; trace = r.Pregel.trace }
 
 let reference g = fst (Cutfit_graph.Components.weak g)
+
+(* --- compact CSR kernel -------------------------------------------
+
+   Label propagation on the flat layout. The combiner is [min] over
+   ints — order-exact — so the partition-indexed reduction order here
+   is about structure (slot ranges, active tracking), not float
+   semantics; the labels match the boxed engine's bit-for-bit at any
+   domain count by construction. *)
+
+module Csr = Cutfit_bsp.Csr
+module Par_exec = Cutfit_bsp.Par_exec
+module B1 = Bigarray.Array1
+
+let chunk = 4096
+
+let run_csr ?(iterations = 10) ?(domains = 1) ?rounds (c : Csr.t) =
+  let n = c.Csr.num_vertices in
+  let parts = c.Csr.num_partitions in
+  let part_off = c.Csr.part_off in
+  let esrc = c.Csr.edge_src and edst = c.Csr.edge_dst in
+  let sslot = c.Csr.src_slot and dslot = c.Csr.dst_slot in
+  let red_off = c.Csr.red_off and red_slot = c.Csr.red_slot in
+  let iacc = c.Csr.iacc and has = c.Csr.has in
+  let label = B1.create Bigarray.int Bigarray.c_layout n in
+  for v = 0 to n - 1 do
+    B1.unsafe_set label v v
+  done;
+  let cur = ref (Bytes.make n '\001') in
+  let nxt = ref (Bytes.make n '\000') in
+  let nchunks = (n + chunk - 1) / chunk in
+  let chunk_touched = Array.make (max nchunks 1) 0 in
+  let contribute slot m =
+    if Bytes.unsafe_get has slot = '\000' then begin
+      Bytes.unsafe_set has slot '\001';
+      B1.unsafe_set iacc slot m
+    end
+    else if m < B1.unsafe_get iacc slot then B1.unsafe_set iacc slot m
+  in
+  let scatter p =
+    let a = !cur in
+    for e = B1.unsafe_get part_off p to B1.unsafe_get part_off (p + 1) - 1 do
+      let s = B1.unsafe_get esrc e and d = B1.unsafe_get edst e in
+      if Bytes.unsafe_get a s <> '\000' || Bytes.unsafe_get a d <> '\000' then begin
+        let ls = B1.unsafe_get label s and ld = B1.unsafe_get label d in
+        if ls < ld then contribute (B1.unsafe_get dslot e) ls
+        else if ld < ls then contribute (B1.unsafe_get sslot e) ld
+      end
+    done
+  in
+  let reduce ch =
+    let next = !nxt in
+    let lo = ch * chunk and hi = min n ((ch * chunk) + chunk) in
+    let touched = ref 0 in
+    for v = lo to hi - 1 do
+      let best = ref max_int and got = ref false in
+      for i = B1.unsafe_get red_off v to B1.unsafe_get red_off (v + 1) - 1 do
+        let slot = B1.unsafe_get red_slot i in
+        if Bytes.unsafe_get has slot <> '\000' then begin
+          Bytes.unsafe_set has slot '\000';
+          got := true;
+          let m = B1.unsafe_get iacc slot in
+          if m < !best then best := m
+        end
+      done;
+      if !got then begin
+        if !best < B1.unsafe_get label v then B1.unsafe_set label v !best;
+        Bytes.unsafe_set next v '\001';
+        incr touched
+      end
+      else Bytes.unsafe_set next v '\000'
+    done;
+    chunk_touched.(ch) <- !touched
+  in
+  let step = ref 1 in
+  Par_exec.with_pool ~domains (fun pool ->
+      let continue_ = ref true in
+      while !continue_ do
+        Par_exec.iter pool ~n:parts (fun _ p -> scatter p);
+        Par_exec.iter pool ~n:nchunks (fun _ ch -> reduce ch);
+        let touched = Array.fold_left ( + ) 0 chunk_touched in
+        let swap = !cur in
+        cur := !nxt;
+        nxt := swap;
+        if touched = 0 || !step >= iterations then continue_ := false else incr step
+      done);
+  (match rounds with Some r -> r := !step | None -> ());
+  Array.init n (fun v -> B1.unsafe_get label v)

@@ -26,6 +26,13 @@ val run :
 (** Default 10 iterations, per the paper. Pass a large [iterations] to
     reach the exact fixpoint. *)
 
+val run_csr :
+  ?iterations:int -> ?domains:int -> ?rounds:int ref -> Cutfit_bsp.Csr.t -> int array
+(** Real execution on the compact {!Cutfit_bsp.Csr} layout; labels are
+    bit-identical to {!run}'s at any [domains]. Defaults: 10
+    iterations, 1 domain. [rounds] receives the number of executed
+    scatter/reduce rounds. *)
+
 val reference : Cutfit_graph.Graph.t -> int array
 (** Exact component labels (same lowest-id convention) via union-find;
     the BSP run converges to this when given enough iterations. *)

@@ -30,6 +30,100 @@ let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?
   in
   { ranks = r.Pregel.attrs; trace = r.Pregel.trace }
 
+(* --- compact CSR kernel -------------------------------------------
+
+   The same superstep recurrence as [program], on the flat Csr layout:
+   scatter accumulates each partition's rank shares into the
+   partition's own accumulator-slot range (a left fold in edge order,
+   exactly the boxed engine's local combiner), reduce folds every
+   vertex's slots in ascending partition order (the boxed engine's
+   cross-partition merge order) and applies the damped update. Both
+   phases write only item-owned state, so the result is bit-identical
+   to [run]'s ranks at any domain count. *)
+
+module Csr = Cutfit_bsp.Csr
+module Par_exec = Cutfit_bsp.Par_exec
+module B1 = Bigarray.Array1
+
+(* Vertices per reduce work item: big enough to amortize dispatch,
+   small enough to load-balance across domains. *)
+let chunk = 4096
+
+let run_csr ?(iterations = 10) ?(domains = 1) ?rounds (c : Csr.t) =
+  let n = c.Csr.num_vertices in
+  let parts = c.Csr.num_partitions in
+  let part_off = c.Csr.part_off in
+  let esrc = c.Csr.edge_src and edst = c.Csr.edge_dst in
+  let dslot = c.Csr.dst_slot in
+  let out_deg = c.Csr.out_deg in
+  let red_off = c.Csr.red_off and red_slot = c.Csr.red_slot in
+  let facc = c.Csr.facc and has = c.Csr.has in
+  let rank = B1.create Bigarray.float64 Bigarray.c_layout n in
+  B1.fill rank 1.0;
+  (* After the boxed engine's superstep 0 every vertex is active. *)
+  let cur = ref (Bytes.make n '\001') in
+  let nxt = ref (Bytes.make n '\000') in
+  let nchunks = (n + chunk - 1) / chunk in
+  let chunk_touched = Array.make (max nchunks 1) 0 in
+  let scatter p =
+    let a = !cur in
+    for e = B1.unsafe_get part_off p to B1.unsafe_get part_off (p + 1) - 1 do
+      let s = B1.unsafe_get esrc e and d = B1.unsafe_get edst e in
+      if Bytes.unsafe_get a s <> '\000' || Bytes.unsafe_get a d <> '\000' then begin
+        let deg = B1.unsafe_get out_deg s in
+        if deg > 0 then begin
+          let m = B1.unsafe_get rank s /. float_of_int deg in
+          let slot = B1.unsafe_get dslot e in
+          if Bytes.unsafe_get has slot = '\000' then begin
+            Bytes.unsafe_set has slot '\001';
+            B1.unsafe_set facc slot m
+          end
+          else B1.unsafe_set facc slot (B1.unsafe_get facc slot +. m)
+        end
+      end
+    done
+  in
+  let reduce ch =
+    let next = !nxt in
+    let lo = ch * chunk and hi = min n ((ch * chunk) + chunk) in
+    let touched = ref 0 in
+    for v = lo to hi - 1 do
+      let total = ref 0.0 and got = ref false in
+      for i = B1.unsafe_get red_off v to B1.unsafe_get red_off (v + 1) - 1 do
+        let slot = B1.unsafe_get red_slot i in
+        if Bytes.unsafe_get has slot <> '\000' then begin
+          Bytes.unsafe_set has slot '\000';
+          if !got then total := !total +. B1.unsafe_get facc slot
+          else begin
+            got := true;
+            total := B1.unsafe_get facc slot
+          end
+        end
+      done;
+      if !got then begin
+        B1.unsafe_set rank v (0.15 +. (0.85 *. !total));
+        Bytes.unsafe_set next v '\001';
+        incr touched
+      end
+      else Bytes.unsafe_set next v '\000'
+    done;
+    chunk_touched.(ch) <- !touched
+  in
+  let step = ref 1 in
+  Par_exec.with_pool ~domains (fun pool ->
+      let continue_ = ref true in
+      while !continue_ do
+        Par_exec.iter pool ~n:parts (fun _ p -> scatter p);
+        Par_exec.iter pool ~n:nchunks (fun _ ch -> reduce ch);
+        let touched = Array.fold_left ( + ) 0 chunk_touched in
+        let swap = !cur in
+        cur := !nxt;
+        nxt := swap;
+        if touched = 0 || !step >= iterations then continue_ := false else incr step
+      done);
+  (match rounds with Some r -> r := !step | None -> ());
+  Array.init n (fun v -> B1.unsafe_get rank v)
+
 let reference ~iterations g =
   let n = Graph.num_vertices g in
   let ranks = ref (Array.make n 1.0) in

@@ -39,6 +39,17 @@ val run_gas :
     communication pattern (the cross-engine comparison of Verma et
     al. in the paper's related work). *)
 
+val run_csr :
+  ?iterations:int -> ?domains:int -> ?rounds:int ref -> Cutfit_bsp.Csr.t -> float array
+(** The same recurrence executed for real on the compact
+    {!Cutfit_bsp.Csr} layout via {!Cutfit_bsp.Par_exec} — no simulated
+    trace, wall-clock fast. Defaults: 10 iterations, 1 domain. Ranks
+    are bit-identical to {!run}'s at any [domains] (the fixed
+    partition-indexed reduction order; see docs/PERFORMANCE.md), which
+    {!Cutfit_check.Engine_check} enforces. [rounds], when given, is set
+    to the number of scatter/reduce rounds executed, so callers can
+    report edges-scanned-per-second. *)
+
 val reference : iterations:int -> Cutfit_graph.Graph.t -> float array
 (** Sequential implementation of the same recurrence, for validating the
     BSP execution (they agree to floating-point noise). *)

@@ -51,6 +51,118 @@ let run ?(max_supersteps = 2000) ?scale ?cost ?checkpoint_every ?faults ?specula
   in
   { distances = r.Pregel.attrs; trace = r.Pregel.trace }
 
+(* --- compact CSR kernel -------------------------------------------
+
+   The landmark-vector recurrence on the flat layout. Vertex state is a
+   flattened n*k int matrix; each accumulator slot holds a k-vector in
+   the (slot * k) row of a per-run buffer (the preallocated [iacc] is
+   one int per slot, too small for a vector payload). The combiner is
+   pointwise [min] — order-exact ints — so any domain count reproduces
+   the boxed engine's distances bit-for-bit. *)
+
+module Csr = Cutfit_bsp.Csr
+module Par_exec = Cutfit_bsp.Par_exec
+module B1 = Bigarray.Array1
+
+let chunk = 4096
+
+let run_csr ?(max_supersteps = 2000) ?(domains = 1) ?rounds ~landmarks (c : Csr.t) =
+  let n = c.Csr.num_vertices in
+  let k = Array.length landmarks in
+  if k = 0 then invalid_arg "Sssp.run_csr: empty landmark set";
+  Array.iter
+    (fun v -> if v < 0 || v >= n then invalid_arg "Sssp.run_csr: landmark out of range")
+    landmarks;
+  let parts = c.Csr.num_partitions in
+  let part_off = c.Csr.part_off in
+  let esrc = c.Csr.edge_src and edst = c.Csr.edge_dst in
+  let sslot = c.Csr.src_slot in
+  let red_off = c.Csr.red_off and red_slot = c.Csr.red_slot in
+  let has = c.Csr.has in
+  let dist = B1.create Bigarray.int Bigarray.c_layout (n * k) in
+  B1.fill dist infinity_dist;
+  Array.iteri (fun i l -> B1.unsafe_set dist ((l * k) + i) 0) landmarks;
+  let macc = B1.create Bigarray.int Bigarray.c_layout (c.Csr.num_slots * k) in
+  let cur = ref (Bytes.make n '\001') in
+  let nxt = ref (Bytes.make n '\000') in
+  let nchunks = (n + chunk - 1) / chunk in
+  let chunk_touched = Array.make (max nchunks 1) 0 in
+  let scatter p =
+    let a = !cur in
+    for e = B1.unsafe_get part_off p to B1.unsafe_get part_off (p + 1) - 1 do
+      let s = B1.unsafe_get esrc e and d = B1.unsafe_get edst e in
+      if Bytes.unsafe_get a s <> '\000' || Bytes.unsafe_get a d <> '\000' then begin
+        (* candidate = increment (dist d); message flows to the source
+           when any slot improves on its current vector. *)
+        let sbase = s * k and dbase = d * k in
+        let improves = ref false in
+        for j = 0 to k - 1 do
+          let dd = B1.unsafe_get dist (dbase + j) in
+          if dd <> infinity_dist && dd + 1 < B1.unsafe_get dist (sbase + j) then improves := true
+        done;
+        if !improves then begin
+          let slot = B1.unsafe_get sslot e in
+          let mbase = slot * k in
+          if Bytes.unsafe_get has slot = '\000' then begin
+            Bytes.unsafe_set has slot '\001';
+            for j = 0 to k - 1 do
+              let dd = B1.unsafe_get dist (dbase + j) in
+              B1.unsafe_set macc (mbase + j)
+                (if dd = infinity_dist then infinity_dist else dd + 1)
+            done
+          end
+          else
+            for j = 0 to k - 1 do
+              let dd = B1.unsafe_get dist (dbase + j) in
+              let cand = if dd = infinity_dist then infinity_dist else dd + 1 in
+              if cand < B1.unsafe_get macc (mbase + j) then B1.unsafe_set macc (mbase + j) cand
+            done
+        end
+      end
+    done
+  in
+  let reduce ch =
+    let next = !nxt in
+    let lo = ch * chunk and hi = min n ((ch * chunk) + chunk) in
+    let touched = ref 0 in
+    for v = lo to hi - 1 do
+      let got = ref false in
+      let vbase = v * k in
+      for i = B1.unsafe_get red_off v to B1.unsafe_get red_off (v + 1) - 1 do
+        let slot = B1.unsafe_get red_slot i in
+        if Bytes.unsafe_get has slot <> '\000' then begin
+          Bytes.unsafe_set has slot '\000';
+          got := true;
+          let mbase = slot * k in
+          for j = 0 to k - 1 do
+            let m = B1.unsafe_get macc (mbase + j) in
+            if m < B1.unsafe_get dist (vbase + j) then B1.unsafe_set dist (vbase + j) m
+          done
+        end
+      done;
+      if !got then begin
+        Bytes.unsafe_set next v '\001';
+        incr touched
+      end
+      else Bytes.unsafe_set next v '\000'
+    done;
+    chunk_touched.(ch) <- !touched
+  in
+  let step = ref 1 in
+  Par_exec.with_pool ~domains (fun pool ->
+      let continue_ = ref true in
+      while !continue_ do
+        Par_exec.iter pool ~n:parts (fun _ p -> scatter p);
+        Par_exec.iter pool ~n:nchunks (fun _ ch -> reduce ch);
+        let touched = Array.fold_left ( + ) 0 chunk_touched in
+        let swap = !cur in
+        cur := !nxt;
+        nxt := swap;
+        if touched = 0 || !step >= max_supersteps then continue_ := false else incr step
+      done);
+  (match rounds with Some r -> r := !step | None -> ());
+  Array.init n (fun v -> Array.init k (fun j -> B1.unsafe_get dist ((v * k) + j)))
+
 let pick_landmarks ~seed ~count g =
   let rng = Cutfit_prng.Xoshiro.create seed in
   Cutfit_prng.Dist.sample_distinct rng ~n:(Graph.num_vertices g) ~k:count

@@ -29,6 +29,19 @@ val run :
     out-of-memory failure.
     @raise Invalid_argument on an empty or out-of-range landmark set. *)
 
+val run_csr :
+  ?max_supersteps:int ->
+  ?domains:int ->
+  ?rounds:int ref ->
+  landmarks:int array ->
+  Cutfit_bsp.Csr.t ->
+  int array array
+(** Real execution on the compact {!Cutfit_bsp.Csr} layout; distances
+    are bit-identical to {!run}'s at any [domains]. Defaults: 2000
+    supersteps, 1 domain. [rounds] receives the number of executed
+    scatter/reduce rounds.
+    @raise Invalid_argument on an empty or out-of-range landmark set. *)
+
 val pick_landmarks : seed:int64 -> count:int -> Cutfit_graph.Graph.t -> int array
 (** Deterministically sample [count] distinct landmark vertices (the
     paper randomly selects 5 sources per dataset). *)

@@ -26,3 +26,9 @@ val run :
 (** [undirected] lets callers share a precomputed symmetrized view of
     the graph across runs; it must equal [Graph.symmetrize] of the
     partitioned graph's underlying graph. *)
+
+val run_csr : ?domains:int -> Cutfit_bsp.Csr.t -> int array * int
+(** [run_csr c] is [(per_vertex, total)] computed for real on the
+    compact {!Cutfit_bsp.Csr} layout (the stage-3 intersections,
+    without the simulated dataflow trace); identical to {!run}'s counts
+    at any [domains] (default 1) since int sums are order-exact. *)

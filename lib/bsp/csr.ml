@@ -1,0 +1,123 @@
+module Graph = Cutfit_graph.Graph
+
+type int_buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float_buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  pg : Pgraph.t;
+  graph : Graph.t;
+  num_partitions : int;
+  num_vertices : int;
+  num_edges : int;
+  num_slots : int;
+  part_off : int_buf;
+  edge_src : int_buf;
+  edge_dst : int_buf;
+  src_slot : int_buf;
+  dst_slot : int_buf;
+  slot_off : int_buf;
+  slot_vertex : int_buf;
+  red_off : int_buf;
+  red_slot : int_buf;
+  out_deg : int_buf;
+  facc : float_buf;
+  iacc : int_buf;
+  has : Bytes.t;
+}
+
+let int_buf len : int_buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len
+let float_buf len : float_buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+
+let build pg =
+  let g = Pgraph.graph pg in
+  let n = Graph.num_vertices g in
+  let num_partitions = Pgraph.num_partitions pg in
+  let m = Graph.num_edges g in
+  let s = Pgraph.total_replicas pg in
+  let part_off = int_buf (num_partitions + 1) in
+  let slot_off = int_buf (num_partitions + 1) in
+  part_off.{0} <- 0;
+  slot_off.{0} <- 0;
+  for p = 0 to num_partitions - 1 do
+    part_off.{p + 1} <- part_off.{p} + Pgraph.num_edges_of_partition pg p;
+    slot_off.{p + 1} <- slot_off.{p} + Pgraph.local_vertices pg p
+  done;
+  if part_off.{num_partitions} <> m then invalid_arg "Csr.build: edge total mismatch";
+  if slot_off.{num_partitions} <> s then invalid_arg "Csr.build: slot total mismatch";
+  let edge_src = int_buf m and edge_dst = int_buf m in
+  let src_slot = int_buf m and dst_slot = int_buf m in
+  let slot_vertex = int_buf s in
+  (* One pass over the edges in partition order: assign each distinct
+     (partition, vertex) pair the next slot in the partition's range
+     (first-touch order, the same order Pgraph's own stamping pass
+     uses) and resolve both endpoint slots of every edge. *)
+  let mark = Array.make n (-1) in
+  let vertex_slot = Array.make n 0 in
+  let red_count = Array.make n 0 in
+  let ecur = ref 0 in
+  for p = 0 to num_partitions - 1 do
+    let scur = ref slot_off.{p} in
+    Pgraph.iter_partition_edges pg p (fun ~edge:_ ~src ~dst ->
+        let slot_of v =
+          if mark.(v) <> p then begin
+            mark.(v) <- p;
+            vertex_slot.(v) <- !scur;
+            slot_vertex.{!scur} <- v;
+            red_count.(v) <- red_count.(v) + 1;
+            incr scur
+          end;
+          vertex_slot.(v)
+        in
+        let ss = slot_of src in
+        let ds = slot_of dst in
+        edge_src.{!ecur} <- src;
+        edge_dst.{!ecur} <- dst;
+        src_slot.{!ecur} <- ss;
+        dst_slot.{!ecur} <- ds;
+        incr ecur);
+    if !scur <> slot_off.{p + 1} then invalid_arg "Csr.build: local vertex table mismatch"
+  done;
+  (* Reduction table: slots are numbered ascending by partition, so
+     scanning them in order appends each vertex's slots in ascending
+     partition order — the fixed reduction order. *)
+  let red_off = int_buf (n + 1) in
+  red_off.{0} <- 0;
+  for v = 0 to n - 1 do
+    red_off.{v + 1} <- red_off.{v} + red_count.(v)
+  done;
+  if red_off.{n} <> s then invalid_arg "Csr.build: reduction table mismatch";
+  let red_slot = int_buf s in
+  let rcur = Array.init n (fun v -> red_off.{v}) in
+  for slot = 0 to s - 1 do
+    let v = slot_vertex.{slot} in
+    red_slot.{rcur.(v)} <- slot;
+    rcur.(v) <- rcur.(v) + 1
+  done;
+  let out_deg = int_buf n in
+  for v = 0 to n - 1 do
+    out_deg.{v} <- Graph.out_degree g v
+  done;
+  let facc = float_buf s and iacc = int_buf s in
+  Bigarray.Array1.fill facc 0.0;
+  Bigarray.Array1.fill iacc 0;
+  {
+    pg;
+    graph = g;
+    num_partitions;
+    num_vertices = n;
+    num_edges = m;
+    num_slots = s;
+    part_off;
+    edge_src;
+    edge_dst;
+    src_slot;
+    dst_slot;
+    slot_off;
+    slot_vertex;
+    red_off;
+    red_slot;
+    out_deg;
+    facc;
+    iacc;
+    has = Bytes.make s '\000';
+  }

@@ -1,0 +1,63 @@
+(** Compact per-partition CSR edge representation: the real-execution
+    counterpart of {!Pgraph}.
+
+    {!Pgraph} is what the cost simulator iterates — edge indices behind
+    closures, per-vertex [option] accumulators. This module freezes the
+    same partitioned graph into flat [Bigarray] buffers that the
+    [run_csr] kernels in [Cutfit_algo] scan at memory speed, plus the
+    preallocated per-partition message buffers the kernels accumulate
+    into:
+
+    - [part_off]/[edge_src]/[edge_dst]: every partition's edges as a
+      contiguous range of endpoint arrays, in exactly the order
+      {!Pgraph.iter_partition_edges} visits them;
+    - one {e accumulator slot} per (partition, vertex) pair where the
+      vertex has at least one edge in the partition — GraphX's local
+      combiner made concrete. [slot_off] gives each partition's
+      contiguous slot range (so parallel scatters never share a cache
+      line across partitions), [slot_vertex] maps a slot back to its
+      vertex, and [src_slot]/[dst_slot] precompute each edge's endpoint
+      slots so the hot loop never searches;
+    - [red_off]/[red_slot]: the {e reduction table} — each vertex's
+      slots in ascending partition order. Reducing a vertex by folding
+      this list left-to-right reproduces the boxed engines' fixed
+      cross-partition merge order bit-for-bit, at any domain count;
+    - [facc]/[iacc]/[has]: the preallocated message buffers (one float,
+      one int and one occupancy byte per slot). Kernels must leave
+      [has] all-zero on return; runs on one [t] must not overlap.
+
+    The graph is unweighted (SSSP counts hops), so no edge-weight array
+    is materialized; adding one is a matter of another [float_buf] in
+    partition edge order. Total footprint is O(E + S) words where S =
+    {!Pgraph.total_replicas}. *)
+
+type int_buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type float_buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private {
+  pg : Pgraph.t;  (** the partitioned graph this was frozen from *)
+  graph : Cutfit_graph.Graph.t;
+  num_partitions : int;
+  num_vertices : int;
+  num_edges : int;
+  num_slots : int;  (** = [Pgraph.total_replicas pg] *)
+  part_off : int_buf;  (** [P+1]: partition [p]'s edges are [\[part_off p, part_off (p+1))] *)
+  edge_src : int_buf;  (** [E], grouped by partition, partition edge order *)
+  edge_dst : int_buf;  (** [E] *)
+  src_slot : int_buf;  (** [E]: accumulator slot of (owning partition, src) *)
+  dst_slot : int_buf;  (** [E]: accumulator slot of (owning partition, dst) *)
+  slot_off : int_buf;  (** [P+1]: partition [p]'s slots are [\[slot_off p, slot_off (p+1))] *)
+  slot_vertex : int_buf;  (** [S]: vertex of each slot, first-touch order within partition *)
+  red_off : int_buf;  (** [n+1]: vertex [v]'s slots are [\[red_off v, red_off (v+1))] *)
+  red_slot : int_buf;  (** [S]: each vertex's slots, ascending partition index *)
+  out_deg : int_buf;  (** [n]: out-degree in the underlying graph *)
+  facc : float_buf;  (** [S]: preallocated float message buffer *)
+  iacc : int_buf;  (** [S]: preallocated int message buffer *)
+  has : Bytes.t;  (** [S]: slot occupancy; all-zero between runs *)
+}
+
+val build : Pgraph.t -> t
+(** [build pg] freezes the partitioned graph; O(E + S) time and a
+    sequential, deterministic layout (it depends only on [pg]).
+    @raise Invalid_argument if the frozen tables disagree with [pg]'s
+    own accounting (cannot happen for a well-formed {!Pgraph.t}). *)

@@ -33,6 +33,11 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   let is_active v = Bytes.unsafe_get active v <> '\000' in
   let acc : 'g option array = Array.make n None in
   let touched = ref [] in
+  (* Partition-local pre-aggregation scratch, flushed into [acc] in
+     ascending partition order after each partition's scan — the same
+     fixed reduction order as the Pregel engine and the Csr kernels. *)
+  let plocal : 'g option array = Array.make n None in
+  let ptouched = ref [] in
   let last_part = Array.make n (-1) in
   let last_step = Array.make n (-1) in
 
@@ -265,11 +270,11 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       let contribute target value =
         incr messages;
         work.(p) <- work.(p) +. cost.Cost_model.msg_merge_s;
-        (match acc.(target) with
+        (match plocal.(target) with
         | None ->
-            acc.(target) <- Some value;
-            touched := target :: !touched
-        | Some g0 -> acc.(target) <- Some (program.sum g0 value));
+            plocal.(target) <- Some value;
+            ptouched := target :: !ptouched
+        | Some g0 -> plocal.(target) <- Some (program.sum g0 value));
         if last_step.(target) <> !step || last_part.(target) <> p then begin
           last_step.(target) <- !step;
           last_part.(target) <- p;
@@ -304,7 +309,24 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
             if dst_gathers then emit dst;
             if src_gathers then emit src
           end
-          else work.(p) <- work.(p) +. cost.Cost_model.edge_skip_s)
+          else work.(p) <- work.(p) +. cost.Cost_model.edge_skip_s);
+      (* Flush the partition's partial sums into the master-side
+         accumulator; each vertex holds at most one partial per
+         partition, so the per-vertex cross-partition sum is a left fold
+         over ascending partition indices. *)
+      List.iter
+        (fun target ->
+          (match plocal.(target) with
+          | None -> assert false
+          | Some value -> (
+              match acc.(target) with
+              | None ->
+                  acc.(target) <- Some value;
+                  touched := target :: !touched
+              | Some g0 -> acc.(target) <- Some (program.sum g0 value)));
+          plocal.(target) <- None)
+        !ptouched;
+      ptouched := []
     done;
     (* Apply at masters: every active vertex recomputes, whether or not
        an edge contributed. Scatter ships changed state to mirrors. *)

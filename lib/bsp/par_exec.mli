@@ -1,0 +1,49 @@
+(** Multicore superstep driver: a fixed pool of OCaml 5 domains with a
+    barrier between phases.
+
+    The pool executes one {e phase} at a time (a scatter over partitions
+    or a reduce over vertex chunks); {!run} and {!iter} return only when
+    every worker has finished, so a phase's writes happen-before the
+    next phase's reads. Work items are handed out dynamically through an
+    atomic cursor — scheduling is therefore nondeterministic, and
+    determinism of the {e results} comes from the data layout instead:
+    every work item writes only item-owned state (a partition owns its
+    accumulator-slot range, a vertex chunk owns its vertices), so the
+    final memory state is independent of which domain ran what when.
+    See docs/PERFORMANCE.md for the full argument.
+
+    With [domains = 1] no domain is ever spawned and all work runs
+    inline on the caller — the default everywhere, keeping single-core
+    behaviour byte-identical to a world without this module. *)
+
+type t
+(** A worker pool: the calling domain plus [domains - 1] spawned
+    domains. Not thread-safe; drive it from the creating domain only. *)
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains (none when
+    [domains = 1]).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val domains : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f w] on every worker [w] in [\[0, domains)]
+    concurrently ([w = 0] is the calling domain) and waits for all of
+    them — a barrier. An exception in any worker is re-raised here
+    after the barrier. *)
+
+val iter : t -> n:int -> (int -> int -> unit) -> unit
+(** [iter t ~n f] calls [f w i] exactly once for every [i] in
+    [\[0, n)], where [w] is the worker that claimed item [i]. Items are
+    claimed dynamically (atomic cursor) for load balance; [f] must
+    confine its writes to state owned by item [i] (or by worker [w]) so
+    the outcome is schedule-independent. Barrier semantics as {!run}. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. The pool must not be used
+    afterwards. Idempotent. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] brackets [f] with {!create}/{!shutdown}
+    (shutdown also on exception). *)

@@ -62,6 +62,15 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   let is_active v = Bytes.unsafe_get active v <> '\000' in
   let msg : 'm option array = Array.make n None in
   let touched = Ivec.create () in
+  (* Partition-local combiner scratch: messages emitted while one
+     partition's edges are scanned merge here first (in edge order),
+     then flush into the master-side accumulator [msg] in ascending
+     partition order. This fixes the cross-partition reduction order
+     per partition index — the order the parallel {!Csr} kernels
+     reproduce, which is what makes boxed and CSR results bit-identical
+     for non-associative float merges. *)
+  let plocal : 'm option array = Array.make n None in
+  let ptouched = Ivec.create () in
   let last_part = Array.make n (-1) in
   let last_step = Array.make n (-1) in
 
@@ -374,11 +383,11 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
         let v = match dir with To_src -> !cur_src | To_dst -> !cur_dst in
         incr messages;
         work.(p) <- work.(p) +. cost.Cost_model.msg_merge_s;
-        (match msg.(v) with
+        (match plocal.(v) with
         | None ->
-            msg.(v) <- Some m;
-            Ivec.push touched v
-        | Some m0 -> msg.(v) <- Some (program.merge m0 m));
+            plocal.(v) <- Some m;
+            Ivec.push ptouched v
+        | Some m0 -> plocal.(v) <- Some (program.merge m0 m));
         (* Count one shuffle aggregate per (vertex, partition) pair. *)
         if last_step.(v) <> !step || last_part.(v) <> p then begin
           last_step.(v) <- !step;
@@ -402,7 +411,24 @@ let run ?(max_supersteps = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
             cur_dst := dst;
             program.send ~edge ~src ~dst ~src_attr:attrs.(src) ~dst_attr:attrs.(dst) ~emit
           end
-          else work.(p) <- work.(p) +. cost.Cost_model.edge_skip_s)
+          else work.(p) <- work.(p) +. cost.Cost_model.edge_skip_s);
+      (* Flush this partition's combined partials into the master-side
+         accumulator. Partitions are visited in ascending order, so each
+         vertex's cross-partition merge is a left fold over ascending
+         partition indices; within a flush, vertices appear in
+         first-touch (edge) order, which keeps the global [touched]
+         order identical to direct per-message merging. *)
+      Ivec.iter ptouched (fun v ->
+          (match plocal.(v) with
+          | None -> assert false
+          | Some m -> (
+              match msg.(v) with
+              | None ->
+                  msg.(v) <- Some m;
+                  Ivec.push touched v
+              | Some m0 -> msg.(v) <- Some (program.merge m0 m)));
+          plocal.(v) <- None);
+      Ivec.clear ptouched
     done;
     (* Vertex programs at masters, then replica refresh. *)
     Bytes.fill active 0 n '\000';

@@ -6,10 +6,14 @@
       [initial_msg], then broadcasts all attributes to their replicas;
     - each later superstep scans the triplets whose endpoints received a
       message, emits messages toward sources and/or destinations, merges
-      them first inside each edge partition (the local combiner), then
-      shuffles one aggregate per (vertex, partition) pair to the
-      vertex's hash-assigned master, applies the vertex program there,
-      and ships changed attributes back along the routing table;
+      them first inside each edge partition (the local combiner, a left
+      fold in edge order), then shuffles one aggregate per (vertex,
+      partition) pair to the vertex's hash-assigned master, where the
+      per-partition aggregates merge in ascending partition order —
+      a reduction order fixed by the data layout, not by scheduling,
+      which the parallel {!Csr} kernels reproduce bit-for-bit. The
+      vertex program then runs at the master and ships changed
+      attributes back along the routing table;
     - the loop ends when no messages remain, the iteration cap is hit,
       or the memory model trips (GraphX's unbounded lineage).
 

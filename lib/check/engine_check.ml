@@ -1,0 +1,75 @@
+module Csr = Cutfit_bsp.Csr
+
+let suite = "engines"
+let default_domains = [ 1; 2; 4 ]
+
+(* The generic checker: one boxed oracle digest, then per domain count
+   two compact runs. [boxed] and [csr] both return the canonical digest
+   of the final vertex values, so an algorithm only has to say how it
+   runs and how its values digest. *)
+let check ~label ~boxed ~csr domains_counts =
+  let oracle = boxed () in
+  List.concat_map
+    (fun domains ->
+      let first = csr ~domains in
+      let second = csr ~domains in
+      let vs = ref [] in
+      if String.compare first oracle <> 0 then
+        vs :=
+          Violation.v ~suite ~rule:"boxed-vs-csr"
+            "%s: csr digest %s (domains=%d) <> boxed digest %s" label first domains oracle
+          :: !vs;
+      if String.compare second first <> 0 then
+        vs :=
+          Violation.v ~suite ~rule:"run-twice"
+            "%s: csr run-twice digests differ at domains=%d: %s then %s" label domains first
+            second
+          :: !vs;
+      List.rev !vs)
+    domains_counts
+
+let pagerank ?(iterations = 10) ?(domains_counts = default_domains) ~cluster pg =
+  let c = Csr.build pg in
+  check ~label:"pagerank"
+    ~boxed:(fun () ->
+      let r = Cutfit_algo.Pagerank.run ~iterations ~cluster pg in
+      Fault_check.float_attrs_digest r.Cutfit_algo.Pagerank.ranks)
+    ~csr:(fun ~domains ->
+      Fault_check.float_attrs_digest (Cutfit_algo.Pagerank.run_csr ~iterations ~domains c))
+    domains_counts
+
+let connected_components ?(iterations = 10) ?(domains_counts = default_domains) ~cluster pg =
+  let c = Csr.build pg in
+  check ~label:"connected-components"
+    ~boxed:(fun () ->
+      let r = Cutfit_algo.Connected_components.run ~iterations ~cluster pg in
+      Fault_check.int_attrs_digest r.Cutfit_algo.Connected_components.labels)
+    ~csr:(fun ~domains ->
+      Fault_check.int_attrs_digest
+        (Cutfit_algo.Connected_components.run_csr ~iterations ~domains c))
+    domains_counts
+
+let triangle_count ?(domains_counts = default_domains) ~cluster pg =
+  let c = Csr.build pg in
+  check ~label:"triangle-count"
+    ~boxed:(fun () ->
+      let r = Cutfit_algo.Triangle_count.run ~cluster pg in
+      Fault_check.int_attrs_digest
+        (Array.append r.Cutfit_algo.Triangle_count.per_vertex
+           [| r.Cutfit_algo.Triangle_count.total |]))
+    ~csr:(fun ~domains ->
+      let per_vertex, total = Cutfit_algo.Triangle_count.run_csr ~domains c in
+      Fault_check.int_attrs_digest (Array.append per_vertex [| total |]))
+    domains_counts
+
+let shortest_paths ?(max_supersteps = 2000) ?(domains_counts = default_domains) ~landmarks
+    ~cluster pg =
+  let c = Csr.build pg in
+  let digest distances = Fault_check.int_attrs_digest (Array.concat (Array.to_list distances)) in
+  check ~label:"shortest-paths"
+    ~boxed:(fun () ->
+      let r = Cutfit_algo.Sssp.run ~max_supersteps ~cluster ~landmarks pg in
+      digest r.Cutfit_algo.Sssp.distances)
+    ~csr:(fun ~domains ->
+      digest (Cutfit_algo.Sssp.run_csr ~max_supersteps ~domains ~landmarks c))
+    domains_counts

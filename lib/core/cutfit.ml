@@ -11,6 +11,9 @@
       partitioning;
     - {!Pgraph}, {!Pregel}, {!Cluster}, {!Cost_model}, {!Trace} — the
       simulated GraphX/Spark runtime;
+    - {!Csr}, {!Par_exec} — the compact flat-array representation and
+      the multicore superstep driver that execute the same algorithms
+      for real (see docs/PERFORMANCE.md);
     - {!Telemetry}, {!Metric}, {!Event}, {!Sink}, {!Json}, {!Clock} —
       structured per-superstep telemetry and its sinks;
     - {!Check}, {!Sanitize} — runtime invariant suites (the simulator
@@ -63,6 +66,10 @@ module Gas = Cutfit_bsp.Gas
 module Trace = Cutfit_bsp.Trace
 module Faults = Cutfit_bsp.Faults
 module Speculation = Cutfit_bsp.Speculation
+
+(* Compact real-execution layer *)
+module Csr = Cutfit_bsp.Csr
+module Par_exec = Cutfit_bsp.Par_exec
 
 (* Algorithms *)
 module Pagerank = Cutfit_algo.Pagerank

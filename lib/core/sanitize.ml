@@ -67,7 +67,7 @@ let run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale
   (p, trace, attrs_digest, contents ())
 
 let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpoint_every ?faults
-    ?speculation ~algorithm g =
+    ?speculation ?engine_domains ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -121,6 +121,23 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
           (Check.Fault_check.equivalence ~label ~baseline ~faulty:trace
              ~baseline_attrs ~faulty_attrs:attrs_digest ())
   in
+  (* The engines suite runs the boxed oracle and the compact Csr kernel
+     over the same partitioned graph and insists on bit-identical vertex
+     values at every requested domain count. *)
+  let engines_v =
+    match engine_domains with
+    | None -> None
+    | Some domains_counts ->
+        let pg = p.Pipeline.pg in
+        Some
+          (match algorithm with
+          | Advisor.Pagerank -> Check.Engine_check.pagerank ~domains_counts ~cluster pg
+          | Advisor.Connected_components ->
+              Check.Engine_check.connected_components ~domains_counts ~cluster pg
+          | Advisor.Triangle_count -> Check.Engine_check.triangle_count ~domains_counts ~cluster pg
+          | Advisor.Shortest_paths ->
+              Check.Engine_check.shortest_paths ~domains_counts ~landmarks ~cluster pg)
+  in
   let suites =
     [
       ("pgraph", List.length pgraph_v);
@@ -129,7 +146,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
       ("telemetry", List.length telemetry_v);
       ("determinism", List.length determinism_v);
     ]
-    @ match faults_v with None -> [] | Some v -> [ ("faults", List.length v) ]
+    @ (match faults_v with None -> [] | Some v -> [ ("faults", List.length v) ])
+    @ match engines_v with None -> [] | Some v -> [ ("engines", List.length v) ]
   in
   {
     algorithm;
@@ -137,7 +155,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
     suites;
     violations =
       pgraph_v @ metrics_v @ trace_v @ telemetry_v @ determinism_v
-      @ Option.value ~default:[] faults_v;
+      @ Option.value ~default:[] faults_v
+      @ Option.value ~default:[] engines_v;
     trace_digest;
     events_digest;
   }

@@ -14,7 +14,10 @@
     via {!Cutfit_check.Fault_check}: the perturbed run's final vertex
     values are bit-identical to the baseline's, its communication
     structure is unchanged, and its compute supersteps never sum
-    cheaper. *)
+    cheaper. With [engine_domains] a further suite, [engines], proves
+    the compact {!Cutfit_bsp.Csr} kernel reproduces the boxed engine's
+    vertex values bit-for-bit at each listed domain count, twice per
+    count ({!Cutfit_check.Engine_check}). *)
 
 type report = {
   algorithm : Advisor.algorithm;
@@ -34,6 +37,7 @@ val check_run :
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
   ?speculation:Cutfit_bsp.Speculation.config ->
+  ?engine_domains:int list ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   report

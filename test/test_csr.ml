@@ -1,0 +1,200 @@
+(* The compact CSR layer: structural round-trip against the boxed
+   Pgraph, bit-identical results across engines and domain counts, and
+   equivalence under an injected fault schedule. *)
+
+module Graph = Cutfit_graph.Graph
+module Strategy = Cutfit_partition.Strategy
+module Partitioner = Cutfit_partition.Partitioner
+module Cluster = Cutfit_bsp.Cluster
+module Pgraph = Cutfit_bsp.Pgraph
+module Csr = Cutfit_bsp.Csr
+module Par_exec = Cutfit_bsp.Par_exec
+module Faults = Cutfit_bsp.Faults
+module Check = Cutfit_check
+module Pagerank = Cutfit_algo.Pagerank
+module Cc = Cutfit_algo.Connected_components
+module Tr = Cutfit_algo.Triangle_count
+module Sssp = Cutfit_algo.Sssp
+module B1 = Bigarray.Array1
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let cluster = Test_util.tiny_cluster ()
+let np = cluster.Cluster.num_partitions
+
+let pg_of g =
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np g in
+  Pgraph.build g ~num_partitions:np a
+
+let g = Test_util.random_graph ~seed:424L ~n:200 ~m:1400
+let pg = pg_of g
+let csr = Csr.build pg
+let domains_counts = [ 1; 2; 4 ]
+
+(* --- structural round-trip ---------------------------------------- *)
+
+let test_roundtrip_sizes () =
+  checki "vertices" (Graph.num_vertices g) csr.Csr.num_vertices;
+  checki "edges" (Graph.num_edges g) csr.Csr.num_edges;
+  checki "partitions" (Pgraph.num_partitions pg) csr.Csr.num_partitions;
+  checki "slots" (Pgraph.total_replicas pg) csr.Csr.num_slots;
+  checki "edge offsets end" csr.Csr.num_edges (B1.get csr.Csr.part_off csr.Csr.num_partitions);
+  checki "slot offsets end" csr.Csr.num_slots (B1.get csr.Csr.slot_off csr.Csr.num_partitions)
+
+let test_roundtrip_edges_in_partition_order () =
+  (* The flat edge arrays replay iter_partition_edges exactly: same
+     partition ranges, same order, same endpoints. *)
+  for p = 0 to csr.Csr.num_partitions - 1 do
+    let e = ref (B1.get csr.Csr.part_off p) in
+    Pgraph.iter_partition_edges pg p (fun ~edge:_ ~src ~dst ->
+        checki "src" src (B1.get csr.Csr.edge_src !e);
+        checki "dst" dst (B1.get csr.Csr.edge_dst !e);
+        incr e);
+    checki "partition edge count" (B1.get csr.Csr.part_off (p + 1)) !e
+  done
+
+let test_roundtrip_slots () =
+  (* Each edge's slots live in its own partition's slot range and map
+     back to the edge's endpoints; each vertex's reduction list is
+     strictly ascending (hence ascending by partition). *)
+  for p = 0 to csr.Csr.num_partitions - 1 do
+    checki "local vertices" (Pgraph.local_vertices pg p)
+      (B1.get csr.Csr.slot_off (p + 1) - B1.get csr.Csr.slot_off p);
+    for e = B1.get csr.Csr.part_off p to B1.get csr.Csr.part_off (p + 1) - 1 do
+      let check_slot name slot v =
+        checkb (name ^ " slot in partition range") true
+          (slot >= B1.get csr.Csr.slot_off p && slot < B1.get csr.Csr.slot_off (p + 1));
+        checki (name ^ " slot vertex") v (B1.get csr.Csr.slot_vertex slot)
+      in
+      check_slot "src" (B1.get csr.Csr.src_slot e) (B1.get csr.Csr.edge_src e);
+      check_slot "dst" (B1.get csr.Csr.dst_slot e) (B1.get csr.Csr.edge_dst e)
+    done
+  done;
+  checki "reduction table covers every slot" csr.Csr.num_slots
+    (B1.get csr.Csr.red_off csr.Csr.num_vertices);
+  for v = 0 to csr.Csr.num_vertices - 1 do
+    for i = B1.get csr.Csr.red_off v to B1.get csr.Csr.red_off (v + 1) - 1 do
+      checki "slot belongs to vertex" v (B1.get csr.Csr.slot_vertex (B1.get csr.Csr.red_slot i));
+      if i > B1.get csr.Csr.red_off v then
+        checkb "ascending partition order" true
+          (B1.get csr.Csr.red_slot i > B1.get csr.Csr.red_slot (i - 1))
+    done
+  done
+
+let test_out_degrees () =
+  for v = 0 to csr.Csr.num_vertices - 1 do
+    checki "out degree" (Graph.out_degree g v) (B1.get csr.Csr.out_deg v)
+  done
+
+(* --- bit-identical results across engines and domain counts ------- *)
+
+let no_violations name vs =
+  match vs with
+  | [] -> ()
+  | _ -> Alcotest.failf "%s: %a" name Check.Violation.pp_list vs
+
+let test_engines_pagerank () =
+  no_violations "pagerank" (Check.Engine_check.pagerank ~domains_counts ~cluster pg)
+
+let test_engines_cc () =
+  no_violations "connected components"
+    (Check.Engine_check.connected_components ~domains_counts ~cluster pg)
+
+let test_engines_triangles () =
+  no_violations "triangles" (Check.Engine_check.triangle_count ~domains_counts ~cluster pg)
+
+let test_engines_sssp () =
+  let landmarks = Sssp.pick_landmarks ~seed:11L ~count:3 g in
+  no_violations "sssp" (Check.Engine_check.shortest_paths ~domains_counts ~landmarks ~cluster pg)
+
+let test_pagerank_bits_across_domains () =
+  (* The raw float bits, not just digests: the partition-indexed
+     reduction order makes float addition reproducible. *)
+  let boxed = (Pagerank.run ~iterations:7 ~cluster pg).Pagerank.ranks in
+  List.iter
+    (fun domains ->
+      let ranks = Pagerank.run_csr ~iterations:7 ~domains csr in
+      Array.iteri
+        (fun v r ->
+          checkb "identical bits" true
+            (Int64.equal (Int64.bits_of_float r) (Int64.bits_of_float boxed.(v))))
+        ranks)
+    domains_counts
+
+let test_run_twice_reuses_buffers () =
+  (* Back-to-back runs on one Csr.t must digest identically — the
+     has-byte discipline leaves no stale occupancy behind. *)
+  let d () = Check.Fault_check.float_attrs_digest (Pagerank.run_csr ~domains:2 csr) in
+  checks "stable digest" (d ()) (d ());
+  let dc () = Check.Fault_check.int_attrs_digest (Cc.run_csr ~domains:4 csr) in
+  checks "cc after pagerank on same buffers" (dc ()) (dc ())
+
+let test_rounds_reported () =
+  let rounds = ref 0 in
+  let chain = pg_of (Test_util.graph_of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ]) in
+  let c = Csr.build chain in
+  let _ = Cc.run_csr ~iterations:50 ~rounds c in
+  (* Labels flow down the chain one hop per round, then one quiet round. *)
+  checki "rounds to converge" 6 !rounds
+
+(* --- equivalence under an injected fault schedule ------------------ *)
+
+let test_fault_schedule_equivalence () =
+  (* Faults perturb only the boxed engine's time accounting; the CSR
+     kernel must match the faulty run's values bit-for-bit too. *)
+  let faults = Faults.config ~seed:5 "straggler@2:x3,loss@3:r2,crash@4:e1" in
+  let faulty = Pagerank.run ~iterations:8 ~faults ~cluster pg in
+  let csr_digest = Check.Fault_check.float_attrs_digest (Pagerank.run_csr ~iterations:8 csr) in
+  checks "csr = faulty boxed pagerank"
+    (Check.Fault_check.float_attrs_digest faulty.Pagerank.ranks)
+    csr_digest;
+  let faulty_cc = Cc.run ~iterations:10 ~faults ~cluster pg in
+  checks "csr = faulty boxed cc"
+    (Check.Fault_check.int_attrs_digest faulty_cc.Cc.labels)
+    (Check.Fault_check.int_attrs_digest (Cc.run_csr ~iterations:10 ~domains:2 csr))
+
+(* --- the multicore driver itself ----------------------------------- *)
+
+let test_par_exec_iter_covers_items () =
+  Par_exec.with_pool ~domains:4 (fun pool ->
+      let hits = Array.make 1000 0 in
+      Par_exec.iter pool ~n:1000 (fun _ i -> hits.(i) <- hits.(i) + 1);
+      checkb "each item exactly once" true (Array.for_all (fun h -> h = 1) hits);
+      (* The pool survives across epochs. *)
+      let sum = Atomic.make 0 in
+      Par_exec.run pool (fun w -> ignore (Atomic.fetch_and_add sum (w + 1)));
+      checki "all workers ran" 10 (Atomic.get sum))
+
+let test_par_exec_propagates_exceptions () =
+  Par_exec.with_pool ~domains:2 (fun pool ->
+      match Par_exec.iter pool ~n:8 (fun _ i -> if i = 5 then failwith "boom") with
+      | () -> checkb "should have raised" false true
+      | exception Failure m -> checks "original exception" "boom" m);
+  (* And the inline path. *)
+  Par_exec.with_pool ~domains:1 (fun pool ->
+      match Par_exec.iter pool ~n:8 (fun _ i -> if i = 5 then failwith "boom") with
+      | () -> checkb "should have raised" false true
+      | exception Failure m -> checks "original exception" "boom" m)
+
+let suite =
+  [
+    Alcotest.test_case "csr round-trip: sizes" `Quick test_roundtrip_sizes;
+    Alcotest.test_case "csr round-trip: edge order" `Quick test_roundtrip_edges_in_partition_order;
+    Alcotest.test_case "csr round-trip: slots + reduction table" `Quick test_roundtrip_slots;
+    Alcotest.test_case "csr round-trip: out degrees" `Quick test_out_degrees;
+    Alcotest.test_case "engines: pagerank boxed=csr at 1/2/4 domains" `Quick test_engines_pagerank;
+    Alcotest.test_case "engines: cc boxed=csr at 1/2/4 domains" `Quick test_engines_cc;
+    Alcotest.test_case "engines: triangles boxed=csr at 1/2/4 domains" `Quick
+      test_engines_triangles;
+    Alcotest.test_case "engines: sssp boxed=csr at 1/2/4 domains" `Quick test_engines_sssp;
+    Alcotest.test_case "pagerank bits identical across domains" `Quick
+      test_pagerank_bits_across_domains;
+    Alcotest.test_case "run twice reuses buffers cleanly" `Quick test_run_twice_reuses_buffers;
+    Alcotest.test_case "rounds out-parameter" `Quick test_rounds_reported;
+    Alcotest.test_case "fault schedule leaves values csr-identical" `Quick
+      test_fault_schedule_equivalence;
+    Alcotest.test_case "par_exec covers every item once" `Quick test_par_exec_iter_covers_items;
+    Alcotest.test_case "par_exec propagates exceptions" `Quick test_par_exec_propagates_exceptions;
+  ]

@@ -9,6 +9,7 @@ let () =
       ("bsp", Test_bsp.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("csr", Test_csr.suite);
       ("algo", Test_algo.suite);
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);

@@ -1,0 +1,35 @@
+(* expect: none *)
+(* The multicore superstep idiom: domains claim work items with an
+   atomic counter, but every write lands in the claiming item's own
+   slot range and the cross-partition reduction folds slots in
+   ascending partition index — a total order fixed by the data layout.
+   Scheduling decides only who computes, never what is computed, so no
+   wall clock, no prints, and no polymorphic comparison are needed to
+   keep the result bit-identical at any domain count. *)
+
+let parallel_fill ~domains ~n f out =
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (* item-owned write: index [i] belongs to this claim alone *)
+        out.(i) <- f i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned
+
+(* Reduction in ascending partition order: the fold visits each
+   vertex's per-partition slots lowest partition first, so float
+   accumulation associates the same way every run. *)
+let reduce ~red_off ~red_slot ~acc v =
+  let total = ref 0.0 in
+  for i = red_off.(v) to red_off.(v + 1) - 1 do
+    total := !total +. acc.(red_slot.(i))
+  done;
+  !total

@@ -20,6 +20,12 @@ echo "== paranoid sanitizer pass"
 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa
 dune exec bin/cutfit_cli.exe -- run CC roadnet_pa --paranoid >/dev/null
 
+echo "== multicore smoke (csr engine, 4 domains)"
+# the compact kernels on OCaml domains; check adds the engines suite,
+# which proves boxed-vs-csr bit-identity at domain counts 1, 2 and 4
+dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --engine csr --domains 4 >/dev/null
+dune exec bin/cutfit_cli.exe -- check CC roadnet_pa --engine csr --domains 4 >/dev/null
+
 echo "== workload smoke (20 jobs, checked + digested)"
 dune exec bin/cutfit_cli.exe -- workload --jobs 20 --check >/dev/null
 
