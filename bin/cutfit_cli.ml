@@ -750,8 +750,16 @@ let check_cmd =
   let strategy =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
-  let action algo graph config partitioner engine domains faults_spec checkpoint_every fault_seed
-      fault_mode max_failures speculate speculate_threshold =
+  let races_arg =
+    let doc =
+      "Add the $(b,races) suite: run the instrumented mirrors of the compact kernels under the \
+       shadow write-ownership recorder at domain counts 1, 2, 4 and $(b,--domains), and \
+       self-test the detector against two seeded race corruptions."
+    in
+    Arg.(value & flag & info [ "races" ] ~doc)
+  in
+  let action algo graph config partitioner engine domains races faults_spec checkpoint_every
+      fault_seed fault_mode max_failures speculate speculate_threshold =
     let g = load_graph graph in
     if domains < 1 then usage_fail "domains must be >= 1 (got %d)" domains;
     let faults =
@@ -767,9 +775,12 @@ let check_cmd =
       | Boxed -> None
       | Csr_engine -> Some (List.sort_uniq Int.compare (domains :: [ 1; 2; 4 ]))
     in
+    let race_domains =
+      if races then Some (List.sort_uniq Int.compare (domains :: [ 1; 2; 4 ])) else None
+    in
     let report =
       Cutfit.Sanitize.check_run ~cluster:config ?partitioner ?checkpoint_every ?faults
-        ?speculation ?engine_domains ~algorithm:algo g
+        ?speculation ?engine_domains ?race_domains ~algorithm:algo g
     in
     Fmt.pr "%a@." Cutfit.Sanitize.pp_report report;
     if Cutfit.Sanitize.ok report then exit_ok else exit_failure
@@ -782,11 +793,13 @@ let check_cmd =
           run-twice determinism digest. With $(b,--faults) or $(b,--speculate), a sixth suite \
           proves the value-equivalence invariant against a clean baseline. With \
           $(b,--engine csr), an $(b,engines) suite proves the compact kernels reproduce the \
-          boxed engine's values bit-for-bit at domain counts 1, 2, 4 and $(b,--domains). Exits \
+          boxed engine's values bit-for-bit at domain counts 1, 2, 4 and $(b,--domains). With \
+          $(b,--races), a $(b,races) suite shadow-records every accumulator write of an \
+          instrumented kernel run and verifies the item-owned-writes discipline. Exits \
           non-zero on any violation.")
     Term.(
       const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ engine_arg $ domains_arg
-      $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
+      $ races_arg $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
       $ max_failures_arg $ speculate_arg $ speculate_threshold_arg)
 
 let () =

@@ -54,6 +54,7 @@ type t = {
 val default : t
 (** The calibrated constants used throughout the evaluation. *)
 
+(* lint: unused-export -- exposed so external harnesses can replay jitter *)
 val jitter : t -> partition:int -> step:int -> float
 (** The deterministic jitter multiplier of one task instance. *)
 

@@ -121,3 +121,10 @@ let build pg =
     iacc;
     has = Bytes.make s '\000';
   }
+
+(* Instrumentation hook: a shadow recorder sized to this layout's slot
+   space (or to the vertex space, for kernels like triangle counting
+   whose reduction writes live in vertex coordinates). *)
+let shadow ?(vertex_space = false) ~workers c =
+  let slots = if vertex_space then c.num_vertices else c.num_slots in
+  Ownership.create ~slots ~workers

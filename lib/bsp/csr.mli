@@ -61,3 +61,10 @@ val build : Pgraph.t -> t
     sequential, deterministic layout (it depends only on [pg]).
     @raise Invalid_argument if the frozen tables disagree with [pg]'s
     own accounting (cannot happen for a well-formed {!Pgraph.t}). *)
+
+val shadow : ?vertex_space:bool -> workers:int -> t -> Ownership.t
+(** [shadow ~workers c] creates an {!Ownership} recorder over [c]'s
+    accumulator-slot space (or over the vertex space when
+    [~vertex_space:true], for kernels whose reduction writes are
+    per-vertex) — the instrumented CSR mode used by the race
+    sanitizer. *)

@@ -104,6 +104,14 @@ let iter t ~n f =
         done)
   end
 
+(* Instrumentation hook for the dynamic race sanitizer: a phase whose
+   shadow records are checked at the phase barrier. The Ownership
+   barrier runs on the driver domain after [iter] has joined, so it
+   reads the worker logs race-free. *)
+let iter_shadowed t ~shadow ~n f =
+  iter t ~n f;
+  Ownership.barrier shadow
+
 let shutdown t =
   if t.domains > 1 && not t.stop then begin
     Mutex.lock t.mutex;

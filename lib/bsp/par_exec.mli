@@ -20,11 +20,13 @@ type t
 (** A worker pool: the calling domain plus [domains - 1] spawned
     domains. Not thread-safe; drive it from the creating domain only. *)
 
+(* lint: unused-export -- pool construction API; with_pool is the common path *)
 val create : domains:int -> t
 (** [create ~domains] spawns [domains - 1] worker domains (none when
     [domains = 1]).
     @raise Invalid_argument when [domains < 1]. *)
 
+(* lint: unused-export -- introspection accessor paired with create *)
 val domains : t -> int
 
 val run : t -> (int -> unit) -> unit
@@ -40,6 +42,14 @@ val iter : t -> n:int -> (int -> int -> unit) -> unit
     confine its writes to state owned by item [i] (or by worker [w]) so
     the outcome is schedule-independent. Barrier semantics as {!run}. *)
 
+val iter_shadowed : t -> shadow:Ownership.t -> n:int -> (int -> int -> unit) -> unit
+(** [iter_shadowed t ~shadow ~n f] is {!iter} followed by
+    [Ownership.barrier shadow]: the instrumented-kernel phase primitive.
+    [f] records its accumulator writes and reduction reads into [shadow]
+    (via {!Ownership.write}/{!Ownership.read}); the barrier then checks
+    the epoch's records against the item-owned-writes discipline. *)
+
+(* lint: unused-export -- teardown half of the create/shutdown pair *)
 val shutdown : t -> unit
 (** Terminate and join the worker domains. The pool must not be used
     afterwards. Idempotent. *)

@@ -19,6 +19,7 @@
     {!Trace_check.validate}'s job; {!validate_faulty} is a convenience
     alias so callers can run both from one module. *)
 
+(* lint: unused-export -- suite identity mirrors the other checkers *)
 val suite : string
 
 val float_attrs_digest : float array -> string

@@ -67,7 +67,7 @@ let run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale
   (p, trace, attrs_digest, contents ())
 
 let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpoint_every ?faults
-    ?speculation ?engine_domains ~algorithm g =
+    ?speculation ?engine_domains ?race_domains ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -138,6 +138,24 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
           | Advisor.Shortest_paths ->
               Check.Engine_check.shortest_paths ~domains_counts ~landmarks ~cluster pg)
   in
+  (* The races suite runs the instrumented mirrors of the compact
+     kernels under the shadow write-ownership recorder at every
+     requested domain count, then self-tests the detector against two
+     seeded corruptions. *)
+  let races_v =
+    match race_domains with
+    | None -> None
+    | Some domains_counts ->
+        let pg = p.Pipeline.pg in
+        let kernel_v =
+          match algorithm with
+          | Advisor.Pagerank -> Check.Race_check.pagerank ~domains_counts pg
+          | Advisor.Connected_components -> Check.Race_check.connected_components ~domains_counts pg
+          | Advisor.Triangle_count -> Check.Race_check.triangle_count ~domains_counts pg
+          | Advisor.Shortest_paths -> Check.Race_check.shortest_paths ~domains_counts ~landmarks pg
+        in
+        Some (kernel_v @ Check.Race_check.self_check pg)
+  in
   let suites =
     [
       ("pgraph", List.length pgraph_v);
@@ -147,7 +165,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
       ("determinism", List.length determinism_v);
     ]
     @ (match faults_v with None -> [] | Some v -> [ ("faults", List.length v) ])
-    @ match engines_v with None -> [] | Some v -> [ ("engines", List.length v) ]
+    @ (match engines_v with None -> [] | Some v -> [ ("engines", List.length v) ])
+    @ match races_v with None -> [] | Some v -> [ ("races", List.length v) ]
   in
   {
     algorithm;
@@ -156,7 +175,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
     violations =
       pgraph_v @ metrics_v @ trace_v @ telemetry_v @ determinism_v
       @ Option.value ~default:[] faults_v
-      @ Option.value ~default:[] engines_v;
+      @ Option.value ~default:[] engines_v
+      @ Option.value ~default:[] races_v;
     trace_digest;
     events_digest;
   }

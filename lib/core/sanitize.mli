@@ -17,7 +17,11 @@
     cheaper. With [engine_domains] a further suite, [engines], proves
     the compact {!Cutfit_bsp.Csr} kernel reproduces the boxed engine's
     vertex values bit-for-bit at each listed domain count, twice per
-    count ({!Cutfit_check.Engine_check}). *)
+    count ({!Cutfit_check.Engine_check}). With [race_domains] a [races]
+    suite runs the instrumented mirror of the algorithm's compact
+    kernel under the shadow write-ownership recorder at each listed
+    domain count and self-tests the detector against two seeded
+    corruptions ({!Cutfit_check.Race_check}). *)
 
 type report = {
   algorithm : Advisor.algorithm;
@@ -38,6 +42,7 @@ val check_run :
   ?faults:Cutfit_bsp.Faults.config ->
   ?speculation:Cutfit_bsp.Speculation.config ->
   ?engine_domains:int list ->
+  ?race_domains:int list ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   report

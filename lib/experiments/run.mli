@@ -55,6 +55,7 @@ val run : options -> measurement list
     once per (dataset, partitioner, granularity) and shared across the
     algorithms. *)
 
+(* lint: unused-export -- convenience accessor for ad hoc analysis *)
 val time_or_nan : measurement -> float
 
 val filter :

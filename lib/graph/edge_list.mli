@@ -31,6 +31,7 @@ val of_list : (int * int) list -> t
 val to_arrays : t -> int array * int array
 (** Trimmed copies of the source and destination arrays. *)
 
+(* lint: unused-export -- building block kept for external loaders *)
 val sort : t -> unit
 (** Sort edges in place by [(src, dst)] lexicographically. *)
 

@@ -30,6 +30,7 @@ val edge_dst : t -> int -> int
 val src_array : t -> int array
 (** The underlying source array; do not mutate. *)
 
+(* lint: unused-export -- raw-array escape hatch for bulk consumers *)
 val dst_array : t -> int array
 (** The underlying destination array; do not mutate. *)
 
@@ -43,7 +44,9 @@ val iter_out : t -> int -> (int -> unit) -> unit
 val iter_in : t -> int -> (int -> unit) -> unit
 (** Same for in-neighbours. *)
 
+(* lint: unused-export -- fold twin of iter_out, kept for symmetry *)
 val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(* lint: unused-export -- fold twin of iter_in, kept for symmetry *)
 val fold_in : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 
 val out_neighbors : t -> int -> int array

@@ -21,6 +21,7 @@ val name : t -> string
 val of_string : string -> t option
 (** Parses both paper abbreviations and streaming names. *)
 
+(* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp : Format.formatter -> t -> unit
 
 val assign : t -> num_partitions:int -> Cutfit_graph.Graph.t -> int array

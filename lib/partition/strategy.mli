@@ -27,6 +27,7 @@ val to_string : t -> string
 val of_string : string -> t option
 (** Case-insensitive inverse of {!to_string}. *)
 
+(* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp : Format.formatter -> t -> unit
 
 val edge_partition : t -> num_partitions:int -> src:int -> dst:int -> int

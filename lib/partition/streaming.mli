@@ -20,6 +20,7 @@ type t = Dbh | Greedy | Hdrf of float | Hybrid of int
 
 val to_string : t -> string
 val of_string : string -> t option
+(* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp : Format.formatter -> t -> unit
 
 val assign : t -> num_partitions:int -> Cutfit_graph.Graph.t -> int array

@@ -29,9 +29,11 @@ val next_int : t -> int -> int
 (** [next_int t bound] is a uniform integer in [\[0, bound)].
     @raise Invalid_argument if [bound <= 0]. *)
 
+(* lint: unused-export -- standard PRNG surface, kept complete *)
 val next_float : t -> float
 (** Uniform float in [\[0, 1)]. *)
 
+(* lint: unused-export -- standard PRNG surface, kept complete *)
 val next_bool : t -> float -> bool
 (** [next_bool t p] is [true] with probability [p]. *)
 

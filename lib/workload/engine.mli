@@ -72,6 +72,7 @@ type deadline =
           service time at admission (build, skipped when cached, plus
           execution) — the job's SLO scales with its expected cost *)
 
+(* lint: unused-export -- label helper for external log consumers *)
 val deadline_name : deadline -> string
 (** ["absolute:<s>"] or ["factor:<f>"], the canonical spelling used in
     the report's parameter line. *)
@@ -245,10 +246,14 @@ val hit_rate : report -> float
 
 val mean_queue_s : report -> float
 
+(* lint: unused-export -- JSON codec surface for external log consumers *)
 val record_json : job_record -> Cutfit_obs.Json.t
+(* lint: unused-export -- JSON codec surface for external log consumers *)
 val failure_json : job_failure -> Cutfit_obs.Json.t
+(* lint: unused-export -- JSON codec surface for external log consumers *)
 val breaker_trip_json : breaker_trip -> Cutfit_obs.Json.t
 
+(* lint: unused-export -- JSON codec surface for external log consumers *)
 val report_json : report -> Cutfit_obs.Json.t
 (** Full report: parameters, per-job records, permanent failures,
     breaker trips, cache stats, aggregates. *)

@@ -43,5 +43,6 @@ val generate : seed:int64 -> jobs:int -> mix -> t list
     weight sum, an empty dimension, [jobs < 0] or a non-positive mean
     inter-arrival. *)
 
+(* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp : Format.formatter -> t -> unit
 (** ["#3 PR youtube/128 @2.41s"]. *)

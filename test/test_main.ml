@@ -10,6 +10,7 @@ let () =
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("csr", Test_csr.suite);
+      ("races", Test_races.suite);
       ("algo", Test_algo.suite);
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);

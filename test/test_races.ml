@@ -1,0 +1,186 @@
+(* The dynamic race sanitizer: the Ownership recorder's conflict rules,
+   the instrumented kernels' cleanliness at several domain counts, and
+   the detector's ability to catch seeded corruptions. *)
+
+module Strategy = Cutfit_partition.Strategy
+module Partitioner = Cutfit_partition.Partitioner
+module Cluster = Cutfit_bsp.Cluster
+module Pgraph = Cutfit_bsp.Pgraph
+module Ownership = Cutfit_bsp.Ownership
+module Check = Cutfit_check
+module Race_check = Cutfit_check.Race_check
+module Advisor = Cutfit.Advisor
+module Sanitize = Cutfit.Sanitize
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let cluster = Test_util.tiny_cluster ()
+let np = cluster.Cluster.num_partitions
+
+let pg_of g =
+  let a = Partitioner.assign (Partitioner.Hash Strategy.Rvc) ~num_partitions:np g in
+  Pgraph.build g ~num_partitions:np a
+
+let g = Test_util.random_graph ~seed:77L ~n:160 ~m:1100
+let pg = pg_of g
+
+let rules vs = List.sort_uniq String.compare (List.map (fun v -> v.Check.Violation.rule) vs)
+let has_rule r vs = List.exists (fun v -> v.Check.Violation.rule = r) vs
+
+(* --- the recorder itself ------------------------------------------- *)
+
+let test_ownership_clean () =
+  let own = Ownership.create ~slots:4 ~workers:2 in
+  checki "first epoch" 1 (Ownership.epoch own);
+  Ownership.write own ~worker:0 ~item:0 0;
+  Ownership.write own ~worker:1 ~item:1 1;
+  Ownership.barrier own;
+  (* Next epoch: reading last epoch's slots is legal, once per slot. *)
+  Ownership.read own ~worker:0 ~item:2 0;
+  Ownership.read own ~worker:1 ~item:3 1;
+  Ownership.barrier own;
+  checkb "no conflicts" true (Ownership.violations own = []);
+  checki "epoch advanced" 3 (Ownership.epoch own);
+  checki "writes seen" 2 (Ownership.writes_seen own);
+  checki "reads seen" 2 (Ownership.reads_seen own)
+
+let test_ownership_slot_conflict () =
+  let own = Ownership.create ~slots:4 ~workers:2 in
+  Ownership.write own ~worker:0 ~item:0 2;
+  Ownership.write own ~worker:1 ~item:5 2;
+  Ownership.barrier own;
+  match Ownership.violations own with
+  | [ c ] ->
+      checks "rule" "slot-conflict" c.Ownership.rule;
+      checki "slot" 2 c.Ownership.slot;
+      checki "epoch" 1 c.Ownership.epoch;
+      checki "first item" 0 c.Ownership.first_item;
+      checki "second item" 5 c.Ownership.second_item
+  | vs -> Alcotest.failf "expected exactly one conflict, got %d" (List.length vs)
+
+let test_ownership_premature_read () =
+  let own = Ownership.create ~slots:4 ~workers:1 in
+  Ownership.write own ~worker:0 ~item:0 1;
+  Ownership.read own ~worker:0 ~item:3 1;
+  Ownership.barrier own;
+  match Ownership.violations own with
+  | [ c ] ->
+      checks "rule" "premature-read" c.Ownership.rule;
+      checki "slot" 1 c.Ownership.slot
+  | vs -> Alcotest.failf "expected exactly one conflict, got %d" (List.length vs)
+
+let test_ownership_consume_conflict () =
+  let own = Ownership.create ~slots:4 ~workers:2 in
+  Ownership.write own ~worker:0 ~item:0 3;
+  Ownership.barrier own;
+  Ownership.read own ~worker:0 ~item:1 3;
+  Ownership.read own ~worker:1 ~item:2 3;
+  Ownership.barrier own;
+  match Ownership.violations own with
+  | [ c ] ->
+      checks "rule" "consume-conflict" c.Ownership.rule;
+      checki "epoch" 2 c.Ownership.epoch
+  | vs -> Alcotest.failf "expected exactly one conflict, got %d" (List.length vs)
+
+let test_ownership_out_of_range () =
+  let own = Ownership.create ~slots:4 ~workers:1 in
+  Ownership.write own ~worker:0 ~item:0 99;
+  Ownership.barrier own;
+  checkb "out of range caught" true
+    (List.exists (fun c -> c.Ownership.rule = "slot-out-of-range") (Ownership.violations own))
+
+let test_ownership_worker_independent () =
+  (* The same item stream split across different workers must yield the
+     same verdicts: conflicts are item-based, not worker-based. *)
+  let run workers placement =
+    let own = Ownership.create ~slots:8 ~workers in
+    List.iteri
+      (fun i slot -> Ownership.write own ~worker:(placement i) ~item:i slot)
+      [ 0; 1; 2; 1 ];
+    Ownership.barrier own;
+    List.map
+      (fun c -> Format.asprintf "%a" Ownership.pp_conflict c)
+      (Ownership.violations own)
+  in
+  let one = run 1 (fun _ -> 0) in
+  let four = run 4 (fun i -> i mod 4) in
+  checkb "same verdicts at 1 and 4 workers" true (one = four);
+  checkb "conflict found" true (one <> [])
+
+(* --- instrumented kernels are clean -------------------------------- *)
+
+let domains_counts = Race_check.default_domains
+
+let test_kernels_clean () =
+  checkb "suite name" true (Race_check.suite = "races");
+  checkb "pagerank clean" true (Race_check.pagerank ~domains_counts pg = []);
+  checkb "cc clean" true (Race_check.connected_components ~domains_counts pg = []);
+  checkb "triangles clean" true (Race_check.triangle_count ~domains_counts pg = []);
+  let landmarks = Cutfit_algo.Sssp.pick_landmarks ~seed:11L ~count:3 g in
+  checkb "sssp clean" true (Race_check.shortest_paths ~domains_counts ~landmarks pg = [])
+
+(* --- seeded corruptions are caught --------------------------------- *)
+
+let test_seeded_foreign_write () =
+  List.iter
+    (fun domains ->
+      let vs = Race_check.seeded_foreign_write ~domains pg in
+      checkb "non-empty" true (vs <> []);
+      checkb "slot-conflict surfaced" true (has_rule "slot-conflict" vs);
+      (* The corruption makes items 0 and 1 claim slot 0; the report must
+         name both. *)
+      let detail =
+        String.concat " " (List.map (fun v -> v.Check.Violation.detail) vs)
+      in
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      checkb "names the slot" true (contains "slot 0" detail))
+    [ 2; 4 ]
+
+let test_seeded_premature_read () =
+  let vs = Race_check.seeded_premature_read ~domains:2 pg in
+  checkb "non-empty" true (vs <> []);
+  checkb "premature-read surfaced" true (has_rule "premature-read" vs)
+
+let test_seeded_deterministic () =
+  let show vs = String.concat "\n" (List.map (fun v -> Format.asprintf "%a" Check.Violation.pp v) vs) in
+  let a = show (Race_check.seeded_foreign_write ~domains:2 pg) in
+  let b = show (Race_check.seeded_foreign_write ~domains:2 pg) in
+  checks "same report across runs" a b;
+  (* Across domain counts the label names the count but the conflicts
+     themselves must be identical. *)
+  let rules_of d = rules (Race_check.seeded_foreign_write ~domains:d pg) in
+  checkb "same rules across domain counts" true (rules_of 2 = rules_of 4)
+
+let test_self_check () = checkb "detector detects" true (Race_check.self_check pg = [])
+
+(* --- sanitizer wiring ----------------------------------------------- *)
+
+let test_sanitize_races_suite () =
+  let report =
+    Sanitize.check_run ~cluster ~race_domains:[ 1; 2 ] ~algorithm:Advisor.Pagerank g
+  in
+  checkb "report ok" true (Sanitize.ok report);
+  checkb "races suite present" true (List.mem_assoc "races" report.Sanitize.suites);
+  checki "races suite clean" 0 (List.assoc "races" report.Sanitize.suites)
+
+let suite =
+  [
+    Alcotest.test_case "ownership clean" `Quick test_ownership_clean;
+    Alcotest.test_case "ownership slot conflict" `Quick test_ownership_slot_conflict;
+    Alcotest.test_case "ownership premature read" `Quick test_ownership_premature_read;
+    Alcotest.test_case "ownership consume conflict" `Quick test_ownership_consume_conflict;
+    Alcotest.test_case "ownership out of range" `Quick test_ownership_out_of_range;
+    Alcotest.test_case "ownership worker independent" `Quick test_ownership_worker_independent;
+    Alcotest.test_case "instrumented kernels clean" `Slow test_kernels_clean;
+    Alcotest.test_case "seeded foreign write caught" `Quick test_seeded_foreign_write;
+    Alcotest.test_case "seeded premature read caught" `Quick test_seeded_premature_read;
+    Alcotest.test_case "seeded reports deterministic" `Quick test_seeded_deterministic;
+    Alcotest.test_case "detector self-check" `Quick test_self_check;
+    Alcotest.test_case "sanitizer races suite" `Slow test_sanitize_races_suite;
+  ]

@@ -1,0 +1,6 @@
+(* expect: atomic-rmw *)
+(* A get-then-set on the same atomic is not atomic: two domains can
+   both read the old value and one increment is lost.  Use
+   Atomic.fetch_and_add or a compare_and_set loop. *)
+
+let bump (c : int Atomic.t) = Atomic.set c (Atomic.get c + 1)

@@ -1,11 +1,9 @@
-(* expect: none *)
-(* The multicore superstep idiom: domains claim work items with an
-   atomic counter, but every write lands in the claiming item's own
-   slot range and the cross-partition reduction folds slots in
-   ascending partition index — a total order fixed by the data layout.
-   Scheduling decides only who computes, never what is computed, so no
-   wall clock, no prints, and no polymorphic comparison are needed to
-   keep the result bit-identical at any domain count. *)
+(* expect: domain-outside-runtime *)
+(* Hand-rolled domain pool: Domain.spawn/join outside the sanctioned
+   Par_exec runtime.  The writes themselves are item-owned and fine,
+   but ad hoc pools bypass the pool-reuse, shutdown and ownership
+   instrumentation that Par_exec provides, so the linter insists all
+   parallelism flows through lib/bsp/par_exec.ml. *)
 
 let parallel_fill ~domains ~n f out =
   let next = Atomic.make 0 in

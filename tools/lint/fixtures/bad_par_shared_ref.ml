@@ -1,0 +1,10 @@
+(* expect: par-shared-mutation *)
+(* A captured ref mutated from inside a parallel closure: every domain
+   races on [total], and float addition makes the result depend on the
+   interleaving even if the increments were atomic.  Reductions must go
+   through per-worker slots merged after the barrier. *)
+
+let sum pool ~n (xs : float array) =
+  let total = ref 0.0 in
+  Par_exec.iter pool ~n (fun _w i -> total := !total +. xs.(i));
+  !total

@@ -1,0 +1,7 @@
+(* expect: item-owned *)
+(* An element write whose index is a captured variable, not derived
+   from the work item: every item hammers the same slot [k], so the
+   final value depends on which domain writes last. *)
+
+let scatter pool ~n ~k (acc : int array) =
+  Par_exec.iter pool ~n (fun _w _i -> acc.(k) <- acc.(k) + 1)

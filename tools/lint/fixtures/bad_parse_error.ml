@@ -1,0 +1,5 @@
+(* expect: parse-error *)
+(* Deliberately unparseable: the linter must surface a structured
+   parse-error finding instead of crashing or silently skipping. *)
+
+let broken = (1 + 2

@@ -1,0 +1,5 @@
+(* expect: unused-export *)
+(* An exported value no module references: dead API surface that must
+   either be deleted or carry a reasoned waiver. *)
+
+val orphan : int -> int

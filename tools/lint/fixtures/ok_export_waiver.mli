@@ -1,0 +1,6 @@
+(* expect: none *)
+(* An unreferenced export carrying a reasoned waiver on the preceding
+   line is accepted. *)
+
+(* lint: unused-export — kept as a stable entry point for embedders *)
+val entry : int -> int

@@ -1,0 +1,14 @@
+(* expect: none *)
+(* The canonical safe kernel shape: each work item writes only slots
+   whose indices derive from the item parameter, so domains never
+   touch the same element and the result is independent of
+   scheduling. *)
+
+let double pool ~n (xs : float array) (out : float array) =
+  Par_exec.iter pool ~n (fun _w i -> out.(i) <- xs.(i) *. 2.0)
+
+let offset_copy pool ~n ~(off : int array) (src : float array) (dst : float array) =
+  Par_exec.iter pool ~n (fun _w i ->
+      for j = off.(i) to off.(i + 1) - 1 do
+        dst.(j) <- src.(j)
+      done)

@@ -1,0 +1,10 @@
+(* expect: none *)
+(* A write the analysis cannot prove item-owned, waived with a
+   disjointness argument: [row] is a permutation, so distinct items
+   map to distinct rows and the writes never collide. *)
+
+let permute pool ~n ~(row : int array) (src : float array) (dst : float array) =
+  Par_exec.iter pool ~n (fun _w i ->
+      let r = row.(i) in
+      (* lint: item-owned — row is a bijection over 0..n-1, so slots are disjoint *)
+      dst.(r) <- src.(i))

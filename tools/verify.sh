@@ -13,12 +13,27 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== dune build @lint"
+echo "== dune build @lint (race linter + fixture self-test + JSON artifact)"
 dune build @lint
+test -s _build/default/lint.json || {
+  echo "lint did not produce _build/default/lint.json" >&2
+  exit 1
+}
+grep -q '"clean":true' _build/default/lint.json || {
+  echo "lint.json reports findings:" >&2
+  cat _build/default/lint.json >&2
+  exit 1
+}
 
 echo "== paranoid sanitizer pass"
 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa
 dune exec bin/cutfit_cli.exe -- run CC roadnet_pa --paranoid >/dev/null
+
+echo "== race sanitizer smoke (shadow ownership recorder, 4 domains)"
+# the races suite: instrumented kernel mirrors under the write-ownership
+# recorder at domain counts 1, 2, 4, plus the seeded-corruption self-check
+dune exec bin/cutfit_cli.exe -- check PR roadnet_pa --races --domains 4
+dune exec bin/cutfit_cli.exe -- check TR roadnet_pa --races >/dev/null
 
 echo "== multicore smoke (csr engine, 4 domains)"
 # the compact kernels on OCaml domains; check adds the engines suite,
@@ -100,6 +115,8 @@ expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --queue-bound 0
 expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --deadline-s -1
 expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --deadline-s 5 --deadline-factor 2
 expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --speculate --speculate-threshold 0.5
+expect_exit 2 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa --races --domains 0
+expect_exit 1 _build/default/tools/lint/lint.exe --self-test no_such_fixture_dir
 
 if command -v odoc >/dev/null 2>&1; then
   echo "== dune build @doc"
