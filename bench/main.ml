@@ -365,6 +365,100 @@ let workload ppf =
        ]);
   Format.fprintf ppf "@.wrote the machine-readable comparison to %s@." path
 
+(* --- dynamic: incremental refresh vs full rebuild under mutations --- *)
+
+let dynamic ppf =
+  let mix =
+    match W.Job.find_mix "reuse-heavy" with
+    | Some m -> m
+    | None -> invalid_arg "bench: reuse-heavy mix missing"
+  in
+  let seed = 7L and n_jobs = 30 in
+  let jobs = W.Job.generate ~seed ~jobs:n_jobs mix in
+  Format.fprintf ppf
+    "%d jobs from the %S mix with seeded edge-mutation batches landing@.\
+     every K launches (N inserts + N/4 deletes per batch). Each cell@.\
+     replays the identical stream three times: forcing the incremental@.\
+     refresh path, forcing the drop-cold rebuild path, and letting the@.\
+     cost model price the choice per batch.@.@."
+    n_jobs mix.W.Job.name;
+  let grid_every = [ 4; 8 ] in
+  let grid_rate = [ 16; 64 ] in
+  let cells = ref [] in
+  let rows =
+    List.concat_map
+      (fun mutate_every ->
+        List.map
+          (fun rate ->
+            let spec = Printf.sprintf "ins@1-16:r%d,del@1-16:r%d" rate (max 1 (rate / 4)) in
+            let cfg = Cutfit.Mutation.config spec in
+            let run mode =
+              W.Engine.run ~mutations:cfg ~mutate_every ~mutation_mode:mode ~seed jobs
+            in
+            let refresh = run W.Engine.Force_refresh in
+            let rebuild = run W.Engine.Force_rebuild in
+            let priced = run W.Engine.Priced in
+            let mk (r : W.Engine.report) =
+              Json.Obj
+                [
+                  ("mode", Json.String (W.Engine.mutation_mode_name r.W.Engine.mutation_mode));
+                  ("makespan_s", Json.Float r.W.Engine.makespan_s);
+                  ("hit_rate", Json.Float (W.Engine.hit_rate r));
+                  ("total_partition_s", Json.Float r.W.Engine.total_partition_s);
+                  ("batches", Json.Int (List.length r.W.Engine.mutations));
+                  ( "refresh_batches",
+                    Json.Int
+                      (List.length
+                         (List.filter
+                            (fun (m : W.Engine.mutation_record) ->
+                              String.equal m.W.Engine.mut_choice "refresh")
+                            r.W.Engine.mutations)) );
+                ]
+            in
+            cells :=
+              Json.Obj
+                [
+                  ("mutate_every", Json.Int mutate_every);
+                  ("rate", Json.Int rate);
+                  ("spec", Json.String spec);
+                  ("modes", Json.List [ mk refresh; mk rebuild; mk priced ]);
+                ]
+              :: !cells;
+            [
+              string_of_int mutate_every;
+              Printf.sprintf "+%d/-%d" rate (max 1 (rate / 4));
+              string_of_int (List.length refresh.W.Engine.mutations);
+              Printf.sprintf "%.1f" refresh.W.Engine.makespan_s;
+              Printf.sprintf "%.1f" rebuild.W.Engine.makespan_s;
+              Printf.sprintf "%.1f" priced.W.Engine.makespan_s;
+              Printf.sprintf "%.0f%%" (100.0 *. W.Engine.hit_rate refresh);
+              Printf.sprintf "%.0f%%" (100.0 *. W.Engine.hit_rate rebuild);
+              (if refresh.W.Engine.makespan_s < rebuild.W.Engine.makespan_s then "refresh"
+               else if rebuild.W.Engine.makespan_s < refresh.W.Engine.makespan_s then "rebuild"
+               else "tie");
+            ])
+          grid_rate)
+      grid_every
+  in
+  Format.fprintf ppf "%s@."
+    (E.Report.table
+       ~header:
+         [
+           "Every"; "Batch"; "Batches"; "Refresh s"; "Rebuild s"; "Priced s"; "Hit(refr)";
+           "Hit(rebd)"; "Winner";
+         ]
+       ~rows);
+  let path = "BENCH_dynamic.json" in
+  E.Export.write_json path
+    (Json.Obj
+       [
+         ("mix", Json.String mix.W.Job.name);
+         ("jobs", Json.Int n_jobs);
+         ("seed", Json.String (Int64.to_string seed));
+         ("cells", Json.List (List.rev !cells));
+       ]);
+  Format.fprintf ppf "@.wrote the incremental-vs-rebuild grid to %s@." path
+
 (* --- faults: checkpoint cadence x fault rate, recovery overhead --- *)
 
 let faults ppf =
@@ -849,6 +943,7 @@ let sections =
     ("sweep", ("Granularity sweep: 32..512 partitions", sweep));
     ("engines", ("Engine comparison: Pregel vs GAS", engines));
     ("workload", ("Workload engine: scheduling policies x cache budgets", workload));
+    ("dynamic", ("Dynamic graphs: incremental refresh vs full rebuild", dynamic));
     ("faults", ("Fault tolerance: checkpoint cadence x fault rate", faults));
     ("resilience", ("Resilience: speculation x straggler intensity x queue bound", resilience));
     ("speed", ("Speed: compact CSR kernels, measured edges/sec", speed));

@@ -232,6 +232,22 @@ let speculation_of_flags ~speculate ~threshold ~fault_seed =
     | c -> Some c
     | exception Invalid_argument msg -> usage_fail "bad --speculate-threshold: %s" msg
 
+(* --- dynamic-graph (mutation) flags shared by workload/check/mutate --- *)
+
+let mutation_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "mutation-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the mutation batches' endpoint and victim draws.")
+
+let mutations_of_flags ~spec ~seed =
+  match spec with
+  | None -> None
+  | Some raw -> (
+      match Cutfit.Mutation.config ~seed raw with
+      | c -> Some c
+      | exception Cutfit.Mutation.Parse_error msg -> usage_fail "bad mutation spec: %s" msg)
+
 (* --- datasets --- *)
 
 let datasets_cmd =
@@ -597,10 +613,35 @@ let workload_cmd =
             "Queue-depth watermark past which strategy selection degrades to the cheapest \
              cached partitioning (skip builds while the cluster is drowning).")
   in
+  let mutations_arg =
+    let doc =
+      "Interleave seeded edge mutation batches with the jobs: every $(b,--mutate-every)-th \
+       launch first lands the next batch on its own dataset, partially invalidating the cache \
+       and taking the priced refresh-vs-rebuild decision per $(b,--mutation-mode). $(docv) is \
+       a comma-separated list of $(b,ins\\@B)[:rN] and $(b,del\\@B)[:rN] items (B a batch \
+       number or window $(b,B-C); N edges, default 32)."
+    in
+    Arg.(value & opt (some string) None & info [ "mutations" ] ~docv:"SPEC" ~doc)
+  in
+  let mutate_every_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "mutate-every" ] ~docv:"N"
+          ~doc:"Job launches between mutation batches (with $(b,--mutations)).")
+  in
+  let mutation_mode_arg =
+    Arg.(
+      value & opt string "priced"
+      & info [ "mutation-mode" ] ~docv:"MODE"
+          ~doc:
+            "Refresh-vs-rebuild decision per batch: $(b,priced) (ask the cost model), \
+             $(b,refresh) (always repair incrementally), or $(b,rebuild) (always drop cold).")
+  in
   let action mix_name jobs seed policy_name select_name threshold cache_gb eviction_name slots
       faults_spec checkpoint_every fault_seed fault_mode max_failures max_retries speculate
       speculate_threshold queue_bound shed_policy_name deadline_s deadline_factor breaker_k
-      breaker_cooldown backpressure trace_out verbose check =
+      breaker_cooldown backpressure mutations_spec mutation_seed mutate_every mutation_mode_name
+      trace_out verbose check =
     let fail fmt = usage_fail fmt in
     let mix =
       match W.Job.find_mix mix_name with
@@ -655,6 +696,13 @@ let workload_cmd =
     | _ -> ());
     if breaker_cooldown < 0.0 then fail "breaker-cooldown must be >= 0 (got %g)" breaker_cooldown;
     if max_retries < 0 then fail "max-retries must be >= 0 (got %d)" max_retries;
+    let mutations = mutations_of_flags ~spec:mutations_spec ~seed:mutation_seed in
+    if mutate_every < 1 then fail "mutate-every must be >= 1 (got %d)" mutate_every;
+    let mutation_mode =
+      match W.Engine.mutation_mode_of_string mutation_mode_name with
+      | Some m -> m
+      | None -> fail "unknown mutation mode %S (priced, refresh, rebuild)" mutation_mode_name
+    in
     let stream = W.Job.generate ~seed ~jobs mix in
     let ring, read_ring = Cutfit.Sink.ring ~capacity:65536 () in
     let sinks =
@@ -667,8 +715,8 @@ let workload_cmd =
     let report =
       W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ?speculation
         ~max_retries ?queue_bound ~shed_policy ?deadline ?breaker_k
-        ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ?telemetry ~seed
-        stream
+        ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ?telemetry
+        ?mutations ~mutate_every ~mutation_mode ~seed stream
     in
     let rows =
       List.map
@@ -708,7 +756,8 @@ let workload_cmd =
             (fun () ->
               W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ?speculation
                 ~max_retries ?queue_bound ~shed_policy ?deadline ?breaker_k
-                ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ~seed
+                ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ?mutations
+                ~mutate_every ~mutation_mode ~seed
                 (W.Job.generate ~seed ~jobs mix))
         in
         match violations @ twice with
@@ -739,7 +788,8 @@ let workload_cmd =
       $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
       $ max_failures_arg $ max_retries_arg $ speculate_arg $ speculate_threshold_arg
       $ queue_bound_arg $ shed_policy_arg $ deadline_s_arg $ deadline_factor_arg $ breaker_k_arg
-      $ breaker_cooldown_arg $ backpressure_arg $ trace_out_arg $ verbose_events_arg $ check_arg)
+      $ breaker_cooldown_arg $ backpressure_arg $ mutations_arg $ mutation_seed_arg
+      $ mutate_every_arg $ mutation_mode_arg $ trace_out_arg $ verbose_events_arg $ check_arg)
 
 (* --- check --- *)
 
@@ -758,10 +808,24 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "races" ] ~doc)
   in
-  let action algo graph config partitioner engine domains races faults_spec checkpoint_every
-      fault_seed fault_mode max_failures speculate speculate_threshold =
+  let dynamic_arg =
+    let doc =
+      "Add the $(b,dynamic) suite: replay $(docv) (a mutation spec; the flag alone uses \
+       $(b,ins\\@1-2:r48,del\\@1-2:r16)) from a fresh streaming cut of the same graph and \
+       prove the delta-identity, cut-law and refresh-rebuild-equivalence laws of the \
+       dynamic-graph subsystem."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "ins@1-2:r48,del@1-2:r16") (some string) None
+      & info [ "dynamic" ] ~docv:"SPEC" ~doc)
+  in
+  let action algo graph config partitioner engine domains races dynamic_spec mutation_seed
+      faults_spec checkpoint_every fault_seed fault_mode max_failures speculate
+      speculate_threshold =
     let g = load_graph graph in
     if domains < 1 then usage_fail "domains must be >= 1 (got %d)" domains;
+    let dynamic = mutations_of_flags ~spec:dynamic_spec ~seed:mutation_seed in
     let faults =
       faults_of_flags ~spec:faults_spec ~fault_seed ~max_failures ~mode:fault_mode
     in
@@ -780,7 +844,7 @@ let check_cmd =
     in
     let report =
       Cutfit.Sanitize.check_run ~cluster:config ?partitioner ?checkpoint_every ?faults
-        ?speculation ?engine_domains ?race_domains ~algorithm:algo g
+        ?speculation ?engine_domains ?race_domains ?dynamic ~algorithm:algo g
     in
     Fmt.pr "%a@." Cutfit.Sanitize.pp_report report;
     if Cutfit.Sanitize.ok report then exit_ok else exit_failure
@@ -795,12 +859,122 @@ let check_cmd =
           $(b,--engine csr), an $(b,engines) suite proves the compact kernels reproduce the \
           boxed engine's values bit-for-bit at domain counts 1, 2, 4 and $(b,--domains). With \
           $(b,--races), a $(b,races) suite shadow-records every accumulator write of an \
-          instrumented kernel run and verifies the item-owned-writes discipline. Exits \
-          non-zero on any violation.")
+          instrumented kernel run and verifies the item-owned-writes discipline. With \
+          $(b,--dynamic), a $(b,dynamic) suite replays a mutation schedule and proves the \
+          dynamic-graph laws. Exits non-zero on any violation.")
     Term.(
       const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ engine_arg $ domains_arg
-      $ races_arg $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg $ fault_mode_arg
-      $ max_failures_arg $ speculate_arg $ speculate_threshold_arg)
+      $ races_arg $ dynamic_arg $ mutation_seed_arg $ faults_spec_arg $ checkpoint_every_arg
+      $ fault_seed_arg $ fault_mode_arg $ max_failures_arg $ speculate_arg
+      $ speculate_threshold_arg)
+
+(* --- mutate --- *)
+
+let mutate_cmd =
+  let heuristic_arg =
+    let parse s =
+      match Cutfit.Streaming.of_string s with
+      | Some h -> Ok h
+      | None -> Error (`Msg (Printf.sprintf "unknown streaming heuristic %S" s))
+    in
+    let print ppf h = Fmt.string ppf (Cutfit.Streaming.to_string h) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Cutfit.Streaming.Greedy
+      & info [ "H"; "heuristic" ] ~docv:"H"
+          ~doc:
+            "Streaming heuristic maintaining the live cut: $(b,dbh), $(b,greedy), \
+             $(b,hdrf)[:L] or $(b,hybrid)[:T].")
+  in
+  let spec_arg =
+    let doc =
+      "Mutation spec: comma-separated $(b,ins\\@B)[:rN] and $(b,del\\@B)[:rN] items, where B \
+       is a batch number or window $(b,B-C) and N the edge count (default 32)."
+    in
+    Arg.(value & opt string "ins@1-4:r64,del@1-4:r16" & info [ "mutations" ] ~docv:"SPEC" ~doc)
+  in
+  let batches_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "batches" ] ~docv:"B"
+          ~doc:"Batches to apply (default: the spec's own horizon).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also run the dynamic sanitizer suite over the same schedule (delta-identity, cut \
+             laws, refresh-rebuild value equivalence); exits non-zero on any violation.")
+  in
+  let action graph n config spec heuristic batches mutation_seed check =
+    if n < 1 then usage_fail "partitions must be >= 1 (got %d)" n;
+    (match batches with
+    | Some b when b < 1 -> usage_fail "batches must be >= 1 (got %d)" b
+    | _ -> ());
+    let cfg =
+      match mutations_of_flags ~spec:(Some spec) ~seed:mutation_seed with
+      | Some c -> c
+      | None -> assert false
+    in
+    let g = load_graph graph in
+    let steps = Cutfit.Repartition.run ~cluster:config ?batches ~heuristic ~num_partitions:n cfg g in
+    let fsig = Cutfit_experiments.Report.fsig in
+    let rows =
+      List.map
+        (fun (s : Cutfit.Repartition.step) ->
+          let d = s.Cutfit.Repartition.decision in
+          [
+            string_of_int d.Cutfit.Repartition.batch;
+            Printf.sprintf "+%d/-%d" d.Cutfit.Repartition.inserts d.Cutfit.Repartition.deletes;
+            string_of_int d.Cutfit.Repartition.edges_after;
+            fsig d.Cutfit.Repartition.refresh_s;
+            fsig d.Cutfit.Repartition.rebuild_s;
+            Cutfit.Repartition.choice_name d.Cutfit.Repartition.choice;
+            string_of_int d.Cutfit.Repartition.moved_replicas;
+            Printf.sprintf "%.3f" s.Cutfit.Repartition.metrics.Cutfit.Metrics.replication_factor;
+            Printf.sprintf "%.3f" s.Cutfit.Repartition.metrics.Cutfit.Metrics.balance;
+          ])
+        steps
+    in
+    Fmt.pr "mutations %s on %s: %s cut, %d partition(s)@." (Cutfit.Mutation.describe cfg) graph
+      (Cutfit.Streaming.to_string heuristic) n;
+    Fmt.pr "%s@."
+      (Cutfit_experiments.Report.table
+         ~header:
+           [ "batch"; "delta"; "edges"; "refresh"; "rebuild"; "choice"; "moved"; "RF"; "balance" ]
+         ~rows);
+    let refreshes =
+      List.length
+        (List.filter
+           (fun (s : Cutfit.Repartition.step) ->
+             s.Cutfit.Repartition.decision.Cutfit.Repartition.choice = Cutfit.Repartition.Refresh)
+           steps)
+    in
+    Fmt.pr "%d batch(es): %d refresh / %d rebuild@." (List.length steps) refreshes
+      (List.length steps - refreshes);
+    if not check then exit_ok
+    else begin
+      match
+        Cutfit.Dyn_check.validate ~cluster:config ?batches ~heuristic ~num_partitions:n cfg g
+      with
+      | [] ->
+          Fmt.pr "dynamic check: ok@.";
+          exit_ok
+      | vs ->
+          Fmt.epr "cutfit: dynamic sanitizer violations:@.%a@." Cutfit.Check.Violation.pp_list vs;
+          exit_failure
+    end
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Stream a seeded edge mutation schedule over a graph: apply each insert/delete batch, \
+          repair the live streaming cut incrementally, and print the priced refresh-vs-rebuild \
+          decision per batch.")
+    Term.(
+      const action $ graph_arg $ partitions_arg $ config_arg $ spec_arg $ heuristic_arg
+      $ batches_arg $ mutation_seed_arg $ check_arg)
 
 let () =
   let doc = "Tailor graph partitioning to the computation (Cut to Fit)." in
@@ -813,7 +987,7 @@ let () =
        Cmd.eval_value
          (Cmd.group info
             [ datasets_cmd; generate_cmd; characterize_cmd; partition_cmd; advise_cmd; run_cmd;
-              compare_cmd; workload_cmd; check_cmd ])
+              compare_cmd; workload_cmd; mutate_cmd; check_cmd ])
      with
     | Ok (`Ok code) -> code
     | Ok (`Help | `Version) -> exit_ok

@@ -14,6 +14,10 @@
     - {!Csr}, {!Par_exec} — the compact flat-array representation and
       the multicore superstep driver that execute the same algorithms
       for real (see docs/PERFORMANCE.md);
+    - {!Mutation}, {!Incremental}, {!Repartition}, {!Dyn_check} — the
+      dynamic-graph subsystem: seeded mutation batches, incremental
+      repair of a streaming cut, and the priced refresh-vs-rebuild
+      decision;
     - {!Telemetry}, {!Metric}, {!Event}, {!Sink}, {!Json}, {!Clock} —
       structured per-superstep telemetry and its sinks;
     - {!Check}, {!Sanitize} — runtime invariant suites (the simulator
@@ -70,6 +74,12 @@ module Speculation = Cutfit_bsp.Speculation
 (* Compact real-execution layer *)
 module Csr = Cutfit_bsp.Csr
 module Par_exec = Cutfit_bsp.Par_exec
+
+(* Dynamic graphs *)
+module Mutation = Cutfit_dynamic.Mutation
+module Incremental = Cutfit_dynamic.Incremental
+module Repartition = Cutfit_dynamic.Repartition
+module Dyn_check = Cutfit_dynamic.Dyn_check
 
 (* Algorithms *)
 module Pagerank = Cutfit_algo.Pagerank

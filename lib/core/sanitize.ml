@@ -67,7 +67,7 @@ let run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale
   (p, trace, attrs_digest, contents ())
 
 let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpoint_every ?faults
-    ?speculation ?engine_domains ?race_domains ~algorithm g =
+    ?speculation ?engine_domains ?race_domains ?dynamic ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -156,6 +156,24 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
         in
         Some (kernel_v @ Check.Race_check.self_check pg)
   in
+  (* The dynamic suite replays the mutation schedule from a fresh
+     streaming cut of the same graph, proving the delta-identity, the
+     cut laws on every refreshed assignment, and refresh-rebuild value
+     equivalence. The heuristic follows the partitioner when it is a
+     streaming one; the hash strategies have no live state to repair,
+     so they fall back to Greedy. *)
+  let dynamic_v =
+    match dynamic with
+    | None -> None
+    | Some cfg ->
+        let heuristic =
+          match partitioner with
+          | Partitioner.Stream s | Partitioner.Incremental s -> s
+          | Partitioner.Hash _ | Partitioner.Custom _ -> Cutfit_partition.Streaming.Greedy
+        in
+        Some
+          (Cutfit_dynamic.Dyn_check.validate ~cluster ~heuristic ~num_partitions cfg g)
+  in
   let suites =
     [
       ("pgraph", List.length pgraph_v);
@@ -166,7 +184,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
     ]
     @ (match faults_v with None -> [] | Some v -> [ ("faults", List.length v) ])
     @ (match engines_v with None -> [] | Some v -> [ ("engines", List.length v) ])
-    @ match races_v with None -> [] | Some v -> [ ("races", List.length v) ]
+    @ (match races_v with None -> [] | Some v -> [ ("races", List.length v) ])
+    @ match dynamic_v with None -> [] | Some v -> [ ("dynamic", List.length v) ]
   in
   {
     algorithm;
@@ -176,7 +195,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
       pgraph_v @ metrics_v @ trace_v @ telemetry_v @ determinism_v
       @ Option.value ~default:[] faults_v
       @ Option.value ~default:[] engines_v
-      @ Option.value ~default:[] races_v;
+      @ Option.value ~default:[] races_v
+      @ Option.value ~default:[] dynamic_v;
     trace_digest;
     events_digest;
   }

@@ -21,7 +21,10 @@
     suite runs the instrumented mirror of the algorithm's compact
     kernel under the shadow write-ownership recorder at each listed
     domain count and self-tests the detector against two seeded
-    corruptions ({!Cutfit_check.Race_check}). *)
+    corruptions ({!Cutfit_check.Race_check}). With [dynamic] a
+    [dynamic] suite replays the mutation schedule from a fresh
+    streaming cut of the same graph and proves the three dynamic-graph
+    laws ({!Cutfit_dynamic.Dyn_check}). *)
 
 type report = {
   algorithm : Advisor.algorithm;
@@ -43,6 +46,7 @@ val check_run :
   ?speculation:Cutfit_bsp.Speculation.config ->
   ?engine_domains:int list ->
   ?race_domains:int list ->
+  ?dynamic:Cutfit_dynamic.Mutation.config ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
   report

@@ -1,0 +1,132 @@
+module Graph = Cutfit_graph.Graph
+module Streaming = Cutfit_partition.Streaming
+module Metrics = Cutfit_partition.Metrics
+module Cluster = Cutfit_bsp.Cluster
+module Pgraph = Cutfit_bsp.Pgraph
+module Pagerank = Cutfit_algo.Pagerank
+module Violation = Cutfit_check.Violation
+module Pgraph_check = Cutfit_check.Pgraph_check
+module Metrics_check = Cutfit_check.Metrics_check
+module Fault_check = Cutfit_check.Fault_check
+
+let suite = "dynamic"
+
+let v rule fmt = Violation.v ~suite ~rule fmt
+
+let cap = 8
+
+let capped violations = if List.length violations > cap then List.filteri (fun i _ -> i < cap) violations else violations
+
+(* Law 1: a delta-applied graph is the graph — bit-identical edge
+   arrays, vertex count and (hence) CSR adjacency of a from-scratch
+   build over the same edge list. *)
+let graph_identity ~expect got =
+  let errs = ref [] in
+  let push x = errs := x :: !errs in
+  if Graph.num_vertices expect <> Graph.num_vertices got then
+    push
+      (v "delta-identity" "vertex count %d, from-scratch build has %d" (Graph.num_vertices got)
+         (Graph.num_vertices expect));
+  if Graph.num_edges expect <> Graph.num_edges got then
+    push
+      (v "delta-identity" "edge count %d, from-scratch build has %d" (Graph.num_edges got)
+         (Graph.num_edges expect))
+  else
+    for e = 0 to Graph.num_edges expect - 1 do
+      if
+        Graph.edge_src expect e <> Graph.edge_src got e
+        || Graph.edge_dst expect e <> Graph.edge_dst got e
+      then
+        push
+          (v "delta-identity" "edge %d is %d->%d, from-scratch build has %d->%d" e
+             (Graph.edge_src got e) (Graph.edge_dst got e) (Graph.edge_src expect e)
+             (Graph.edge_dst expect e))
+    done;
+  capped (List.rev !errs)
+
+(* Law 2: a refreshed cut is a first-class cut — it satisfies every
+   Pgraph_check and Metrics_check law a cold-built one does. *)
+let cut_laws g ~num_partitions assignment =
+  match Pgraph_check.assignment g ~num_partitions assignment with
+  | _ :: _ as bad -> bad
+  | [] ->
+      let pg = Pgraph.build g ~num_partitions assignment in
+      Pgraph_check.validate pg
+      @ Metrics_check.validate g ~num_partitions assignment (Pgraph.metrics pg)
+
+(* Law 3: running on a refreshed cut is indistinguishable from running
+   on a cold rebuild of the same assignment — PageRank values are
+   bit-identical. *)
+let value_equivalence ?(cluster = Cluster.config_i) ?(iterations = 3) g ~num_partitions
+    assignment =
+  (* The engines insist the cluster agrees with the cut's granularity. *)
+  let cluster = { cluster with Cluster.num_partitions } in
+  match Pgraph_check.assignment g ~num_partitions assignment with
+  | _ :: _ as bad -> bad
+  | [] ->
+      let warm = Pgraph.build g ~num_partitions assignment in
+      let cold = Pgraph.build g ~num_partitions (Array.copy assignment) in
+      let warm_ranks = (Pagerank.run ~iterations ~cluster warm).Pagerank.ranks in
+      let cold_ranks = (Pagerank.run ~iterations ~cluster cold).Pagerank.ranks in
+      let dw = Fault_check.float_attrs_digest warm_ranks in
+      let dc = Fault_check.float_attrs_digest cold_ranks in
+      if String.equal dw dc then []
+      else
+        [
+          v "refresh-rebuild-equivalence"
+            "PageRank on the refreshed cut digests to %s but a cold rebuild of the same \
+             assignment gives %s"
+            dw dc;
+        ]
+
+let validate ?cluster ?batches ~heuristic ~num_partitions cfg g0 =
+  if num_partitions <= 0 then invalid_arg "Dyn_check.validate: num_partitions <= 0";
+  let batches = match batches with Some b -> b | None -> Mutation.max_batch cfg in
+  (* Independent mirror of the edge list: deltas are applied as plain
+     array edits here, never via Graph, so Law 1 compares two separate
+     constructions. *)
+  let mirror_src = ref (Array.copy (Graph.src_array g0)) in
+  let mirror_dst = ref (Array.copy (Graph.dst_array g0)) in
+  let n = Graph.num_vertices g0 in
+  let g = ref g0 in
+  let a = ref (Streaming.assign heuristic ~num_partitions g0) in
+  let errs = ref [] in
+  for batch = 1 to batches do
+    let delta = Mutation.plan cfg ~batch !g in
+    if not (Mutation.is_empty delta) then begin
+      (* mirror update *)
+      let m = Array.length !mirror_src in
+      let dead = Array.make m false in
+      Array.iter (fun e -> dead.(e) <- true) delta.Mutation.deletes;
+      let kept = ref [] in
+      for e = m - 1 downto 0 do
+        if not dead.(e) then kept := e :: !kept
+      done;
+      let kept = Array.of_list !kept in
+      let extra = Array.length delta.Mutation.inserts in
+      let k = Array.length kept in
+      let src' = Array.make (k + extra) 0 and dst' = Array.make (k + extra) 0 in
+      Array.iteri
+        (fun j e ->
+          src'.(j) <- !mirror_src.(e);
+          dst'.(j) <- !mirror_dst.(e))
+        kept;
+      Array.iteri
+        (fun i (s, t) ->
+          src'.(k + i) <- s;
+          dst'.(k + i) <- t)
+        delta.Mutation.inserts;
+      mirror_src := src';
+      mirror_dst := dst';
+      (* delta application + refresh under test *)
+      let refreshed = Incremental.refresh heuristic ~num_partitions ~graph:!g ~assignment:!a delta in
+      let g' = refreshed.Incremental.graph in
+      let scratch = Graph.create ~n ~src:(Array.copy src') ~dst:(Array.copy dst') in
+      errs := !errs @ graph_identity ~expect:scratch g';
+      errs := !errs @ cut_laws g' ~num_partitions refreshed.Incremental.assignment;
+      errs := !errs @ value_equivalence ?cluster g' ~num_partitions refreshed.Incremental.assignment;
+      g := g';
+      a := refreshed.Incremental.assignment
+    end
+  done;
+  !errs

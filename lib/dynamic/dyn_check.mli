@@ -1,0 +1,51 @@
+(** Dynamic-graph sanitizer suite (["dynamic"]).
+
+    Three laws tie the dynamic subsystem to the frozen-graph world:
+
+    + {b delta-identity} — a delta-applied graph is bit-identical (edge
+      arrays, vertex count, hence CSR adjacency) to a from-scratch
+      {!Cutfit_graph.Graph.create} over the independently maintained
+      edge list;
+    + {b cut laws} — a refreshed cut passes every
+      {!Cutfit_check.Pgraph_check} / {!Cutfit_check.Metrics_check} law a
+      cold-built cut does;
+    + {b refresh-rebuild-equivalence} — algorithm values on the
+      refreshed cut are bit-identical to a cold rebuild of the same
+      assignment.
+
+    Like every suite, the checks report {!Cutfit_check.Violation.t}
+    values and never raise on law breaches. *)
+
+val suite : string
+
+val graph_identity :
+  expect:Cutfit_graph.Graph.t -> Cutfit_graph.Graph.t -> Cutfit_check.Violation.t list
+(** Law 1 on one pair: is [got] bit-identical to [expect]? Reports are
+    capped at 8 per call. *)
+
+val cut_laws : Cutfit_graph.Graph.t -> num_partitions:int -> int array -> Cutfit_check.Violation.t list
+(** Law 2 on one cut: raw-assignment shape, then the full
+    [Pgraph_check]/[Metrics_check] battery over the built pgraph. *)
+
+val value_equivalence :
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?iterations:int ->
+  Cutfit_graph.Graph.t ->
+  num_partitions:int ->
+  int array ->
+  Cutfit_check.Violation.t list
+(** Law 3 on one cut: PageRank (default 3 iterations) digests equal
+    between the cut and a cold rebuild of a copied assignment. *)
+
+val validate :
+  ?cluster:Cutfit_bsp.Cluster.t ->
+  ?batches:int ->
+  heuristic:Cutfit_partition.Streaming.t ->
+  num_partitions:int ->
+  Mutation.config ->
+  Cutfit_graph.Graph.t ->
+  Cutfit_check.Violation.t list
+(** Walk batches [1..batches] (default {!Mutation.max_batch}) from a
+    fresh [heuristic] cut of the graph, refreshing incrementally and
+    checking all three laws at every non-empty batch.
+    @raise Invalid_argument if [num_partitions <= 0]. *)

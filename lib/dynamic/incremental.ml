@@ -1,0 +1,78 @@
+module Graph = Cutfit_graph.Graph
+module Streaming = Cutfit_partition.Streaming
+
+type refreshed = {
+  graph : Graph.t;
+  assignment : int array;
+  placed_edges : int;
+  repaired_vertices : int;
+  moved_replicas : int;
+}
+
+(* Per-vertex sorted replica sets of a cut, for the moved-replica count.
+   Linear in edges plus total replicas. *)
+let replica_sets g assignment =
+  let n = Graph.num_vertices g in
+  let sets = Array.make n [] in
+  let add v p = if not (List.mem p sets.(v)) then sets.(v) <- p :: sets.(v) in
+  Array.iteri
+    (fun e p ->
+      add (Graph.edge_src g e) p;
+      add (Graph.edge_dst g e) p)
+    assignment;
+  Array.map (List.sort compare) sets
+
+let rec symdiff a b =
+  match (a, b) with
+  | [], rest | rest, [] -> List.length rest
+  | x :: xs, y :: ys ->
+      if x = y then symdiff xs ys
+      else if x < y then 1 + symdiff xs (y :: ys)
+      else 1 + symdiff (x :: xs) ys
+
+let refresh heuristic ~num_partitions ~graph ~assignment delta =
+  if num_partitions <= 0 then invalid_arg "Incremental.refresh: num_partitions <= 0";
+  if Array.length assignment <> Graph.num_edges graph then
+    invalid_arg "Incremental.refresh: assignment length mismatch";
+  let keep = Mutation.kept graph delta in
+  let g' = Mutation.apply graph delta in
+  let m' = Graph.num_edges g' in
+  let k = Array.length keep in
+  (* Deletes trigger bounded local repair: the replica tables and loads
+     are rebuilt from the surviving edges only (a shrink — no edge moves),
+     priced by the vertices whose neighbourhood the deletes touched. *)
+  let st = Streaming.live_create ~n:(Graph.num_vertices g') ~num_partitions in
+  let out = Array.make m' 0 in
+  Array.iteri
+    (fun j e ->
+      let p = assignment.(e) in
+      if p < 0 || p >= num_partitions then
+        invalid_arg "Incremental.refresh: assignment partition out of range";
+      Streaming.live_record st ~src:(Graph.edge_src g' j) ~dst:(Graph.edge_dst g' j) p;
+      out.(j) <- p)
+    keep;
+  (* Inserted edges are placed online by the wrapped streaming heuristic
+     against the live state of the surviving cut. *)
+  let vw = Streaming.live_view g' st in
+  for j = k to m' - 1 do
+    let src = Graph.edge_src g' j and dst = Graph.edge_dst g' j in
+    let p = Streaming.choose heuristic vw ~num_partitions ~src ~dst in
+    Streaming.live_record st ~src ~dst p;
+    out.(j) <- p
+  done;
+  let repaired_vertices =
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun e ->
+        Hashtbl.replace seen (Graph.edge_src graph e) ();
+        Hashtbl.replace seen (Graph.edge_dst graph e) ())
+      delta.Mutation.deletes;
+    Hashtbl.length seen
+  in
+  let moved_replicas =
+    let old_sets = replica_sets graph assignment and new_sets = replica_sets g' out in
+    let moved = ref 0 in
+    Array.iteri (fun v old_s -> moved := !moved + symdiff old_s new_sets.(v)) old_sets;
+    !moved
+  in
+  { graph = g'; assignment = out; placed_edges = m' - k; repaired_vertices; moved_replicas }

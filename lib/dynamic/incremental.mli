@@ -1,0 +1,37 @@
+(** Incremental repartitioning: refresh a live cut across a mutation
+    batch instead of rebuilding it from scratch.
+
+    A refresh reconstructs the streaming state (replica sets, loads,
+    streamed degrees) from the surviving edges of the old cut, then
+    places each inserted edge online with the wrapped
+    {!Cutfit_partition.Streaming} heuristic — exactly the choice rules
+    the offline stream uses, consulted through the same
+    {!Cutfit_partition.Streaming.view}. Deletes trigger bounded local
+    repair: surviving edges keep their partitions, replica sets shrink,
+    and the cost is accounted by the vertices the deletes touched. *)
+
+type refreshed = {
+  graph : Cutfit_graph.Graph.t;  (** post-delta graph ({!Mutation.apply}) *)
+  assignment : int array;
+      (** one partition per post-delta edge; kept edges keep their old
+          partition, inserts are placed online *)
+  placed_edges : int;  (** inserted edges placed by the heuristic *)
+  repaired_vertices : int;  (** distinct endpoints of deleted edges *)
+  moved_replicas : int;
+      (** replica-set entries that differ from the old cut — the
+          vertices whose mirrors must be re-broadcast *)
+}
+
+val refresh :
+  Cutfit_partition.Streaming.t ->
+  num_partitions:int ->
+  graph:Cutfit_graph.Graph.t ->
+  assignment:int array ->
+  Mutation.delta ->
+  refreshed
+(** [refresh heuristic ~num_partitions ~graph ~assignment delta]
+    applies [delta] to [graph] (the pre-delta graph, whose edges
+    [assignment] maps to partitions) and returns the refreshed cut.
+    Deterministic. @raise Invalid_argument if [num_partitions <= 0],
+    the assignment has the wrong length or a partition out of range, or
+    the delta refers to out-of-range edges. *)

@@ -1,0 +1,179 @@
+module Graph = Cutfit_graph.Graph
+module Splitmix64 = Cutfit_prng.Splitmix64
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type kind = Ins | Del
+
+type item = { kind : kind; from_batch : int; to_batch : int; edges : int }
+
+type config = { items : item list; raw : string; seed : int }
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> v
+  | None -> fail "mutations: %s is not an integer: %S" what s
+
+let parse_window s =
+  match String.index_opt s '-' with
+  | None ->
+      let b = parse_int "batch" s in
+      (b, b)
+  | Some i ->
+      let b = parse_int "batch" (String.sub s 0 i) in
+      let c = parse_int "batch" (String.sub s (i + 1) (String.length s - i - 1)) in
+      if c < b then fail "mutations: backwards batch window %d-%d" b c;
+      (b, c)
+
+let parse_item part =
+  let kind_s, rest =
+    match String.index_opt part '@' with
+    | None -> fail "mutations: missing '@' in %S (expected e.g. ins@1:r64)" part
+    | Some i -> (String.sub part 0 i, String.sub part (i + 1) (String.length part - i - 1))
+  in
+  let kind =
+    match String.lowercase_ascii (String.trim kind_s) with
+    | "ins" -> Ins
+    | "del" -> Del
+    | other -> fail "mutations: unknown mutation kind %S (want ins or del)" other
+  in
+  let window_s, edges =
+    match String.index_opt rest ':' with
+    | None -> (rest, 32)
+    | Some i ->
+        let opt = String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) in
+        if String.length opt < 2 || opt.[0] <> 'r' then
+          fail "mutations: unknown option %S in %S (only rN is allowed)" opt part;
+        ( String.sub rest 0 i,
+          parse_int "edge count" (String.sub opt 1 (String.length opt - 1)) )
+  in
+  let from_batch, to_batch = parse_window (String.trim window_s) in
+  if from_batch < 1 then fail "mutations: batches are numbered from 1 (got %d)" from_batch;
+  if edges < 1 then fail "mutations: edge count must be >= 1 (got %d)" edges;
+  { kind; from_batch; to_batch; edges }
+
+let parse_spec raw =
+  let parts =
+    String.split_on_char ',' raw |> List.map String.trim |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then fail "mutations: empty spec";
+  List.map parse_item parts
+
+let config ?(seed = 42) raw = { items = parse_spec raw; raw; seed }
+
+let describe cfg = Printf.sprintf "%s (seed %d)" cfg.raw cfg.seed
+
+let covers batch it = it.from_batch <= batch && batch <= it.to_batch
+
+(* Items covering the same batch pool their edge counts, so the draws
+   below stay keyed purely by (seed, batch, i) whatever the spec's
+   decomposition into items. *)
+let batch_counts cfg ~batch =
+  List.fold_left
+    (fun (ins, del) it ->
+      if covers batch it then
+        match it.kind with Ins -> (ins + it.edges, del) | Del -> (ins, del + it.edges)
+      else (ins, del))
+    (0, 0) cfg.items
+
+let max_batch cfg = List.fold_left (fun acc it -> max acc it.to_batch) 1 cfg.items
+
+type delta = {
+  batch : int;
+  inserts : (int * int) array;  (** (src, dst) pairs appended in draw order *)
+  deletes : int array;  (** pre-delta edge ids, strictly ascending *)
+}
+
+let is_empty d = Array.length d.inserts = 0 && Array.length d.deletes = 0
+
+(* Stateless keyed draw, the same splitmix idiom as Faults: every edge
+   of every batch is a pure function of (seed, batch, i), so a batch can
+   be regenerated independently of any PRNG call history. Inserts use
+   salt 2*batch, deletes 2*batch+1. *)
+let draw ~seed ~salt ~k =
+  Splitmix64.mix64
+    (Int64.logxor
+       (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+       (Int64.add (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L) (Int64.of_int k)))
+
+let draw_mod h m = Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int m))
+
+let plan cfg ~batch g =
+  if batch < 1 then invalid_arg "Mutation.plan: batch < 1";
+  let n = Graph.num_vertices g in
+  let m = Graph.num_edges g in
+  let ins_count, del_count = batch_counts cfg ~batch in
+  let inserts =
+    if n < 2 then [||] (* too small to host a non-loop edge *)
+    else
+      Array.init ins_count (fun i ->
+          let src = draw_mod (draw ~seed:cfg.seed ~salt:(2 * batch) ~k:(2 * i)) n in
+          let dst = draw_mod (draw ~seed:cfg.seed ~salt:(2 * batch) ~k:(2 * i + 1)) n in
+          let dst = if dst = src then (dst + 1) mod n else dst in
+          (src, dst))
+  in
+  let del_count = min del_count m in
+  let deletes =
+    if del_count = 0 then [||]
+    else begin
+      (* Distinct victims by linear probing: at most del_count <= m ids
+         are ever marked, so the probe always finds a free slot. *)
+      let picked = Array.make m false in
+      for i = 0 to del_count - 1 do
+        let e = ref (draw_mod (draw ~seed:cfg.seed ~salt:((2 * batch) + 1) ~k:i) m) in
+        while picked.(!e) do
+          e := (!e + 1) mod m
+        done;
+        picked.(!e) <- true
+      done;
+      let out = Array.make del_count 0 in
+      let j = ref 0 in
+      for e = 0 to m - 1 do
+        if picked.(e) then begin
+          out.(!j) <- e;
+          incr j
+        end
+      done;
+      out
+    end
+  in
+  { batch; inserts; deletes }
+
+let kept g d =
+  let m = Graph.num_edges g in
+  let dead = Array.make m false in
+  Array.iter
+    (fun e ->
+      if e < 0 || e >= m then invalid_arg "Mutation: delete edge id out of range";
+      dead.(e) <- true)
+    d.deletes;
+  let keep = Array.make (m - Array.length d.deletes) 0 in
+  let j = ref 0 in
+  for e = 0 to m - 1 do
+    if not dead.(e) then begin
+      keep.(!j) <- e;
+      incr j
+    end
+  done;
+  keep
+
+let apply g d =
+  let n = Graph.num_vertices g in
+  let keep = kept g d in
+  let k = Array.length keep and extra = Array.length d.inserts in
+  let src = Array.make (k + extra) 0 and dst = Array.make (k + extra) 0 in
+  Array.iteri
+    (fun j e ->
+      src.(j) <- Graph.edge_src g e;
+      dst.(j) <- Graph.edge_dst g e)
+    keep;
+  Array.iteri
+    (fun i (s, t) ->
+      if s < 0 || s >= n || t < 0 || t >= n then
+        invalid_arg "Mutation: inserted endpoint out of range";
+      src.(k + i) <- s;
+      dst.(k + i) <- t)
+    d.inserts;
+  Graph.create ~n ~src ~dst

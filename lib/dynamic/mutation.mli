@@ -1,0 +1,69 @@
+(** Seeded edge-mutation batches.
+
+    The paper evaluates frozen edge lists, but its Twitter-scale
+    datasets imply a continuously mutating graph. This module generates
+    reproducible insert/delete batches from a compact spec in the style
+    of the fault DSL ({!Cutfit_bsp.Faults}):
+
+    {v ins@B[-C][:rN] , del@B[-C][:rN] v}
+
+    [ins@3:r64] inserts 64 random edges at batch 3; [del@2-5:r16]
+    deletes 16 random edges at each of batches 2..5; items are
+    comma-separated and batches are numbered from 1. [rN] defaults to
+    [r32]. Every drawn edge is a pure splitmix64 function of
+    (seed, batch, i) — batch [k] can be regenerated without replaying
+    batches [1..k-1].
+
+    Applying a delta rebuilds the graph with {!Cutfit_graph.Graph.create}
+    (kept edges in build order, inserts appended), so the result is a
+    first-class frozen graph: CSR adjacency, freezability and all
+    [Graph] invariants are preserved by construction. *)
+
+exception Parse_error of string
+(** Malformed spec, with a human-readable reason. *)
+
+type kind = Ins | Del
+
+type item = { kind : kind; from_batch : int; to_batch : int; edges : int }
+
+type config = { items : item list; raw : string; seed : int }
+
+val parse_spec : string -> item list
+(** @raise Parse_error on malformed input. *)
+
+val config : ?seed:int -> string -> config
+(** [config raw] parses [raw] (default [seed] 42).
+    @raise Parse_error on malformed input. *)
+
+val describe : config -> string
+(** One-line spec summary for banners and reports. *)
+
+val max_batch : config -> int
+(** Highest batch any item covers (at least 1). *)
+
+type delta = {
+  batch : int;
+  inserts : (int * int) array;  (** (src, dst) pairs appended in draw order *)
+  deletes : int array;  (** pre-delta edge ids, strictly ascending *)
+}
+
+val is_empty : delta -> bool
+
+val plan : config -> batch:int -> Cutfit_graph.Graph.t -> delta
+(** The mutation batch [batch] against the current graph: inserts drawn
+    uniformly over vertex pairs (self-loops nudged off the diagonal),
+    deletes drawn as distinct existing edge ids (clamped to the number
+    of edges). Deterministic in (config, batch, graph shape).
+    @raise Invalid_argument if [batch < 1]. *)
+
+val kept : Cutfit_graph.Graph.t -> delta -> int array
+(** Surviving pre-delta edge ids in build order — the delta's deletes
+    removed. The refreshed graph's edge [j] is [kept.(j)] for
+    [j < Array.length kept], then the inserts in draw order.
+    @raise Invalid_argument if a delete id is out of range. *)
+
+val apply : Cutfit_graph.Graph.t -> delta -> Cutfit_graph.Graph.t
+(** Frozen post-delta graph: kept edges in build order, then inserts.
+    Bit-identical to a from-scratch {!Cutfit_graph.Graph.create} over
+    the same edge list ({!Dyn_check} proves this).
+    @raise Invalid_argument on out-of-range delete ids or endpoints. *)

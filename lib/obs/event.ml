@@ -118,6 +118,28 @@ type cache_op = {
   at_s : float;
 }
 
+type mutation_batch = {
+  batch : int;
+  graph : string;  (** dataset name; "-" outside the workload engine *)
+  inserts : int;
+  deletes : int;
+  edges_before : int;
+  edges_after : int;
+  at_s : float;
+}
+
+type repartition = {
+  batch : int;
+  graph : string;
+  choice : string;  (** "refresh" | "rebuild" *)
+  refresh_s : float;
+  rebuild_s : float;
+  placed_edges : int;
+  repaired_vertices : int;
+  moved_replicas : int;
+  at_s : float;
+}
+
 type t =
   | Run_start of { label : string }
   | Superstep of superstep
@@ -136,6 +158,8 @@ type t =
   | Breaker_open of breaker_open
   | Breaker_close of breaker_close
   | Cache_op of cache_op
+  | Mutation_batch of mutation_batch
+  | Repartition of repartition
 
 let skew s =
   if s.min_task_s > 0.0 then s.max_task_s /. s.min_task_s
@@ -324,6 +348,32 @@ let to_json = function
           ("occupancy_bytes", Json.Float c.occupancy_bytes);
           ("entries", Json.Int c.entries);
           ("at_s", Json.Float c.at_s);
+        ]
+  | Mutation_batch m ->
+      Json.Obj
+        [
+          ("type", Json.String "mutation_batch");
+          ("batch", Json.Int m.batch);
+          ("graph", Json.String m.graph);
+          ("inserts", Json.Int m.inserts);
+          ("deletes", Json.Int m.deletes);
+          ("edges_before", Json.Int m.edges_before);
+          ("edges_after", Json.Int m.edges_after);
+          ("at_s", Json.Float m.at_s);
+        ]
+  | Repartition r ->
+      Json.Obj
+        [
+          ("type", Json.String "repartition");
+          ("batch", Json.Int r.batch);
+          ("graph", Json.String r.graph);
+          ("choice", Json.String r.choice);
+          ("refresh_s", Json.Float r.refresh_s);
+          ("rebuild_s", Json.Float r.rebuild_s);
+          ("placed_edges", Json.Int r.placed_edges);
+          ("repaired_vertices", Json.Int r.repaired_vertices);
+          ("moved_replicas", Json.Int r.moved_replicas);
+          ("at_s", Json.Float r.at_s);
         ]
 
 let field kind name conv j =
@@ -565,6 +615,44 @@ let cache_op_of_json j =
   let* at_s = flt "at_s" in
   Ok (Cache_op { op; graph; strategy; num_partitions; bytes; occupancy_bytes; entries; at_s })
 
+let mutation_batch_of_json j =
+  let int name = field "mutation_batch" name Json.to_int j in
+  let* batch = int "batch" in
+  let* graph = field "mutation_batch" "graph" Json.to_string_opt j in
+  let* inserts = int "inserts" in
+  let* deletes = int "deletes" in
+  let* edges_before = int "edges_before" in
+  let* edges_after = int "edges_after" in
+  let* at_s = field "mutation_batch" "at_s" Json.to_float j in
+  Ok (Mutation_batch { batch; graph; inserts; deletes; edges_before; edges_after; at_s })
+
+let repartition_of_json j =
+  let int name = field "repartition" name Json.to_int j in
+  let flt name = field "repartition" name Json.to_float j in
+  let str name = field "repartition" name Json.to_string_opt j in
+  let* batch = int "batch" in
+  let* graph = str "graph" in
+  let* choice = str "choice" in
+  let* refresh_s = flt "refresh_s" in
+  let* rebuild_s = flt "rebuild_s" in
+  let* placed_edges = int "placed_edges" in
+  let* repaired_vertices = int "repaired_vertices" in
+  let* moved_replicas = int "moved_replicas" in
+  let* at_s = flt "at_s" in
+  Ok
+    (Repartition
+       {
+         batch;
+         graph;
+         choice;
+         refresh_s;
+         rebuild_s;
+         placed_edges;
+         repaired_vertices;
+         moved_replicas;
+         at_s;
+       })
+
 let of_json j =
   let* kind = field "event" "type" Json.to_string_opt j in
   match kind with
@@ -587,6 +675,8 @@ let of_json j =
   | "breaker_open" -> breaker_open_of_json j
   | "breaker_close" -> breaker_close_of_json j
   | "cache_op" -> cache_op_of_json j
+  | "mutation_batch" -> mutation_batch_of_json j
+  | "repartition" -> repartition_of_json j
   | other -> Error (Printf.sprintf "event: unknown type %S" other)
 
 let to_line t = Json.to_string (to_json t)
@@ -658,3 +748,12 @@ let pp ppf = function
   | Cache_op c ->
       Format.fprintf ppf "cache %-6s: %s/%s/%d %.0fB (now %d entries, %.0fB) at %.2fs" c.op
         c.graph c.strategy c.num_partitions c.bytes c.entries c.occupancy_bytes c.at_s
+  | Mutation_batch m ->
+      Format.fprintf ppf "mutate batch %d: %s +%d/-%d edges (%d -> %d) at %.2fs" m.batch m.graph
+        m.inserts m.deletes m.edges_before m.edges_after m.at_s
+  | Repartition r ->
+      Format.fprintf ppf
+        "repart batch %d: %s chose %s (refresh %.4fs vs rebuild %.4fs; %d placed, %d repaired, \
+         %d moved) at %.2fs"
+        r.batch r.graph r.choice r.refresh_s r.rebuild_s r.placed_edges r.repaired_vertices
+        r.moved_replicas r.at_s

@@ -176,6 +176,34 @@ type cache_op = {
   at_s : float;  (** simulated instant of the operation *)
 }
 
+(** {2 Dynamic-graph records}
+
+    The dynamic-graph subsystem ([lib/dynamic] and the workload
+    engine's mutation interleaving) narrates each mutation batch and
+    the priced refresh-vs-rebuild decision taken on it. *)
+
+type mutation_batch = {
+  batch : int;  (** 1-based batch number *)
+  graph : string;  (** dataset name; "-" outside the workload engine *)
+  inserts : int;
+  deletes : int;
+  edges_before : int;
+  edges_after : int;
+  at_s : float;  (** simulated instant; 0 for the standalone driver *)
+}
+
+type repartition = {
+  batch : int;
+  graph : string;
+  choice : string;  (** "refresh" | "rebuild" *)
+  refresh_s : float;  (** priced incremental-refresh cost *)
+  rebuild_s : float;  (** priced full-rebuild cost *)
+  placed_edges : int;  (** inserted edges placed online *)
+  repaired_vertices : int;  (** vertices repaired after deletes *)
+  moved_replicas : int;  (** replica-set entries to re-broadcast *)
+  at_s : float;
+}
+
 type t =
   | Run_start of { label : string }
       (** segments multi-run streams (e.g. [compare] traces) *)
@@ -195,6 +223,8 @@ type t =
   | Breaker_open of breaker_open
   | Breaker_close of breaker_close
   | Cache_op of cache_op
+  | Mutation_batch of mutation_batch
+  | Repartition of repartition
 
 val skew : superstep -> float
 (** [max_task_s /. min_task_s], or [infinity] when the smallest task is

@@ -3,6 +3,7 @@ module Graph = Cutfit_graph.Graph
 type t =
   | Hash of Strategy.t
   | Stream of Streaming.t
+  | Incremental of Streaming.t
   | Custom of string * (num_partitions:int -> Graph.t -> int array)
 
 let paper_six = List.map (fun s -> Hash s) Strategy.all
@@ -13,12 +14,28 @@ let streaming_baselines =
 let name = function
   | Hash s -> Strategy.to_string s
   | Stream s -> Streaming.to_string s
+  | Incremental s -> "inc-" ^ Streaming.to_string s
   | Custom (n, _) -> n
 
+(* "inc-<heuristic>" selects the incremental wrapper: cold-start
+   identical to the wrapped streaming heuristic, but declaring that
+   mutation deltas should be repaired in place by
+   [Cutfit_dynamic.Incremental.refresh] rather than re-streamed. *)
 let of_string s =
   match Strategy.of_string s with
   | Some st -> Some (Hash st)
-  | None -> ( match Streaming.of_string s with Some st -> Some (Stream st) | None -> None)
+  | None -> (
+      match Streaming.of_string s with
+      | Some st -> Some (Stream st)
+      | None ->
+          let prefix = "inc-" in
+          let plen = String.length prefix in
+          if String.length s > plen && String.equal (String.lowercase_ascii (String.sub s 0 plen)) prefix
+          then
+            match Streaming.of_string (String.sub s plen (String.length s - plen)) with
+            | Some st -> Some (Incremental st)
+            | None -> None
+          else None)
 
 let pp ppf t = Format.pp_print_string ppf (name t)
 
@@ -34,7 +51,7 @@ let assign t ~num_partitions g =
             ~dst:(Graph.edge_dst g i)
       done;
       out
-  | Stream s -> Streaming.assign s ~num_partitions g
+  | Stream s | Incremental s -> Streaming.assign s ~num_partitions g
   | Custom (_, f) ->
       let out = f ~num_partitions g in
       if Array.length out <> Graph.num_edges g then

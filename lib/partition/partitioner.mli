@@ -7,6 +7,11 @@
 type t =
   | Hash of Strategy.t  (** one of the paper's six strategies *)
   | Stream of Streaming.t  (** a streaming extension baseline *)
+  | Incremental of Streaming.t
+      (** the dynamic-graph wrapper around a streaming heuristic: a cold
+          start assigns exactly like [Stream], but mutation deltas are
+          repaired in place ({!Cutfit_dynamic.Incremental.refresh})
+          instead of re-streaming the whole edge list *)
   | Custom of string * (num_partitions:int -> Cutfit_graph.Graph.t -> int array)
       (** named user-defined assignment *)
 
@@ -19,7 +24,8 @@ val streaming_baselines : t list
 val name : t -> string
 
 val of_string : string -> t option
-(** Parses both paper abbreviations and streaming names. *)
+(** Parses paper abbreviations, streaming names, and ["inc-<name>"] for
+    the incremental wrapper (e.g. ["inc-greedy"]). *)
 
 (* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp : Format.formatter -> t -> unit

@@ -172,8 +172,8 @@ let insert t ~available_s k ~pg ~bytes ~rebuild_s =
 (* Drop every live entry at once — the cluster restarted, so nothing a
    dead executor hosted can be reused. Counted separately from eviction
    pressure so the conservation laws can tell the two apart. *)
-let invalidate_all t =
-  let victims = entries_by_seq t in
+let invalidate t ~pred =
+  let victims = List.filter (fun e -> pred e.ekey) (entries_by_seq t) in
   List.map
     (fun e ->
       Hashtbl.remove t.table (key_id e.ekey);
@@ -182,6 +182,11 @@ let invalidate_all t =
       t.bytes_invalidated <- t.bytes_invalidated +. e.bytes;
       (e.ekey, e.bytes))
     victims
+
+let invalidate_all t = invalidate t ~pred:(fun _ -> true)
+
+let peek_entries t ~pred =
+  List.filter_map (fun e -> if pred e.ekey then Some (e.ekey, e.pg) else None) (entries_by_seq t)
 
 let stats t =
   let live = entries_by_seq t in

@@ -83,13 +83,25 @@ val insert :
     evicted for an entry that can never fit). Re-inserting a live key
     replaces it (the old entry counts as evicted). *)
 
+val invalidate : t -> pred:(key -> bool) -> (key * float) list
+(** Partial invalidation: drop every entry (live or pending) whose key
+    satisfies [pred], in insertion order, returning the dropped
+    [(key, bytes)] pairs. The dynamic-graph path drops exactly the
+    mutated graph's keys — [pred:(fun k -> k.graph = dataset)] — and
+    leaves other datasets' partitionings warm. Counted as
+    [invalidations], not [evictions]; the conservation law
+    [entries = insertions - evictions - invalidations] holds
+    unchanged. *)
+
 val invalidate_all : t -> (key * float) list
-(** Drop every entry (live or pending), in insertion order, returning
-    the dropped [(key, bytes)] pairs. The workload engine calls this
-    when a job's cluster dies past its crash budget: cached
-    partitionings were resident on the lost executors, so none survives
-    the cluster restart. Counted as [invalidations], not [evictions] —
-    the conservation law is
-    [entries = insertions - evictions - invalidations]. *)
+(** [invalidate ~pred:(fun _ -> true)]: drop everything. The workload
+    engine calls this when a job's cluster dies past its crash budget:
+    cached partitionings were resident on the lost executors, so none
+    survives the cluster restart. *)
+
+val peek_entries : t -> pred:(key -> bool) -> (key * Cutfit_bsp.Pgraph.t) list
+(** Uncounted peek at the entries (live or pending) matching [pred], in
+    insertion order — what a mutation batch inspects to price
+    refreshing each resident partitioning before invalidating. *)
 
 val stats : t -> stats

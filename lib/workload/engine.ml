@@ -17,6 +17,10 @@ module Splitmix64 = Cutfit_prng.Splitmix64
 module Telemetry = Cutfit_obs.Telemetry
 module Event = Cutfit_obs.Event
 module Json = Cutfit_obs.Json
+module Streaming = Cutfit_partition.Streaming
+module Mutation = Cutfit_dynamic.Mutation
+module Incremental = Cutfit_dynamic.Incremental
+module Repartition = Cutfit_dynamic.Repartition
 
 type policy = Fifo | Sjf
 
@@ -83,6 +87,37 @@ type job_record = {
 
 type job_failure = { job_id : int; failed_attempts : int; reason : string }
 
+(* How a mutation batch resolves the refresh-vs-rebuild question:
+   [Priced] asks the cost model, the forced modes pin the answer — the
+   bench's control arms for the incremental-vs-rebuild comparison. *)
+type mutation_mode = Priced | Force_refresh | Force_rebuild
+
+let mutation_mode_name = function
+  | Priced -> "priced"
+  | Force_refresh -> "refresh"
+  | Force_rebuild -> "rebuild"
+
+let mutation_mode_of_string s =
+  match String.lowercase_ascii s with
+  | "priced" -> Some Priced
+  | "refresh" -> Some Force_refresh
+  | "rebuild" -> Some Force_rebuild
+  | _ -> None
+
+type mutation_record = {
+  mut_batch : int;
+  mut_dataset : string;
+  mut_at_s : float;
+  mut_inserts : int;
+  mut_deletes : int;
+  mut_edges_after : int;
+  mut_refresh_s : float;
+  mut_rebuild_s : float;
+  mut_choice : string;
+  mut_dropped_entries : int;
+  mut_refreshed_entries : int;
+}
+
 type report = {
   policy : policy;
   selection : selection;
@@ -100,9 +135,13 @@ type report = {
   breaker_cooldown_s : float;
   backpressure : int option;
   speculation : Speculation.config option;
+  mutation_spec : string option;
+  mutate_every : int;
+  mutation_mode : mutation_mode;
   records : job_record list;
   failures : job_failure list;
   breaker_trips : breaker_trip list;
+  mutations : mutation_record list;
   retries : int;
   cache : Cache.stats;
   makespan_s : float;
@@ -161,8 +200,11 @@ let pgraph_bytes ~scale pg =
 let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     ?(budget_bytes = 8.0e9) ?iterations ?checkpoint_every ?faults ?speculation ?(max_retries = 2)
     ?queue_bound ?(shed_policy = Reject) ?deadline ?breaker_k ?(breaker_cooldown_s = 60.0)
-    ?backpressure ?telemetry ?(policy = Fifo) ?(selection = Cache_aware 0.25) ~seed jobs =
+    ?backpressure ?telemetry ?(policy = Fifo) ?(selection = Cache_aware 0.25) ?mutations
+    ?(mutate_every = 8) ?(mutation_mode = Priced) ?(mutation_heuristic = Streaming.Greedy) ~seed
+    jobs =
   if slots < 1 then invalid_arg "Engine.run: slots must be >= 1";
+  if mutate_every < 1 then invalid_arg "Engine.run: mutate_every must be >= 1";
   if max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
   (match queue_bound with
   | Some b when b < 1 -> invalid_arg "Engine.run: queue_bound must be >= 1"
@@ -442,6 +484,179 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         in
         let landmarks = Sssp.pick_landmarks ~seed:job_seed ~count:3 g in
         snd (Pipeline.shortest_paths ~landmarks prepared)
+  in
+  (* Streaming ingestion: every [mutate_every]-th job launch first lands
+     a mutation batch on its own dataset. The memoized graph advances,
+     the advisor's rankings for that dataset are forgotten, and the
+     cache loses exactly that dataset's keys. On the refresh path the
+     incremental repair runs synchronously with the batch — the
+     refreshed partitionings are valid the instant it completes, and
+     the triggering job is delayed by the summed refresh price (the
+     returned value). On the rebuild path nothing is re-inserted: the
+     next job on the dataset pays its full partition build on the
+     miss. *)
+  let launches = ref 0 in
+  let mutation_log = ref [] in
+  let apply_mutations ~at_s (job : Job.t) =
+    match mutations with
+    | None -> 0.0
+    | Some cfg ->
+        incr launches;
+        if !launches mod mutate_every <> 0 then 0.0
+        else begin
+          let batch = !launches / mutate_every in
+          let dataset = job.Job.dataset in
+          let g, _, spec = graph_of dataset in
+          let delta = Mutation.plan cfg ~batch g in
+          if Mutation.is_empty delta then 0.0
+          else begin
+            let edges_before = Graph.num_edges g in
+            let new_g = Mutation.apply g delta in
+            let new_scale =
+              float_of_int spec.Datasets.paper_edges /. float_of_int (Graph.num_edges new_g)
+            in
+            let pred (k : Cache.key) = String.equal k.Cache.graph dataset in
+            (* Price refreshing each resident partitioning of this
+               dataset against rebuilding it on the post-delta graph.
+               Every resident entry was built against the memoized
+               pre-delta graph (an earlier batch dropped anything
+               older), so the refresh is well-defined. *)
+            let resident =
+              List.map
+                (fun ((k : Cache.key), pg) ->
+                  let refreshed =
+                    Incremental.refresh mutation_heuristic
+                      ~num_partitions:k.Cache.num_partitions ~graph:g
+                      ~assignment:(Pgraph.assignment pg) delta
+                  in
+                  let refresh_s =
+                    Repartition.refresh_price ~cluster ~scale:new_scale
+                      ~placed_edges:refreshed.Incremental.placed_edges
+                      ~repaired_vertices:refreshed.Incremental.repaired_vertices
+                      ~moved_replicas:refreshed.Incremental.moved_replicas ()
+                  in
+                  let rebuild_s =
+                    Repartition.rebuild_price ~cluster ~scale:new_scale new_g
+                      (Pgraph.metrics pg)
+                  in
+                  (k, refreshed, refresh_s, rebuild_s))
+                (Cache.peek_entries cache ~pred)
+            in
+            let sumf f = List.fold_left (fun acc x -> acc +. f x) 0.0 resident in
+            let refresh_total = sumf (fun (_, _, r, _) -> r) in
+            let rebuild_total = sumf (fun (_, _, _, b) -> b) in
+            let refresh_chosen =
+              match mutation_mode with
+              | Force_refresh -> true
+              | Force_rebuild -> false
+              | Priced -> refresh_total <= rebuild_total
+            in
+            (* Advance the memoized graph; the advisor re-measures on the
+               next job that needs a ranking for this dataset. *)
+            Hashtbl.replace graphs dataset (new_g, new_scale, spec);
+            let prefix = dataset ^ "#" in
+            let stale =
+              (* lint: order-independent *)
+              Hashtbl.fold
+                (fun key _ acc ->
+                  if
+                    String.length key >= String.length prefix
+                    && String.equal (String.sub key 0 (String.length prefix)) prefix
+                  then key :: acc
+                  else acc)
+                rankings []
+            in
+            List.iter (Hashtbl.remove rankings) stale;
+            let before = Cache.stats cache in
+            let dropped = Cache.invalidate cache ~pred in
+            let occ = ref before.Cache.bytes_in_cache and ents = ref before.Cache.entries in
+            List.iter
+              (fun (k, b) ->
+                occ := !occ -. b;
+                ents := !ents - 1;
+                emit_cache_op "invalidate" k ~bytes:b ~occupancy:!occ ~entries:!ents ~at_s)
+              dropped;
+            if refresh_chosen then
+              List.iter
+                (fun ((k : Cache.key), (refreshed : Incremental.refreshed), _refresh_s, rebuild_s)
+                   ->
+                  let pg' =
+                    Pgraph.build new_g ~num_partitions:k.Cache.num_partitions
+                      refreshed.Incremental.assignment
+                  in
+                  let bytes = pgraph_bytes ~scale:new_scale pg' in
+                  (* The repair is synchronous with the batch: the entry
+                     is valid the moment the (delayed) triggering job
+                     looks it up. The refresh price is charged as the
+                     returned stream delay, not as entry latency. *)
+                  let available_s = at_s in
+                  let before = Cache.stats cache in
+                  match Cache.insert cache ~available_s k ~pg:pg' ~bytes ~rebuild_s with
+                  | `Inserted evicted ->
+                      let occ = ref before.Cache.bytes_in_cache
+                      and ents = ref before.Cache.entries in
+                      List.iter
+                        (fun (ek, b) ->
+                          occ := !occ -. b;
+                          ents := !ents - 1;
+                          emit_cache_op "evict" ek ~bytes:b ~occupancy:!occ ~entries:!ents
+                            ~at_s:available_s)
+                        evicted;
+                      occ := !occ +. bytes;
+                      ents := !ents + 1;
+                      emit_cache_op "insert" k ~bytes ~occupancy:!occ ~entries:!ents
+                        ~at_s:available_s
+                  | `Rejected ->
+                      emit_cache_op "reject" k ~bytes ~occupancy:before.Cache.bytes_in_cache
+                        ~entries:before.Cache.entries ~at_s:available_s)
+                resident;
+            let sumi f =
+              List.fold_left
+                (fun acc (_, (r : Incremental.refreshed), _, _) -> acc + f r)
+                0 resident
+            in
+            emit
+              (Event.Mutation_batch
+                 {
+                   Event.batch;
+                   graph = dataset;
+                   inserts = Array.length delta.Mutation.inserts;
+                   deletes = Array.length delta.Mutation.deletes;
+                   edges_before;
+                   edges_after = Graph.num_edges new_g;
+                   at_s;
+                 });
+            emit
+              (Event.Repartition
+                 {
+                   Event.batch;
+                   graph = dataset;
+                   choice = (if refresh_chosen then "refresh" else "rebuild");
+                   refresh_s = refresh_total;
+                   rebuild_s = rebuild_total;
+                   placed_edges = sumi (fun r -> r.Incremental.placed_edges);
+                   repaired_vertices = sumi (fun r -> r.Incremental.repaired_vertices);
+                   moved_replicas = sumi (fun r -> r.Incremental.moved_replicas);
+                   at_s;
+                 });
+            mutation_log :=
+              {
+                mut_batch = batch;
+                mut_dataset = dataset;
+                mut_at_s = at_s;
+                mut_inserts = Array.length delta.Mutation.inserts;
+                mut_deletes = Array.length delta.Mutation.deletes;
+                mut_edges_after = Graph.num_edges new_g;
+                mut_refresh_s = refresh_total;
+                mut_rebuild_s = rebuild_total;
+                mut_choice = (if refresh_chosen then "refresh" else "rebuild");
+                mut_dropped_entries = List.length dropped;
+                mut_refreshed_entries = (if refresh_chosen then List.length resident else 0);
+              }
+              :: !mutation_log;
+            if refresh_chosen then refresh_total else 0.0
+          end
+        end
   in
   (* One attempt of one job. Returns the attempt's record plus its
      structural status: [`Ok] (recorded as-is), [`Lost] (the cluster
@@ -856,8 +1071,11 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     | None -> ()
     | Some job -> (
         pending := List.filter (fun (j : Job.t) -> j.Job.id <> job.Job.id) !pending;
+        let mutation_delay_s = apply_mutations ~at_s:t job in
         let attempt = attempt_of job in
-        let record, status = execute ~start_s:t ~attempt ~depth:(List.length !pending) job in
+        let record, status =
+          execute ~start_s:(t +. mutation_delay_s) ~attempt ~depth:(List.length !pending) job
+        in
         slot_free.(!slot) <- record.finish_s;
         (* The breaker judges the attempt's real verdict: aborted, error
            and out-of-memory count against the (dataset, strategy) pair;
@@ -942,9 +1160,13 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     breaker_cooldown_s;
     backpressure;
     speculation;
+    mutation_spec = Option.map (fun (c : Mutation.config) -> c.Mutation.raw) mutations;
+    mutate_every;
+    mutation_mode;
     records;
     failures;
     breaker_trips = List.rev !breaker_trips;
+    mutations = List.rev !mutation_log;
     retries = !retries;
     cache = Cache.stats cache;
     makespan_s;
@@ -1030,6 +1252,10 @@ let params_json r =
         match r.speculation with
         | Some c -> Json.Float c.Speculation.threshold
         | None -> Json.Null );
+      ("mutations", match r.mutation_spec with Some s -> Json.String s | None -> Json.Null);
+      ("mutate_every", Json.Int r.mutate_every);
+      ("mutation_mode", Json.String (mutation_mode_name r.mutation_mode));
+      ("mutation_batches", Json.Int (List.length r.mutations));
       ("retries", Json.Int r.retries);
       ("failed_jobs", Json.Int (failed_jobs r));
       ("shed_jobs", Json.Int (shed_jobs r));
@@ -1054,6 +1280,22 @@ let params_json r =
                 ("p95", Json.Float p.Summary.p95);
                 ("p99", Json.Float p.Summary.p99);
               ] );
+    ]
+
+let mutation_json (m : mutation_record) =
+  Json.Obj
+    [
+      ("batch", Json.Int m.mut_batch);
+      ("dataset", Json.String m.mut_dataset);
+      ("at_s", Json.Float m.mut_at_s);
+      ("inserts", Json.Int m.mut_inserts);
+      ("deletes", Json.Int m.mut_deletes);
+      ("edges_after", Json.Int m.mut_edges_after);
+      ("refresh_s", Json.Float m.mut_refresh_s);
+      ("rebuild_s", Json.Float m.mut_rebuild_s);
+      ("choice", Json.String m.mut_choice);
+      ("dropped_entries", Json.Int m.mut_dropped_entries);
+      ("refreshed_entries", Json.Int m.mut_refreshed_entries);
     ]
 
 let failure_json (f : job_failure) =
@@ -1081,6 +1323,7 @@ let report_json r =
       ("records", Json.List (List.map record_json r.records));
       ("failures", Json.List (List.map failure_json r.failures));
       ("breaker_trips", Json.List (List.map breaker_trip_json r.breaker_trips));
+      ("mutations", Json.List (List.map mutation_json r.mutations));
       ("cache", cache_json r.cache);
     ]
 
@@ -1088,6 +1331,7 @@ let report_lines r =
   (Json.to_string (params_json r) :: List.map (fun x -> Json.to_string (record_json x)) r.records)
   @ List.map (fun f -> Json.to_string (failure_json f)) r.failures
   @ List.map (fun t -> Json.to_string (breaker_trip_json t)) r.breaker_trips
+  @ List.map (fun m -> Json.to_string (mutation_json m)) r.mutations
   @ [ Json.to_string (cache_json r.cache) ]
 
 let pp_summary ppf r =
@@ -1129,6 +1373,17 @@ let pp_summary ppf r =
       let closes = List.length (List.filter (fun t -> not t.opened) r.breaker_trips) in
       Format.fprintf ppf "@,breakers (k=%d, cooldown %.0f s): %d open(s), %d close(s)" k
         r.breaker_cooldown_s opens closes);
+  (match r.mutation_spec with
+  | None -> ()
+  | Some spec ->
+      let refreshes =
+        List.length (List.filter (fun m -> String.equal m.mut_choice "refresh") r.mutations)
+      in
+      let rebuilds = List.length r.mutations - refreshes in
+      Format.fprintf ppf
+        "@,mutations %S (every %d launches, %s): %d batch(es), %d refresh / %d rebuild" spec
+        r.mutate_every (mutation_mode_name r.mutation_mode) (List.length r.mutations) refreshes
+        rebuilds);
   if oom > 0 then Format.fprintf ppf "@,%d job(s) ended out-of-memory" oom;
   if failed_jobs r > 0 then Format.fprintf ppf "@,%d job(s) failed permanently" (failed_jobs r);
   Format.fprintf ppf "@]"

@@ -126,6 +126,34 @@ type job_failure = {
     produced a completed run. Every failure pairs with a [failed]
     record; no exception ever escapes {!run} for a per-job problem. *)
 
+type mutation_mode =
+  | Priced
+      (** refresh when the summed refresh price over the dataset's
+          resident cache entries is at most the summed rebuild price *)
+  | Force_refresh  (** always take the incremental-repair path *)
+  | Force_rebuild  (** always drop and rebuild cold — the control arm *)
+
+val mutation_mode_name : mutation_mode -> string
+val mutation_mode_of_string : string -> mutation_mode option
+(** ["priced"], ["refresh"], ["rebuild"]. *)
+
+type mutation_record = {
+  mut_batch : int;  (** 1-based batch number = launches / mutate_every *)
+  mut_dataset : string;  (** the launching job's dataset took the delta *)
+  mut_at_s : float;  (** the triggering job's admission instant *)
+  mut_inserts : int;
+  mut_deletes : int;
+  mut_edges_after : int;
+  mut_refresh_s : float;  (** summed refresh price over resident entries *)
+  mut_rebuild_s : float;  (** summed rebuild price over resident entries *)
+  mut_choice : string;  (** ["refresh"] or ["rebuild"] *)
+  mut_dropped_entries : int;  (** cache entries invalidated by the batch *)
+  mut_refreshed_entries : int;  (** entries re-inserted at refresh price; 0 on rebuild *)
+}
+(** One applied mutation batch and its priced refresh-vs-rebuild
+    decision, reconciling with the [Mutation_batch] / [Repartition]
+    events the engine emits. *)
+
 type report = {
   policy : policy;
   selection : selection;
@@ -145,9 +173,13 @@ type report = {
       (** queue-depth watermark past which selection degrades to the
           cheapest cached strategy *)
   speculation : Cutfit_bsp.Speculation.config option;
+  mutation_spec : string option;  (** the raw [--mutations] spec, when any *)
+  mutate_every : int;  (** job launches between mutation batches *)
+  mutation_mode : mutation_mode;
   records : job_record list;  (** ascending job id, one per job *)
   failures : job_failure list;  (** ascending job id *)
   breaker_trips : breaker_trip list;  (** in decision order *)
+  mutations : mutation_record list;  (** in application order *)
   retries : int;  (** requeues performed = [Job_retry] events emitted *)
   cache : Cache.stats;
   makespan_s : float;  (** last finish instant *)
@@ -198,6 +230,10 @@ val run :
   ?telemetry:Cutfit_obs.Telemetry.t ->
   ?policy:policy ->
   ?selection:selection ->
+  ?mutations:Cutfit_dynamic.Mutation.config ->
+  ?mutate_every:int ->
+  ?mutation_mode:mutation_mode ->
+  ?mutation_heuristic:Cutfit_partition.Streaming.t ->
   seed:int64 ->
   Job.t list ->
   report
@@ -237,9 +273,30 @@ val run :
     [Breaker_close] event. [backpressure] is a queue-depth watermark
     past which selection degrades to the cheapest cached strategy even
     with every breaker closed.
+
+    {b Dynamic graphs.}
+
+    With [mutations], every [mutate_every]-th job launch (default 8)
+    first lands the next {!Cutfit_dynamic.Mutation} batch on that job's
+    own dataset: the memoized graph advances by the delta, the
+    advisor's rankings for the dataset are re-measured lazily, and the
+    cache is {e partially} invalidated — exactly the mutated dataset's
+    keys are dropped ([Cache_op "invalidate"] events), other datasets
+    stay warm. Each resident partitioning is first priced both ways
+    ({!Cutfit_dynamic.Repartition.refresh_price} via an
+    {!Cutfit_dynamic.Incremental.refresh} under [mutation_heuristic],
+    default Greedy, versus {!Cutfit_dynamic.Repartition.rebuild_price});
+    per [mutation_mode] (default [Priced]) the refresh path repairs
+    synchronously with the batch — each refreshed partitioning is
+    re-inserted immediately valid and the triggering job's start is
+    delayed by the summed refresh price — while the rebuild path leaves
+    the cache cold for that dataset, so the next job on it pays its
+    full partition build. Every batch appends a {!mutation_record} and
+    emits [Mutation_batch] / [Repartition] events.
     @raise Invalid_argument if [slots < 1], [max_retries < 0],
     [queue_bound < 1], a non-positive deadline, [breaker_k < 1],
-    [breaker_cooldown_s < 0] or [backpressure < 0]. *)
+    [breaker_cooldown_s < 0], [backpressure < 0] or
+    [mutate_every < 1]. *)
 
 val hit_rate : report -> float
 (** Cache hits over lookups (0 when there were none). *)
@@ -252,6 +309,8 @@ val record_json : job_record -> Cutfit_obs.Json.t
 val failure_json : job_failure -> Cutfit_obs.Json.t
 (* lint: unused-export -- JSON codec surface for external log consumers *)
 val breaker_trip_json : breaker_trip -> Cutfit_obs.Json.t
+(* lint: unused-export -- JSON codec surface for external log consumers *)
+val mutation_json : mutation_record -> Cutfit_obs.Json.t
 
 (* lint: unused-export -- JSON codec surface for external log consumers *)
 val report_json : report -> Cutfit_obs.Json.t
@@ -260,11 +319,11 @@ val report_json : report -> Cutfit_obs.Json.t
 
 val report_lines : report -> string list
 (** Canonical JSONL: one parameter/summary line (now carrying the
-    overload knobs and the latency percentiles), one line per job
-    record, one line per permanent failure, one line per breaker trip,
-    one cache-stats line — floats bit-exact, so the lines are a
-    digest-stable serialization of the whole simulation
-    ({!Workload_check.digest}). *)
+    overload and mutation knobs and the latency percentiles), one line
+    per job record, one line per permanent failure, one line per
+    breaker trip, one line per mutation batch, one cache-stats line —
+    floats bit-exact, so the lines are a digest-stable serialization of
+    the whole simulation ({!Workload_check.digest}). *)
 
 val pp_summary : Format.formatter -> report -> unit
 (** Human-oriented multi-line summary (policy, makespan, queue, cache

@@ -166,6 +166,40 @@ let breaker_checks (r : Engine.report) =
         trips);
   List.rev !v
 
+(* Mutation batches are priced decisions over the cache's resident
+   entries: both prices are modeled times (nonnegative), a refresh can
+   only restore entries the batch itself dropped, and every drop is
+   counted by the cache as an invalidation. *)
+let mutation_checks (r : Engine.report) =
+  let v = ref [] in
+  let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
+  if r.Engine.mutation_spec = None && r.Engine.mutations <> [] then
+    add "mutation-unarmed" "%d mutation batches recorded with no mutation spec"
+      (List.length r.Engine.mutations);
+  List.iter
+    (fun (m : Engine.mutation_record) ->
+      let where = Printf.sprintf "batch %d on %s" m.Engine.mut_batch m.Engine.mut_dataset in
+      if m.Engine.mut_refresh_s < 0.0 || m.Engine.mut_rebuild_s < 0.0 then
+        add "mutation-price" "%s priced negative (refresh %.6f, rebuild %.6f)" where
+          m.Engine.mut_refresh_s m.Engine.mut_rebuild_s;
+      if not (List.mem m.Engine.mut_choice [ "refresh"; "rebuild" ]) then
+        add "mutation-choice" "%s chose %S" where m.Engine.mut_choice;
+      if m.Engine.mut_refreshed_entries > m.Engine.mut_dropped_entries then
+        add "mutation-refresh-bound" "%s refreshed %d entries but dropped only %d" where
+          m.Engine.mut_refreshed_entries m.Engine.mut_dropped_entries;
+      if String.equal m.Engine.mut_choice "rebuild" && m.Engine.mut_refreshed_entries <> 0 then
+        add "mutation-rebuild-cold" "%s rebuilt yet refreshed %d entries" where
+          m.Engine.mut_refreshed_entries)
+    r.Engine.mutations;
+  let dropped =
+    List.fold_left (fun acc (m : Engine.mutation_record) -> acc + m.Engine.mut_dropped_entries) 0
+      r.Engine.mutations
+  in
+  if r.Engine.cache.Cache.invalidations < dropped then
+    add "mutation-invalidation-count" "cache counts %d invalidations but batches dropped %d entries"
+      r.Engine.cache.Cache.invalidations dropped;
+  List.rev !v
+
 let aggregate_checks (r : Engine.report) =
   let v = ref [] in
   let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
@@ -385,7 +419,7 @@ let event_checks (r : Engine.report) events =
       | Event.Cache_op _ | Event.Run_start _ | Event.Superstep _ | Event.Run_end _
       | Event.Fault_injected _ | Event.Checkpoint _ | Event.Recovery _ | Event.Job_retry _
       | Event.Speculative_launch _ | Event.Speculative_win _ | Event.Breaker_open _
-      | Event.Breaker_close _ -> ())
+      | Event.Breaker_close _ | Event.Mutation_batch _ | Event.Repartition _ -> ())
     events;
   let ops name = count (function Event.Cache_op c -> String.equal c.Event.op name | _ -> false) in
   let stats = r.Engine.cache in
@@ -407,6 +441,7 @@ let report ?events (r : Engine.report) =
   @ record_checks r.Engine.records
   @ aggregate_checks r
   @ breaker_checks r
+  @ mutation_checks r
   @ match events with None -> [] | Some evs -> event_checks r evs
 
 let digest r = Determinism.lines_digest (Engine.report_lines r)

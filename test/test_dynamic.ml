@@ -1,0 +1,324 @@
+(* Dynamic-graph subsystem: the mutation-spec DSL, delta planning and
+   application, incremental refresh, the priced refresh-vs-rebuild
+   driver, the Dyn_check laws, and the workload engine's mutation
+   hook. *)
+
+module Graph = Cutfit_graph.Graph
+module Streaming = Cutfit_partition.Streaming
+module Metrics = Cutfit_partition.Metrics
+module Partitioner = Cutfit_partition.Partitioner
+module Mutation = Cutfit.Mutation
+module Incremental = Cutfit.Incremental
+module Repartition = Cutfit.Repartition
+module Dyn_check = Cutfit.Dyn_check
+module Sanitize = Cutfit.Sanitize
+module Engine = Cutfit_workload.Engine
+module Job = Cutfit_workload.Job
+module Workload_check = Cutfit_workload.Workload_check
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_clean what vs = checki (what ^ " is clean") 0 (List.length vs)
+
+let g = Test_util.random_graph ~seed:41L ~n:200 ~m:1200
+let num_partitions = 8
+let cfg = Mutation.config "ins@1-3:r48,del@1-3:r12"
+
+(* --- spec parsing --- *)
+
+let test_parse_spec () =
+  (match Mutation.parse_spec "ins@3:r64, del@2-5:r16" with
+  | [
+   { Mutation.kind = Mutation.Ins; from_batch = 3; to_batch = 3; edges = 64 };
+   { Mutation.kind = Mutation.Del; from_batch = 2; to_batch = 5; edges = 16 };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "spec did not parse to the expected items");
+  (* rN defaults to r32 *)
+  (match Mutation.parse_spec "ins@1" with
+  | [ { Mutation.kind = Mutation.Ins; edges = 32; _ } ] -> ()
+  | _ -> Alcotest.fail "default rate did not apply");
+  checki "max_batch spans all items" 5 (Mutation.max_batch (Mutation.config "ins@3:r64,del@2-5:r16"));
+  Alcotest.(check string) "describe mentions the seed" "ins@1 (seed 9)"
+    (Mutation.describe (Mutation.config ~seed:9 "ins@1"))
+
+let test_parse_spec_rejects () =
+  let rejects spec =
+    match Mutation.parse_spec spec with
+    | exception Mutation.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "spec %S should not parse" spec)
+  in
+  List.iter rejects [ ""; "grow@1"; "ins@0"; "ins@3-2"; "ins@1:r0"; "ins@1:x4"; "ins@" ]
+
+(* --- planning and application --- *)
+
+let test_plan_deterministic () =
+  let d1 = Mutation.plan cfg ~batch:2 g in
+  let d2 = Mutation.plan cfg ~batch:2 g in
+  checkb "same inserts" true (d1.Mutation.inserts = d2.Mutation.inserts);
+  checkb "same deletes" true (d1.Mutation.deletes = d2.Mutation.deletes);
+  let other = Mutation.plan (Mutation.config ~seed:7 "ins@1-3:r48,del@1-3:r12") ~batch:2 g in
+  checkb "seed changes the draw" true (other.Mutation.inserts <> d1.Mutation.inserts)
+
+let test_plan_shape () =
+  let d = Mutation.plan cfg ~batch:1 g in
+  checki "insert count" 48 (Array.length d.Mutation.inserts);
+  checki "delete count" 12 (Array.length d.Mutation.deletes);
+  Array.iter
+    (fun (s, t) ->
+      checkb "endpoints in range" true (s >= 0 && s < 200 && t >= 0 && t < 200);
+      checkb "no self loops" true (s <> t))
+    d.Mutation.inserts;
+  let last = ref (-1) in
+  Array.iter
+    (fun e ->
+      checkb "deletes strictly ascending" true (e > !last);
+      checkb "delete id in range" true (e >= 0 && e < Graph.num_edges g);
+      last := e)
+    d.Mutation.deletes;
+  checkb "batch out of spec is empty" true (Mutation.is_empty (Mutation.plan cfg ~batch:9 g));
+  Alcotest.check_raises "batch < 1" (Invalid_argument "Mutation.plan: batch < 1") (fun () ->
+      ignore (Mutation.plan cfg ~batch:0 g))
+
+let test_apply_matches_scratch_build () =
+  let d = Mutation.plan cfg ~batch:1 g in
+  let applied = Mutation.apply g d in
+  let kept = Mutation.kept g d in
+  let k = Array.length kept in
+  let extra = Array.length d.Mutation.inserts in
+  let src = Array.make (k + extra) 0 and dst = Array.make (k + extra) 0 in
+  Array.iteri
+    (fun j e ->
+      src.(j) <- Graph.edge_src g e;
+      dst.(j) <- Graph.edge_dst g e)
+    kept;
+  Array.iteri
+    (fun i (s, t) ->
+      src.(k + i) <- s;
+      dst.(k + i) <- t)
+    d.Mutation.inserts;
+  let scratch = Graph.create ~n:(Graph.num_vertices g) ~src ~dst in
+  check_clean "delta identity" (Dyn_check.graph_identity ~expect:scratch applied);
+  checki "edge arithmetic" (Graph.num_edges g - 12 + 48) (Graph.num_edges applied)
+
+let test_kept_excludes_deletes () =
+  let d = Mutation.plan cfg ~batch:1 g in
+  let kept = Mutation.kept g d in
+  checki "kept size" (Graph.num_edges g - Array.length d.Mutation.deletes) (Array.length kept);
+  Array.iter
+    (fun e -> checkb "no deleted survivor" false (Array.exists (( = ) e) d.Mutation.deletes))
+    kept
+
+(* --- incremental refresh --- *)
+
+let test_refresh_preserves_kept_edges () =
+  let a = Streaming.assign Streaming.Greedy ~num_partitions g in
+  let d = Mutation.plan cfg ~batch:1 g in
+  let r = Incremental.refresh Streaming.Greedy ~num_partitions ~graph:g ~assignment:a d in
+  let kept = Mutation.kept g d in
+  checki "assignment covers the new graph" (Graph.num_edges r.Incremental.graph)
+    (Array.length r.Incremental.assignment);
+  Array.iteri
+    (fun j e -> checki "kept edge keeps its partition" a.(e) r.Incremental.assignment.(j))
+    kept;
+  checki "placed = inserts" (Array.length d.Mutation.inserts) r.Incremental.placed_edges;
+  checkb "repairs touch at most 2 vertices per delete" true
+    (r.Incremental.repaired_vertices <= 2 * Array.length d.Mutation.deletes);
+  check_clean "refreshed cut laws"
+    (Dyn_check.cut_laws r.Incremental.graph ~num_partitions r.Incremental.assignment)
+
+let test_refresh_validation () =
+  let d = Mutation.plan cfg ~batch:1 g in
+  Alcotest.check_raises "wrong assignment length"
+    (Invalid_argument "Incremental.refresh: assignment length mismatch") (fun () ->
+      ignore (Incremental.refresh Streaming.Greedy ~num_partitions ~graph:g ~assignment:[| 0 |] d))
+
+(* --- pricing and decisions --- *)
+
+let test_prices_monotone () =
+  let price placed moved =
+    Repartition.refresh_price ~placed_edges:placed ~repaired_vertices:4 ~moved_replicas:moved ()
+  in
+  checkb "more placements cost more" true (price 200 10 > price 20 10);
+  checkb "more moved replicas cost more" true (price 20 100 > price 20 10);
+  checkb "positive even when idle" true (price 0 0 > 0.0);
+  let a = Streaming.assign Streaming.Greedy ~num_partitions g in
+  let m = Metrics.compute g ~num_partitions a in
+  let rebuild = Repartition.rebuild_price g m in
+  checkb "rebuild price positive" true (rebuild > 0.0);
+  checkb "scale multiplies rebuild" true
+    (Repartition.rebuild_price ~scale:10.0 g m > 2.0 *. rebuild)
+
+let test_decide_picks_cheaper () =
+  let a = Streaming.assign Streaming.Greedy ~num_partitions g in
+  let m = Metrics.compute g ~num_partitions a in
+  let d = Mutation.plan cfg ~batch:1 g in
+  let r = Incremental.refresh Streaming.Greedy ~num_partitions ~graph:g ~assignment:a d in
+  let dec = Repartition.decide ~batch:1 ~delta:d ~old_metrics:m r in
+  checkb "choice matches the prices" true
+    (dec.Repartition.choice
+    = if dec.Repartition.refresh_s <= dec.Repartition.rebuild_s then Repartition.Refresh
+      else Repartition.Rebuild);
+  checki "decision counts the delta" 48 dec.Repartition.inserts;
+  checki "edges after" (Graph.num_edges r.Incremental.graph) dec.Repartition.edges_after;
+  (* one event pair per decision *)
+  let sink, read = Cutfit_obs.Sink.ring ~capacity:16 () in
+  let telemetry = Cutfit_obs.Telemetry.create ~sinks:[ sink ] () in
+  Repartition.emit_events ~telemetry ~graph_name:"g" ~at_s:1.0 ~edges_before:(Graph.num_edges g) dec;
+  Cutfit_obs.Telemetry.close telemetry;
+  checki "mutation + repartition events" 2 (List.length (read ()))
+
+let test_run_driver_and_events () =
+  let sink, read = Cutfit_obs.Sink.ring ~capacity:256 () in
+  let telemetry = Cutfit_obs.Telemetry.create ~sinks:[ sink ] () in
+  let steps = Repartition.run ~telemetry ~heuristic:Streaming.Greedy ~num_partitions cfg g in
+  Cutfit_obs.Telemetry.close telemetry;
+  checki "one step per non-empty batch" 3 (List.length steps);
+  List.iter
+    (fun (s : Repartition.step) ->
+      checki "metrics describe the adopted cut"
+        (Metrics.compute s.Repartition.graph ~num_partitions s.Repartition.assignment)
+          .Metrics.comm_cost s.Repartition.metrics.Metrics.comm_cost)
+    steps;
+  let events = read () in
+  let count p = List.length (List.filter p events) in
+  checki "one mutation event per batch" 3
+    (count (function Cutfit_obs.Event.Mutation_batch _ -> true | _ -> false));
+  checki "one repartition event per batch" 3
+    (count (function Cutfit_obs.Event.Repartition _ -> true | _ -> false))
+
+(* --- the sanitizer laws themselves --- *)
+
+let test_dyn_check_clean () =
+  check_clean "dynamic suite"
+    (Dyn_check.validate ~heuristic:(Streaming.Hdrf 1.0) ~num_partitions cfg g)
+
+let test_dyn_check_catches_bad_graph () =
+  let d = Mutation.plan cfg ~batch:1 g in
+  let applied = Mutation.apply g d in
+  let src = Array.init (Graph.num_edges applied) (Graph.edge_src applied) in
+  let dst = Array.init (Graph.num_edges applied) (Graph.edge_dst applied) in
+  (* corrupt one edge *)
+  dst.(0) <- (dst.(0) + 1) mod Graph.num_vertices applied;
+  let corrupt = Graph.create ~n:(Graph.num_vertices applied) ~src ~dst in
+  let vs = Dyn_check.graph_identity ~expect:applied corrupt in
+  checkb "delta-identity fires" true
+    (List.exists (fun v -> v.Cutfit_check.Violation.rule = "delta-identity") vs);
+  checkb "tagged with the dynamic suite" true
+    (List.for_all (fun v -> v.Cutfit_check.Violation.suite = Dyn_check.suite) vs)
+
+let test_dyn_check_catches_bad_cut () =
+  let a = Streaming.assign Streaming.Greedy ~num_partitions g in
+  a.(0) <- num_partitions (* out of range *);
+  checkb "cut laws fire" true (Dyn_check.cut_laws g ~num_partitions a <> [])
+
+let test_value_equivalence_clean () =
+  let a = Streaming.assign Streaming.Greedy ~num_partitions g in
+  check_clean "pagerank digests agree" (Dyn_check.value_equivalence g ~num_partitions a)
+
+let test_incremental_partitioner_variant () =
+  (match Partitioner.of_string "inc-greedy" with
+  | Some (Partitioner.Incremental Streaming.Greedy) -> ()
+  | _ -> Alcotest.fail "inc-greedy did not parse");
+  let p = Partitioner.Incremental Streaming.Greedy in
+  checkb "name roundtrips" true (Partitioner.of_string (Partitioner.name p) = Some p);
+  checkb "incremental assigns like its stream" true
+    (Partitioner.assign p ~num_partitions g
+    = Partitioner.assign (Partitioner.Stream Streaming.Greedy) ~num_partitions g)
+
+let test_sanitize_check_run_dynamic () =
+  let r =
+    Sanitize.check_run ~dynamic:cfg
+      ~cluster:(Test_util.tiny_cluster ~num_partitions ())
+      ~partitioner:(Partitioner.Stream Streaming.Greedy) ~algorithm:Cutfit.Advisor.Pagerank g
+  in
+  checkb "dynamic suite listed" true (List.mem_assoc "dynamic" r.Sanitize.suites);
+  check_clean "sanitize run" r.Sanitize.violations
+
+(* --- the workload engine's mutation hook --- *)
+
+let engine_mix =
+  {
+    Job.name = "dyn-test";
+    description = "two datasets, one granularity, for mutation tests";
+    algorithms = [ (Cutfit.Advisor.Pagerank, 2.0); (Cutfit.Advisor.Connected_components, 1.0) ];
+    datasets = [ ("roadnet_pa", 2.0); ("youtube", 1.0) ];
+    partition_counts = [ (32, 1.0) ];
+    mean_interarrival_s = 0.5;
+  }
+
+let stream = Job.generate ~seed:21L ~jobs:10 engine_mix
+
+let run_engine ?telemetry ?(mutation_mode = Engine.Priced) () =
+  Engine.run ~slots:2 ~budget_bytes:8.0e9 ~iterations:4 ?telemetry
+    ~mutations:(Mutation.config "ins@1-6:r48,del@1-6:r12")
+    ~mutate_every:3 ~mutation_mode ~seed:21L stream
+
+let test_engine_mutations_deterministic () =
+  checkb "run-twice digest" true
+    (Workload_check.run_twice ~label:"engine+mutations" (fun () -> run_engine ()) = [])
+
+let test_engine_mutations_clean () =
+  let sink, read = Cutfit_obs.Sink.ring ~capacity:8192 () in
+  let telemetry = Cutfit_obs.Telemetry.create ~sinks:[ sink ] () in
+  let report = run_engine ~telemetry () in
+  Cutfit_obs.Telemetry.close telemetry;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map
+       (fun v -> v.Cutfit_check.Violation.rule)
+       (Workload_check.report ~events:(read ()) report));
+  checkb "batches landed" true (List.length report.Engine.mutations > 0);
+  List.iter
+    (fun (m : Engine.mutation_record) ->
+      checkb "prices nonnegative" true (m.Engine.mut_refresh_s >= 0.0 && m.Engine.mut_rebuild_s >= 0.0);
+      checkb "choice named" true (m.Engine.mut_choice = "refresh" || m.Engine.mut_choice = "rebuild");
+      checkb "refreshes bounded by drops" true
+        (m.Engine.mut_refreshed_entries <= m.Engine.mut_dropped_entries))
+    report.Engine.mutations
+
+let test_engine_forced_modes_diverge () =
+  let refr = run_engine ~mutation_mode:Engine.Force_refresh () in
+  let rebd = run_engine ~mutation_mode:Engine.Force_rebuild () in
+  List.iter
+    (fun (m : Engine.mutation_record) -> checkb "forced refresh" true (m.Engine.mut_choice = "refresh"))
+    refr.Engine.mutations;
+  List.iter
+    (fun (m : Engine.mutation_record) ->
+      checkb "forced rebuild" true (m.Engine.mut_choice = "rebuild");
+      checki "rebuild refreshes nothing" 0 m.Engine.mut_refreshed_entries)
+    rebd.Engine.mutations;
+  checkb "refresh keeps more of the cache warm" true
+    (Engine.hit_rate refr >= Engine.hit_rate rebd)
+
+let test_engine_mutation_mode_strings () =
+  List.iter
+    (fun m ->
+      checkb "mode roundtrips" true
+        (Engine.mutation_mode_of_string (Engine.mutation_mode_name m) = Some m))
+    [ Engine.Priced; Engine.Force_refresh; Engine.Force_rebuild ];
+  checkb "unknown rejected" true (Engine.mutation_mode_of_string "bogus" = None)
+
+let suite =
+  [
+    Alcotest.test_case "parse spec" `Quick test_parse_spec;
+    Alcotest.test_case "parse rejects" `Quick test_parse_spec_rejects;
+    Alcotest.test_case "plan deterministic" `Quick test_plan_deterministic;
+    Alcotest.test_case "plan shape" `Quick test_plan_shape;
+    Alcotest.test_case "apply = scratch build" `Quick test_apply_matches_scratch_build;
+    Alcotest.test_case "kept excludes deletes" `Quick test_kept_excludes_deletes;
+    Alcotest.test_case "refresh preserves kept edges" `Quick test_refresh_preserves_kept_edges;
+    Alcotest.test_case "refresh validation" `Quick test_refresh_validation;
+    Alcotest.test_case "prices monotone" `Quick test_prices_monotone;
+    Alcotest.test_case "decide picks cheaper" `Quick test_decide_picks_cheaper;
+    Alcotest.test_case "driver + events" `Quick test_run_driver_and_events;
+    Alcotest.test_case "dyn check clean" `Quick test_dyn_check_clean;
+    Alcotest.test_case "dyn check catches bad graph" `Quick test_dyn_check_catches_bad_graph;
+    Alcotest.test_case "dyn check catches bad cut" `Quick test_dyn_check_catches_bad_cut;
+    Alcotest.test_case "value equivalence" `Quick test_value_equivalence_clean;
+    Alcotest.test_case "incremental partitioner" `Quick test_incremental_partitioner_variant;
+    Alcotest.test_case "sanitize --dynamic" `Quick test_sanitize_check_run_dynamic;
+    Alcotest.test_case "engine mutations deterministic" `Quick test_engine_mutations_deterministic;
+    Alcotest.test_case "engine mutations clean" `Quick test_engine_mutations_clean;
+    Alcotest.test_case "forced modes diverge" `Quick test_engine_forced_modes_diverge;
+    Alcotest.test_case "mutation mode strings" `Quick test_engine_mutation_mode_strings;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("algo", Test_algo.suite);
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);
+      ("dynamic", Test_dynamic.suite);
       ("faults", Test_faults.suite);
       ("resilience", Test_resilience.suite);
       ("experiments", Test_experiments.suite);

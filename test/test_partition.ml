@@ -311,3 +311,72 @@ let suite =
       Alcotest.test_case "hybrid spreads hub" `Quick test_hybrid_spreads_hub_in_edges;
       Alcotest.test_case "hybrid parse" `Quick test_hybrid_parse;
     ]
+
+(* --- streaming order + quality invariants --- *)
+
+let test_streaming_order_determinism () =
+  List.iter
+    (fun h ->
+      let a1 = Streaming.assign ~order:123L h ~num_partitions g in
+      let a2 = Streaming.assign ~order:123L h ~num_partitions g in
+      checkb "same order seed reproduces bit-exactly" true (a1 = a2);
+      checki "indexed by original edge id" (Graph.num_edges g) (Array.length a1);
+      Array.iter (fun p -> checkb "range" true (p >= 0 && p < num_partitions)) a1)
+    [ Streaming.Greedy; Streaming.Hdrf 1.0; Streaming.Dbh ];
+  checkb "order changes the greedy stream" true
+    (Streaming.assign ~order:1L Streaming.Greedy ~num_partitions g
+    <> Streaming.assign ~order:2L Streaming.Greedy ~num_partitions g);
+  (* Hashing heuristics consult no stream state, so any visit order
+     lands every edge on the same partition. *)
+  checkb "DBH is order-oblivious" true
+    (Streaming.assign ~order:1L Streaming.Dbh ~num_partitions g
+    = Streaming.assign Streaming.Dbh ~num_partitions g)
+
+(* A hub-heavy social graph: superstar hubs concentrate a big share of
+   the edges, the regime the degree-aware heuristics are built for. *)
+let hubby =
+  Cutfit_gen.Social.generate
+    {
+      Cutfit_gen.Social.default with
+      Cutfit_gen.Social.vertices = 1500;
+      edges = 9000;
+      superstar_share = 0.15;
+      seed = 5L;
+    }
+
+let stream_metrics h = Metrics.compute hubby ~num_partitions (Streaming.assign h ~num_partitions hubby)
+
+let test_hdrf_replication_beats_greedy () =
+  (* HDRF's whole point (Petroni et al. 2015): replicating the high-
+     degree endpoints first yields a lower replication factor than
+     plain greedy on power-law graphs. *)
+  let rf h = (stream_metrics h).Metrics.replication_factor in
+  checkb "HDRF <= Greedy replication on a hub-heavy graph" true
+    (rf (Streaming.Hdrf 1.0) <= rf Streaming.Greedy)
+
+let test_hybrid_balance_bound () =
+  (* Hybrid hashes every placement (by dst below the threshold, by src
+     at hubs), so its edge balance stays near-uniform even when hubs
+     hold a large share of the edges. *)
+  let m = stream_metrics (Streaming.Hybrid 30) in
+  checkb "hybrid balance stays near uniform" true (m.Metrics.balance <= 1.5)
+
+let test_dbh_hashes_lower_degree_endpoint () =
+  let a = Streaming.assign Streaming.Dbh ~num_partitions g in
+  let deg v = Graph.out_degree g v + Graph.in_degree g v in
+  Array.iteri
+    (fun e p ->
+      let s = Graph.edge_src g e and d = Graph.edge_dst g e in
+      let key = if deg s <= deg d then s else d in
+      checki "hashed by the lower-degree endpoint (ties to src)"
+        (Hashing.hash1 key ~num_partitions) p)
+    a
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "streaming order determinism" `Quick test_streaming_order_determinism;
+      Alcotest.test_case "HDRF replication <= greedy" `Quick test_hdrf_replication_beats_greedy;
+      Alcotest.test_case "hybrid balance bound" `Quick test_hybrid_balance_bound;
+      Alcotest.test_case "DBH lower-degree endpoint" `Quick test_dbh_hashes_lower_degree_endpoint;
+    ]

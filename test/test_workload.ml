@@ -297,3 +297,44 @@ let suite =
     Alcotest.test_case "engine rejects bad slots" `Quick test_engine_rejects_bad_slots;
     Alcotest.test_case "report lines roundtrip" `Quick test_report_lines_roundtrip;
   ]
+
+(* --- partial invalidation (the dynamic-graph hook) --- *)
+
+let test_cache_invalidate_partial () =
+  let c = Cache.create ~budget_bytes:1000.0 () in
+  ignore (insert c (key "g1" "RVC") ~bytes:10.0);
+  ignore (insert c (key "g1" "1D") ~bytes:20.0);
+  ignore (insert c (key "g2" "RVC") ~bytes:30.0);
+  let dropped = Cache.invalidate c ~pred:(fun k -> k.Cache.graph = "g1") in
+  Alcotest.(check (list string)) "drops exactly g1's keys, in insertion order"
+    [ "g1/RVC/128"; "g1/1D/128" ]
+    (List.map (fun (k, _) -> Cache.key_id k) dropped);
+  Alcotest.(check (list (float 0.0))) "dropped bytes" [ 10.0; 20.0 ]
+    (List.map snd dropped);
+  checkb "g1 misses" true (Cache.find c ~at_s:0.0 (key "g1" "RVC") = None);
+  checkb "g2 survives warm" true (Cache.find c ~at_s:0.0 (key "g2" "RVC") <> None);
+  let s = Cache.stats c in
+  checki "counted as invalidations" 2 s.Cache.invalidations;
+  checki "not as evictions" 0 s.Cache.evictions;
+  checki "conservation: entries = ins - ev - inv" s.Cache.entries
+    (s.Cache.insertions - s.Cache.evictions - s.Cache.invalidations);
+  Alcotest.(check (float 0.0)) "bytes invalidated" 30.0 s.Cache.bytes_invalidated
+
+let test_cache_peek_entries_uncounted () =
+  let c = Cache.create ~budget_bytes:1000.0 () in
+  ignore (insert c (key "g1" "RVC") ~bytes:10.0);
+  ignore (insert c (key "g2" "RVC") ~bytes:10.0);
+  let before = Cache.stats c in
+  let peeked = Cache.peek_entries c ~pred:(fun k -> k.Cache.graph = "g1") in
+  checki "peek sees the matching entry" 1 (List.length peeked);
+  checkb "peek returns the payload" true (List.for_all (fun (_, pg) -> pg == payload) peeked);
+  let after = Cache.stats c in
+  checki "no lookup counted" before.Cache.lookups after.Cache.lookups;
+  checki "no hit counted" before.Cache.hits after.Cache.hits
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "cache partial invalidation" `Quick test_cache_invalidate_partial;
+      Alcotest.test_case "cache peek uncounted" `Quick test_cache_peek_entries_uncounted;
+    ]

@@ -1,0 +1,23 @@
+(* expect: none *)
+(* The mutation-batch idiom: every inserted edge and every delete pick
+   is a stateless hash of (seed, batch-salt, draw index) through
+   lib/prng — no [Random], no self-init, no wall clock — so batch [k]
+   regenerates bit-identically without replaying batches [1..k-1],
+   whichever order the engine lands them in. *)
+let draw ~seed ~salt ~k =
+  Cutfit_prng.Splitmix64.mix64
+    (Int64.logxor
+       (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+       (Int64.add (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L) (Int64.of_int k)))
+
+let draw_mod h n = Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int n))
+
+(* Inserts for batch [b]: endpoint pairs drawn under salt [2b]. *)
+let insert ~seed ~batch ~i ~vertices =
+  let src = draw_mod (draw ~seed ~salt:(2 * batch) ~k:(2 * i)) vertices in
+  let dst = draw_mod (draw ~seed ~salt:(2 * batch) ~k:((2 * i) + 1)) vertices in
+  if src = dst then (src, (dst + 1) mod vertices) else (src, dst)
+
+(* Deletes for batch [b]: edge ids drawn under the odd salt [2b + 1],
+   so the two streams never share a hash input. *)
+let delete ~seed ~batch ~i ~edges = draw_mod (draw ~seed ~salt:((2 * batch) + 1) ~k:i) edges

@@ -81,6 +81,18 @@ echo "$out" | grep -q "admission: queue bound 2 (reject): 12 job(s) shed" || {
   exit 1
 }
 
+echo "== dynamic-graph smoke (mutation batches + priced repartitioning)"
+# the standalone mutation driver, with the three dynamic-graph laws
+dune exec bin/cutfit_cli.exe -- mutate youtube -n 16 \
+  --mutations 'ins@1-4:r64,del@1-4:r16' --check >/dev/null
+# a mutating workload must pass the full sanitizer (cache conservation
+# now includes partial invalidations) and keep its run-twice digest
+dune exec bin/cutfit_cli.exe -- workload --jobs 16 \
+  --mutations 'ins@1-8:r64,del@1-8:r16' --mutate-every 4 --check >/dev/null
+# the seventh sanitizer suite: delta-identity, refreshed-cut laws and
+# refresh-rebuild value equivalence
+dune exec bin/cutfit_cli.exe -- check PR youtube --dynamic >/dev/null
+
 echo "== run-twice digest on a faulty trace"
 d1=$(dune exec bin/cutfit_cli.exe -- run PR roadnet_pa \
   --faults 'crash@2,rand@0.1' --checkpoint-every 2)
@@ -116,6 +128,10 @@ expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --deadline-s -1
 expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --deadline-s 5 --deadline-factor 2
 expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --speculate --speculate-threshold 0.5
 expect_exit 2 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa --races --domains 0
+expect_exit 2 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa --dynamic 'grow@1'
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --mutations 'ins@1' --mutate-every 0
+expect_exit 2 dune exec bin/cutfit_cli.exe -- mutate youtube --mutations 'ins@0'
+expect_exit 0 dune exec bin/cutfit_cli.exe -- check CC roadnet_tx --dynamic
 expect_exit 1 _build/default/tools/lint/lint.exe --self-test no_such_fixture_dir
 
 if command -v odoc >/dev/null 2>&1; then
