@@ -4,8 +4,8 @@
    Usage: main.exe [section ...]
    Sections: table1 figure1 figure2 table2 table3 figure3 figure4
              figure5 figure6 checks infra ablation advisor costmodel
-             sweep engines workload faults resilience speed telemetry
-             export micro all (default: all)
+             sweep engines workload faults resilience elastic speed
+             telemetry export micro all (default: all)
 
    The (dataset x partitioner x configuration x algorithm) matrix is
    computed once and shared by figure3..6, checks and advisor. *)
@@ -686,6 +686,151 @@ let resilience ppf =
        ]);
   Format.fprintf ppf "@.wrote the machine-readable grid to %s@." path
 
+(* --- elastic: per-tenant p99 isolation under a noisy-neighbour storm --- *)
+
+let elastic ppf =
+  let seed = 7L in
+  (* A steady "victim" tenant — one PR job every 6 s — shares the
+     cluster with a "storm" tenant that floods 30 jobs in a six-second
+     burst starting at t = 12.1 s. The storm-free run anchors the
+     victim's native latency profile; the two storm runs differ only in
+     whether weighted fair sharing is on. *)
+  let victim_jobs = 14 and storm_jobs = 60 and slots = 4 in
+  let jobs ~storm =
+    let protos =
+      List.init victim_jobs (fun i ->
+          ("victim", 8.0 *. float_of_int i, Cutfit.Advisor.Triangle_count, "pocek", 128))
+      @
+      if storm then
+        List.init storm_jobs (fun i ->
+            ("storm", 0.1 +. (0.2 *. float_of_int i), Cutfit.Advisor.Pagerank, "youtube", 128))
+      else []
+    in
+    let sorted =
+      List.stable_sort (fun (_, a, _, _, _) (_, b, _, _, _) -> Float.compare a b) protos
+    in
+    List.mapi
+      (fun id (tenant, arrival_s, algorithm, dataset, num_partitions) ->
+        { W.Job.id; arrival_s; tenant; algorithm; dataset; num_partitions })
+      sorted
+  in
+  let run ~storm ~fairness ?scale_events () =
+    W.Engine.run ~slots ~fairness
+      ~tenant_weights:[ ("victim", 3.0); ("storm", 1.0) ]
+      ?scale_events ~seed (jobs ~storm)
+  in
+  let churn = Cutfit.Elastic.config ~seed:7 "leave@30-1,join@60+1" in
+  let cells =
+    [
+      ("storm-free", run ~storm:false ~fairness:false ());
+      ("storm, fairness off", run ~storm:true ~fairness:false ());
+      ("storm, fairness on", run ~storm:true ~fairness:true ());
+      ("storm + churn, fairness on", run ~storm:true ~fairness:true ~scale_events:churn ());
+    ]
+  in
+  let tenant_ptiles (r : W.Engine.report) tenant =
+    let lat =
+      List.filter_map
+        (fun (j : W.Engine.job_record) ->
+          if String.equal j.W.Engine.job.W.Job.tenant tenant && j.W.Engine.outcome <> "shed"
+          then Some (j.W.Engine.finish_s -. j.W.Engine.job.W.Job.arrival_s)
+          else None)
+        r.W.Engine.records
+    in
+    if lat = [] then None else Some (Cutfit_stats.Summary.percentiles (Array.of_list lat))
+  in
+  Format.fprintf ppf
+    "Per-tenant SLO isolation: a steady victim tenant (1 PR job / 6 s)@.\
+     against a 30-job noisy-neighbour burst, with and without weighted@.\
+     fair sharing, plus membership churn on top. Fair sharing gives each@.\
+     freed slot to the tenant with the smallest busy/weight deficit, so@.\
+     the storm queues behind its own backlog instead of the victim's:@.@.";
+  let fsig = Printf.sprintf "%.1f" in
+  let rows =
+    List.map
+      (fun (name, (r : W.Engine.report)) ->
+        let v = tenant_ptiles r "victim" in
+        let s = tenant_ptiles r "storm" in
+        let p f = function Some x -> fsig (f x) | None -> "-" in
+        [
+          name;
+          (if r.W.Engine.fairness then "on" else "off");
+          string_of_int (r.W.Engine.joins + r.W.Engine.leaves);
+          p (fun x -> x.Cutfit_stats.Summary.p50) v;
+          p (fun x -> x.Cutfit_stats.Summary.p95) v;
+          p (fun x -> x.Cutfit_stats.Summary.p99) v;
+          p (fun x -> x.Cutfit_stats.Summary.p99) s;
+          fsig r.W.Engine.makespan_s;
+        ])
+      cells
+  in
+  Format.fprintf ppf "%s@."
+    (E.Report.table
+       ~header:
+         [
+           "Scenario"; "Fairness"; "Scale evts"; "Victim p50"; "Victim p95"; "Victim p99";
+           "Storm p99"; "Makespan s";
+         ]
+       ~rows);
+  (* Headline: the victim's p99 degradation vs the storm-free anchor. *)
+  let victim_p99 name =
+    match tenant_ptiles (List.assoc name cells) "victim" with
+    | Some p -> p.Cutfit_stats.Summary.p99
+    | None -> invalid_arg "bench elastic: victim finished no jobs"
+  in
+  let free = victim_p99 "storm-free" in
+  let degradation name = 100.0 *. (victim_p99 name -. free) /. free in
+  Format.fprintf ppf
+    "victim p99: %.1fs storm-free | %.1fs under storm without fairness (%+.0f%%) | %.1fs with \
+     fairness (%+.0f%%)@."
+    free
+    (victim_p99 "storm, fairness off")
+    (degradation "storm, fairness off")
+    (victim_p99 "storm, fairness on")
+    (degradation "storm, fairness on");
+  let cell_json (name, (r : W.Engine.report)) =
+    let ptile_json = function
+      | None -> Json.Null
+      | Some p ->
+          Json.Obj
+            [
+              ("p50_s", Json.Float p.Cutfit_stats.Summary.p50);
+              ("p95_s", Json.Float p.Cutfit_stats.Summary.p95);
+              ("p99_s", Json.Float p.Cutfit_stats.Summary.p99);
+            ]
+    in
+    Json.Obj
+      [
+        ("scenario", Json.String name);
+        ("fairness", Json.Bool r.W.Engine.fairness);
+        ("scale_spec", match r.W.Engine.scale_spec with None -> Json.Null | Some s -> Json.String s);
+        ("joins", Json.Int r.W.Engine.joins);
+        ("leaves", Json.Int r.W.Engine.leaves);
+        ("preemptions", Json.Int r.W.Engine.preemptions);
+        ("victim_latency", ptile_json (tenant_ptiles r "victim"));
+        ("storm_latency", ptile_json (tenant_ptiles r "storm"));
+        ("makespan_s", Json.Float r.W.Engine.makespan_s);
+        ("fairness_violations", Json.Int r.W.Engine.fairness_violations);
+        ("stale_placement_hits", Json.Int r.W.Engine.stale_placement_hits);
+      ]
+  in
+  let path = "BENCH_elastic.json" in
+  E.Export.write_json path
+    (Json.Obj
+       [
+         ("victim_jobs", Json.Int victim_jobs);
+         ("storm_jobs", Json.Int storm_jobs);
+         ("slots", Json.Int slots);
+         ("seed", Json.String (Int64.to_string seed));
+         ("victim_p99_storm_free_s", Json.Float free);
+         ( "victim_p99_degradation_fairness_off_pct",
+           Json.Float (degradation "storm, fairness off") );
+         ( "victim_p99_degradation_fairness_on_pct",
+           Json.Float (degradation "storm, fairness on") );
+         ("cells", Json.List (List.map cell_json cells));
+       ]);
+  Format.fprintf ppf "@.wrote the machine-readable grid to %s@." path
+
 (* --- telemetry: per-superstep observability + JSONL export --- *)
 
 let telemetry ppf =
@@ -946,6 +1091,7 @@ let sections =
     ("dynamic", ("Dynamic graphs: incremental refresh vs full rebuild", dynamic));
     ("faults", ("Fault tolerance: checkpoint cadence x fault rate", faults));
     ("resilience", ("Resilience: speculation x straggler intensity x queue bound", resilience));
+    ("elastic", ("Elasticity: per-tenant p99 isolation under a noisy-neighbour storm", elastic));
     ("speed", ("Speed: compact CSR kernels, measured edges/sec", speed));
     ("export", ("CSV + JSON export of the evaluation matrix", export));
     ("telemetry", ("Telemetry: per-superstep observability + JSONL export", telemetry));

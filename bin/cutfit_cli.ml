@@ -232,6 +232,48 @@ let speculation_of_flags ~speculate ~threshold ~fault_seed =
     | c -> Some c
     | exception Invalid_argument msg -> usage_fail "bad --speculate-threshold: %s" msg
 
+(* --- elasticity / heterogeneity flags shared by run/check/workload --- *)
+
+let scale_events_arg =
+  let doc =
+    "Apply a deterministic scale-event schedule: comma-separated $(b,join\\@T+N) (N executors \
+     join before superstep T), $(b,leave\\@T-N) (N executors drain and leave) and \
+     $(b,preempt\\@T:rN) (a spot instance is reclaimed and reacquired after N backoff \
+     retries). Membership changes trigger priced re-shuffles, itemized in the trace; like \
+     faults, scale events perturb only time and locality — final vertex values stay \
+     bit-identical to a static cluster. Under $(b,workload) the schedule instead drives the \
+     executor slots: leaves drain, joins add capacity, preemptions requeue the running job \
+     without consuming its retry budget."
+  in
+  Arg.(value & opt (some string) None & info [ "scale-events" ] ~docv:"SPEC" ~doc)
+
+let hetero_arg =
+  let doc =
+    "Give the executors heterogeneous capabilities: $(b,draw) (seeded speed/bandwidth \
+     multipliers in [0.6, 1.4], keyed on $(b,--fault-seed)) or an explicit comma-separated \
+     list of $(b,SPEED)[/$(b,BANDWIDTH)] multipliers, one per executor (cycled when fewer \
+     are given). Busy time divides by speed, egress bandwidth multiplies by bandwidth; \
+     values stay bit-identical to the homogeneous model."
+  in
+  Arg.(value & opt (some string) None & info [ "hetero" ] ~docv:"SPEC" ~doc)
+
+let elastic_of_flags ~spec ~fault_seed =
+  match spec with
+  | None -> None
+  | Some raw -> (
+      match Cutfit.Elastic.config ~seed:fault_seed raw with
+      | c -> Some c
+      | exception Cutfit.Elastic.Parse_error msg -> usage_fail "bad --scale-events spec: %s" msg)
+
+let hetero_of_flags ~spec ~executors ~fault_seed =
+  match spec with
+  | None -> None
+  | Some "draw" -> Some (Cutfit.Elastic.draw_hetero ~seed:fault_seed ~executors)
+  | Some raw -> (
+      match Cutfit.Elastic.hetero_of_spec ~executors raw with
+      | h -> Some h
+      | exception Cutfit.Elastic.Parse_error msg -> usage_fail "bad --hetero spec: %s" msg)
+
 (* --- dynamic-graph (mutation) flags shared by workload/check/mutate --- *)
 
 let mutation_seed_arg =
@@ -349,7 +391,8 @@ let run_cmd =
     Arg.(value & opt (some partitioner_arg) None & info [ "p"; "partitioner" ] ~docv:"P" ~doc:"Partitioner (default: advised).")
   in
   let action algo graph config partitioner seed engine domains faults_spec checkpoint_every
-      fault_seed fault_mode max_failures speculate speculate_threshold trace_out verbose paranoid =
+      fault_seed fault_mode max_failures speculate speculate_threshold scale_events hetero_spec
+      capability trace_out verbose paranoid =
     let g = load_graph graph in
     if domains < 1 then usage_fail "domains must be >= 1 (got %d)" domains;
     let faults =
@@ -358,11 +401,23 @@ let run_cmd =
     let speculation =
       speculation_of_flags ~speculate ~threshold:speculate_threshold ~fault_seed
     in
+    let elastic = elastic_of_flags ~spec:scale_events ~fault_seed in
+    let executors = config.Cutfit.Cluster.executors in
+    let hetero = hetero_of_flags ~spec:hetero_spec ~executors ~fault_seed in
+    let partitioner =
+      if not capability then partitioner
+      else
+        match (hetero, partitioner) with
+        | None, _ -> usage_fail "--capability requires --hetero (it weights by host speed)"
+        | Some _, Some _ -> usage_fail "--capability and --partitioner are mutually exclusive"
+        | Some h, None ->
+            Some (Cutfit.Partitioner.capability ~speeds:h.Cutfit.Elastic.speeds ~executors)
+    in
     let telemetry, finish_telemetry = telemetry_of_flags ~trace_out ~verbose in
     let p =
       with_violation_report (fun () ->
           Cutfit.Pipeline.prepare ~check:paranoid ~cluster:config ?partitioner ?checkpoint_every
-            ?faults ?speculation ?telemetry ~algorithm:algo g)
+            ?faults ?speculation ?elastic ?hetero ?telemetry ~algorithm:algo g)
     in
     Fmt.pr "partitioner: %s, %s@."
       (Cutfit.Partitioner.name p.Cutfit.Pipeline.partitioner)
@@ -375,14 +430,21 @@ let run_cmd =
         Fmt.pr "speculation: on (threshold x%g over the median executor busy time)@."
           s.Cutfit.Speculation.threshold
     | None -> ());
+    (match elastic with
+    | Some e -> Fmt.pr "scale events: %s@." (Cutfit.Elastic.describe e)
+    | None -> ());
+    (match hetero with
+    | Some h -> Fmt.pr "hetero: %s@." (Cutfit.Elastic.describe_hetero h)
+    | None -> ());
     match engine with
     | Csr_engine ->
-        (match (faults, speculation) with
-        | None, None -> ()
+        (match (faults, speculation, elastic, hetero) with
+        | None, None, None, None -> ()
         | _ ->
             Fmt.pr
-              "note: --faults/--speculate perturb only the simulated engines; the csr engine \
-               runs them fault-free (values are identical either way)@.");
+              "note: --faults/--speculate/--scale-events/--hetero perturb only the simulated \
+               engines; the csr engine runs them statically (values are identical either \
+               way)@.");
         let c = Cutfit.Csr.build p.Cutfit.Pipeline.pg in
         let edges = Cutfit.Graph.num_edges p.Cutfit.Pipeline.graph in
         let rounds = ref 1 in
@@ -441,9 +503,24 @@ let run_cmd =
               trace
         in
         Fmt.pr "%a@." Cutfit.Trace.pp_summary trace;
+        (match elastic with
+        | Some _ ->
+            Fmt.pr "reshuffles: %d membership change(s), %s bytes re-shipped@."
+              (Cutfit.Trace.num_reshuffles trace)
+              (Cutfit_experiments.Report.commas
+                 (int_of_float (Cutfit.Trace.total_reshuffle_wire_bytes trace)))
+        | None -> ());
         finish_telemetry ();
         (* A run whose cluster died past the crash budget is a failed job. *)
         if trace.Cutfit.Trace.outcome = Cutfit.Trace.Aborted then exit_failure else exit_ok
+  in
+  let capability_arg =
+    let doc =
+      "Partition with the capability-aware placement: edges are hashed into speed-weighted \
+       ranges so faster hosts (per $(b,--hetero)) receive proportionally more of the cut. \
+       Requires $(b,--hetero); mutually exclusive with $(b,--partitioner)."
+    in
+    Arg.(value & flag & info [ "capability" ] ~doc)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an algorithm on a partitioned graph and print the simulated trace.")
     Term.(
@@ -451,6 +528,7 @@ let run_cmd =
       $ seed_arg ~default:5L ~doc:"Seed of the SSSP landmark choice (other algorithms ignore it)."
       $ engine_arg $ domains_arg $ faults_spec_arg $ checkpoint_every_arg $ fault_seed_arg
       $ fault_mode_arg $ max_failures_arg $ speculate_arg $ speculate_threshold_arg
+      $ scale_events_arg $ hetero_arg $ capability_arg
       $ trace_out_arg $ verbose_supersteps_arg $ paranoid_arg)
 
 (* --- compare --- *)
@@ -637,11 +715,54 @@ let workload_cmd =
             "Refresh-vs-rebuild decision per batch: $(b,priced) (ask the cost model), \
              $(b,refresh) (always repair incrementally), or $(b,rebuild) (always drop cold).")
   in
+  let tenants_arg =
+    let doc =
+      "Tag the job stream with tenants: a comma-separated list of $(b,NAME)[:$(b,SHARE)] \
+       entries (share defaults to 1). Each job's owner is a seeded weighted draw, so the \
+       stream stays bit-reproducible; without this flag every job belongs to the single \
+       default tenant."
+    in
+    Arg.(value & opt (some string) None & info [ "tenants" ] ~docv:"SPEC" ~doc)
+  in
+  let tenant_weights_arg =
+    let doc =
+      "Fair-share weights for $(b,--fairness): comma-separated $(b,NAME)[:$(b,WEIGHT)] \
+       entries (weight defaults to 1; unlisted tenants get 1). A tenant with weight 2 is \
+       entitled to twice the busy time of a tenant with weight 1."
+    in
+    Arg.(value & opt (some string) None & info [ "tenant-weights" ] ~docv:"SPEC" ~doc)
+  in
+  let fairness_arg =
+    let doc =
+      "Weighted fair sharing across tenants: each freed slot goes to the runnable tenant with \
+       the smallest busy-time/weight deficit, with $(b,--policy) ordering jobs within the \
+       chosen tenant. The scheduler's choices are independently recounted \
+       ($(b,fairness_violations) must stay 0)."
+    in
+    Arg.(value & flag & info [ "fairness" ] ~doc)
+  in
+  let tenant_quota_arg =
+    let doc =
+      "Per-tenant admission quota: a first-attempt job finding $(docv) of its tenant's jobs \
+       already pending is shed with policy $(b,quota) (and a $(b,Tenant_throttle) event). \
+       Retries bypass the quota."
+    in
+    Arg.(value & opt (some int) None & info [ "tenant-quota" ] ~docv:"N" ~doc)
+  in
+  let tenant_deadline_arg =
+    let doc =
+      "Per-tenant SLO overrides: comma-separated $(b,NAME):$(b,SECONDS) entries giving the \
+       tenant's jobs an absolute arrival-relative deadline, overriding $(b,--deadline-s) / \
+       $(b,--deadline-factor) for that tenant."
+    in
+    Arg.(value & opt (some string) None & info [ "tenant-deadline" ] ~docv:"SPEC" ~doc)
+  in
   let action mix_name jobs seed policy_name select_name threshold cache_gb eviction_name slots
       faults_spec checkpoint_every fault_seed fault_mode max_failures max_retries speculate
       speculate_threshold queue_bound shed_policy_name deadline_s deadline_factor breaker_k
       breaker_cooldown backpressure mutations_spec mutation_seed mutate_every mutation_mode_name
-      trace_out verbose check =
+      scale_events_spec tenants_spec tenant_weights_spec fairness tenant_quota
+      tenant_deadline_spec trace_out verbose check =
     let fail fmt = usage_fail fmt in
     let mix =
       match W.Job.find_mix mix_name with
@@ -703,7 +824,67 @@ let workload_cmd =
       | Some m -> m
       | None -> fail "unknown mutation mode %S (priced, refresh, rebuild)" mutation_mode_name
     in
-    let stream = W.Job.generate ~seed ~jobs mix in
+    let scale_events = elastic_of_flags ~spec:scale_events_spec ~fault_seed in
+    (* NAME[:VALUE] comma lists shared by --tenants / --tenant-weights /
+       --tenant-deadline. Tenant names must be usable as breaker-scope
+       prefixes, so '/' is rejected here with exit 2 rather than letting
+       the engine's Invalid_argument map to exit 1. *)
+    let tenant_entries ~flag spec =
+      List.filter_map
+        (fun item ->
+          let item = String.trim item in
+          if item = "" then None
+          else
+            let name, value =
+              match String.index_opt item ':' with
+              | None -> (item, None)
+              | Some i ->
+                  let v = String.sub item (i + 1) (String.length item - i - 1) in
+                  (match float_of_string_opt v with
+                  | Some v -> (String.trim (String.sub item 0 i), Some v)
+                  | None -> fail "bad --%s entry %S (expected NAME[:NUMBER])" flag item)
+            in
+            if name = "" || String.contains name '/' then
+              fail "bad --%s tenant name %S (nonempty, no '/')" flag name;
+            (match value with
+            | Some v when v <= 0.0 -> fail "bad --%s entry %S (value must be positive)" flag item
+            | _ -> ());
+            Some (name, value))
+        (String.split_on_char ',' spec)
+    in
+    let tenants =
+      match tenants_spec with
+      | None -> None
+      | Some s -> (
+          match
+            List.map (fun (n, v) -> (n, Option.value ~default:1.0 v)) (tenant_entries ~flag:"tenants" s)
+          with
+          | [] -> None
+          | l -> Some l)
+    in
+    let tenant_weights =
+      match tenant_weights_spec with
+      | None -> []
+      | Some s ->
+          List.map
+            (fun (n, v) -> (n, Option.value ~default:1.0 v))
+            (tenant_entries ~flag:"tenant-weights" s)
+    in
+    let tenant_deadlines =
+      match tenant_deadline_spec with
+      | None -> []
+      | Some s ->
+          List.map
+            (fun (n, v) ->
+              match v with
+              | Some secs -> (n, W.Engine.Absolute secs)
+              | None -> fail "bad --tenant-deadline entry %S (expected NAME:SECONDS)" n)
+            (tenant_entries ~flag:"tenant-deadline" s)
+    in
+    (match tenant_quota with
+    | Some q when q < 1 -> fail "tenant-quota must be >= 1 (got %d)" q
+    | _ -> ());
+    let stream = W.Job.generate ~seed ~jobs ?tenants mix in
     let ring, read_ring = Cutfit.Sink.ring ~capacity:65536 () in
     let sinks =
       (match trace_out with Some path -> [ Cutfit.Sink.jsonl path ] | None -> [])
@@ -716,7 +897,8 @@ let workload_cmd =
       W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ?speculation
         ~max_retries ?queue_bound ~shed_policy ?deadline ?breaker_k
         ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ?telemetry
-        ?mutations ~mutate_every ~mutation_mode ~seed stream
+        ?mutations ~mutate_every ~mutation_mode ?scale_events ~tenant_weights ?tenant_quota
+        ~tenant_deadlines ~fairness ~seed stream
     in
     let rows =
       List.map
@@ -757,8 +939,9 @@ let workload_cmd =
               W.Engine.run ~slots ~eviction ~budget_bytes ?checkpoint_every ?faults ?speculation
                 ~max_retries ?queue_bound ~shed_policy ?deadline ?breaker_k
                 ~breaker_cooldown_s:breaker_cooldown ?backpressure ~policy ~selection ?mutations
-                ~mutate_every ~mutation_mode ~seed
-                (W.Job.generate ~seed ~jobs mix))
+                ~mutate_every ~mutation_mode ?scale_events ~tenant_weights ?tenant_quota
+                ~tenant_deadlines ~fairness ~seed
+                (W.Job.generate ~seed ~jobs ?tenants mix))
         in
         match violations @ twice with
         | [] ->
@@ -789,7 +972,9 @@ let workload_cmd =
       $ max_failures_arg $ max_retries_arg $ speculate_arg $ speculate_threshold_arg
       $ queue_bound_arg $ shed_policy_arg $ deadline_s_arg $ deadline_factor_arg $ breaker_k_arg
       $ breaker_cooldown_arg $ backpressure_arg $ mutations_arg $ mutation_seed_arg
-      $ mutate_every_arg $ mutation_mode_arg $ trace_out_arg $ verbose_events_arg $ check_arg)
+      $ mutate_every_arg $ mutation_mode_arg $ scale_events_arg $ tenants_arg
+      $ tenant_weights_arg $ fairness_arg $ tenant_quota_arg $ tenant_deadline_arg
+      $ trace_out_arg $ verbose_events_arg $ check_arg)
 
 (* --- check --- *)
 
@@ -820,9 +1005,22 @@ let check_cmd =
       & opt ~vopt:(Some "ins@1-2:r48,del@1-2:r16") (some string) None
       & info [ "dynamic" ] ~docv:"SPEC" ~doc)
   in
+  let elastic_check_arg =
+    let doc =
+      "Add the $(b,elastic) suite: run the pipeline under $(docv) (a scale-event spec; the \
+       flag alone uses $(b,leave\\@2-1,join\\@4+2)), replay it on a static cluster, and prove \
+       membership churn perturbed only time and locality — bit-identical vertex values, \
+       unchanged placement-independent structure, an unbroken membership chain through the \
+       reshuffle records."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "leave@2-1,join@4+2") (some string) None
+      & info [ "elastic" ] ~docv:"SPEC" ~doc)
+  in
   let action algo graph config partitioner engine domains races dynamic_spec mutation_seed
       faults_spec checkpoint_every fault_seed fault_mode max_failures speculate
-      speculate_threshold =
+      speculate_threshold elastic_spec hetero_spec =
     let g = load_graph graph in
     if domains < 1 then usage_fail "domains must be >= 1 (got %d)" domains;
     let dynamic = mutations_of_flags ~spec:dynamic_spec ~seed:mutation_seed in
@@ -831,6 +1029,10 @@ let check_cmd =
     in
     let speculation =
       speculation_of_flags ~speculate ~threshold:speculate_threshold ~fault_seed
+    in
+    let elastic = elastic_of_flags ~spec:elastic_spec ~fault_seed in
+    let hetero =
+      hetero_of_flags ~spec:hetero_spec ~executors:config.Cutfit.Cluster.executors ~fault_seed
     in
     (* With the csr engine, also prove boxed-vs-csr bit-identity at the
        standard domain counts plus whatever --domains asked for. *)
@@ -844,7 +1046,7 @@ let check_cmd =
     in
     let report =
       Cutfit.Sanitize.check_run ~cluster:config ?partitioner ?checkpoint_every ?faults
-        ?speculation ?engine_domains ?race_domains ?dynamic ~algorithm:algo g
+        ?speculation ?elastic ?hetero ?engine_domains ?race_domains ?dynamic ~algorithm:algo g
     in
     Fmt.pr "%a@." Cutfit.Sanitize.pp_report report;
     if Cutfit.Sanitize.ok report then exit_ok else exit_failure
@@ -861,12 +1063,14 @@ let check_cmd =
           $(b,--races), a $(b,races) suite shadow-records every accumulator write of an \
           instrumented kernel run and verifies the item-owned-writes discipline. With \
           $(b,--dynamic), a $(b,dynamic) suite replays a mutation schedule and proves the \
-          dynamic-graph laws. Exits non-zero on any violation.")
+          dynamic-graph laws. With $(b,--elastic) or $(b,--hetero), an $(b,elastic) suite \
+          replays the run on a static homogeneous cluster and proves scale events perturbed \
+          only time and locality. Exits non-zero on any violation.")
     Term.(
       const action $ algo_arg $ graph_pos1 $ config_arg $ strategy $ engine_arg $ domains_arg
       $ races_arg $ dynamic_arg $ mutation_seed_arg $ faults_spec_arg $ checkpoint_every_arg
       $ fault_seed_arg $ fault_mode_arg $ max_failures_arg $ speculate_arg
-      $ speculate_threshold_arg)
+      $ speculate_threshold_arg $ elastic_check_arg $ hetero_arg)
 
 (* --- mutate --- *)
 

@@ -16,10 +16,10 @@ let program =
     msg_bytes = 8;
   }
 
-let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero ?telemetry
     ~cluster pg =
   let r =
-    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?speculation
+    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero
       ?telemetry ~cluster pg program
   in
   { labels = r.Pregel.attrs; trace = r.Pregel.trace }

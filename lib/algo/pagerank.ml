@@ -21,11 +21,11 @@ let program g =
     msg_bytes = 8;
   }
 
-let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+let run ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero ?telemetry
     ~cluster pg =
   let g = Cutfit_bsp.Pgraph.graph pg in
   let r =
-    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?speculation
+    Pregel.run ~max_supersteps:iterations ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero
       ?telemetry ~cluster pg (program g)
   in
   { ranks = r.Pregel.attrs; trace = r.Pregel.trace }
@@ -167,12 +167,12 @@ let gas_program g iterations =
   },
   iterations
 
-let run_gas ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+let run_gas ?(iterations = 10) ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero ?telemetry
     ~cluster pg =
   let g = Cutfit_bsp.Pgraph.graph pg in
   let program, max_iterations = gas_program g iterations in
   let r =
-    Cutfit_bsp.Gas.run ~max_iterations ?scale ?cost ?checkpoint_every ?faults ?speculation
+    Cutfit_bsp.Gas.run ~max_iterations ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero
       ?telemetry ~cluster pg program
   in
   { ranks = r.Cutfit_bsp.Gas.attrs; trace = r.Cutfit_bsp.Gas.trace }

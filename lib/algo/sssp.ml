@@ -38,7 +38,7 @@ let program ~landmarks =
     msg_bytes = bytes;
   }
 
-let run ?(max_supersteps = 2000) ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+let run ?(max_supersteps = 2000) ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero ?telemetry
     ~cluster ~landmarks pg =
   if Array.length landmarks = 0 then invalid_arg "Sssp.run: empty landmark set";
   let n = Graph.num_vertices (Cutfit_bsp.Pgraph.graph pg) in
@@ -46,7 +46,7 @@ let run ?(max_supersteps = 2000) ?scale ?cost ?checkpoint_every ?faults ?specula
     (fun v -> if v < 0 || v >= n then invalid_arg "Sssp.run: landmark out of range")
     landmarks;
   let r =
-    Pregel.run ~max_supersteps ?scale ?cost ?checkpoint_every ?faults ?speculation ?telemetry
+    Pregel.run ~max_supersteps ?scale ?cost ?checkpoint_every ?faults ?speculation ?elastic ?hetero ?telemetry
       ~cluster pg (program ~landmarks)
   in
   { distances = r.Pregel.attrs; trace = r.Pregel.trace }

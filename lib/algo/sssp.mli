@@ -19,6 +19,8 @@ val run :
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
   ?speculation:Cutfit_bsp.Speculation.config ->
+  ?elastic:Cutfit_bsp.Elastic.config ->
+  ?hetero:Cutfit_bsp.Elastic.hetero ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cutfit_bsp.Cluster.t ->
   landmarks:int array ->

@@ -358,6 +358,8 @@ let run ?(scale = 1.0) ?(cost = Cost_model.default) ?undirected ?telemetry ~clus
       faults_injected = 0;
       speculations = [];
       speculation_s = 0.0;
+      reshuffles = [];
+      reshuffle_s = 0.0;
       total_s;
       outcome = Trace.Completed;
       peak_executor_bytes = 0.0;

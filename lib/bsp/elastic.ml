@@ -1,0 +1,263 @@
+module Splitmix64 = Cutfit_prng.Splitmix64
+
+exception Parse_error of string
+
+type item =
+  | Join of { step : int; count : int }
+  | Leave of { step : int; count : int }
+  | Preempt of { step : int; retries : int }
+
+type config = { items : item list; raw : string; seed : int }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail "%s: expected an integer, got %S" what s
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail "%s: expected a number, got %S" what s
+
+(* "T", "T+N" or "T-N": the superstep an event fires at, plus the signed
+   executor delta. The sign is part of the grammar, so "join@3-1" is a
+   parse error rather than a silently shrinking join. *)
+let parse_at what ~sign s =
+  match String.index_opt s sign with
+  | None -> (parse_int what s, 1)
+  | Some i ->
+      let step = parse_int what (String.sub s 0 i) in
+      let count = parse_int what (String.sub s (i + 1) (String.length s - i - 1)) in
+      if count < 1 then fail "%s: executor delta must be >= 1" what;
+      (step, count)
+
+let parse_item s =
+  match String.index_opt s '@' with
+  | None -> fail "scale event %S: expected KIND@ARGS" s
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "join" ->
+          let step, count = parse_at s ~sign:'+' rest in
+          if step < 1 then fail "scale event %S: joins fire at supersteps >= 1" s;
+          Join { step; count }
+      | "leave" ->
+          let step, count = parse_at s ~sign:'-' rest in
+          if step < 1 then fail "scale event %S: leaves fire at supersteps >= 1" s;
+          Leave { step; count }
+      | "preempt" -> (
+          let head, opts =
+            match String.split_on_char ':' rest with
+            | h :: t -> (h, t)
+            | [] -> fail "scale event %S: missing arguments" s
+          in
+          let step = parse_int s head in
+          if step < 1 then fail "scale event %S: preemptions fire at supersteps >= 1" s;
+          match opts with
+          | [] -> Preempt { step; retries = 1 }
+          | [ o ] when String.length o >= 2 && o.[0] = 'r' ->
+              let retries = parse_int s (String.sub o 1 (String.length o - 1)) in
+              if retries < 1 then fail "scale event %S: retries must be >= 1" s;
+              Preempt { step; retries }
+          | _ -> fail "scale event %S: only a :rN option is valid here" s)
+      | k -> fail "scale event %S: unknown kind %S" s k)
+
+let parse_spec raw =
+  let items =
+    String.split_on_char ',' raw
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map parse_item
+  in
+  if items = [] then fail "scale-event spec %S: no events given" raw;
+  items
+
+let config ?(seed = 42) raw = { items = parse_spec raw; raw; seed }
+
+let item_step = function Join { step; _ } | Leave { step; _ } | Preempt { step; _ } -> step
+
+let events_at c ~step = List.filter (fun i -> item_step i = step) c.items
+
+let total_joins c =
+  List.fold_left (fun a -> function Join { count; _ } -> a + count | _ -> a) 0 c.items
+
+let describe c =
+  let item = function
+    | Join { step; count } -> Printf.sprintf "join@%d+%d" step count
+    | Leave { step; count } -> Printf.sprintf "leave@%d-%d" step count
+    | Preempt { step; retries } -> Printf.sprintf "preempt@%d:r%d" step retries
+  in
+  Printf.sprintf "scale-events [%s] seed=%d" (String.concat "," (List.map item c.items)) c.seed
+
+(* Stateless per-(salt, item) draw, the same keying discipline as
+   Faults: the realized schedule depends only on (seed, spec), never on
+   the order the engine asks questions in. *)
+let draw ~seed ~salt ~k =
+  Splitmix64.mix64
+    (Int64.logxor
+       (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+       (Int64.add (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L) (Int64.of_int k)))
+
+let unit_float h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+let draw_mod h m = Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int m))
+
+let victim c ~step ~alive = draw_mod (draw ~seed:c.seed ~salt:(7000 + step) ~k:0) alive
+
+(* --- Heterogeneous hosts ------------------------------------------- *)
+
+type hetero = { speeds : float array; bandwidths : float array }
+
+let uniform ~executors =
+  { speeds = Array.make executors 1.0; bandwidths = Array.make executors 1.0 }
+
+(* Per-executor capability multipliers in [0.6, 1.4]: wide enough to
+   shift placement decisions, narrow enough that a slow host is a tax,
+   not a straggler fault (those belong to Faults). *)
+let hetero_spread = 0.8
+let hetero_floor = 0.6
+
+let draw_hetero ~seed ~executors =
+  if executors <= 0 then invalid_arg "Elastic.draw_hetero: executors <= 0";
+  let multiplier salt e =
+    hetero_floor +. (hetero_spread *. unit_float (draw ~seed ~salt ~k:e))
+  in
+  {
+    speeds = Array.init executors (multiplier 8001);
+    bandwidths = Array.init executors (multiplier 8002);
+  }
+
+let hetero_of_spec ~executors raw =
+  if executors <= 0 then invalid_arg "Elastic.hetero_of_spec: executors <= 0";
+  let entries =
+    String.split_on_char ',' raw
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           let speed, bw =
+             match String.index_opt s '/' with
+             | None ->
+                 let v = parse_float "hetero entry" s in
+                 (v, v)
+             | Some i ->
+                 ( parse_float "hetero speed" (String.sub s 0 i),
+                   parse_float "hetero bandwidth"
+                     (String.sub s (i + 1) (String.length s - i - 1)) )
+           in
+           if speed <= 0.0 || bw <= 0.0 then
+             fail "hetero spec %S: multipliers must be > 0" raw;
+           (speed, bw))
+    |> Array.of_list
+  in
+  if Array.length entries = 0 then fail "hetero spec %S: no entries given" raw;
+  (* Entries cycle, so "0.5/1,2/1" alternates slow and fast hosts at any
+     cluster width. *)
+  let n = Array.length entries in
+  {
+    speeds = Array.init executors (fun e -> fst entries.(e mod n));
+    bandwidths = Array.init executors (fun e -> snd entries.(e mod n));
+  }
+
+let speed h e = if e < Array.length h.speeds then h.speeds.(e) else 1.0
+let bandwidth h e = if e < Array.length h.bandwidths then h.bandwidths.(e) else 1.0
+
+(* --- Engine-facing runtime ----------------------------------------- *)
+
+type runtime = {
+  rconfig : config option;
+  rhetero : hetero option;
+  initial : int;
+  max_execs : int;
+  mutable live : int;
+  mutable resh : Trace.reshuffle list; (* reversed *)
+  mutable resh_s : float;
+}
+
+let runtime ?config ?hetero ~executors () =
+  if executors <= 0 then invalid_arg "Elastic.runtime: executors <= 0";
+  let max_execs =
+    executors + (match config with None -> 0 | Some c -> total_joins c)
+  in
+  {
+    rconfig = config;
+    rhetero = hetero;
+    initial = executors;
+    max_execs;
+    live = executors;
+    resh = [];
+    resh_s = 0.0;
+  }
+
+let live rt = rt.live
+let max_executors rt = rt.max_execs
+let exec_of rt p = p mod rt.live
+let speed_of rt e = match rt.rhetero with None -> 1.0 | Some h -> speed h e
+let bandwidth_of rt e = match rt.rhetero with None -> 1.0 | Some h -> bandwidth h e
+let reshuffles rt = List.rev rt.resh
+let reshuffle_s rt = rt.resh_s
+
+(* Apply the scale events scheduled before compute superstep [step].
+   Membership changes re-home every partition whose round-robin
+   assignment moves and price the move over the wire; preemptions are
+   handed back to the engine, which routes them through the Faults
+   recovery machinery. Callbacks keep this module free of Pgraph and
+   telemetry dependencies. *)
+let step_events rt ~step ~num_partitions ~partition_bytes ~partition_vertices ~attr_wire_bytes
+    ~scale ~bandwidth ~barrier_s ~on_reshuffle ~on_preempt =
+  match rt.rconfig with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun item ->
+          match item with
+          | Preempt { retries; _ } ->
+              on_preempt ~executor:(victim c ~step ~alive:rt.live) ~retries
+          | Join _ | Leave _ ->
+              let before = rt.live in
+              let after =
+                match item with
+                | Join { count; _ } -> min rt.max_execs (before + count)
+                | Leave { count; _ } -> max 1 (before - count)
+                | Preempt _ -> before
+              in
+              if after <> before then begin
+                let moved = ref 0 and moved_bytes = ref 0.0 in
+                let replicas = ref 0 in
+                for p = 0 to num_partitions - 1 do
+                  if p mod before <> p mod after then begin
+                    incr moved;
+                    moved_bytes := !moved_bytes +. partition_bytes p;
+                    replicas := !replicas + partition_vertices p
+                  end
+                done;
+                let rebroadcast_bytes =
+                  scale *. float_of_int !replicas *. attr_wire_bytes
+                in
+                let r =
+                  {
+                    Trace.resh_step = step;
+                    executors_before = before;
+                    executors_after = after;
+                    moved_partitions = !moved;
+                    moved_bytes = !moved_bytes;
+                    rebroadcast_replicas = !replicas;
+                    rebroadcast_bytes;
+                    reshuffle_s =
+                      ((!moved_bytes +. rebroadcast_bytes) /. bandwidth) +. barrier_s;
+                  }
+                in
+                rt.live <- after;
+                rt.resh <- r :: rt.resh;
+                rt.resh_s <- rt.resh_s +. r.Trace.reshuffle_s;
+                on_reshuffle r item
+              end)
+        (events_at c ~step)
+
+let describe_hetero h =
+  let fmt a =
+    String.concat ","
+      (Array.to_list (Array.map (fun v -> Printf.sprintf "%.2f" v) a))
+  in
+  Printf.sprintf "hetero speeds=[%s] bandwidths=[%s]" (fmt h.speeds) (fmt h.bandwidths)

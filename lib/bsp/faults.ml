@@ -333,6 +333,42 @@ let lineage_recovery ~cost ~cluster ~scale ~at_step ~executor ~lost_edges ~lost_
     recovery_s = rebuild +. (wire /. bandwidth) +. cost.Cost_model.superstep_barrier_s;
   }
 
+let preempt_recovery ~cost ~cluster ~scale ~at_step ~executor ~lost_edges ~lost_vertices
+    ~lost_replicas ~attr_wire_bytes ~retries =
+  (* Spot preemption: the instance vanishes at the barrier and a
+     replacement is reacquired after [retries] capped backoff attempts,
+     then rebuilt exactly like a lineage recovery — the replacement
+     re-shuffles the lost edge partitions in and re-broadcasts the
+     hosted vertex views. Membership is unchanged; only time and
+     recovery traffic are charged. *)
+  let cores = float_of_int cluster.Cluster.cores_per_executor in
+  let rebuild =
+    scale
+    *. ((float_of_int lost_edges *. cost.Cost_model.build_edge_s)
+       +. (float_of_int lost_vertices *. cost.Cost_model.build_vertex_s))
+    /. cores
+  in
+  let bandwidth = Cluster.network_bytes_per_s cluster in
+  let reshuffle_bytes =
+    scale *. float_of_int lost_edges *. float_of_int cost.Cost_model.shuffle_edge_bytes
+  in
+  let bcast_bytes = scale *. float_of_int lost_replicas *. attr_wire_bytes in
+  let wire = reshuffle_bytes +. bcast_bytes in
+  {
+    Trace.at_step;
+    kind = "preempt";
+    executor;
+    replayed_steps = 0;
+    lost_edges;
+    lost_replicas;
+    recovery_wire_bytes = wire;
+    recovery_s =
+      Cost_model.retry_backoff cost ~retries
+      +. rebuild
+      +. (wire /. bandwidth)
+      +. cost.Cost_model.superstep_barrier_s;
+  }
+
 let retry_recovery ~cost ~cluster ~at_step ~executor ~egress_bytes ~retries =
   let bandwidth = Cluster.network_bytes_per_s cluster in
   let retrans = float_of_int retries *. egress_bytes in

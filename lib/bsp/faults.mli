@@ -130,6 +130,23 @@ val lineage_recovery :
     every vertex view the executor hosted — recovery cost proportional
     to the replicas the cut placed on the lost executor. *)
 
+val preempt_recovery :
+  cost:Cost_model.t ->
+  cluster:Cluster.t ->
+  scale:float ->
+  at_step:int ->
+  executor:int ->
+  lost_edges:int ->
+  lost_vertices:int ->
+  lost_replicas:int ->
+  attr_wire_bytes:float ->
+  retries:int ->
+  Trace.recovery
+(** Spot preemption ([preempt@T:rN] in the {!Elastic} spec): instance
+    reacquisition after [retries] capped backoff attempts, then a
+    lineage-style rebuild and re-broadcast of the lost partitions.
+    Membership is unchanged — only time and recovery traffic move. *)
+
 val retry_recovery :
   cost:Cost_model.t ->
   cluster:Cluster.t ->

@@ -17,7 +17,7 @@ type ('v, 'g) program = {
 type 'v result = { attrs : 'v array; trace : Trace.t }
 
 let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?checkpoint_every
-    ?faults ?speculation ?telemetry ~cluster pg program =
+    ?faults ?speculation ?elastic ?hetero ?telemetry ~cluster pg program =
   let g = Pgraph.graph pg in
   let n = Graph.num_vertices g in
   let num_partitions = Pgraph.num_partitions pg in
@@ -25,7 +25,11 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
     invalid_arg "Gas.run: cluster and partitioned graph disagree on partition count";
   let executors = cluster.Cluster.executors in
   let cores = cluster.Cluster.cores_per_executor in
-  let exec_of = Cluster.executor_of_partition cluster in
+  (* Placement through the elastic runtime, as in Pregel: inert (the
+     static round-robin) unless scale events or hetero are given. *)
+  let ert = Elastic.runtime ?config:elastic ?hetero ~executors () in
+  let max_execs = Elastic.max_executors ert in
+  let exec_of p = Elastic.exec_of ert p in
   let bandwidth = Cluster.network_bytes_per_s cluster in
 
   let attrs = Array.init n program.init in
@@ -53,10 +57,14 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   let recovery_total = ref 0.0 in
   let faults_injected = ref 0 in
   let last_ckpt = ref None in
-  let parts_per_exec = Array.make executors 0 in
-  for p = 0 to num_partitions - 1 do
-    parts_per_exec.(exec_of p) <- parts_per_exec.(exec_of p) + 1
-  done;
+  let compute_parts_per_exec () =
+    let a = Array.make (Elastic.live ert) 0 in
+    for p = 0 to num_partitions - 1 do
+      a.(exec_of p) <- a.(exec_of p) + 1
+    done;
+    a
+  in
+  let parts_per_exec = ref (compute_parts_per_exec ()) in
   let speculations = ref [] in
   let speculation_total = ref 0.0 in
   let push_speculation (s : Trace.speculation) =
@@ -127,16 +135,21 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
 
   let finish ~step ~plan ~work ~bytes_out ~bytes_in ~active_edges ~messages ~shuffle_groups
       ~remote_shuffles ~updated ~bcast ~remote_bcast =
+    let live = Elastic.live ert in
     let jittered = Cost_model.jittered cost ~step work in
-    let clean_busy = Array.make executors 0.0 in
-    let busy = Array.make executors 0.0 in
-    for e = 0 to executors - 1 do
+    let clean_busy = Array.make live 0.0 in
+    let busy = Array.make live 0.0 in
+    for e = 0 to live - 1 do
       let mine = ref [] in
       for p = 0 to num_partitions - 1 do
         if exec_of p = e then mine := jittered.(p) :: !mine
       done;
-      clean_busy.(e) <- scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores;
-      busy.(e) <- clean_busy.(e) *. plan.Faults.compute_factor e
+      clean_busy.(e) <-
+        scale *. Cost_model.makespan ~work:(Array.of_list !mine) ~cores /. Elastic.speed_of ert e;
+      (* Fault plans are realized against the initial membership; late
+         joiners past that width run fault-free. *)
+      let fault_factor = if e < executors then plan.Faults.compute_factor e else 1.0 in
+      busy.(e) <- clean_busy.(e) *. fault_factor
     done;
     let bandwidth_eff = bandwidth *. plan.Faults.network_factor in
     (* Same speculation pass as Pregel: decided from the step's own
@@ -146,15 +159,15 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       match speculation with
       | Some cfg when step >= 1 ->
           Speculation.evaluate cfg ~cost ~bandwidth:bandwidth_eff ~step ~busy ~clean_busy
-            ~ingress:(Array.map (fun b -> scale *. b) bytes_in)
-            ~partitions:parts_per_exec
+            ~ingress:(Array.init live (fun e -> scale *. bytes_in.(e)))
+            ~partitions:!parts_per_exec
       | _ -> (busy, None)
     in
     let compute = Array.fold_left Float.max 0.0 busy in
     let network = ref 0.0 and wire = ref 0.0 in
-    for e = 0 to executors - 1 do
+    for e = 0 to live - 1 do
       wire := !wire +. (scale *. bytes_out.(e));
-      let t = scale *. bytes_out.(e) /. bandwidth_eff in
+      let t = scale *. bytes_out.(e) /. (bandwidth_eff *. Elastic.bandwidth_of ert e) in
       if t > !network then network := t
     done;
     let overhead =
@@ -237,8 +250,8 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   (* Build phase, as in the Pregel engine. *)
   begin
     let work = Array.make num_partitions 0.0 in
-    let bytes_out = Array.make executors 0.0 in
-    let bytes_in = Array.make executors 0.0 in
+    let bytes_out = Array.make max_execs 0.0 in
+    let bytes_in = Array.make max_execs 0.0 in
     let remote_frac = float_of_int (executors - 1) /. float_of_int executors in
     for p = 0 to num_partitions - 1 do
       let m_p = float_of_int (Pgraph.num_edges_of_partition pg p) in
@@ -254,12 +267,81 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
          ~messages:0 ~shuffle_groups:0 ~remote_shuffles:0 ~updated:0 ~bcast:0 ~remote_bcast:0)
   end;
 
+  (* Scale events before each compute superstep, exactly as in Pregel:
+     membership moves are priced re-shuffles, preemptions route through
+     the Faults recovery machinery. Pure re-accounting — values never
+     move. *)
+  let apply_scale_events ~step =
+    Elastic.step_events ert ~step ~num_partitions
+      ~partition_bytes:(fun p ->
+        scale
+        *. (float_of_int (Pgraph.num_edges_of_partition pg p * cost.Cost_model.edge_object_bytes)
+           +. float_of_int
+                (Pgraph.local_vertices pg p
+                * (cost.Cost_model.vertex_object_bytes + program.state_bytes))))
+      ~partition_vertices:(fun p -> Pgraph.local_vertices pg p)
+      ~attr_wire_bytes:attr_wire ~scale ~bandwidth
+      ~barrier_s:cost.Cost_model.superstep_barrier_s
+      ~on_reshuffle:(fun r item ->
+        parts_per_exec := compute_parts_per_exec ();
+        match telemetry with
+        | None -> ()
+        | Some t ->
+            (match item with
+            | Elastic.Join { count; _ } ->
+                Obs.Telemetry.emit t
+                  (Obs.Event.Executor_join { step; count; executors = r.Trace.executors_after })
+            | Elastic.Leave { count; _ } ->
+                Obs.Telemetry.emit t
+                  (Obs.Event.Executor_leave { step; count; executors = r.Trace.executors_after })
+            | Elastic.Preempt _ -> ());
+            Obs.Telemetry.emit t
+              (Obs.Event.Reshuffle
+                 {
+                   step;
+                   executors_before = r.Trace.executors_before;
+                   executors_after = r.Trace.executors_after;
+                   moved_partitions = r.Trace.moved_partitions;
+                   moved_bytes = r.Trace.moved_bytes;
+                   rebroadcast_replicas = r.Trace.rebroadcast_replicas;
+                   rebroadcast_bytes = r.Trace.rebroadcast_bytes;
+                   reshuffle_s = r.Trace.reshuffle_s;
+                 }))
+      ~on_preempt:(fun ~executor ~retries ->
+        incr faults_injected;
+        (match telemetry with
+        | None -> ()
+        | Some t ->
+            Obs.Telemetry.emit t
+              (Obs.Event.Fault_injected
+                 {
+                   step;
+                   kind = "preempt";
+                   executor;
+                   detail =
+                     Printf.sprintf "spot instance preempted, %d reacquisition retr%s" retries
+                       (if retries = 1 then "y" else "ies");
+                 }));
+        let lost_edges = ref 0 and lost_vertices = ref 0 in
+        for p = 0 to num_partitions - 1 do
+          if exec_of p = executor then begin
+            lost_edges := !lost_edges + Pgraph.num_edges_of_partition pg p;
+            lost_vertices := !lost_vertices + Pgraph.local_vertices pg p
+          end
+        done;
+        push_recovery
+          (Faults.preempt_recovery ~cost ~cluster ~scale ~at_step:step ~executor
+             ~lost_edges:!lost_edges ~lost_vertices:!lost_vertices
+             ~lost_replicas:!lost_vertices ~attr_wire_bytes:attr_wire ~retries))
+  in
+
   let step = ref 0 in
   let continue = ref true in
   while !continue do
+    apply_scale_events ~step:!step;
     let work = Array.make num_partitions 0.0 in
-    let bytes_out = Array.make executors 0.0 in
-    let bytes_in = Array.make executors 0.0 in
+    let bytes_out = Array.make max_execs 0.0 in
+    let bytes_in = Array.make max_execs 0.0 in
     let active_edges = ref 0 and messages = ref 0 in
     let shuffle_groups = ref 0 and remote_shuffles = ref 0 in
     touched := [];
@@ -389,6 +471,9 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
     let aborted = ref false in
     (match (plan.Faults.crash, fsession) with
     | Some lost, Some fs -> (
+        (* Crash executors were resolved against the initial membership;
+           fold them onto a live executor if leaves shrank the cluster. *)
+        let lost = lost mod Elastic.live ert in
         match Faults.note_crash fs with
         | `Abort -> aborted := true
         | `Recover -> (
@@ -453,7 +538,7 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
   let total_s =
     List.fold_left
       (fun a (s : Trace.superstep) -> a +. s.time_s)
-      (load_s +. !checkpoint_s +. !recovery_total)
+      (load_s +. !checkpoint_s +. !recovery_total +. Elastic.reshuffle_s ert)
       supersteps
   in
   let trace =
@@ -467,6 +552,8 @@ let run ?(max_iterations = 500) ?(scale = 1.0) ?(cost = Cost_model.default) ?che
       faults_injected = !faults_injected;
       speculations = List.rev !speculations;
       speculation_s = !speculation_total;
+      reshuffles = Elastic.reshuffles ert;
+      reshuffle_s = Elastic.reshuffle_s ert;
       total_s;
       outcome = !outcome;
       peak_executor_bytes = 0.0;

@@ -49,6 +49,8 @@ val run :
   ?checkpoint_every:int ->
   ?faults:Faults.config ->
   ?speculation:Speculation.config ->
+  ?elastic:Elastic.config ->
+  ?hetero:Elastic.hetero ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
@@ -61,4 +63,6 @@ val run :
     [faults] and [speculation] carry the same checkpoint /
     fault-injection / straggler-mitigation semantics as {!Pregel.run}:
     faults and speculation perturb only the time accounting, never the
-    converged attributes. *)
+    converged attributes. [elastic] and [hetero] carry {!Pregel.run}'s
+    scale-event and host-capability semantics, with the same
+    time-and-locality-only perturbation guarantee. *)

@@ -54,6 +54,8 @@ val run :
   ?checkpoint_every:int ->
   ?faults:Faults.config ->
   ?speculation:Speculation.config ->
+  ?elastic:Elastic.config ->
+  ?hetero:Elastic.hetero ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   cluster:Cluster.t ->
   Pgraph.t ->
@@ -88,6 +90,18 @@ val run :
     [Speculative_launch] / [Speculative_win] telemetry). Like faults,
     speculation perturbs only the time accounting — attributes,
     counters and superstep wire bytes are untouched.
+
+    [elastic] attaches a deterministic {!Elastic} scale-event schedule:
+    executors join and leave before the scheduled compute supersteps
+    (each membership change re-homes the moved partitions as an
+    itemized, priced {!Trace.reshuffle} — outside the supersteps' wire
+    accounting, like recovery traffic), and spot preemptions route
+    through the {!Faults} recovery machinery as involuntary crashes.
+    [hetero] gives per-executor speed and bandwidth multipliers that
+    divide busy time and scale egress bandwidth. Both perturb only time
+    and locality: the converged attributes and the logical message
+    structure stay bit-identical to the static homogeneous run, which
+    the [elastic] sanitizer suite enforces.
 
     When [telemetry] is given, every stage (including the [step = -1]
     build stage) emits one {!Cutfit_obs.Event.Superstep} record derived

@@ -38,6 +38,17 @@ type speculation = {
   saved_s : float;
 }
 
+type reshuffle = {
+  resh_step : int;
+  executors_before : int;
+  executors_after : int;
+  moved_partitions : int;
+  moved_bytes : float;
+  rebroadcast_replicas : int;
+  rebroadcast_bytes : float;
+  reshuffle_s : float;
+}
+
 type outcome = Completed | Max_supersteps | Out_of_memory | Aborted
 
 type t = {
@@ -50,6 +61,8 @@ type t = {
   faults_injected : int;
   speculations : speculation list;
   speculation_s : float;
+  reshuffles : reshuffle list;
+  reshuffle_s : float;
   total_s : float;
   outcome : outcome;
   peak_executor_bytes : float;
@@ -74,6 +87,11 @@ let speculation_wins t =
 
 let total_speculative_wire_bytes t =
   List.fold_left (fun acc s -> acc +. s.speculative_wire_bytes) 0.0 t.speculations
+
+let num_reshuffles t = List.length t.reshuffles
+
+let total_reshuffle_wire_bytes t =
+  List.fold_left (fun acc r -> acc +. r.moved_bytes +. r.rebroadcast_bytes) 0.0 t.reshuffles
 let completed t = match t.outcome with Out_of_memory | Aborted -> false | Completed | Max_supersteps -> true
 
 let outcome_name = function
@@ -95,6 +113,9 @@ let pp_recovery ppf (r : recovery) =
     | "rollback" -> Printf.sprintf "replayed %d supersteps" r.replayed_steps
     | "lineage" ->
         Printf.sprintf "rebuilt %d edges, %d replica views" r.lost_edges r.lost_replicas
+    | "preempt" ->
+        Printf.sprintf "spot instance reacquired; rebuilt %d edges, %d replica views"
+          r.lost_edges r.lost_replicas
     | _ -> Printf.sprintf "%.0f bytes retransmitted" r.recovery_wire_bytes)
     r.recovery_s
 
@@ -104,6 +125,11 @@ let pp_speculation ppf s =
     (if s.won then "clone won" else "original won")
     (if s.won then Printf.sprintf ", saved %.3fs" s.saved_s else "")
 
+let pp_reshuffle ppf (r : reshuffle) =
+  Format.fprintf ppf "step %2d: %d -> %d executors, %d partition(s) moved (%.0fB + %d replica views %.0fB) %.3fs"
+    r.resh_step r.executors_before r.executors_after r.moved_partitions r.moved_bytes
+    r.rebroadcast_replicas r.rebroadcast_bytes r.reshuffle_s
+
 let pp_summary ppf t =
   let outcome =
     match t.outcome with
@@ -111,7 +137,7 @@ let pp_summary ppf t =
     | Aborted -> "ABORTED"
     | o -> outcome_name o
   in
-  Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s%s%s)"
+  Format.fprintf ppf "%s in %d supersteps, %.2fs total (load %.2fs, compute %.2fs, net %.2fs, ovh %.2fs%s%s%s%s)"
     outcome (num_supersteps t) t.total_s t.load_s (total_compute_s t) (total_network_s t)
     (total_overhead_s t)
     (if t.checkpoints > 0 then Printf.sprintf ", %d ckpt %.2fs" t.checkpoints t.checkpoint_s
@@ -123,4 +149,7 @@ let pp_summary ppf t =
     (if t.speculations <> [] then
        Printf.sprintf ", %d speculation(s) (%d won) %.2fs extra compute" (num_speculations t)
          (speculation_wins t) t.speculation_s
+     else "")
+    (if t.reshuffles <> [] then
+       Printf.sprintf ", %d reshuffle(s) %.2fs" (num_reshuffles t) t.reshuffle_s
      else "")

@@ -25,7 +25,7 @@ type superstep = {
 
 type recovery = {
   at_step : int;  (** superstep at whose barrier the fault surfaced *)
-  kind : string;  (** "rollback" | "lineage" | "shuffle-retry" *)
+  kind : string;  (** "rollback" | "lineage" | "shuffle-retry" | "preempt" *)
   executor : int;  (** the executor that crashed / lost the shuffle *)
   replayed_steps : int;  (** rollback: supersteps replayed since checkpoint *)
   lost_edges : int;  (** lineage: edges rebuilt on the replacement executor *)
@@ -58,6 +58,21 @@ type speculation = {
   saved_s : float;  (** original - clone busy when won, else 0 *)
 }
 
+type reshuffle = {
+  resh_step : int;  (** superstep before which the membership changed *)
+  executors_before : int;
+  executors_after : int;
+  moved_partitions : int;  (** partitions whose round-robin home moved *)
+  moved_bytes : float;  (** scaled resident bytes of the moved partitions *)
+  rebroadcast_replicas : int;  (** vertex views re-broadcast from new homes *)
+  rebroadcast_bytes : float;
+      (** both byte columns are deliberately outside
+          {!superstep.wire_bytes}, the same carve-out as
+          {!recovery.recovery_wire_bytes} and speculation traffic, so the
+          wire-payload law over supersteps still holds on elastic runs *)
+  reshuffle_s : float;  (** modeled time the membership change charged *)
+}
+
 type outcome =
   | Completed
   | Max_supersteps  (** stopped by the iteration cap (normal for PR/CC) *)
@@ -78,7 +93,10 @@ type t = {
           compute paid for clones. Deliberately NOT part of [total_s]:
           clones run in parallel with the straggler, so their win (or
           waste) is already reflected in each superstep's [time_s]. *)
-  total_s : float;  (** load + checkpoints + recoveries + all supersteps *)
+  reshuffles : reshuffle list;  (** chronological membership changes *)
+  reshuffle_s : float;  (** sum of {!reshuffle.reshuffle_s} *)
+  total_s : float;
+      (** load + checkpoints + recoveries + reshuffles + all supersteps *)
   outcome : outcome;
   peak_executor_bytes : float;
   driver_meta_bytes : float;
@@ -113,6 +131,13 @@ val total_speculative_wire_bytes : t -> float
 (** Sum of {!speculation.speculative_wire_bytes}; like recovery
     traffic, outside {!total_wire_bytes}. *)
 
+val num_reshuffles : t -> int
+
+(* lint: unused-export -- aggregate kept for report tooling *)
+val total_reshuffle_wire_bytes : t -> float
+(** Sum of moved + rebroadcast bytes over every membership change; like
+    recovery traffic, outside {!total_wire_bytes}. *)
+
 val completed : t -> bool
 (** [true] unless the run ended in {!Out_of_memory} or {!Aborted}. *)
 
@@ -127,3 +152,5 @@ val pp_superstep : Format.formatter -> superstep -> unit
 val pp_recovery : Format.formatter -> recovery -> unit
 (* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp_speculation : Format.formatter -> speculation -> unit
+(* lint: unused-export -- debug printer, kept for toplevel use *)
+val pp_reshuffle : Format.formatter -> reshuffle -> unit

@@ -97,11 +97,12 @@ let validate ?payload (t : Trace.t) =
   let total =
     List.fold_left
       (fun a (s : Trace.superstep) -> a +. s.Trace.time_s)
-      (t.Trace.load_s +. t.Trace.checkpoint_s +. t.Trace.recovery_s)
+      (t.Trace.load_s +. t.Trace.checkpoint_s +. t.Trace.recovery_s +. t.Trace.reshuffle_s)
       t.Trace.supersteps
   in
   if not (feq total t.Trace.total_s) then
-    bad "total-time" "total_s = %.17g but load + checkpoints + recovery + supersteps = %.17g"
+    bad "total-time"
+      "total_s = %.17g but load + checkpoints + recovery + reshuffles + supersteps = %.17g"
       t.Trace.total_s total;
   if t.Trace.checkpoints = 0 && t.Trace.checkpoint_s <> 0.0 then
     bad "checkpoint-time" "%g checkpoint seconds recorded with zero checkpoints"
@@ -123,7 +124,7 @@ let validate ?payload (t : Trace.t) =
   List.iter
     (fun (r : Trace.recovery) ->
       (match r.Trace.kind with
-      | "rollback" | "lineage" | "shuffle-retry" -> ()
+      | "rollback" | "lineage" | "shuffle-retry" | "preempt" -> ()
       | k -> bad "recovery-kind" "step %d: unknown recovery kind %S" r.Trace.at_step k);
       if r.Trace.recovery_s < 0.0 then
         bad "recovery-cost" "step %d: recovery_s = %g < 0" r.Trace.at_step r.Trace.recovery_s;
@@ -138,8 +139,10 @@ let validate ?payload (t : Trace.t) =
       then
         bad "recovery-shape" "step %d: %s recovery replayed %d steps" r.Trace.at_step r.Trace.kind
           r.Trace.replayed_steps;
+      (* Lineage rebuilds and spot preemptions both lose resident
+         partitions; rollbacks and shuffle retries never do. *)
       if
-        (not (String.equal r.Trace.kind "lineage"))
+        (not (String.equal r.Trace.kind "lineage" || String.equal r.Trace.kind "preempt"))
         && (r.Trace.lost_edges <> 0 || r.Trace.lost_replicas <> 0)
       then
         bad "recovery-shape" "step %d: %s recovery claims lost partitions" r.Trace.at_step
@@ -194,6 +197,38 @@ let validate ?payload (t : Trace.t) =
             bad "speculation-compute" "step %d: compute_s %.17g < winning busy time %.17g" step
               ss.Trace.compute_s winner)
     t.Trace.speculations;
+  (* Reshuffle accounting: every membership change is itemized, its cost
+     folds up to the trace total exactly, and each record conserves the
+     quantities a re-homing can touch — membership actually changed,
+     nothing was created or destroyed, and zero moved partitions means
+     zero moved (and re-broadcast) bytes. *)
+  let reshuffle_total =
+    List.fold_left (fun a (r : Trace.reshuffle) -> a +. r.Trace.reshuffle_s) 0.0 t.Trace.reshuffles
+  in
+  if not (feq reshuffle_total t.Trace.reshuffle_s) then
+    bad "reshuffle-time" "reshuffle_s = %.17g but itemized reshuffles sum to %.17g"
+      t.Trace.reshuffle_s reshuffle_total;
+  List.iter
+    (fun (r : Trace.reshuffle) ->
+      let step = r.Trace.resh_step in
+      if r.Trace.executors_before <= 0 || r.Trace.executors_after <= 0 then
+        bad "reshuffle-shape" "step %d: non-positive membership (%d -> %d)" step
+          r.Trace.executors_before r.Trace.executors_after;
+      if r.Trace.executors_before = r.Trace.executors_after then
+        bad "reshuffle-shape" "step %d: reshuffle without a membership change (%d executors)" step
+          r.Trace.executors_before;
+      if r.Trace.moved_partitions < 0 || r.Trace.rebroadcast_replicas < 0 then
+        bad "reshuffle-cost" "step %d: negative reshuffle counters" step;
+      if r.Trace.moved_bytes < 0.0 || r.Trace.rebroadcast_bytes < 0.0 || r.Trace.reshuffle_s < 0.0
+      then bad "reshuffle-cost" "step %d: negative reshuffle cost component" step;
+      if
+        r.Trace.moved_partitions = 0
+        && (r.Trace.moved_bytes <> 0.0
+           || r.Trace.rebroadcast_replicas <> 0
+           || r.Trace.rebroadcast_bytes <> 0.0)
+      then
+        bad "reshuffle-conservation" "step %d: bytes re-shipped without any moved partition" step)
+    t.Trace.reshuffles;
   List.rev !acc
 
 let tsuite = "telemetry"
@@ -358,4 +393,33 @@ let reconcile (t : Trace.t) events =
           bad "speculation-events" "speculative_win at step %d disagrees with the trace record"
             e.Event.step)
       won wins;
+  (* Elasticity events mirror the trace's reshuffle bookkeeping 1:1:
+     one reshuffle event per itemized record, and every membership
+     change (join or leave) produced exactly one reshuffle. *)
+  let reshuffles = List.filter_map (function Event.Reshuffle r -> Some r | _ -> None) events in
+  if List.length reshuffles <> List.length t.Trace.reshuffles then
+    bad "reshuffle-events" "%d reshuffle events for %d trace reshuffles" (List.length reshuffles)
+      (List.length t.Trace.reshuffles)
+  else
+    List.iter2
+      (fun (r : Trace.reshuffle) (e : Event.reshuffle) ->
+        if
+          e.Event.step <> r.Trace.resh_step
+          || e.Event.executors_before <> r.Trace.executors_before
+          || e.Event.executors_after <> r.Trace.executors_after
+          || e.Event.moved_partitions <> r.Trace.moved_partitions
+          || e.Event.rebroadcast_replicas <> r.Trace.rebroadcast_replicas
+          || (not (feq e.Event.moved_bytes r.Trace.moved_bytes))
+          || (not (feq e.Event.rebroadcast_bytes r.Trace.rebroadcast_bytes))
+          || not (feq e.Event.reshuffle_s r.Trace.reshuffle_s)
+        then
+          bad "reshuffle-events" "reshuffle event at step %d disagrees with the trace record"
+            e.Event.step)
+      t.Trace.reshuffles reshuffles;
+  let joins = List.filter_map (function Event.Executor_join j -> Some j | _ -> None) events in
+  let leaves = List.filter_map (function Event.Executor_leave l -> Some l | _ -> None) events in
+  if List.length joins + List.length leaves <> List.length t.Trace.reshuffles then
+    bad "scale-events" "%d membership events for %d trace reshuffles"
+      (List.length joins + List.length leaves)
+      (List.length t.Trace.reshuffles);
   List.rev !acc

@@ -70,6 +70,7 @@ module Gas = Cutfit_bsp.Gas
 module Trace = Cutfit_bsp.Trace
 module Faults = Cutfit_bsp.Faults
 module Speculation = Cutfit_bsp.Speculation
+module Elastic = Cutfit_bsp.Elastic
 
 (* Compact real-execution layer *)
 module Csr = Cutfit_bsp.Csr

@@ -15,10 +15,12 @@ type prepared = {
   checkpoint_every : int option;
   faults : Cutfit_bsp.Faults.config option;
   speculation : Cutfit_bsp.Speculation.config option;
+  elastic : Cutfit_bsp.Elastic.config option;
+  hetero : Cutfit_bsp.Elastic.hetero option;
 }
 
 let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0)
-    ?checkpoint_every ?faults ?speculation ?telemetry ~algorithm g =
+    ?checkpoint_every ?faults ?speculation ?elastic ?hetero ?telemetry ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -31,7 +33,19 @@ let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale 
       (Cutfit_check.Pgraph_check.assignment g ~num_partitions assignment);
   let pg = Pgraph.build g ~num_partitions assignment in
   let p =
-    { graph = g; pg; cluster; partitioner; scale; telemetry; checkpoint_every; faults; speculation }
+    {
+      graph = g;
+      pg;
+      cluster;
+      partitioner;
+      scale;
+      telemetry;
+      checkpoint_every;
+      faults;
+      speculation;
+      elastic;
+      hetero;
+    }
   in
   if check then
     Cutfit_check.Violation.raise_if_any
@@ -40,7 +54,7 @@ let prepare ?(check = false) ?(cluster = Cluster.config_i) ?partitioner ?(scale 
   p
 
 let of_pgraph ?(cluster = Cluster.config_i) ?(scale = 1.0) ?checkpoint_every ?faults ?speculation
-    ?telemetry ~partitioner pg =
+    ?elastic ?hetero ?telemetry ~partitioner pg =
   if cluster.Cluster.num_partitions <> Pgraph.num_partitions pg then
     invalid_arg "Pipeline.of_pgraph: cluster and partitioned graph disagree on partition count";
   {
@@ -53,6 +67,8 @@ let of_pgraph ?(cluster = Cluster.config_i) ?(scale = 1.0) ?checkpoint_every ?fa
     checkpoint_every;
     faults;
     speculation;
+    elastic;
+    hetero;
   }
 
 let metrics p = Pgraph.metrics p.pg
@@ -78,7 +94,8 @@ let pagerank ?iterations p =
   start_run p "pagerank";
   let r =
     Cutfit_algo.Pagerank.run ?iterations ~scale:p.scale ?checkpoint_every:p.checkpoint_every
-      ?faults:p.faults ?speculation:p.speculation ?telemetry:p.telemetry ~cluster:p.cluster p.pg
+      ?faults:p.faults ?speculation:p.speculation ?elastic:p.elastic ?hetero:p.hetero
+      ?telemetry:p.telemetry ~cluster:p.cluster p.pg
   in
   (r.Cutfit_algo.Pagerank.ranks, r.Cutfit_algo.Pagerank.trace)
 
@@ -87,7 +104,7 @@ let connected_components ?iterations p =
   let r =
     Cutfit_algo.Connected_components.run ?iterations ~scale:p.scale
       ?checkpoint_every:p.checkpoint_every ?faults:p.faults ?speculation:p.speculation
-      ?telemetry:p.telemetry ~cluster:p.cluster p.pg
+      ?elastic:p.elastic ?hetero:p.hetero ?telemetry:p.telemetry ~cluster:p.cluster p.pg
   in
   (r.Cutfit_algo.Connected_components.labels, r.Cutfit_algo.Connected_components.trace)
 
@@ -107,7 +124,8 @@ let shortest_paths ~landmarks p =
   start_run p "shortest_paths";
   let r =
     Cutfit_algo.Sssp.run ~scale:p.scale ?checkpoint_every:p.checkpoint_every ?faults:p.faults
-      ?speculation:p.speculation ?telemetry:p.telemetry ~cluster:p.cluster ~landmarks p.pg
+      ?speculation:p.speculation ?elastic:p.elastic ?hetero:p.hetero ?telemetry:p.telemetry
+      ~cluster:p.cluster ~landmarks p.pg
   in
   (r.Cutfit_algo.Sssp.distances, r.Cutfit_algo.Sssp.trace)
 

@@ -35,6 +35,12 @@ type prepared = {
       (** deterministic fault schedule, threaded into every Pregel/GAS run *)
   speculation : Cutfit_bsp.Speculation.config option;
       (** straggler-mitigation config, threaded into every Pregel/GAS run *)
+  elastic : Cutfit_bsp.Elastic.config option;
+      (** scale-event schedule (joins/leaves/preemptions), threaded into
+          every Pregel/GAS run *)
+  hetero : Cutfit_bsp.Elastic.hetero option;
+      (** per-executor speed/bandwidth multipliers, threaded into every
+          Pregel/GAS run *)
 }
 
 val prepare :
@@ -45,6 +51,8 @@ val prepare :
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
   ?speculation:Cutfit_bsp.Speculation.config ->
+  ?elastic:Cutfit_bsp.Elastic.config ->
+  ?hetero:Cutfit_bsp.Elastic.hetero ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   algorithm:Advisor.algorithm ->
   Cutfit_graph.Graph.t ->
@@ -54,11 +62,12 @@ val prepare :
     Existing callers are unchanged — omitting [telemetry] keeps the
     zero-allocation fast path in the engines.
 
-    [checkpoint_every], [faults] and [speculation] are forwarded to
-    every Pregel/GAS run launched from this preparation. Triangle
-    counting builds its stages outside those engines, so neither the
-    fault schedule nor speculative re-execution applies to it — a TR run
-    in a faulty pipeline simply executes fault-free.
+    [checkpoint_every], [faults], [speculation], [elastic] and [hetero]
+    are forwarded to every Pregel/GAS run launched from this
+    preparation. Triangle counting builds its stages outside those
+    engines, so none of the fault schedule, speculative re-execution or
+    the elasticity layer applies to it — a TR run in a faulty or
+    elastic pipeline simply executes statically.
 
     With [~check:true] the assignment is validated before the build and
     the frozen {!Cutfit_bsp.Pgraph} plus its metrics are sanitized after
@@ -72,6 +81,8 @@ val of_pgraph :
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
   ?speculation:Cutfit_bsp.Speculation.config ->
+  ?elastic:Cutfit_bsp.Elastic.config ->
+  ?hetero:Cutfit_bsp.Elastic.hetero ->
   ?telemetry:Cutfit_obs.Telemetry.t ->
   partitioner:Cutfit_partition.Partitioner.t ->
   Cutfit_bsp.Pgraph.t ->

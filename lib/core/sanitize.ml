@@ -40,13 +40,13 @@ let payload ~scale ~landmarks algorithm =
    every run yields a canonical digest of its final vertex values —
    what the fault suite compares bit-for-bit across baseline and faulty
    executions. *)
-let run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale ~landmarks
-    ~algorithm g =
+let run_once ?checkpoint_every ?faults ?speculation ?elastic ?hetero ~cluster ~partitioner
+    ~scale ~landmarks ~algorithm g =
   let sink, contents = Obs.Sink.ring ~capacity:65536 () in
   let telemetry = Obs.Telemetry.create ~sinks:[ sink ] () in
   let p =
     Pipeline.prepare ~cluster ~partitioner ~scale ?checkpoint_every ?faults ?speculation
-      ~telemetry ~algorithm g
+      ?elastic ?hetero ~telemetry ~algorithm g
   in
   let trace, attrs_digest =
     match algorithm with
@@ -67,7 +67,7 @@ let run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale
   (p, trace, attrs_digest, contents ())
 
 let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpoint_every ?faults
-    ?speculation ?engine_domains ?race_domains ?dynamic ~algorithm g =
+    ?speculation ?elastic ?hetero ?engine_domains ?race_domains ?dynamic ~algorithm g =
   let num_partitions = cluster.Cluster.num_partitions in
   let partitioner =
     match partitioner with
@@ -80,16 +80,22 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
     | _ -> [||]
   in
   let p, trace, attrs_digest, events =
-    run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale ~landmarks
-      ~algorithm g
+    run_once ?checkpoint_every ?faults ?speculation ?elastic ?hetero ~cluster ~partitioner
+      ~scale ~landmarks ~algorithm g
   in
   let assignment = Pgraph.assignment p.Pipeline.pg in
   let pgraph_v = Check.Pgraph_check.validate p.Pipeline.pg in
   let metrics_v =
     Check.Metrics_check.validate p.Pipeline.graph ~num_partitions assignment (Pipeline.metrics p)
   in
+  (* On an elastic (or heterogeneous) run the conservation suite is run
+     through its {!Elastic_check} alias — same laws, but the suite name
+     in a violation points the reader at the membership chain. *)
   let trace_v =
-    Check.Trace_check.validate ?payload:(payload ~scale ~landmarks algorithm) trace
+    let payload = payload ~scale ~landmarks algorithm in
+    match (elastic, hetero) with
+    | None, None -> Check.Trace_check.validate ?payload trace
+    | _ -> Check.Elastic_check.validate_elastic ?payload trace
   in
   let telemetry_v = Check.Trace_check.reconcile trace events in
   let trace_digest = Check.Determinism.trace_digest trace in
@@ -99,8 +105,8 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
   in
   let digest_of_run () =
     let _, trace, _, events =
-      run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale ~landmarks
-        ~algorithm g
+      run_once ?checkpoint_every ?faults ?speculation ?elastic ?hetero ~cluster ~partitioner
+        ~scale ~landmarks ~algorithm g
     in
     Check.Determinism.trace_digest trace ^ "/" ^ Check.Determinism.events_digest events
   in
@@ -115,11 +121,29 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
     | None, None -> None
     | _ ->
         let _, baseline, baseline_attrs, _ =
-          run_once ~cluster ~partitioner ~scale ~landmarks ~algorithm g
+          run_once ?elastic ?hetero ~cluster ~partitioner ~scale ~landmarks ~algorithm g
         in
         Some
           (Check.Fault_check.equivalence ~label ~baseline ~faulty:trace
              ~baseline_attrs ~faulty_attrs:attrs_digest ())
+  in
+  (* Dual of the faults suite for membership churn: replay the pipeline
+     statically and homogeneously (same fault schedule, if any) and
+     prove scale events perturbed only time and locality — bit-identical
+     vertex values, unchanged placement-independent structure, and an
+     unbroken membership chain through the reshuffle records. *)
+  let elastic_v =
+    match (elastic, hetero) with
+    | None, None -> None
+    | _ ->
+        let _, baseline, baseline_attrs, _ =
+          run_once ?checkpoint_every ?faults ?speculation ~cluster ~partitioner ~scale ~landmarks
+            ~algorithm g
+        in
+        Some
+          (Check.Elastic_check.equivalence ~label ~executors:cluster.Cluster.executors
+             ~num_partitions ~baseline ~elastic:trace ~baseline_attrs
+             ~elastic_attrs:attrs_digest ())
   in
   (* The engines suite runs the boxed oracle and the compact Csr kernel
      over the same partitioned graph and insists on bit-identical vertex
@@ -183,6 +207,7 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
       ("determinism", List.length determinism_v);
     ]
     @ (match faults_v with None -> [] | Some v -> [ ("faults", List.length v) ])
+    @ (match elastic_v with None -> [] | Some v -> [ ("elastic", List.length v) ])
     @ (match engines_v with None -> [] | Some v -> [ ("engines", List.length v) ])
     @ (match races_v with None -> [] | Some v -> [ ("races", List.length v) ])
     @ match dynamic_v with None -> [] | Some v -> [ ("dynamic", List.length v) ]
@@ -194,6 +219,7 @@ let check_run ?(cluster = Cluster.config_i) ?partitioner ?(scale = 1.0) ?checkpo
     violations =
       pgraph_v @ metrics_v @ trace_v @ telemetry_v @ determinism_v
       @ Option.value ~default:[] faults_v
+      @ Option.value ~default:[] elastic_v
       @ Option.value ~default:[] engines_v
       @ Option.value ~default:[] races_v
       @ Option.value ~default:[] dynamic_v;

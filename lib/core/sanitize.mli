@@ -24,7 +24,13 @@
     corruptions ({!Cutfit_check.Race_check}). With [dynamic] a
     [dynamic] suite replays the mutation schedule from a fresh
     streaming cut of the same graph and proves the three dynamic-graph
-    laws ({!Cutfit_dynamic.Dyn_check}). *)
+    laws ({!Cutfit_dynamic.Dyn_check}). With [elastic] (a scale-event
+    schedule) or [hetero] (per-executor speed/bandwidth multipliers) an
+    [elastic] suite replays the pipeline statically and homogeneously
+    and proves membership churn perturbed only time and locality —
+    bit-identical vertex values, unchanged placement-independent
+    structure, an unbroken membership chain
+    ({!Cutfit_check.Elastic_check}). *)
 
 type report = {
   algorithm : Advisor.algorithm;
@@ -44,6 +50,8 @@ val check_run :
   ?checkpoint_every:int ->
   ?faults:Cutfit_bsp.Faults.config ->
   ?speculation:Cutfit_bsp.Speculation.config ->
+  ?elastic:Cutfit_bsp.Elastic.config ->
+  ?hetero:Cutfit_bsp.Elastic.hetero ->
   ?engine_domains:int list ->
   ?race_domains:int list ->
   ?dynamic:Cutfit_dynamic.Mutation.config ->
@@ -55,6 +63,7 @@ val check_run :
     landmarks as {!Pipeline.compare_partitioners}. Runs the pipeline
     three times in total (once observed, twice for the determinism
     digest) — four with [faults] or [speculation], which add the
-    unperturbed baseline for the equivalence suite. *)
+    unperturbed baseline for the equivalence suite, and one more with
+    [elastic] or [hetero] for the static-replay baseline. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -140,6 +140,32 @@ type repartition = {
   at_s : float;
 }
 
+type executor_join = {
+  step : int;  (** engines: superstep; workload: the spec's integer time *)
+  count : int;
+  executors : int;  (** live membership after the join *)
+}
+
+type executor_leave = { step : int; count : int; executors : int }
+
+type reshuffle = {
+  step : int;
+  executors_before : int;
+  executors_after : int;
+  moved_partitions : int;
+  moved_bytes : float;  (** outside the wire-payload law, like recovery traffic *)
+  rebroadcast_replicas : int;
+  rebroadcast_bytes : float;
+  reshuffle_s : float;
+}
+
+type tenant_throttle = {
+  tenant : string;
+  job_id : int;
+  at_s : float;
+  pending : int;  (** the tenant's pending jobs when the quota fired *)
+}
+
 type t =
   | Run_start of { label : string }
   | Superstep of superstep
@@ -160,6 +186,10 @@ type t =
   | Cache_op of cache_op
   | Mutation_batch of mutation_batch
   | Repartition of repartition
+  | Executor_join of executor_join
+  | Executor_leave of executor_leave
+  | Reshuffle of reshuffle
+  | Tenant_throttle of tenant_throttle
 
 let skew s =
   if s.min_task_s > 0.0 then s.max_task_s /. s.min_task_s
@@ -374,6 +404,44 @@ let to_json = function
           ("repaired_vertices", Json.Int r.repaired_vertices);
           ("moved_replicas", Json.Int r.moved_replicas);
           ("at_s", Json.Float r.at_s);
+        ]
+  | Executor_join e ->
+      Json.Obj
+        [
+          ("type", Json.String "executor_join");
+          ("step", Json.Int e.step);
+          ("count", Json.Int e.count);
+          ("executors", Json.Int e.executors);
+        ]
+  | Executor_leave e ->
+      Json.Obj
+        [
+          ("type", Json.String "executor_leave");
+          ("step", Json.Int e.step);
+          ("count", Json.Int e.count);
+          ("executors", Json.Int e.executors);
+        ]
+  | Reshuffle r ->
+      Json.Obj
+        [
+          ("type", Json.String "reshuffle");
+          ("step", Json.Int r.step);
+          ("executors_before", Json.Int r.executors_before);
+          ("executors_after", Json.Int r.executors_after);
+          ("moved_partitions", Json.Int r.moved_partitions);
+          ("moved_bytes", Json.Float r.moved_bytes);
+          ("rebroadcast_replicas", Json.Int r.rebroadcast_replicas);
+          ("rebroadcast_bytes", Json.Float r.rebroadcast_bytes);
+          ("reshuffle_s", Json.Float r.reshuffle_s);
+        ]
+  | Tenant_throttle t ->
+      Json.Obj
+        [
+          ("type", Json.String "tenant_throttle");
+          ("tenant", Json.String t.tenant);
+          ("job_id", Json.Int t.job_id);
+          ("at_s", Json.Float t.at_s);
+          ("pending", Json.Int t.pending);
         ]
 
 let field kind name conv j =
@@ -653,6 +721,54 @@ let repartition_of_json j =
          at_s;
        })
 
+let executor_join_of_json j =
+  let int name = field "executor_join" name Json.to_int j in
+  let* step = int "step" in
+  let* count = int "count" in
+  let* executors = int "executors" in
+  Ok (Executor_join { step; count; executors })
+
+let executor_leave_of_json j =
+  let int name = field "executor_leave" name Json.to_int j in
+  let* step = int "step" in
+  let* count = int "count" in
+  let* executors = int "executors" in
+  Ok (Executor_leave { step; count; executors })
+
+let reshuffle_of_json j =
+  let int name = field "reshuffle" name Json.to_int j in
+  let flt name = field "reshuffle" name Json.to_float j in
+  let* step = int "step" in
+  let* executors_before = int "executors_before" in
+  let* executors_after = int "executors_after" in
+  let* moved_partitions = int "moved_partitions" in
+  let* moved_bytes = flt "moved_bytes" in
+  let* rebroadcast_replicas = int "rebroadcast_replicas" in
+  let* rebroadcast_bytes = flt "rebroadcast_bytes" in
+  let* reshuffle_s = flt "reshuffle_s" in
+  Ok
+    (Reshuffle
+       {
+         step;
+         executors_before;
+         executors_after;
+         moved_partitions;
+         moved_bytes;
+         rebroadcast_replicas;
+         rebroadcast_bytes;
+         reshuffle_s;
+       })
+
+let tenant_throttle_of_json j =
+  let int name = field "tenant_throttle" name Json.to_int j in
+  let flt name = field "tenant_throttle" name Json.to_float j in
+  let str name = field "tenant_throttle" name Json.to_string_opt j in
+  let* tenant = str "tenant" in
+  let* job_id = int "job_id" in
+  let* at_s = flt "at_s" in
+  let* pending = int "pending" in
+  Ok (Tenant_throttle { tenant; job_id; at_s; pending })
+
 let of_json j =
   let* kind = field "event" "type" Json.to_string_opt j in
   match kind with
@@ -677,6 +793,10 @@ let of_json j =
   | "cache_op" -> cache_op_of_json j
   | "mutation_batch" -> mutation_batch_of_json j
   | "repartition" -> repartition_of_json j
+  | "executor_join" -> executor_join_of_json j
+  | "executor_leave" -> executor_leave_of_json j
+  | "reshuffle" -> reshuffle_of_json j
+  | "tenant_throttle" -> tenant_throttle_of_json j
   | other -> Error (Printf.sprintf "event: unknown type %S" other)
 
 let to_line t = Json.to_string (to_json t)
@@ -757,3 +877,16 @@ let pp ppf = function
          %d moved) at %.2fs"
         r.batch r.graph r.choice r.refresh_s r.rebuild_s r.placed_edges r.repaired_vertices
         r.moved_replicas r.at_s
+  | Executor_join e ->
+      Format.fprintf ppf "scale step %2d: +%d executor(s), now %d" e.step e.count e.executors
+  | Executor_leave e ->
+      Format.fprintf ppf "scale step %2d: -%d executor(s), now %d" e.step e.count e.executors
+  | Reshuffle r ->
+      Format.fprintf ppf
+        "reshfl step %2d: %d -> %d executors; %d partition(s) %.0fB moved, %d replica(s) %.0fB \
+         rebroadcast in %.3fs"
+        r.step r.executors_before r.executors_after r.moved_partitions r.moved_bytes
+        r.rebroadcast_replicas r.rebroadcast_bytes r.reshuffle_s
+  | Tenant_throttle t ->
+      Format.fprintf ppf "throttle %-8s: job %d held at quota (%d pending) at %.2fs" t.tenant
+        t.job_id t.pending t.at_s

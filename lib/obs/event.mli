@@ -204,6 +204,36 @@ type repartition = {
   at_s : float;
 }
 
+type executor_join = {
+  step : int;
+      (** engines: the superstep before which the join landed; workload:
+          the scale spec's integer time *)
+  count : int;
+  executors : int;  (** live membership after the join *)
+}
+
+type executor_leave = { step : int; count : int; executors : int }
+
+type reshuffle = {
+  step : int;
+  executors_before : int;
+  executors_after : int;
+  moved_partitions : int;  (** partitions whose home executor changed *)
+  moved_bytes : float;
+      (** resident bytes re-shipped; outside the superstep wire-payload
+          law, like recovery traffic *)
+  rebroadcast_replicas : int;
+  rebroadcast_bytes : float;
+  reshuffle_s : float;
+}
+
+type tenant_throttle = {
+  tenant : string;
+  job_id : int;
+  at_s : float;
+  pending : int;  (** the tenant's pending jobs when the quota fired *)
+}
+
 type t =
   | Run_start of { label : string }
       (** segments multi-run streams (e.g. [compare] traces) *)
@@ -225,6 +255,10 @@ type t =
   | Cache_op of cache_op
   | Mutation_batch of mutation_batch
   | Repartition of repartition
+  | Executor_join of executor_join
+  | Executor_leave of executor_leave
+  | Reshuffle of reshuffle
+  | Tenant_throttle of tenant_throttle
 
 val skew : superstep -> float
 (** [max_task_s /. min_task_s], or [infinity] when the smallest task is

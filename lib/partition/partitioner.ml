@@ -39,6 +39,52 @@ let of_string s =
 
 let pp ppf t = Format.pp_print_string ppf (name t)
 
+(* Capability-aware placement for heterogeneous clusters: each
+   partition's capacity is weighted by the speed of its home executor
+   (the standard [p mod executors] mapping), and every edge lands in the
+   partition whose speed-weighted cumulative range covers its pair hash.
+   Faster hosts therefore receive proportionally more edges while the
+   partition -> executor mapping itself stays untouched. *)
+let capability ~speeds ~executors =
+  if executors <= 0 then invalid_arg "Partitioner.capability: executors <= 0";
+  Array.iter
+    (fun s -> if s <= 0.0 then invalid_arg "Partitioner.capability: speed <= 0")
+    speeds;
+  let speed e = if e < Array.length speeds then speeds.(e) else 1.0 in
+  let unit_hash u v =
+    let h =
+      Cutfit_prng.Splitmix64.mix64
+        (Int64.logxor
+           (Int64.mul (Int64.of_int u) 0x9E3779B97F4A7C15L)
+           (Int64.add (Int64.mul (Int64.of_int v) 0xBF58476D1CE4E5B9L) 0x94D049BB133111EBL))
+    in
+    Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+  in
+  let assign ~num_partitions g =
+    let cum = Array.make (num_partitions + 1) 0.0 in
+    for p = 0 to num_partitions - 1 do
+      cum.(p + 1) <- cum.(p) +. speed (p mod executors)
+    done;
+    let total = cum.(num_partitions) in
+    let locate u =
+      let target = u *. total in
+      let lo = ref 0 and hi = ref num_partitions in
+      (* invariant: cum.(lo) <= target < cum.(hi) except at the edges *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if cum.(mid) <= target then lo := mid else hi := mid
+      done;
+      !lo
+    in
+    let m = Graph.num_edges g in
+    let out = Array.make m 0 in
+    for i = 0 to m - 1 do
+      out.(i) <- locate (unit_hash (Graph.edge_src g i) (Graph.edge_dst g i))
+    done;
+    out
+  in
+  Custom ("capability", assign)
+
 let assign t ~num_partitions g =
   if num_partitions <= 0 then invalid_arg "Partitioner.assign: num_partitions <= 0";
   match t with

@@ -30,6 +30,17 @@ val of_string : string -> t option
 (* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp : Format.formatter -> t -> unit
 
+val capability : speeds:float array -> executors:int -> t
+(** Capability-aware placement for heterogeneous clusters: a [Custom]
+    partitioner (named ["capability"]) whose partitions are weighted by
+    the speed multiplier of their home executor ([p mod executors], the
+    standard cluster mapping — executors beyond the [speeds] array get
+    weight 1.0). Each edge is placed by a full-avalanche pair hash into
+    the speed-weighted cumulative range it falls in, so faster hosts
+    receive proportionally more edges. Deterministic in the edge list.
+    @raise Invalid_argument if [executors <= 0] or any speed is
+    non-positive. *)
+
 val assign : t -> num_partitions:int -> Cutfit_graph.Graph.t -> int array
 (** [assign t ~num_partitions g] returns the partition of every edge
     index. The result always has length [Graph.num_edges g] and values

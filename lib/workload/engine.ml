@@ -6,6 +6,7 @@ module Partitioner = Cutfit_partition.Partitioner
 module Metrics = Cutfit_partition.Metrics
 module Cluster = Cutfit_bsp.Cluster
 module Cost_model = Cutfit_bsp.Cost_model
+module Elastic = Cutfit_bsp.Elastic
 module Pgraph = Cutfit_bsp.Pgraph
 module Trace = Cutfit_bsp.Trace
 module Faults = Cutfit_bsp.Faults
@@ -60,6 +61,7 @@ let deadline_name = function
   | Factor f -> Printf.sprintf "factor:%g" f
 
 type breaker_trip = {
+  trip_tenant : string;
   trip_dataset : string;
   trip_strategy : string;
   trip_at_s : float;
@@ -67,12 +69,19 @@ type breaker_trip = {
   trip_failures : int;
 }
 
+(* Per-tenant breaker namespaces: one tenant's failures trip only its
+   own breakers. Single-tenant streams keep the bare dataset scope, so
+   pre-tenancy event streams and digests are byte-identical. *)
+let breaker_scope ~tenant ~dataset =
+  if String.equal tenant Job.default_tenant then dataset else tenant ^ "/" ^ dataset
+
 type job_record = {
   job : Job.t;
   strategy : string;
   cache_hit : bool;
   outcome : string;
   attempts : int;
+  preemptions : int;
   recoveries : int;
   recovery_s : float;
   speculations : int;
@@ -138,11 +147,21 @@ type report = {
   mutation_spec : string option;
   mutate_every : int;
   mutation_mode : mutation_mode;
+  scale_spec : string option;
+  tenant_weights : (string * float) list;
+  tenant_quota : int option;
+  tenant_deadlines : (string * deadline) list;
+  fairness : bool;
   records : job_record list;
   failures : job_failure list;
   breaker_trips : breaker_trip list;
   mutations : mutation_record list;
   retries : int;
+  joins : int;
+  leaves : int;
+  preemptions : int;
+  stale_placement_hits : int;
+  fairness_violations : int;
   cache : Cache.stats;
   makespan_s : float;
   total_queue_s : float;
@@ -201,8 +220,9 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     ?(budget_bytes = 8.0e9) ?iterations ?checkpoint_every ?faults ?speculation ?(max_retries = 2)
     ?queue_bound ?(shed_policy = Reject) ?deadline ?breaker_k ?(breaker_cooldown_s = 60.0)
     ?backpressure ?telemetry ?(policy = Fifo) ?(selection = Cache_aware 0.25) ?mutations
-    ?(mutate_every = 8) ?(mutation_mode = Priced) ?(mutation_heuristic = Streaming.Greedy) ~seed
-    jobs =
+    ?(mutate_every = 8) ?(mutation_mode = Priced) ?(mutation_heuristic = Streaming.Greedy)
+    ?scale_events ?(tenant_weights = []) ?tenant_quota ?(tenant_deadlines = [])
+    ?(fairness = false) ~seed jobs =
   if slots < 1 then invalid_arg "Engine.run: slots must be >= 1";
   if mutate_every < 1 then invalid_arg "Engine.run: mutate_every must be >= 1";
   if max_retries < 0 then invalid_arg "Engine.run: max_retries must be >= 0";
@@ -220,8 +240,159 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
   (match backpressure with
   | Some w when w < 0 -> invalid_arg "Engine.run: backpressure watermark must be >= 0"
   | _ -> ());
+  List.iter
+    (fun (tn, w) ->
+      if String.length tn = 0 then invalid_arg "Engine.run: empty tenant name in weights";
+      if not (w > 0.0) then invalid_arg "Engine.run: tenant weights must be > 0")
+    tenant_weights;
+  (match tenant_quota with
+  | Some q when q < 1 -> invalid_arg "Engine.run: tenant_quota must be >= 1"
+  | _ -> ());
+  List.iter
+    (fun (_, d) ->
+      match d with
+      | Absolute s when s <= 0.0 -> invalid_arg "Engine.run: absolute tenant deadline must be > 0"
+      | Factor f when f <= 0.0 -> invalid_arg "Engine.run: tenant deadline factor must be > 0"
+      | _ -> ())
+    tenant_deadlines;
   let cache = Cache.create ~eviction ~budget_bytes () in
   let emit e = match telemetry with None -> () | Some t -> Telemetry.emit t e in
+  (* --- elastic membership timeline --- *)
+  (* Scale events are a static function of simulated time: the spec's
+     join/leave items fold into a membership chain from the initial
+     [slots], clamped to [1, slots + total joins], and every preempt
+     item realizes its victim against the membership at its instant —
+     all decided up front, so the simulation stays bit-reproducible.
+     A leave is a graceful drain: the departing slot finishes its
+     running job and simply never gets another; a join opens a fresh
+     slot at the join instant; a preemption kills the job running on
+     the victim slot mid-flight (spot reclamation). *)
+  let total_joins = match scale_events with None -> 0 | Some c -> Elastic.total_joins c in
+  let max_slots = slots + total_joins in
+  let timeline =
+    match scale_events with
+    | None -> []
+    | Some (c : Elastic.config) ->
+        let step_of = function
+          | Elastic.Join { step; _ } | Elastic.Leave { step; _ } | Elastic.Preempt { step; _ } ->
+              step
+        in
+        let items = List.stable_sort (fun a b -> compare (step_of a) (step_of b)) c.Elastic.items in
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, live) item ->
+                  match item with
+                  | Elastic.Join { step; count } ->
+                      let after = min max_slots (live + count) in
+                      if after = live then (acc, live)
+                      else (`Scale (step, live, after) :: acc, after)
+                  | Elastic.Leave { step; count } ->
+                      let after = max 1 (live - count) in
+                      if after = live then (acc, live)
+                      else (`Scale (step, live, after) :: acc, after)
+                  | Elastic.Preempt { step; retries } ->
+                      let victim = Elastic.victim c ~step ~alive:live in
+                      (`Preempt (step, victim, retries) :: acc, live))
+                ([], slots) items))
+  in
+  let live_at t =
+    List.fold_left
+      (fun live ev ->
+        match ev with
+        | `Scale (step, _, after) when float_of_int step <= t -> after
+        | `Scale _ | `Preempt _ -> live)
+      slots timeline
+  in
+  (* Earliest instant >= [t0] at which slot [s] is a live executor —
+     [None] only for a slot that never (re)joins past [t0]; slot 0 is
+     always live (membership is clamped at 1). *)
+  let slot_usable_from s t0 =
+    if s < live_at t0 then Some t0
+    else
+      List.fold_left
+        (fun acc ev ->
+          match (acc, ev) with
+          | Some _, _ -> acc
+          | None, `Scale (step, _, after) when float_of_int step > t0 && s < after ->
+              Some (float_of_int step)
+          | None, (`Scale _ | `Preempt _) -> None)
+        None timeline
+  in
+  let preempts_for s =
+    List.filter_map
+      (function
+        | `Preempt (step, victim, r) when victim = s -> Some (float_of_int step, r)
+        | `Preempt _ | `Scale _ -> None)
+      timeline
+  in
+  (* Where each cached partitioning lives: the membership at the instant
+     the entry became available. An entry whose placement references a
+     since-departed executor is stale and must never serve a hit — the
+     leave handler invalidates eagerly, and [stale_placement_hits]
+     recounts the law independently on every hit. *)
+  let placements : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let note_placement (k : Cache.key) ~available_s =
+    Hashtbl.replace placements (Cache.key_id k) (live_at available_s)
+  in
+  let stale_placement_hits = ref 0 in
+  let joins = ref 0 and leaves = ref 0 and preemptions = ref 0 in
+  let mpending =
+    ref (List.filter_map (function `Scale e -> Some e | `Preempt _ -> None) timeline)
+  in
+  let process_membership ~upto =
+    let fire, keep =
+      List.partition (fun (step, _, _) -> float_of_int step <= upto) !mpending
+    in
+    mpending := keep;
+    List.iter
+      (fun (step, before, after) ->
+        if after > before then begin
+          incr joins;
+          emit (Event.Executor_join { Event.step; count = after - before; executors = after })
+        end
+        else begin
+          incr leaves;
+          emit (Event.Executor_leave { Event.step; count = before - after; executors = after });
+          (* Satellite law: entries placed on departed executors are
+             dropped the instant the membership shrinks. *)
+          let stale (k : Cache.key) =
+            match Hashtbl.find_opt placements (Cache.key_id k) with
+            | Some placed -> placed > after
+            | None -> false
+          in
+          let snapshot = Cache.stats cache in
+          let dropped = Cache.invalidate cache ~pred:stale in
+          let occ = ref snapshot.Cache.bytes_in_cache and ents = ref snapshot.Cache.entries in
+          List.iter
+            (fun ((k : Cache.key), b) ->
+              Hashtbl.remove placements (Cache.key_id k);
+              occ := !occ -. b;
+              ents := !ents - 1;
+              emit
+                (Event.Cache_op
+                   {
+                     Event.op = "invalidate";
+                     graph = k.Cache.graph;
+                     strategy = k.Cache.strategy;
+                     num_partitions = k.Cache.num_partitions;
+                     bytes = b;
+                     occupancy_bytes = !occ;
+                     entries = !ents;
+                     at_s = float_of_int step;
+                   }))
+            dropped
+        end)
+      fire
+  in
+  (* --- multi-tenancy --- *)
+  let weight_of tn =
+    match List.assoc_opt tn tenant_weights with Some w -> w | None -> 1.0
+  in
+  let tenant_busy : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let busy_of tn = Option.value ~default:0.0 (Hashtbl.find_opt tenant_busy tn) in
+  let note_busy tn s = Hashtbl.replace tenant_busy tn (busy_of tn +. s) in
+  let fairness_violations = ref 0 in
   (* Memoized per-dataset graph (and its paper scale) and per
      (dataset, granularity, metric) advisor rankings — jobs sharing a
      dataset share the measurement, as a resident advisor service
@@ -290,9 +461,11 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
      are (consecutive failures, open-since). *)
   let breakers : (string, int ref * float option ref) Hashtbl.t = Hashtbl.create 16 in
   let breaker_trips = ref [] in
-  let breaker_key ~dataset ~strategy = dataset ^ "/" ^ strategy in
-  let breaker_cell ~dataset ~strategy =
-    let key = breaker_key ~dataset ~strategy in
+  let breaker_key ~tenant ~dataset ~strategy =
+    breaker_scope ~tenant ~dataset ^ "/" ^ strategy
+  in
+  let breaker_cell ~tenant ~dataset ~strategy =
+    let key = breaker_key ~tenant ~dataset ~strategy in
     match Hashtbl.find_opt breakers key with
     | Some c -> c
     | None ->
@@ -300,19 +473,20 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         Hashtbl.replace breakers key c;
         c
   in
-  let breaker_blocks ~at_s ~dataset strategy_name =
+  let breaker_blocks ~at_s ~tenant ~dataset strategy_name =
     match breaker_k with
     | None -> false
     | Some _ -> (
-        match Hashtbl.find_opt breakers (breaker_key ~dataset ~strategy:strategy_name) with
+        match Hashtbl.find_opt breakers (breaker_key ~tenant ~dataset ~strategy:strategy_name) with
         | Some (_, { contents = Some since }) -> at_s < since +. breaker_cooldown_s
         | _ -> false)
   in
-  let breaker_note ~at_s ~dataset ~strategy ok =
+  let breaker_note ~at_s ~tenant ~dataset ~strategy ok =
     match breaker_k with
     | None -> ()
     | Some k ->
-        let fails, open_since = breaker_cell ~dataset ~strategy in
+        let fails, open_since = breaker_cell ~tenant ~dataset ~strategy in
+        let scope = breaker_scope ~tenant ~dataset in
         if ok then begin
           fails := 0;
           match !open_since with
@@ -321,6 +495,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
               open_since := None;
               breaker_trips :=
                 {
+                  trip_tenant = tenant;
                   trip_dataset = dataset;
                   trip_strategy = strategy;
                   trip_at_s = at_s;
@@ -328,7 +503,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                   trip_failures = 0;
                 }
                 :: !breaker_trips;
-              emit (Event.Breaker_close { Event.dataset; strategy; at_s })
+              emit (Event.Breaker_close { Event.dataset = scope; strategy; at_s })
         end
         else begin
           incr fails;
@@ -338,6 +513,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
             open_since := Some at_s;
             breaker_trips :=
               {
+                trip_tenant = tenant;
                 trip_dataset = dataset;
                 trip_strategy = strategy;
                 trip_at_s = at_s;
@@ -345,7 +521,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                 trip_failures = !fails;
               }
               :: !breaker_trips;
-            emit (Event.Breaker_open { Event.dataset; strategy; at_s; failures = !fails })
+            emit (Event.Breaker_open { Event.dataset = scope; strategy; at_s; failures = !fails })
           end
         end
   in
@@ -364,7 +540,9 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
       List.exists (String.equal (Strategy.to_string r.Advisor.strategy)) cached
     in
     let unblocked (r : Advisor.ranked) =
-      not (breaker_blocks ~at_s ~dataset:job.Job.dataset (Strategy.to_string r.Advisor.strategy))
+      not
+        (breaker_blocks ~at_s ~tenant:job.Job.tenant ~dataset:job.Job.dataset
+           (Strategy.to_string r.Advisor.strategy))
     in
     match List.find_opt (fun r -> is_cached r && unblocked r) ranked with
     | Some r -> r.Advisor.strategy
@@ -402,8 +580,10 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     in
     let overloaded = match backpressure with Some w -> depth > w | None -> false in
     if overloaded then degraded_pick ~at_s job
-    else if breaker_blocks ~at_s ~dataset:job.Job.dataset (Strategy.to_string preferred) then
-      degraded_pick ~at_s job
+    else if
+      breaker_blocks ~at_s ~tenant:job.Job.tenant ~dataset:job.Job.dataset
+        (Strategy.to_string preferred)
+    then degraded_pick ~at_s job
     else preferred
   in
   let metrics_of (job : Job.t) strategy =
@@ -440,8 +620,15 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
      across retries: the SLO is a property of the job, not the
      attempt. *)
   let deadlines : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  (* A tenant-level SLO overrides the global one: premium tenants buy
+     tighter (or looser) deadlines without touching anyone else's. *)
+  let deadline_spec_for (job : Job.t) =
+    match List.assoc_opt job.Job.tenant tenant_deadlines with
+    | Some d -> Some d
+    | None -> deadline
+  in
   let deadline_of (job : Job.t) =
-    match deadline with
+    match deadline_spec_for job with
     | None -> None
     | Some d -> (
         match Hashtbl.find_opt deadlines job.Job.id with
@@ -593,6 +780,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                   let before = Cache.stats cache in
                   match Cache.insert cache ~available_s k ~pg:pg' ~bytes ~rebuild_s with
                   | `Inserted evicted ->
+                      note_placement k ~available_s;
                       let occ = ref before.Cache.bytes_in_cache
                       and ents = ref before.Cache.entries in
                       List.iter
@@ -660,10 +848,16 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
   in
   (* One attempt of one job. Returns the attempt's record plus its
      structural status: [`Ok] (recorded as-is), [`Lost] (the cluster
-     died past the run's crash budget — candidate for requeueing), or
-     [`Error reason] (an exception from the pipeline, converted into a
-     failed record so nothing escapes the scheduler loop). *)
-  let execute ~start_s ~attempt ~depth (job : Job.t) =
+     died past the run's crash budget — candidate for requeueing),
+     [`Preempted] (the slot was reclaimed mid-run — requeued without
+     consuming the retry budget), or [`Error reason] (an exception from
+     the pipeline, converted into a failed record so nothing escapes
+     the scheduler loop). *)
+  let preempt_no : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let preempts_of (j : Job.t) =
+    Option.value ~default:0 (Hashtbl.find_opt preempt_no j.Job.id)
+  in
+  let execute ~start_s ~attempt ~slot_preempts ~depth (job : Job.t) =
     let g, scale, _ = graph_of job.Job.dataset in
     let dl = deadline_of job in
     let strategy = choose_strategy ~depth ~at_s:start_s job in
@@ -672,6 +866,16 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
       { Cache.graph = job.Job.dataset; strategy = sname; num_partitions = job.Job.num_partitions }
     in
     let cached = Cache.find cache ~at_s:start_s ckey in
+    (* Stale-placement law: a hit served from an entry whose recorded
+       placement references executors beyond the current membership
+       would hand the job partitions homed on departed hosts. The leave
+       handler invalidates eagerly, so this recount must stay zero. *)
+    (match cached with
+    | Some _ -> (
+        match Hashtbl.find_opt placements (Cache.key_id ckey) with
+        | Some placed when placed > live_at start_s -> incr stale_placement_hits
+        | _ -> ())
+    | None -> ());
     let job_faults = faults_for job ~attempt in
     let prepared, hit =
       match cached with
@@ -707,6 +911,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         cache_hit = hit;
         outcome;
         attempts = attempt;
+        preemptions = preempts_of job;
         recoveries;
         recovery_s;
         speculations;
@@ -787,13 +992,34 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         let overdue =
           (not lost) && match dl with Some d -> natural_finish > d | None -> false
         in
+        (* Spot preemption: the earliest scheduled reclamation of this
+           slot that lands strictly inside the attempt's occupancy wins
+           over both the natural outcome and a later deadline cancel —
+           the slot is simply taken away at that instant. A later
+           attempt on the same slot starts past the reclamation, so a
+           preempt item fires at most once. *)
+        let occupied_until =
+          if overdue then (match dl with Some d -> d | None -> assert false)
+          else natural_finish
+        in
+        let preempt =
+          List.fold_left
+            (fun acc (pt, r) ->
+              if start_s < pt && pt < occupied_until then
+                match acc with Some (best, _) when best <= pt -> acc | _ -> Some (pt, r)
+              else acc)
+            None slot_preempts
+        in
         (* A partitioning built by a run whose cluster then died never
            becomes reusable — it was resident on the lost executors. A
            build that would only have finished past the job's deadline
-           cancel never completed either. *)
+           cancel (or its slot's reclamation) never completed either. *)
         if
           (not hit) && (not lost)
           && (match dl with Some d -> start_s +. partition_cost <= d | None -> true)
+          && (match preempt with
+             | Some (pt, _) -> start_s +. partition_cost <= pt
+             | None -> true)
         then begin
           let bytes = pgraph_bytes ~scale prepared.Pipeline.pg in
           let available_s = start_s +. partition_cost in
@@ -803,6 +1029,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
               ~rebuild_s:partition_cost
           with
           | `Inserted evicted ->
+              note_placement ckey ~available_s;
               let occ = ref before.Cache.bytes_in_cache and ents = ref before.Cache.entries in
               List.iter
                 (fun (k, b) ->
@@ -818,20 +1045,29 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                 ~entries:before.Cache.entries ~at_s:available_s
         end;
         let record =
-          if overdue then begin
-            let d = match dl with Some d -> d | None -> assert false in
-            let run_s = d -. start_s in
-            let truncated_partition_s = Float.min partition_s run_s in
-            mk_record ~outcome:"deadline" ~recoveries:(Trace.num_recoveries trace)
-              ~recovery_s:trace.Trace.recovery_s ~speculations:(Trace.num_speculations trace)
-              ~partition_s:truncated_partition_s
-              ~exec_s:(run_s -. truncated_partition_s)
-          end
-          else
-            mk_record
-              ~outcome:(Trace.outcome_name trace.Trace.outcome)
-              ~recoveries:(Trace.num_recoveries trace) ~recovery_s:trace.Trace.recovery_s
-              ~speculations:(Trace.num_speculations trace) ~partition_s ~exec_s:exec_total
+          match preempt with
+          | Some (pt, _) ->
+              let run_s = pt -. start_s in
+              let truncated_partition_s = Float.min partition_s run_s in
+              mk_record ~outcome:"preempted" ~recoveries:(Trace.num_recoveries trace)
+                ~recovery_s:trace.Trace.recovery_s ~speculations:(Trace.num_speculations trace)
+                ~partition_s:truncated_partition_s
+                ~exec_s:(run_s -. truncated_partition_s)
+          | None ->
+              if overdue then begin
+                let d = match dl with Some d -> d | None -> assert false in
+                let run_s = d -. start_s in
+                let truncated_partition_s = Float.min partition_s run_s in
+                mk_record ~outcome:"deadline" ~recoveries:(Trace.num_recoveries trace)
+                  ~recovery_s:trace.Trace.recovery_s ~speculations:(Trace.num_speculations trace)
+                  ~partition_s:truncated_partition_s
+                  ~exec_s:(run_s -. truncated_partition_s)
+              end
+              else
+                mk_record
+                  ~outcome:(Trace.outcome_name trace.Trace.outcome)
+                  ~recoveries:(Trace.num_recoveries trace) ~recovery_s:trace.Trace.recovery_s
+                  ~speculations:(Trace.num_speculations trace) ~partition_s ~exec_s:exec_total
         in
         emit
           (Event.Job_end
@@ -842,19 +1078,33 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                exec_s = record.exec_s;
                finish_s = record.finish_s;
              });
-        if overdue then begin
-          let d = match dl with Some d -> d | None -> assert false in
-          emit
-            (Event.Deadline_exceeded
-               {
-                 Event.job_id = job.Job.id;
-                 deadline_s = d;
-                 overshoot_s = natural_finish -. d;
-                 started = true;
-               });
-          (record, `Deadline (natural_finish -. d))
-        end
-        else (record, if lost then `Lost else `Ok)
+        (match preempt with
+        | Some (pt, r) ->
+            emit
+              (Event.Fault_injected
+                 {
+                   Event.step = int_of_float pt;
+                   kind = "preempt";
+                   executor = -1;
+                   detail =
+                     Printf.sprintf "slot reclaimed under job %d (attempt %d, backoff r%d)"
+                       job.Job.id attempt r;
+                 });
+            (record, `Preempted (pt, r))
+        | None ->
+            if overdue then begin
+              let d = match dl with Some d -> d | None -> assert false in
+              emit
+                (Event.Deadline_exceeded
+                   {
+                     Event.job_id = job.Job.id;
+                     deadline_s = d;
+                     overshoot_s = natural_finish -. d;
+                     started = true;
+                   });
+              (record, `Deadline (natural_finish -. d))
+            end
+            else (record, if lost then `Lost else `Ok))
   in
   (* --- discrete-event loop over executor slots --- *)
   (* The future queue carries [(ready_s, job)]: initially the job's own
@@ -899,6 +1149,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                 cache_hit = false;
                 outcome = "invalid";
                 attempts = 0;
+                preemptions = 0;
                 recoveries = 0;
                 recovery_s = 0.0;
                 speculations = 0;
@@ -919,9 +1170,9 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
   let attempt_no : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let attempt_of (j : Job.t) = Option.value ~default:1 (Hashtbl.find_opt attempt_no j.Job.id) in
   let pending = ref [] in
-  let slot_free = Array.make slots 0.0 in
+  let slot_free = Array.make max_slots 0.0 in
   let more () = match (!future, !pending) with [], [] -> false | _ -> true in
-  let pick ~at_s = function
+  let pick_base ~at_s = function
     | [] -> None
     | first :: rest ->
         let better (a : Job.t) (b : Job.t) =
@@ -935,6 +1186,41 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         in
         Some (List.fold_left (fun best c -> if better c best then c else best) first rest)
   in
+  (* Weighted fair sharing (DRF over the single bottleneck resource,
+     slot busy-time): serve the pending tenant with the smallest
+     weighted service deficit, then let the scheduling policy order the
+     jobs within the chosen tenant. Without [fairness] the policy ranges
+     over the whole queue — a greedy tenant can starve the others. *)
+  let pick ~at_s queue =
+    if not fairness then pick_base ~at_s queue
+    else
+      match queue with
+      | [] -> None
+      | first :: _ ->
+          let deficit tn = busy_of tn /. weight_of tn in
+          let tenants =
+            List.fold_left
+              (fun acc (j : Job.t) ->
+                if List.exists (String.equal j.Job.tenant) acc then acc
+                else j.Job.tenant :: acc)
+              [] queue
+            |> List.rev
+          in
+          let chosen =
+            List.fold_left
+              (fun best tn ->
+                let d = deficit tn and db = deficit best in
+                if d < db || (d = db && String.compare tn best < 0) then tn else best)
+              first.Job.tenant tenants
+          in
+          (* Independent recount of the fairness law: no pending tenant
+             may hold a strictly smaller weighted deficit than the
+             tenant just served. *)
+          if List.exists (fun tn -> deficit tn < deficit chosen) tenants then
+            incr fairness_violations;
+          pick_base ~at_s
+            (List.filter (fun (j : Job.t) -> String.equal j.Job.tenant chosen) queue)
+  in
   let fail record reason =
     records := { record with failed = true } :: !records;
     failures := { job_id = record.job.Job.id; failed_attempts = record.attempts; reason } :: !failures
@@ -942,7 +1228,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
   (* A job the admission queue refused: a failed zero-cost record at the
      shed instant. Sheds never consume a retry attempt and never touch
      the cache. *)
-  let shed ~at_s ~depth (j : Job.t) =
+  let shed ?(why = `Admission) ~at_s ~depth (j : Job.t) =
     let launched = max 0 (attempt_of j - 1) in
     let record =
       {
@@ -951,6 +1237,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         cache_hit = false;
         outcome = "shed";
         attempts = launched;
+        preemptions = preempts_of j;
         recoveries = 0;
         recovery_s = 0.0;
         speculations = 0;
@@ -963,17 +1250,20 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         finish_s = at_s;
       }
     in
+    let policy_str =
+      match why with `Admission -> shed_policy_name shed_policy | `Quota -> "quota"
+    in
     fail record
-      (Printf.sprintf "shed by admission control (%s, queue depth %d)"
-         (shed_policy_name shed_policy) depth);
+      (match why with
+      | `Admission ->
+          Printf.sprintf "shed by admission control (%s, queue depth %d)"
+            (shed_policy_name shed_policy) depth
+      | `Quota ->
+          Printf.sprintf "shed by the tenant quota (%s already has %d job(s) queued)"
+            j.Job.tenant depth);
     emit
       (Event.Job_shed
-         {
-           Event.job_id = j.Job.id;
-           at_s;
-           queue_depth = depth;
-           policy = shed_policy_name shed_policy;
-         })
+         { Event.job_id = j.Job.id; at_s; queue_depth = depth; policy = policy_str })
   in
   (* Bounded admission: a first-attempt job meeting a full queue is shed
      ([Reject]) or displaces the oldest queued job ([Drop_oldest]).
@@ -982,7 +1272,29 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
   let admit ~ready (j : Job.t) =
     if attempt_of j > 1 then pending := !pending @ [ j ]
     else
-      match queue_bound with
+      let quota_blocked =
+        match tenant_quota with
+        | None -> None
+        | Some q ->
+            let mine =
+              List.length
+                (List.filter
+                   (fun (x : Job.t) -> String.equal x.Job.tenant j.Job.tenant)
+                   !pending)
+            in
+            if mine >= q then Some mine else None
+      in
+      match quota_blocked with
+      | Some mine ->
+          (* Per-tenant admission quota: the tenant already holds its
+             full share of the queue, so the job is throttled and shed
+             — other tenants' queue claims are untouched. *)
+          emit
+            (Event.Tenant_throttle
+               { Event.tenant = j.Job.tenant; job_id = j.Job.id; at_s = ready; pending = mine });
+          shed ~why:`Quota ~at_s:ready ~depth:mine j
+      | None -> (
+          match queue_bound with
       | Some bound when List.length !pending >= bound -> (
           let depth = List.length !pending in
           match shed_policy with
@@ -1001,15 +1313,15 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
               pending := List.filter (fun (x : Job.t) -> x.Job.id <> oldest.Job.id) !pending;
               shed ~at_s:ready ~depth oldest;
               pending := !pending @ [ j ])
-      | _ -> pending := !pending @ [ j ]
+          | _ -> pending := !pending @ [ j ])
   in
   (* SLO enforcement in the queue: any pending job already past its
      deadline is cancelled where it stands — a failed record pinned at
      the deadline instant, no slot time, no retry consumed. *)
   let cull_expired ~at_s =
-    match deadline with
-    | None -> ()
-    | Some _ ->
+    match (deadline, tenant_deadlines) with
+    | None, [] -> ()
+    | _ ->
         let expired, alive =
           List.partition
             (fun (j : Job.t) ->
@@ -1028,6 +1340,7 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
                 cache_hit = false;
                 outcome = "deadline";
                 attempts = launched;
+                preemptions = preempts_of j;
                 recoveries = 0;
                 recovery_s = 0.0;
                 speculations = 0;
@@ -1052,44 +1365,60 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
           expired
   in
   while more () do
+    (* The next launch goes to the slot that can usably run soonest:
+       free time for a live slot, the (re)join instant for one that is
+       not yet (or no longer) a member. Slot 0 is always live, so the
+       scan always finds a candidate. *)
     let slot = ref 0 in
-    for i = 1 to slots - 1 do
-      if slot_free.(i) < slot_free.(!slot) then slot := i
+    let best = ref (match slot_usable_from 0 slot_free.(0) with Some t -> t | None -> 0.0) in
+    for i = 1 to max_slots - 1 do
+      match slot_usable_from i slot_free.(i) with
+      | Some t when t < !best ->
+          slot := i;
+          best := t
+      | Some _ | None -> ()
     done;
-    let t0 = slot_free.(!slot) in
+    let t0 = !best in
     (* With an empty queue the slot idles until the next ready job. *)
     let t =
       match (!pending, !future) with
       | [], (ready, _) :: _ -> Float.max t0 ready
       | _ -> t0
     in
+    (* An idle jump may carry the chosen slot past a leave that retires
+       it; re-anchor on its next usable instant. *)
+    let t = match slot_usable_from !slot t with Some t' -> t' | None -> t in
     let arrived, rest = List.partition (fun (ready, _) -> ready <= t) !future in
     future := rest;
     List.iter (fun (ready, j) -> admit ~ready j) arrived;
     cull_expired ~at_s:t;
     match pick ~at_s:t !pending with
-    | None -> ()
+    | None -> process_membership ~upto:t
     | Some job -> (
         pending := List.filter (fun (j : Job.t) -> j.Job.id <> job.Job.id) !pending;
         let mutation_delay_s = apply_mutations ~at_s:t job in
+        let start_s = t +. mutation_delay_s in
+        process_membership ~upto:start_s;
         let attempt = attempt_of job in
         let record, status =
-          execute ~start_s:(t +. mutation_delay_s) ~attempt ~depth:(List.length !pending) job
+          execute ~start_s ~attempt ~slot_preempts:(preempts_for !slot)
+            ~depth:(List.length !pending) job
         in
         slot_free.(!slot) <- record.finish_s;
+        note_busy job.Job.tenant (record.partition_s +. record.exec_s);
         (* The breaker judges the attempt's real verdict: aborted, error
-           and out-of-memory count against the (dataset, strategy) pair;
-           deadline cancels are slowness, not a strategy failure, and
-           carry no verdict. *)
+           and out-of-memory count against the (tenant, dataset,
+           strategy) triple; deadline cancels and preemptions are
+           environment, not a strategy failure, and carry no verdict. *)
         (match status with
-        | `Deadline _ -> ()
+        | `Deadline _ | `Preempted _ -> ()
         | (`Ok | `Error _ | `Lost) as s ->
             let ok =
               match s with
               | `Error _ | `Lost -> false
               | `Ok -> not (String.equal record.outcome "out-of-memory")
             in
-            breaker_note ~at_s:record.finish_s ~dataset:job.Job.dataset
+            breaker_note ~at_s:record.finish_s ~tenant:job.Job.tenant ~dataset:job.Job.dataset
               ~strategy:record.strategy ok);
         match status with
         | `Ok -> records := record :: !records
@@ -1097,6 +1426,34 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
         | `Deadline overshoot ->
             fail record
               (Printf.sprintf "cancelled at its SLO deadline (ran %.2f s over)" overshoot)
+        | `Preempted (_, r) ->
+            (* Spot reclamation is an involuntary failure — the same
+               rule that keeps sheds and deadline culls from consuming
+               the retry budget applies: the job requeues with a fresh
+               attempt but its budget untouched, unless its SLO leaves
+               no room to resubmit. *)
+            incr preemptions;
+            Hashtbl.replace preempt_no job.Job.id (preempts_of job + 1);
+            let delay_s = retry_delay_s ~attempt:(max 1 r) in
+            let resubmit_s = record.finish_s +. delay_s in
+            let deadline_allows =
+              match deadline_of job with Some d -> resubmit_s < d | None -> true
+            in
+            if deadline_allows then begin
+              emit (Event.Job_retry { Event.job_id = job.Job.id; attempt; delay_s; resubmit_s });
+              incr retries;
+              Hashtbl.replace attempt_no job.Job.id (attempt + 1);
+              future := insert_future (resubmit_s, job) !future
+            end
+            else
+              (* The record was built before this preemption was
+                 counted; refresh it so the conservation law (summed
+                 record preemptions = the report counter) holds. *)
+              fail
+                { record with preemptions = preempts_of job }
+                (Printf.sprintf
+                   "preempted and the SLO deadline leaves no time to resubmit (%d attempt(s))"
+                   attempt)
         | `Lost ->
             (* The job's cluster died past its crash budget: every cached
                partitioning was resident on it, so the whole cache is
@@ -1119,7 +1476,9 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
             let deadline_allows =
               match deadline_of job with Some d -> resubmit_s < d | None -> true
             in
-            if attempt <= max_retries && deadline_allows then begin
+            (* Preempted attempts were involuntary: only the voluntary
+               ones count against the retry budget. *)
+            if attempt - preempts_of job <= max_retries && deadline_allows then begin
               emit
                 (Event.Job_retry { Event.job_id = job.Job.id; attempt; delay_s; resubmit_s });
               incr retries;
@@ -1135,6 +1494,9 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
               fail record
                 (Printf.sprintf "cluster lost beyond the retry budget (%d attempt(s))" attempt))
   done;
+  (* Flush scale events past the last launch so the event stream and
+     the report agree on the whole spec. *)
+  process_membership ~upto:infinity;
   let records = List.sort (fun a b -> compare a.job.Job.id b.job.Job.id) !records in
   let failures =
     List.sort (fun (a : job_failure) b -> compare a.job_id b.job_id) !failures
@@ -1163,11 +1525,21 @@ let run ?(cluster = Cluster.config_i) ?(slots = 2) ?(eviction = Cache.Lru)
     mutation_spec = Option.map (fun (c : Mutation.config) -> c.Mutation.raw) mutations;
     mutate_every;
     mutation_mode;
+    scale_spec = Option.map (fun (c : Elastic.config) -> c.Elastic.raw) scale_events;
+    tenant_weights;
+    tenant_quota;
+    tenant_deadlines;
+    fairness;
     records;
     failures;
     breaker_trips = List.rev !breaker_trips;
     mutations = List.rev !mutation_log;
     retries = !retries;
+    joins = !joins;
+    leaves = !leaves;
+    preemptions = !preemptions;
+    stale_placement_hits = !stale_placement_hits;
+    fairness_violations = !fairness_violations;
     cache = Cache.stats cache;
     makespan_s;
     total_queue_s;
@@ -1192,10 +1564,12 @@ let record_json r =
       ("dataset", Json.String r.job.Job.dataset);
       ("num_partitions", Json.Int r.job.Job.num_partitions);
       ("arrival_s", Json.Float r.job.Job.arrival_s);
+      ("tenant", Json.String r.job.Job.tenant);
       ("strategy", Json.String r.strategy);
       ("cache_hit", Json.Bool r.cache_hit);
       ("outcome", Json.String r.outcome);
       ("attempts", Json.Int r.attempts);
+      ("preemptions", Json.Int r.preemptions);
       ("recoveries", Json.Int r.recoveries);
       ("recovery_s", Json.Float r.recovery_s);
       ("speculations", Json.Int r.speculations);
@@ -1256,6 +1630,22 @@ let params_json r =
       ("mutate_every", Json.Int r.mutate_every);
       ("mutation_mode", Json.String (mutation_mode_name r.mutation_mode));
       ("mutation_batches", Json.Int (List.length r.mutations));
+      ("scale_events", match r.scale_spec with Some s -> Json.String s | None -> Json.Null);
+      ( "tenant_weights",
+        match r.tenant_weights with
+        | [] -> Json.Null
+        | ws -> Json.Obj (List.map (fun (tn, w) -> (tn, Json.Float w)) ws) );
+      ("tenant_quota", match r.tenant_quota with Some q -> Json.Int q | None -> Json.Null);
+      ( "tenant_deadlines",
+        match r.tenant_deadlines with
+        | [] -> Json.Null
+        | ds -> Json.Obj (List.map (fun (tn, d) -> (tn, Json.String (deadline_name d))) ds) );
+      ("fairness", Json.Bool r.fairness);
+      ("joins", Json.Int r.joins);
+      ("leaves", Json.Int r.leaves);
+      ("preemptions", Json.Int r.preemptions);
+      ("stale_placement_hits", Json.Int r.stale_placement_hits);
+      ("fairness_violations", Json.Int r.fairness_violations);
       ("retries", Json.Int r.retries);
       ("failed_jobs", Json.Int (failed_jobs r));
       ("shed_jobs", Json.Int (shed_jobs r));
@@ -1310,6 +1700,7 @@ let breaker_trip_json (t : breaker_trip) =
   Json.Obj
     [
       ("breaker", Json.String (if t.opened then "open" else "close"));
+      ("tenant", Json.String t.trip_tenant);
       ("dataset", Json.String t.trip_dataset);
       ("strategy", Json.String t.trip_strategy);
       ("at_s", Json.Float t.trip_at_s);
@@ -1373,6 +1764,30 @@ let pp_summary ppf r =
       let closes = List.length (List.filter (fun t -> not t.opened) r.breaker_trips) in
       Format.fprintf ppf "@,breakers (k=%d, cooldown %.0f s): %d open(s), %d close(s)" k
         r.breaker_cooldown_s opens closes);
+  (match r.scale_spec with
+  | None -> ()
+  | Some spec ->
+      Format.fprintf ppf "@,elastic %S: %d join(s), %d leave(s), %d preemption(s)" spec r.joins
+        r.leaves r.preemptions);
+  if r.fairness || r.tenant_weights <> [] || r.tenant_quota <> None then begin
+    let tenants =
+      List.sort_uniq String.compare
+        (List.map (fun x -> x.job.Job.tenant) r.records)
+    in
+    let throttled =
+      List.length
+        (List.filter
+           (fun (f : job_failure) ->
+             List.exists
+               (fun x -> x.job.Job.id = f.job_id && String.equal x.outcome "shed")
+               r.records)
+           r.failures)
+    in
+    Format.fprintf ppf "@,tenants: %d, fairness %s, %d violation(s), %d shed at admission"
+      (List.length tenants)
+      (if r.fairness then "on" else "off")
+      r.fairness_violations throttled
+  end;
   (match r.mutation_spec with
   | None -> ()
   | Some spec ->

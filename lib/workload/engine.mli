@@ -77,7 +77,15 @@ val deadline_name : deadline -> string
 (** ["absolute:<s>"] or ["factor:<f>"], the canonical spelling used in
     the report's parameter line. *)
 
+val breaker_scope : tenant:string -> dataset:string -> string
+(** The breaker namespace a (tenant, dataset) pair lives in:
+    ["<tenant>/<dataset>"], or the bare dataset for the default tenant —
+    so single-tenant streams keep their pre-tenancy event streams
+    byte-identical. [Breaker_open] / [Breaker_close] events carry this
+    scope in their [dataset] field. *)
+
 type breaker_trip = {
+  trip_tenant : string;  (** owning tenant ({!Job.default_tenant} when untagged) *)
   trip_dataset : string;
   trip_strategy : string;
   trip_at_s : float;  (** the attempt-finish instant that transitioned it *)
@@ -100,6 +108,9 @@ type job_record = {
           admission control refused the job; ["deadline"] when its SLO
           deadline cancelled it (queued or mid-run) *)
   attempts : int;  (** runs actually launched (0 for invalid/shed jobs) *)
+  preemptions : int;
+      (** attempts cut short by a scheduled slot reclamation — each one
+          requeued the job {e without} consuming its retry budget *)
   recoveries : int;  (** recovery records in the final attempt's trace *)
   recovery_s : float;  (** recovery time in the final attempt's trace *)
   speculations : int;
@@ -176,11 +187,24 @@ type report = {
   mutation_spec : string option;  (** the raw [--mutations] spec, when any *)
   mutate_every : int;  (** job launches between mutation batches *)
   mutation_mode : mutation_mode;
+  scale_spec : string option;  (** the raw [--scale-events] spec, when any *)
+  tenant_weights : (string * float) list;  (** fair-share weights (default 1.0) *)
+  tenant_quota : int option;  (** per-tenant admission-queue quota, when any *)
+  tenant_deadlines : (string * deadline) list;  (** tenant SLO overrides *)
+  fairness : bool;  (** weighted fair sharing was active *)
   records : job_record list;  (** ascending job id, one per job *)
   failures : job_failure list;  (** ascending job id *)
   breaker_trips : breaker_trip list;  (** in decision order *)
   mutations : mutation_record list;  (** in application order *)
   retries : int;  (** requeues performed = [Job_retry] events emitted *)
+  joins : int;  (** membership growth events applied = [Executor_join] events *)
+  leaves : int;  (** membership shrink events applied = [Executor_leave] events *)
+  preemptions : int;  (** attempts cut short by slot reclamations *)
+  stale_placement_hits : int;
+      (** cache hits served from an entry placed on departed executors —
+          the stale-placement law demands this stays 0 *)
+  fairness_violations : int;
+      (** independently recounted fair-share breaches — must stay 0 *)
   cache : Cache.stats;
   makespan_s : float;  (** last finish instant *)
   total_queue_s : float;
@@ -234,6 +258,11 @@ val run :
   ?mutate_every:int ->
   ?mutation_mode:mutation_mode ->
   ?mutation_heuristic:Cutfit_partition.Streaming.t ->
+  ?scale_events:Cutfit_bsp.Elastic.config ->
+  ?tenant_weights:(string * float) list ->
+  ?tenant_quota:int ->
+  ?tenant_deadlines:(string * deadline) list ->
+  ?fairness:bool ->
   seed:int64 ->
   Job.t list ->
   report
@@ -293,10 +322,45 @@ val run :
     the cache cold for that dataset, so the next job on it pays its
     full partition build. Every batch appends a {!mutation_record} and
     emits [Mutation_batch] / [Repartition] events.
+
+    {b Elasticity.}
+
+    [scale_events] replays a {!Cutfit_bsp.Elastic} spec against the
+    executor pool, with the spec's step numbers read as integer
+    simulated seconds. [join\@T+N] opens N fresh slots at instant T;
+    [leave\@T-N] retires slots gracefully — each departing slot finishes
+    its running job and never takes another (membership is clamped to
+    at least one slot, and grows at most by the spec's total joins);
+    [preempt\@T:rN] reclaims a live slot mid-run at instant T (the
+    victim drawn statelessly from the spec's seed): the attempt is cut
+    short where it stands (outcome ["preempted"], wasted work accounted
+    up to the reclamation, a ["preempt"]-kind [Fault_injected] event)
+    and the job requeues with backoff {e without consuming its retry
+    budget} — preemption is involuntary, the same rule that keeps sheds
+    and deadline culls budget-neutral. Every applied membership change
+    emits an [Executor_join] / [Executor_leave] event, and a shrink
+    eagerly invalidates every cached partitioning whose recorded
+    placement references a departed executor — the stale-placement law
+    ([stale_placement_hits = 0]) is recounted on every hit.
+
+    {b Multi-tenancy.}
+
+    Jobs carry their {!Job.t.tenant} tag. [fairness] enables weighted
+    fair sharing over slot busy-time: each launch serves the pending
+    tenant with the smallest busy/weight deficit ([tenant_weights],
+    default weight 1.0), with the scheduling policy ordering jobs
+    within the chosen tenant; [fairness_violations] independently
+    recounts the invariant. [tenant_quota] caps each tenant's pending
+    first-attempt jobs — a job arriving over quota is throttled
+    ([Tenant_throttle] event) and shed with policy ["quota"].
+    [tenant_deadlines] overrides the global [deadline] per tenant.
+    Circuit breakers are namespaced per tenant ({!breaker_scope}), so
+    one tenant's failures never degrade another's routing.
     @raise Invalid_argument if [slots < 1], [max_retries < 0],
     [queue_bound < 1], a non-positive deadline, [breaker_k < 1],
-    [breaker_cooldown_s < 0], [backpressure < 0] or
-    [mutate_every < 1]. *)
+    [breaker_cooldown_s < 0], [backpressure < 0], [mutate_every < 1],
+    a non-positive tenant weight or deadline, an empty tenant name in
+    the weights, or [tenant_quota < 1]. *)
 
 val hit_rate : report -> float
 (** Cache hits over lookups (0 when there were none). *)

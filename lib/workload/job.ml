@@ -9,7 +9,10 @@ type t = {
   algorithm : Advisor.algorithm;
   dataset : string;
   num_partitions : int;
+  tenant : string;
 }
+
+let default_tenant = "default"
 
 type mix = {
   name : string;
@@ -100,9 +103,14 @@ let validate mix =
       if n <= 0 then invalid_arg "Job.generate: partition counts must be positive")
     mix.partition_counts
 
-let generate ~seed ~jobs mix =
+let generate ~seed ~jobs ?(tenants = []) mix =
   if jobs < 0 then invalid_arg "Job.generate: negative job count";
   validate mix;
+  List.iter
+    (fun (t, _) ->
+      if String.length t = 0 || String.contains t '/' then
+        invalid_arg (Printf.sprintf "Job.generate: bad tenant name %S" t))
+    tenants;
   let rng = Xoshiro.create seed in
   let rate = 1.0 /. mix.mean_interarrival_s in
   let now = ref 0.0 in
@@ -111,9 +119,15 @@ let generate ~seed ~jobs mix =
       let algorithm = weighted_pick "algorithm" rng mix.algorithms in
       let dataset = weighted_pick "dataset" rng mix.datasets in
       let num_partitions = weighted_pick "partition-count" rng mix.partition_counts in
-      { id; arrival_s = !now; algorithm; dataset; num_partitions })
+      (* The tenant draw is appended LAST, so single-tenant streams are
+         byte-identical to streams generated before tenancy existed. *)
+      let tenant =
+        match tenants with [] -> default_tenant | ts -> weighted_pick "tenant" rng ts
+      in
+      { id; arrival_s = !now; algorithm; dataset; num_partitions; tenant })
 
 let pp ppf j =
-  Format.fprintf ppf "#%d %s %s/%d @%.2fs" j.id
+  Format.fprintf ppf "#%d %s%s %s/%d @%.2fs" j.id
+    (if String.equal j.tenant default_tenant then "" else j.tenant ^ ":")
     (Advisor.algorithm_name j.algorithm)
     j.dataset j.num_partitions j.arrival_s

@@ -14,7 +14,11 @@ type t = {
   algorithm : Cutfit.Advisor.algorithm;
   dataset : string;  (** a {!Cutfit_gen.Datasets} name *)
   num_partitions : int;
+  tenant : string;  (** owning tenant; {!default_tenant} when untagged *)
 }
+
+val default_tenant : string
+(** ["default"] — the tenant of every job in a single-tenant stream. *)
 
 type mix = {
   name : string;
@@ -34,14 +38,17 @@ val mixes : mix list
 val find_mix : string -> mix option
 val mix_names : string list
 
-val generate : seed:int64 -> jobs:int -> mix -> t list
+val generate : seed:int64 -> jobs:int -> ?tenants:(string * float) list -> mix -> t list
 (** [generate ~seed ~jobs mix] draws [jobs] jobs, in arrival order.
     Deterministic: the same seed and mix yield the identical stream.
     Draw order per job is fixed (inter-arrival, algorithm, dataset,
-    partition count), so streams with the same seed share a prefix.
-    @raise Invalid_argument on an unknown dataset name, a non-positive
-    weight sum, an empty dimension, [jobs < 0] or a non-positive mean
-    inter-arrival. *)
+    partition count, then — only when [tenants] is non-empty — the
+    owning tenant), so streams with the same seed share a prefix and a
+    single-tenant stream is byte-identical to one generated without the
+    [tenants] argument. @raise Invalid_argument on an unknown dataset
+    name, a non-positive weight sum, an empty dimension, [jobs < 0], a
+    non-positive mean inter-arrival, or a tenant name that is empty or
+    contains ['/']. *)
 
 (* lint: unused-export -- debug printer, kept for toplevel use *)
 val pp : Format.formatter -> t -> unit

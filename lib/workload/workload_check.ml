@@ -7,7 +7,7 @@ let suite = "workload"
 (* The outcome vocabulary partitions cleanly: a failed record carries
    exactly one of the failing outcomes, a successful record one of the
    run outcomes that produced a result. *)
-let failing_outcomes = [ "aborted"; "error"; "invalid"; "shed"; "deadline" ]
+let failing_outcomes = [ "aborted"; "error"; "invalid"; "shed"; "deadline"; "preempted" ]
 let ok_outcomes = [ "completed"; "max-supersteps"; "out-of-memory" ]
 
 let close a b =
@@ -79,6 +79,12 @@ let record_checks (records : Engine.job_record list) =
         add "job-negative-fault-counters"
           "job %d has negative fault counters (attempts %d, recoveries %d, recovery_s %.6f)" id
           r.Engine.attempts r.Engine.recoveries r.Engine.recovery_s;
+      if r.Engine.preemptions < 0 then
+        add "job-negative-fault-counters" "job %d has a negative preemption count (%d)" id
+          r.Engine.preemptions;
+      if r.Engine.preemptions > r.Engine.attempts then
+        add "job-preempt-bound" "job %d counts %d preemptions over %d attempts" id
+          r.Engine.preemptions r.Engine.attempts;
       if r.Engine.speculations < 0 then
         add "job-negative-fault-counters" "job %d has a negative speculation count (%d)" id
           r.Engine.speculations;
@@ -129,12 +135,15 @@ let record_checks (records : Engine.job_record list) =
     records;
   List.rev !v
 
-(* Breaker trips are a per-(dataset, strategy) state machine: the first
-   trip opens, a close only ever follows an open, opens carry the
-   failure streak that tripped them and closes a cleared streak. The
-   list is in the engine's decision order — with concurrent slots an
-   attempt processed later can finish earlier, so the stamped instants
-   are not globally sorted and carry no ordering law. *)
+(* Breaker trips are a per-(tenant, dataset, strategy) state machine:
+   the first trip opens, a close only ever follows an open, opens carry
+   the failure streak that tripped them and closes a cleared streak.
+   Running the machine on the tenant-scoped key is itself the breaker
+   isolation law: a close in one tenant's namespace never pairs with an
+   open in another's. The list is in the engine's decision order — with
+   concurrent slots an attempt processed later can finish earlier, so
+   the stamped instants are not globally sorted and carry no ordering
+   law. *)
 let breaker_checks (r : Engine.report) =
   let v = ref [] in
   let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
@@ -146,7 +155,10 @@ let breaker_checks (r : Engine.report) =
       let states : (string, bool) Hashtbl.t = Hashtbl.create 8 in
       List.iter
         (fun (t : Engine.breaker_trip) ->
-          let key = t.Engine.trip_dataset ^ "/" ^ t.Engine.trip_strategy in
+          let key =
+            Engine.breaker_scope ~tenant:t.Engine.trip_tenant ~dataset:t.Engine.trip_dataset
+            ^ "/" ^ t.Engine.trip_strategy
+          in
           let was_open =
             match Hashtbl.find_opt states key with Some b -> b | None -> false
           in
@@ -198,6 +210,51 @@ let mutation_checks (r : Engine.report) =
   if r.Engine.cache.Cache.invalidations < dropped then
     add "mutation-invalidation-count" "cache counts %d invalidations but batches dropped %d entries"
       r.Engine.cache.Cache.invalidations dropped;
+  List.rev !v
+
+(* Elasticity and tenancy laws. Preemption is involuntary, so it never
+   consumes the retry budget; membership counters reconcile with the
+   records; and the engine's two independently recounted invariants —
+   no hit served from a stale placement, no fair-share breach — must
+   both sit at zero. *)
+let elastic_checks (r : Engine.report) =
+  let v = ref [] in
+  let add rule fmt = Format.kasprintf (fun detail -> v := Violation.v ~suite ~rule "%s" detail :: !v) fmt in
+  if r.Engine.joins < 0 || r.Engine.leaves < 0 || r.Engine.preemptions < 0 then
+    add "elastic-negative" "negative scale counters (joins %d, leaves %d, preemptions %d)"
+      r.Engine.joins r.Engine.leaves r.Engine.preemptions;
+  if
+    r.Engine.scale_spec = None
+    && (r.Engine.joins <> 0 || r.Engine.leaves <> 0 || r.Engine.preemptions <> 0)
+  then
+    add "elastic-unarmed" "%d join(s), %d leave(s), %d preemption(s) with no scale spec"
+      r.Engine.joins r.Engine.leaves r.Engine.preemptions;
+  let recorded_preempts =
+    List.fold_left
+      (fun acc (x : Engine.job_record) -> acc + x.Engine.preemptions)
+      0 r.Engine.records
+  in
+  if recorded_preempts <> r.Engine.preemptions then
+    add "elastic-preempt-conservation"
+      "records carry %d preemptions but the engine applied %d" recorded_preempts
+      r.Engine.preemptions;
+  (* The zero-retry-consumed rule: only voluntary failures draw on the
+     budget, so a record may exceed [max_retries + 1] attempts by
+     exactly its preemption count — never further. *)
+  List.iter
+    (fun (x : Engine.job_record) ->
+      if x.Engine.attempts - x.Engine.preemptions > r.Engine.max_retries + 1 then
+        add "job-retry-budget"
+          "job %d launched %d attempts with %d preemptions against a budget of %d"
+          x.Engine.job.Job.id x.Engine.attempts x.Engine.preemptions
+          (r.Engine.max_retries + 1))
+    r.Engine.records;
+  if r.Engine.stale_placement_hits <> 0 then
+    add "stale-placement" "%d cache hit(s) served from entries placed on departed executors"
+      r.Engine.stale_placement_hits;
+  if r.Engine.fairness_violations <> 0 then
+    add "fairness-share" "%d launch(es) served a tenant ahead of a smaller weighted deficit"
+      r.Engine.fairness_violations;
   List.rev !v
 
 let aggregate_checks (r : Engine.report) =
@@ -307,7 +364,10 @@ let event_checks (r : Engine.report) events =
     List.iter2
       (fun (b : Event.breaker_open) (t : Engine.breaker_trip) ->
         if
-          (not (String.equal b.Event.dataset t.Engine.trip_dataset))
+          (not
+             (String.equal b.Event.dataset
+                (Engine.breaker_scope ~tenant:t.Engine.trip_tenant
+                   ~dataset:t.Engine.trip_dataset)))
           || (not (String.equal b.Event.strategy t.Engine.trip_strategy))
           || b.Event.at_s <> t.Engine.trip_at_s
           || b.Event.failures <> t.Engine.trip_failures
@@ -322,7 +382,10 @@ let event_checks (r : Engine.report) events =
     List.iter2
       (fun (b : Event.breaker_close) (t : Engine.breaker_trip) ->
         if
-          (not (String.equal b.Event.dataset t.Engine.trip_dataset))
+          (not
+             (String.equal b.Event.dataset
+                (Engine.breaker_scope ~tenant:t.Engine.trip_tenant
+                   ~dataset:t.Engine.trip_dataset)))
           || (not (String.equal b.Event.strategy t.Engine.trip_strategy))
           || b.Event.at_s <> t.Engine.trip_at_s
         then
@@ -351,6 +414,42 @@ let event_checks (r : Engine.report) events =
           launches record_specs;
       if wins > launches then
         add "event-speculation" "%d Speculative_win events for %d launches" wins launches);
+  (* Scale events reconcile with the applied membership changes, and
+     every quota throttle pairs 1:1 with a ["quota"]-policy shed. *)
+  let join_events = count (function Event.Executor_join _ -> true | _ -> false) in
+  if join_events <> r.Engine.joins then
+    add "event-scale" "%d Executor_join events for %d applied joins" join_events r.Engine.joins;
+  let leave_events = count (function Event.Executor_leave _ -> true | _ -> false) in
+  if leave_events <> r.Engine.leaves then
+    add "event-scale" "%d Executor_leave events for %d applied leaves" leave_events
+      r.Engine.leaves;
+  let preempt_events =
+    count (function
+      | Event.Fault_injected f -> String.equal f.Event.kind "preempt"
+      | _ -> false)
+  in
+  if preempt_events <> r.Engine.preemptions then
+    add "event-scale" "%d preempt Fault_injected events for %d applied preemptions"
+      preempt_events r.Engine.preemptions;
+  let throttles =
+    List.filter_map (function Event.Tenant_throttle t -> Some t | _ -> None) events
+  in
+  let quota_sheds =
+    List.filter_map
+      (function
+        | Event.Job_shed s when String.equal s.Event.policy "quota" -> Some s | _ -> None)
+      events
+  in
+  if List.length throttles <> List.length quota_sheds then
+    add "event-throttle" "%d Tenant_throttle events for %d quota sheds" (List.length throttles)
+      (List.length quota_sheds)
+  else
+    List.iter2
+      (fun (t : Event.tenant_throttle) (s : Event.job_shed) ->
+        if t.Event.job_id <> s.Event.job_id || t.Event.at_s <> s.Event.at_s then
+          add "event-throttle" "Tenant_throttle %d disagrees with its quota shed %d"
+            t.Event.job_id s.Event.job_id)
+      throttles quota_sheds;
   let find_record id =
     List.find_opt (fun (x : Engine.job_record) -> x.Engine.job.Job.id = id) r.Engine.records
   in
@@ -397,9 +496,21 @@ let event_checks (r : Engine.report) events =
                 add "event-shed-mismatch" "Job_shed %d but its record's outcome is %S"
                   s.Event.job_id x.Engine.outcome
               else if
-                (not (String.equal s.Event.policy (Engine.shed_policy_name r.Engine.shed_policy)))
+                (not
+                   (String.equal s.Event.policy (Engine.shed_policy_name r.Engine.shed_policy)
+                   || String.equal s.Event.policy "quota"))
                 || s.Event.at_s <> x.Engine.start_s
               then add "event-shed-mismatch" "Job_shed %d disagrees with its record" s.Event.job_id)
+      | Event.Tenant_throttle tt -> (
+          match find_record tt.Event.job_id with
+          | None -> add "event-orphan" "Tenant_throttle for unknown job %d" tt.Event.job_id
+          | Some x ->
+              if not (String.equal x.Engine.outcome "shed") then
+                add "event-throttle" "Tenant_throttle %d but its record's outcome is %S"
+                  tt.Event.job_id x.Engine.outcome
+              else if not (String.equal tt.Event.tenant x.Engine.job.Job.tenant) then
+                add "event-throttle" "Tenant_throttle %d names tenant %s, record says %s"
+                  tt.Event.job_id tt.Event.tenant x.Engine.job.Job.tenant)
       | Event.Deadline_exceeded d -> (
           match find_record d.Event.job_id with
           | None -> add "event-orphan" "Deadline_exceeded for unknown job %d" d.Event.job_id
@@ -419,7 +530,8 @@ let event_checks (r : Engine.report) events =
       | Event.Cache_op _ | Event.Run_start _ | Event.Superstep _ | Event.Run_end _
       | Event.Fault_injected _ | Event.Checkpoint _ | Event.Recovery _ | Event.Job_retry _
       | Event.Speculative_launch _ | Event.Speculative_win _ | Event.Breaker_open _
-      | Event.Breaker_close _ | Event.Mutation_batch _ | Event.Repartition _ -> ())
+      | Event.Breaker_close _ | Event.Mutation_batch _ | Event.Repartition _
+      | Event.Executor_join _ | Event.Executor_leave _ | Event.Reshuffle _ -> ())
     events;
   let ops name = count (function Event.Cache_op c -> String.equal c.Event.op name | _ -> false) in
   let stats = r.Engine.cache in
@@ -442,6 +554,7 @@ let report ?events (r : Engine.report) =
   @ aggregate_checks r
   @ breaker_checks r
   @ mutation_checks r
+  @ elastic_checks r
   @ match events with None -> [] | Some evs -> event_checks r evs
 
 let digest r = Determinism.lines_digest (Engine.report_lines r)

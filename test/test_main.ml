@@ -17,6 +17,7 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("faults", Test_faults.suite);
       ("resilience", Test_resilience.suite);
+      ("elastic", Test_elastic.suite);
       ("experiments", Test_experiments.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

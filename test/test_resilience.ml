@@ -174,6 +174,7 @@ let breaker_report fault_seed =
         {
           Job.id = i;
           arrival_s = float_of_int i *. 0.5;
+          tenant = Job.default_tenant;
           algorithm = Advisor.Pagerank;
           dataset = "pocek";
           num_partitions = 64;

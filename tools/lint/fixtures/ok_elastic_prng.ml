@@ -1,0 +1,25 @@
+(* expect: none *)
+(* The elastic-membership idiom: the victim of a preemption and the
+   seat of a join are stateless hashes of (seed, salt, step) through
+   lib/prng — no [Random], no self-init, no wall clock — so a scale
+   schedule realizes to the same joins, leaves and victims whether the
+   engine asks step by step or replays the whole run from a digest. *)
+let draw ~seed ~salt ~step =
+  Cutfit_prng.Splitmix64.mix64
+    (Int64.logxor
+       (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+       (Int64.add (Int64.mul (Int64.of_int salt) 0xBF58476D1CE4E5B9L) (Int64.of_int step)))
+
+let draw_mod h n = Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int n))
+
+(* Preemption victim at [step]: an index into the live set, drawn under
+   salt 0. The caller maps it onto its alive array, so the same draw
+   stays valid as the membership changes around it. *)
+let victim ~seed ~step ~alive = draw_mod (draw ~seed ~salt:0 ~step) alive
+
+(* Host-speed multiplier for executor [e]: drawn under salt 1 into
+   [0.6, 1.4], so heterogeneity perturbs busy time without touching
+   any computed value. *)
+let speed ~seed ~e =
+  let h = draw ~seed ~salt:1 ~step:e in
+  0.6 +. (0.8 *. (Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0))

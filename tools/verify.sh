@@ -93,6 +93,17 @@ dune exec bin/cutfit_cli.exe -- workload --jobs 16 \
 # refresh-rebuild value equivalence
 dune exec bin/cutfit_cli.exe -- check PR youtube --dynamic >/dev/null
 
+echo "== elastic smoke (scale events + two tenants, checked)"
+# membership churn plus a preemption over a weighted two-tenant stream;
+# --check rides the fairness, quota and preempt-conservation laws and
+# the elastic sanitizer suite proves values stay bit-identical
+dune exec bin/cutfit_cli.exe -- workload --jobs 20 --slots 2 \
+  --tenants 'acme:3,beta:1' --tenant-weights 'acme:3,beta:1' --fairness \
+  --scale-events 'leave@5-1,join@9+2,preempt@12:r1' --check >/dev/null
+# the eighth sanitizer suite: elastic run vs static baseline
+dune exec bin/cutfit_cli.exe -- check PR roadnet_pa \
+  --elastic 'leave@2-1,join@4+2' --hetero draw >/dev/null
+
 echo "== run-twice digest on a faulty trace"
 d1=$(dune exec bin/cutfit_cli.exe -- run PR roadnet_pa \
   --faults 'crash@2,rand@0.1' --checkpoint-every 2)
@@ -131,6 +142,14 @@ expect_exit 2 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa --races --doma
 expect_exit 2 dune exec bin/cutfit_cli.exe -- check PR roadnet_pa --dynamic 'grow@1'
 expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --mutations 'ins@1' --mutate-every 0
 expect_exit 2 dune exec bin/cutfit_cli.exe -- mutate youtube --mutations 'ins@0'
+expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --scale-events 'grow@1'
+expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --scale-events 'join@3-1'
+expect_exit 2 dune exec bin/cutfit_cli.exe -- run PR roadnet_pa --capability
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --tenants 'a/b:1'
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --tenant-weights 'acme:0'
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --tenant-deadline acme
+expect_exit 2 dune exec bin/cutfit_cli.exe -- workload --tenant-quota 0
+expect_exit 0 dune exec bin/cutfit_cli.exe -- check CC roadnet_tx --elastic --hetero '1.5,0.8/2.0'
 expect_exit 0 dune exec bin/cutfit_cli.exe -- check CC roadnet_tx --dynamic
 expect_exit 1 _build/default/tools/lint/lint.exe --self-test no_such_fixture_dir
 
